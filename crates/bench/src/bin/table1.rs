@@ -1,0 +1,66 @@
+//! **Table 1 of the paper** — Abstraction of Mastrovito multipliers.
+//!
+//! "Table I depicts the time required to derive the polynomial abstraction
+//! from Mastrovito circuits. The tool takes the circuit as input, performs
+//! a reverse topological traversal to determine RATO, applies the approach
+//! presented in Section 5 and derives the polynomial representation
+//! Z = A·B."
+//!
+//! Paper rows (Intel Xeon, 96 GB, 24 h timeout):
+//!
+//! | k    | 163  | 233  | 283   | 409   | 571 |
+//! | gates| 153K | 167K | 399K  | 508K  | 1.6M|
+//! | time | 4351 | 5777 | 40114 | 72708 | TO  |
+//! | mem  | (MB columns) |
+//!
+//! Run: `cargo run --release -p gfab-bench --bin table1 [--full] [k ...]`
+//! Default sweep: 8 16 32 64 163; `--full` adds 233 283 409 571.
+
+use gfab_bench::{fmt_gates, fmt_mb, fmt_secs, PeakAlloc, TableArgs};
+use gfab_circuits::mastrovito_multiplier;
+use gfab_core::extract_word_polynomial;
+use gfab_field::nist::irreducible_polynomial;
+use gfab_field::GfContext;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc::new();
+
+fn main() {
+    let args = TableArgs::parse();
+    let ks = args.sweep(&[8, 16, 32, 64, 163], &[233, 283, 409, 571]);
+
+    println!("Table 1: Abstraction of Mastrovito multipliers (Z = A*B)");
+    println!("(paper: k=163 in 4351 s / 153K gates ... k=571 timed out at 24 h)\n");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "k", "gates", "time_s", "red.steps", "peak_terms", "mem_MB", "result"
+    );
+    for k in ks {
+        let Some(p) = irreducible_polynomial(k) else {
+            eprintln!("{k:>5}  no irreducible polynomial found");
+            continue;
+        };
+        let ctx = GfContext::shared(p).expect("irreducible");
+        let nl = mastrovito_multiplier(&ctx);
+        ALLOC.reset_peak();
+        let t = Instant::now();
+        let result = extract_word_polynomial(&nl, &ctx).expect("extraction succeeds");
+        let elapsed = t.elapsed();
+        let verdict = match result.canonical() {
+            Some(f) if format!("{}", f.display()) == "A*B" => "Z=A*B",
+            Some(_) => "WRONG",
+            None => "residual",
+        };
+        println!(
+            "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
+            k,
+            fmt_gates(nl.num_gates()),
+            fmt_secs(elapsed),
+            result.stats.reduction_steps,
+            result.stats.peak_terms,
+            fmt_mb(ALLOC.peak_bytes()),
+            verdict
+        );
+    }
+}

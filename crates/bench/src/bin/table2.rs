@@ -1,0 +1,93 @@
+//! **Table 2 of the paper** — Abstraction of Montgomery blocks.
+//!
+//! "Table II depicts the results for Montgomery multipliers. BLK A and B
+//! denote the input blocks, BLK Mid denotes the middle block and BLK Out
+//! is the output block. … First, a polynomial is extracted for each block,
+//! and then the approach is re-applied at word-level to derive the
+//! input-output relation (solved trivially in < 1 second). Our approach
+//! can extract the word-level polynomial for up to 571-bit circuits!"
+//!
+//! Paper totals (seconds): k=163: 636, k=233: 1909, k=283: 8186,
+//! k=409: 34002, k=571: 87458.
+//!
+//! Run: `cargo run --release -p gfab-bench --bin table2 [--full] [k ...]`
+//! Default sweep: 8 16 32 64 163; `--full` adds 233 283 409 571.
+
+use gfab_bench::{fmt_gates, fmt_mb, fmt_secs, PeakAlloc, TableArgs};
+use gfab_circuits::montgomery_multiplier_hier;
+use gfab_core::hier::extract_hierarchical;
+use gfab_core::ExtractOptions;
+use gfab_field::nist::irreducible_polynomial;
+use gfab_field::GfContext;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc::new();
+
+fn main() {
+    let args = TableArgs::parse();
+    let ks = args.sweep(&[8, 16, 32, 64, 163], &[233, 283, 409, 571]);
+
+    println!("Table 2: Abstraction of Montgomery blocks (Fig. 1: AR, BR, ABR, G)");
+    println!("(paper totals: k=163: 636 s ... k=571: 87458 s)\n");
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "k",
+        "gA",
+        "gB",
+        "gMid",
+        "gOut",
+        "tA_s",
+        "tB_s",
+        "tMid_s",
+        "tOut_s",
+        "compose",
+        "total_s",
+        "mem_MB",
+        "result"
+    );
+    for k in ks {
+        let Some(p) = irreducible_polynomial(k) else {
+            eprintln!("{k:>5}  no irreducible polynomial found");
+            continue;
+        };
+        let ctx = GfContext::shared(p).expect("irreducible");
+        let design = montgomery_multiplier_hier(&ctx);
+        let gates: Vec<usize> = design
+            .blocks
+            .iter()
+            .map(|b| b.netlist.num_gates())
+            .collect();
+        ALLOC.reset_peak();
+        let t = Instant::now();
+        let result = extract_hierarchical(&design, &ctx, &ExtractOptions::default())
+            .expect("all blocks are Case 1");
+        let total = t.elapsed();
+        let times: Vec<String> = result
+            .blocks
+            .iter()
+            .map(|(_, _, s)| fmt_secs(s.duration))
+            .collect();
+        let verdict = if format!("{}", result.function.display()) == "A*B" {
+            "G=A*B"
+        } else {
+            "WRONG"
+        };
+        println!(
+            "{:>5} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}",
+            k,
+            fmt_gates(gates[0]),
+            fmt_gates(gates[1]),
+            fmt_gates(gates[2]),
+            fmt_gates(gates[3]),
+            times[0],
+            times[1],
+            times[2],
+            times[3],
+            fmt_secs(result.compose_time),
+            fmt_secs(total),
+            fmt_mb(ALLOC.peak_bytes()),
+            verdict
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! **Method-comparison table** (Section 6 text + Tables I/II of \[5\]):
+//! who can prove Mastrovito ≡ Montgomery at which datapath width?
+//!
+//! The paper reports: ABC/CSAT miters die beyond 16-bit; SINGULAR full GB
+//! dies beyond 32-bit; the Lv-Kalla-Enescu ideal-membership tool \[5\] dies
+//! beyond 163-bit; the paper's guided abstraction reaches 409-bit
+//! (flattened) / 571-bit (hierarchical).
+//!
+//! We run all four engines with explicit budgets so give-ups are graceful:
+//!
+//! * SAT: CDCL on the miter, conflict budget (default 300k conflicts);
+//! * full GB: Buchberger with pair/size limits;
+//! * ideal membership: reduce `Z + A·B` modulo the circuit (needs spec);
+//! * guided abstraction: extract both canonical forms and coefficient-match.
+//!
+//! Run: `cargo run --release -p gfab-bench --bin table3 [--full] [k ...]`
+//! Default sweep: 2 3 4 6 8 10 12 16; `--full` adds 24 32 48 64.
+
+use gfab_bench::{fmt_secs, TableArgs};
+use gfab_circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
+use gfab_core::equiv::check_equivalence;
+use gfab_core::fullgb::{full_gb_abstraction, CircuitVarOrder, FullGbOutcome};
+use gfab_core::ideal_membership::{multiplier_spec, spec_ring, verify_against_spec};
+use gfab_core::ExtractOptions;
+use gfab_field::nist::irreducible_polynomial;
+use gfab_field::GfContext;
+use gfab_poly::buchberger::GbLimits;
+use gfab_sat::equiv::{check_equivalence_sat_with, SatVerdict};
+use std::time::Instant;
+
+const SAT_CONFLICT_BUDGET: u64 = 300_000;
+/// Per-cell wall-clock "timeout" (the paper used 24 h; we use 2 min).
+const WALL_BUDGET: std::time::Duration = std::time::Duration::from_secs(120);
+
+fn main() {
+    let args = TableArgs::parse();
+    let ks = args.sweep(&[2, 3, 4, 6, 8, 10, 12, 16], &[24, 32, 48, 64]);
+
+    println!("Method comparison: prove Mastrovito == Montgomery (flattened miter)");
+    println!("(paper: SAT dies >16 bit, full GB >32 bit, [5] >163 bit, ours 409+)\n");
+    println!(
+        "{:>4} {:>12} {:>14} {:>16} {:>14}",
+        "k", "sat_miter", "full_groebner", "ideal_member[5]", "guided(ours)"
+    );
+
+    for k in ks {
+        let Some(p) = irreducible_polynomial(k) else {
+            continue;
+        };
+        let ctx = GfContext::shared(p).expect("irreducible");
+        let spec = mastrovito_multiplier(&ctx);
+        let impl_ = montgomery_multiplier_hier(&ctx).flatten();
+
+        // (a) SAT miter.
+        let t = Instant::now();
+        let sat = check_equivalence_sat_with(&spec, &impl_, SAT_CONFLICT_BUDGET, Some(WALL_BUDGET));
+        let sat_cell = match sat.verdict {
+            SatVerdict::Equivalent => format!("eq {}", fmt_secs(t.elapsed())),
+            SatVerdict::Counterexample(_) => format!("CEX {}", fmt_secs(t.elapsed())),
+            SatVerdict::Unknown => "give-up".to_string(),
+        };
+
+        // (b) Full Gröbner basis abstraction on the (smaller) spec circuit.
+        let gb_limits = GbLimits {
+            max_pair_reductions: 20_000,
+            max_basis: 5_000,
+            max_poly_terms: 2_000_000,
+            max_wall_ms: 120_000, // 2-minute "timeout" per cell
+        };
+        let t = Instant::now();
+        let gb_cell = match full_gb_abstraction(
+            &spec,
+            &ctx,
+            CircuitVarOrder::ReverseTopological,
+            &gb_limits,
+        ) {
+            Ok(FullGbOutcome::Canonical { .. }) => format!("eq {}", fmt_secs(t.elapsed())),
+            Ok(FullGbOutcome::GaveUp { .. }) => "give-up".to_string(),
+            Err(e) => format!("err:{e}"),
+        };
+
+        // (c) Ideal membership \[5\] on the impl circuit (spec poly given).
+        let t = Instant::now();
+        let sr = spec_ring(&impl_, &ctx);
+        let f = multiplier_spec(&sr, &ctx);
+        let im_cell = match verify_against_spec(&impl_, &ctx, &sr, &f) {
+            Ok(out) if out.verified => format!("eq {}", fmt_secs(t.elapsed())),
+            Ok(_) => "REFUTED".to_string(),
+            Err(e) => format!("err:{e}"),
+        };
+
+        // (d) Guided abstraction (ours): full equivalence check.
+        let t = Instant::now();
+        let ours_cell = match check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default())
+        {
+            Ok(report) if report.verdict.is_equivalent() => {
+                format!("eq {}", fmt_secs(t.elapsed()))
+            }
+            Ok(_) => "INEQ".to_string(),
+            Err(e) => format!("err:{e}"),
+        };
+
+        println!("{k:>4} {sat_cell:>12} {gb_cell:>14} {im_cell:>16} {ours_cell:>14}");
+    }
+}

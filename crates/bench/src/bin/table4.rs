@@ -1,0 +1,132 @@
+//! **Ablations** of the design choices the paper calls out:
+//!
+//! 1. **RATO vs. arbitrary variable order** (Definition 4.2 vs. 5.1): the
+//!    product-criterion collapse is what makes the guided flow possible.
+//!    We measure Buchberger effort under both circuit-variable orders.
+//! 2. **Case-2 completion cost**: buggy circuits leave primary-input bits
+//!    in the remainder; the completion Gröbner basis is "a much simplified
+//!    computation" (Section 5) — but how much does it cost as k grows?
+//! 3. **Constant-operand blocks**: the paper's Table 2 notes Blk A/B/Out
+//!    are "simplified by constant-propagation". We compare extracting the
+//!    constant-folded block vs. the full two-operand block.
+//!
+//! Run: `cargo run --release -p gfab-bench --bin table4`
+
+use gfab_bench::fmt_secs;
+use gfab_circuits::{mastrovito_multiplier, monpro, MonproOperand};
+use gfab_core::extract_word_polynomial;
+use gfab_core::fullgb::{full_gb_abstraction, CircuitVarOrder, FullGbOutcome};
+use gfab_field::nist::irreducible_polynomial;
+use gfab_field::GfContext;
+use gfab_netlist::mutate::inject_random_bug;
+use gfab_poly::buchberger::GbLimits;
+use std::time::Instant;
+
+fn main() {
+    ablation_variable_order();
+    ablation_case2_cost();
+    ablation_constant_blocks();
+}
+
+fn ablation_variable_order() {
+    println!("Ablation 1: full-GB effort, RATO vs. declaration variable order");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "k", "pairs_rato", "pairs_decl", "pruned_rato", "pruned_decl", "t_rato", "t_decl"
+    );
+    let limits = GbLimits {
+        max_pair_reductions: 200_000,
+        ..GbLimits::default()
+    };
+    for k in [2usize, 3] {
+        let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
+        let nl = mastrovito_multiplier(&ctx);
+        let mut cells = Vec::new();
+        for order in [CircuitVarOrder::ReverseTopological, CircuitVarOrder::Declaration] {
+            let t = Instant::now();
+            match full_gb_abstraction(&nl, &ctx, order, &limits).unwrap() {
+                FullGbOutcome::Canonical { stats, .. } => {
+                    cells.push((
+                        stats.pairs_reduced.to_string(),
+                        (stats.pairs_skipped_product + stats.pairs_skipped_chain).to_string(),
+                        fmt_secs(t.elapsed()),
+                    ));
+                }
+                FullGbOutcome::GaveUp { stats, .. } => {
+                    cells.push((
+                        format!("{}+", stats.pairs_reduced),
+                        (stats.pairs_skipped_product + stats.pairs_skipped_chain).to_string(),
+                        "give-up".to_string(),
+                    ));
+                }
+            }
+        }
+        println!(
+            "{:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            k, cells[0].0, cells[1].0, cells[0].1, cells[1].1, cells[0].2, cells[1].2
+        );
+    }
+    println!();
+}
+
+fn ablation_case2_cost() {
+    println!("Ablation 2: Case-2 completion cost on buggy Mastrovito multipliers");
+    println!(
+        "{:>4} {:>6} {:>14} {:>14} {:>12}",
+        "k", "bugs", "case1(benign)", "case2(buggy)", "avg_t_case2"
+    );
+    for k in [2usize, 3, 4, 5] {
+        let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
+        let golden = mastrovito_multiplier(&ctx);
+        let (mut case1, mut case2) = (0usize, 0usize);
+        let mut case2_time = std::time::Duration::ZERO;
+        let trials = 8u64;
+        for seed in 0..trials {
+            let (bad, _) = inject_random_bug(&golden, seed);
+            let t = Instant::now();
+            let result = extract_word_polynomial(&bad, &ctx).expect("extraction");
+            if result.stats.case2_completion {
+                case2 += 1;
+                case2_time += t.elapsed();
+            } else {
+                case1 += 1;
+            }
+            assert!(result.canonical().is_some(), "completion succeeds, k={k}");
+        }
+        let avg = if case2 > 0 {
+            fmt_secs(case2_time / case2 as u32)
+        } else {
+            "-".into()
+        };
+        println!("{k:>4} {trials:>6} {case1:>14} {case2:>14} {avg:>12}");
+    }
+    println!();
+}
+
+fn ablation_constant_blocks() {
+    println!("Ablation 3: constant-operand MonPro blocks vs. full two-operand blocks");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "k", "gates_const", "gates_full", "t_const", "t_full", "ratio"
+    );
+    for k in [16usize, 32, 64, 163] {
+        let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
+        let constant = monpro(&ctx, "c", MonproOperand::Const(ctx.montgomery_r2()));
+        let full = monpro(&ctx, "f", MonproOperand::Word);
+        let t = Instant::now();
+        extract_word_polynomial(&constant, &ctx).expect("const block");
+        let t_const = t.elapsed();
+        let t = Instant::now();
+        extract_word_polynomial(&full, &ctx).expect("full block");
+        let t_full = t.elapsed();
+        println!(
+            "{:>4} {:>12} {:>12} {:>10} {:>10} {:>8.2}",
+            k,
+            constant.num_gates(),
+            full.num_gates(),
+            fmt_secs(t_const),
+            fmt_secs(t_full),
+            t_full.as_secs_f64() / t_const.as_secs_f64().max(1e-9)
+        );
+    }
+}

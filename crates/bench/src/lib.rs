@@ -1,0 +1,167 @@
+//! Shared harness utilities for the paper-table binaries: a peak-tracking
+//! global allocator (the paper's "Max Mem" column) and small formatting
+//! helpers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A wrapper around the system allocator that tracks current and peak
+/// live allocation. Install in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: gfab_bench::PeakAlloc = gfab_bench::PeakAlloc::new();
+/// ```
+pub struct PeakAlloc {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl PeakAlloc {
+    /// A fresh tracker.
+    pub const fn new() -> Self {
+        PeakAlloc {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_bytes(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Peak bytes since the last [`PeakAlloc::reset_peak`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current level (per-experiment measurement).
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl Default for PeakAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates allocation to `System`; the atomic bookkeeping has no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let cur = self.current.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.peak.fetch_max(cur, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.current.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+/// Formats a byte count as MB with one decimal.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.01 {
+        format!("{:.4}", s)
+    } else if s < 1.0 {
+        format!("{:.3}", s)
+    } else {
+        format!("{:.2}", s)
+    }
+}
+
+/// Gate-count pretty printer (`153K`, `1.6M` style, like the paper).
+pub fn fmt_gates(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Parses the common CLI flags of the table binaries: `--full` enables the
+/// NIST-scale rows; a trailing list of integers overrides the k sweep.
+pub struct TableArgs {
+    /// Whether `--full` was passed.
+    pub full: bool,
+    /// Explicit k values, if any were given.
+    pub ks: Vec<usize>,
+}
+
+impl TableArgs {
+    /// Parses `std::env::args`.
+    pub fn parse() -> TableArgs {
+        let mut full = false;
+        let mut ks = Vec::new();
+        for a in std::env::args().skip(1) {
+            if a == "--full" {
+                full = true;
+            } else if let Ok(k) = a.parse::<usize>() {
+                ks.push(k);
+            } else {
+                eprintln!("usage: [--full] [k ...]");
+                std::process::exit(2);
+            }
+        }
+        TableArgs { full, ks }
+    }
+
+    /// The k sweep: explicit values win; otherwise `quick`, extended by
+    /// `nist_extra` under `--full`.
+    pub fn sweep(&self, quick: &[usize], nist_extra: &[usize]) -> Vec<usize> {
+        if !self.ks.is_empty() {
+            return self.ks.clone();
+        }
+        let mut v = quick.to_vec();
+        if self.full {
+            v.extend_from_slice(nist_extra);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_gates(512), "512");
+        assert_eq!(fmt_gates(153_000), "153K");
+        assert_eq!(fmt_gates(1_600_000), "1.6M");
+        assert_eq!(fmt_mb(1024 * 1024), "1.0");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.50");
+    }
+
+    #[test]
+    fn peak_alloc_tracks_growth() {
+        // Not installed as the global allocator here; exercise the
+        // bookkeeping directly through GlobalAlloc.
+        let a = PeakAlloc::new();
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(a.peak_bytes() >= 4096);
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.current_bytes(), 0);
+        a.reset_peak();
+        assert_eq!(a.peak_bytes(), 0);
+    }
+}

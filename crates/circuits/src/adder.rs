@@ -1,0 +1,76 @@
+//! Linear circuits: the Galois field adder and the constant multiplier.
+
+use gfab_field::{Gf, Gf2Poly, GfContext};
+use gfab_netlist::{NetId, Netlist};
+
+/// Generates `Z = A + B` over `F_{2^k}` — a row of `k` XOR gates.
+pub fn gf_adder(ctx: &GfContext) -> Netlist {
+    let k = ctx.k();
+    let mut nl = Netlist::new(format!("gfadd_{k}"));
+    let a = nl.add_input_word("A", k);
+    let b = nl.add_input_word("B", k);
+    let zbits: Vec<NetId> = (0..k).map(|i| nl.xor(a[i], b[i])).collect();
+    nl.set_output_word("Z", zbits);
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+/// Generates `Z = c·A (mod P)` for a fixed field element `c`: each output
+/// bit is the XOR of the input bits selected by the matrix of the linear
+/// map `x ↦ c·x`.
+pub fn constant_multiplier(ctx: &GfContext, c: &Gf) -> Netlist {
+    let k = ctx.k();
+    let mut nl = Netlist::new(format!("cmult_{k}"));
+    let a = nl.add_input_word("A", k);
+    // Row i: c * x^i mod P.
+    let c_rows: Vec<Vec<bool>> = (0..k)
+        .map(|i| {
+            let r = c.as_poly().mul(&Gf2Poly::monomial(i)).rem(ctx.modulus());
+            (0..k).map(|j| r.coeff(j)).collect()
+        })
+        .collect();
+    let zbits: Vec<NetId> = (0..k)
+        .map(|j| {
+            let terms: Vec<NetId> = (0..k).filter(|&i| c_rows[i][j]).map(|i| a[i]).collect();
+            nl.xor_tree(&terms)
+        })
+        .collect();
+    nl.set_output_word("Z", zbits);
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_netlist::sim::exhaustive_check;
+
+    #[test]
+    fn adder_adds() {
+        for k in 2..=6 {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let nl = gf_adder(&ctx);
+            exhaustive_check(&nl, &ctx, |w| ctx.add(&w[0], &w[1]))
+                .unwrap_or_else(|w| panic!("k={k} mismatch at {w:?}"));
+        }
+    }
+
+    #[test]
+    fn constant_multiplier_all_constants_f16() {
+        let ctx = GfContext::new(irreducible_polynomial(4).unwrap()).unwrap();
+        for c in ctx.iter_elements() {
+            let nl = constant_multiplier(&ctx, &c);
+            nl.validate().unwrap();
+            exhaustive_check(&nl, &ctx, |w| ctx.mul(&c, &w[0]))
+                .unwrap_or_else(|w| panic!("c={c} mismatch at {w:?}"));
+        }
+    }
+
+    #[test]
+    fn constant_zero_gives_constant_circuit() {
+        let ctx = GfContext::new(irreducible_polynomial(3).unwrap()).unwrap();
+        let nl = constant_multiplier(&ctx, &ctx.zero());
+        exhaustive_check(&nl, &ctx, |_| ctx.zero()).unwrap();
+    }
+}

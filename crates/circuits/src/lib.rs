@@ -1,0 +1,55 @@
+//! # gfab-circuits
+//!
+//! Gate-level generators for the Galois field arithmetic architectures the
+//! paper evaluates (Section 3 and Section 6):
+//!
+//! * [`mastrovito_multiplier`] — the baseline "golden" multiplier
+//!   `Z = A·B (mod P)`: an AND array computing the polynomial product
+//!   followed by a fixed XOR reduction network derived from the reduction
+//!   matrix `x^n mod P(x)` ([Mastrovito, 1989]).
+//! * [`monpro`] — the bit-serial Montgomery product
+//!   `MonPro(A, B) = A·B·R⁻¹ (mod P)` with `R = x^k`
+//!   ([Koç & Acar, 1998]), with either two word operands or one word and
+//!   one *constant* operand (constant operands generate the
+//!   constant-propagated blocks the paper's Table 2 reports).
+//! * [`montgomery_multiplier_hier`] — the four-block hierarchical
+//!   Montgomery multiplier of Fig. 1:
+//!   `AR = MM(A, R²)`, `BR = MM(B, R²)`, `ABR = MM(AR, BR)`,
+//!   `G = MM(ABR, 1) = A·B (mod P)`.
+//! * [`squarer`] — the linear `Z = A² (mod P)` XOR network.
+//! * [`constant_multiplier`] — `Z = c·A (mod P)` for a fixed `c`.
+//! * [`gf_adder`] — `Z = A + B` (bit-wise XOR).
+//!
+//! All generators return validated [`gfab_netlist::Netlist`]s whose word
+//! bindings follow the paper's convention `A = a_0 + a_1 α + … `.
+//!
+//! # Example
+//!
+//! ```
+//! use gfab_field::{GfContext, Gf2Poly};
+//! use gfab_circuits::mastrovito_multiplier;
+//! use gfab_netlist::sim::simulate_word;
+//!
+//! let ctx = GfContext::new(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+//! let mult = mastrovito_multiplier(&ctx);
+//! let a = ctx.from_u64(0b0110);
+//! let b = ctx.from_u64(0b1011);
+//! assert_eq!(simulate_word(&mult, &ctx, &[a.clone(), b.clone()]), ctx.mul(&a, &b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adder;
+mod linearmaps;
+mod mastrovito;
+mod montgomery;
+mod reduction;
+mod squarer;
+
+pub use adder::{constant_multiplier, gf_adder};
+pub use linearmaps::{sqrt_circuit, trace_circuit};
+pub use mastrovito::mastrovito_multiplier;
+pub use montgomery::{monpro, montgomery_multiplier_hier, MonproOperand};
+pub use reduction::reduction_matrix;
+pub use squarer::squarer;

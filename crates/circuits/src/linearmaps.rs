@@ -1,0 +1,84 @@
+//! Circuits for the `F_2`-linear field maps: square root and trace.
+//!
+//! Both maps are linear over `F_2` (Frobenius and its iterates), so their
+//! circuits are pure XOR networks derived from how each basis element
+//! `α^i` maps. They give the verification engine canonical polynomials of
+//! very high degree — `√A = A^(2^(k-1))`, `Tr(A) = A + A² + … + A^(2^(k-1))`
+//! — making them good stress tests for word-level abstraction beyond the
+//! multiplier's humble `A·B`.
+
+use gfab_field::GfContext;
+use gfab_netlist::{NetId, Netlist};
+
+/// Generates the square-root network `Z = √A = A^(2^(k-1)) (mod P)`.
+pub fn sqrt_circuit(ctx: &GfContext) -> Netlist {
+    let k = ctx.k();
+    let mut nl = Netlist::new(format!("sqrt_{k}"));
+    let a = nl.add_input_word("A", k);
+    // Column j of the matrix of the linear map: √(α^i).
+    let rows: Vec<Vec<bool>> = (0..k)
+        .map(|i| ctx.to_bits(&ctx.sqrt(&ctx.alpha_pow(i as u64))))
+        .collect();
+    let zbits: Vec<NetId> = (0..k)
+        .map(|j| {
+            let terms: Vec<NetId> = (0..k).filter(|&i| rows[i][j]).map(|i| a[i]).collect();
+            nl.xor_tree(&terms)
+        })
+        .collect();
+    nl.set_output_word("Z", zbits);
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+/// Generates the absolute-trace network: a **1-bit** output word
+/// `Z = Tr(A) = A + A² + … + A^(2^(k-1))`.
+///
+/// Exercises narrow output words (width < k) in the abstraction flow.
+pub fn trace_circuit(ctx: &GfContext) -> Netlist {
+    let k = ctx.k();
+    let mut nl = Netlist::new(format!("trace_{k}"));
+    let a = nl.add_input_word("A", k);
+    // Tr is linear: Tr(A) = Σ a_i · Tr(α^i).
+    let taps: Vec<NetId> = (0..k)
+        .filter(|&i| ctx.trace(&ctx.alpha_pow(i as u64)).is_one())
+        .map(|i| a[i])
+        .collect();
+    let z = nl.xor_tree(&taps);
+    nl.set_output_word("Z", vec![z]);
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_netlist::sim::exhaustive_check;
+
+    #[test]
+    fn sqrt_circuit_matches_field_sqrt() {
+        for k in [2usize, 3, 4, 8] {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let nl = sqrt_circuit(&ctx);
+            exhaustive_check(&nl, &ctx, |w| ctx.sqrt(&w[0]))
+                .unwrap_or_else(|w| panic!("k={k} mismatch at {w:?}"));
+        }
+    }
+
+    #[test]
+    fn trace_circuit_matches_field_trace() {
+        for k in [2usize, 3, 4, 8] {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let nl = trace_circuit(&ctx);
+            exhaustive_check(&nl, &ctx, |w| ctx.trace(&w[0]))
+                .unwrap_or_else(|w| panic!("k={k} mismatch at {w:?}"));
+        }
+    }
+
+    #[test]
+    fn trace_output_is_one_bit() {
+        let ctx = GfContext::new(irreducible_polynomial(8).unwrap()).unwrap();
+        let nl = trace_circuit(&ctx);
+        assert_eq!(nl.output_word().width(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Mastrovito multiplier: the paper's baseline golden model (Spec).
+
+use crate::reduction::reduction_matrix;
+use gfab_field::GfContext;
+use gfab_netlist::{NetId, Netlist};
+
+/// Generates a flattened gate-level Mastrovito multiplier
+/// `Z = A·B (mod P(x))` over `F_{2^k}` (Section 3 of the paper):
+///
+/// 1. an AND array computes all partial products `a_i·b_j`;
+/// 2. XOR trees sum them into the coefficients `s_n` of the polynomial
+///    product `S = A·B` (degree ≤ 2k−2);
+/// 3. the overflow coefficients `s_k … s_{2k-2}` fold back through the
+///    reduction matrix `x^n mod P`, one XOR tree per output bit.
+///
+/// The result has `k²` AND gates and `O(k²)` XOR gates and is returned
+/// validated.
+pub fn mastrovito_multiplier(ctx: &GfContext) -> Netlist {
+    let k = ctx.k();
+    let mut nl = Netlist::new(format!("mastrovito_{k}"));
+    let a = nl.add_input_word("A", k);
+    let b = nl.add_input_word("B", k);
+
+    // Partial product columns: column n collects a_i & b_j with i + j = n.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * k - 1];
+    for i in 0..k {
+        for j in 0..k {
+            let pp = nl.and(a[i], b[j]);
+            columns[i + j].push(pp);
+        }
+    }
+    let s: Vec<NetId> = columns.into_iter().map(|col| nl.xor_tree(&col)).collect();
+
+    // Reduction network: z_j = s_j XOR (XOR of s_n for n >= k with
+    // row n bit j set).
+    let rows = reduction_matrix(ctx, 2 * k - 2);
+    let zbits: Vec<NetId> = (0..k)
+        .map(|j| {
+            let mut terms = vec![s[j]];
+            for (n, s_n) in s.iter().enumerate().skip(k) {
+                if rows[n][j] {
+                    terms.push(*s_n);
+                }
+            }
+            nl.xor_tree(&terms)
+        })
+        .collect();
+    nl.set_output_word("Z", zbits);
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::{Gf2Poly, GfContext};
+    use gfab_netlist::sim::{exhaustive_check, simulate_word};
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_bit_multiplier_matches_fig2_size() {
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let nl = mastrovito_multiplier(&ctx);
+        nl.validate().unwrap();
+        // Fig. 2: 4 ANDs + 3 XORs.
+        assert_eq!(nl.num_gates(), 7);
+        exhaustive_check(&nl, &ctx, |w| ctx.mul(&w[0], &w[1])).unwrap();
+    }
+
+    #[test]
+    fn exhaustive_up_to_k5() {
+        for k in 2..=5 {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let nl = mastrovito_multiplier(&ctx);
+            nl.validate().unwrap();
+            exhaustive_check(&nl, &ctx, |w| ctx.mul(&w[0], &w[1]))
+                .unwrap_or_else(|w| panic!("k={k} mismatch at {w:?}"));
+        }
+    }
+
+    #[test]
+    fn random_check_k32_and_k64() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for k in [32usize, 64] {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let nl = mastrovito_multiplier(&ctx);
+            for _ in 0..20 {
+                let a = ctx.random(&mut rng);
+                let b = ctx.random(&mut rng);
+                assert_eq!(
+                    simulate_word(&nl, &ctx, &[a.clone(), b.clone()]),
+                    ctx.mul(&a, &b),
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nist163_random_check() {
+        let ctx = GfContext::new(gfab_field::nist::nist_polynomial(163).unwrap()).unwrap();
+        let nl = mastrovito_multiplier(&ctx);
+        assert!(nl.num_gates() > 163 * 163); // k² ANDs plus XOR network
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..3 {
+            let a = ctx.random(&mut rng);
+            let b = ctx.random(&mut rng);
+            assert_eq!(
+                simulate_word(&nl, &ctx, &[a.clone(), b.clone()]),
+                ctx.mul(&a, &b)
+            );
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Montgomery multiplication over `F_{2^k}`: the paper's custom
+//! implementation (Impl) architecture.
+
+use gfab_field::{Gf, GfContext};
+use gfab_netlist::hierarchy::{BlockInst, HierDesign, Signal};
+use gfab_netlist::{NetId, Netlist};
+
+/// The second operand of a [`monpro`] block: a circuit word or a constant
+/// field element (constants produce the "simplified by
+/// constant-propagation" blocks of Table 2 of the paper).
+#[derive(Clone, Debug)]
+pub enum MonproOperand {
+    /// A full `k`-bit input word named `B`.
+    Word,
+    /// A fixed field element folded into the gate structure.
+    Const(Gf),
+}
+
+/// Generates the bit-serial Montgomery product block
+/// `Z = MonPro(A, B) = A·B·R⁻¹ (mod P(x))` with `R = x^k`
+/// (Koç & Acar, *Montgomery Multiplication in GF(2^k)*).
+///
+/// The classic k-step recurrence, one step per bit of `A`:
+///
+/// ```text
+/// C := 0
+/// for i in 0 .. k:
+///     C := C + a_i · B          // partial product row
+///     C := C + C[0] · P(x)      // make C divisible by x
+///     C := C / x                // exact shift
+/// ```
+///
+/// With a [`MonproOperand::Const`] second operand the AND row disappears
+/// (each `a_i·b_j` is `a_i` or 0) and the adder row only touches the set
+/// bits of the constant — the same effect as running full constant
+/// propagation on a two-operand block.
+pub fn monpro(ctx: &GfContext, name: &str, operand: MonproOperand) -> Netlist {
+    let k = ctx.k();
+    let mut nl = Netlist::new(name.to_string());
+    let a = nl.add_input_word("A", k);
+
+    // The B row: nets for a word operand, bit constants for a constant.
+    let b_word: Option<Vec<NetId>> = match &operand {
+        MonproOperand::Word => Some(nl.add_input_word("B", k)),
+        MonproOperand::Const(_) => None,
+    };
+    let b_const: Option<Vec<bool>> = match &operand {
+        MonproOperand::Word => None,
+        MonproOperand::Const(c) => Some(ctx.to_bits(c)),
+    };
+
+    // Reduction pattern: bit e of P for 1 <= e <= k (bit 0 of C cancels
+    // itself; bit k of P contributes the new top bit).
+    let p_bit: Vec<bool> = (0..=k).map(|e| ctx.modulus().coeff(e)).collect();
+
+    // C is represented as k optional nets; None = constant 0.
+    let mut c: Vec<Option<NetId>> = vec![None; k];
+    for &a_i in a.iter().take(k) {
+        // C := C + a_i * B.
+        for j in 0..k {
+            let pp: Option<NetId> = match (&b_word, &b_const) {
+                (Some(bw), _) => Some(nl.and(a_i, bw[j])),
+                (None, Some(bc)) => bc[j].then_some(a_i),
+                (None, None) => unreachable!("operand is word or const"),
+            };
+            if let Some(pp) = pp {
+                c[j] = Some(match c[j] {
+                    Some(prev) => nl.xor(prev, pp),
+                    None => pp,
+                });
+            }
+        }
+        // c0 := C[0]; C := C + c0 * P. P's bit 0 is always set, so C[0]
+        // cancels to 0 (dropped by the shift); bits 1..k get c0 XORed in
+        // where P has a set bit; bit k is c0 itself.
+        let c0 = c[0];
+        let mut next: Vec<Option<NetId>> = vec![None; k];
+        // Shifted-down bits: next[j] = C[j+1] (+ c0 if P bit j+1 set).
+        for j in 0..k - 1 {
+            let mut bit = c[j + 1];
+            if let Some(c0) = c0 {
+                if p_bit[j + 1] {
+                    bit = Some(match bit {
+                        Some(prev) => nl.xor(prev, c0),
+                        None => c0,
+                    });
+                }
+            }
+            next[j] = bit;
+        }
+        // Top bit after shift comes from P's leading term: C[k] = c0.
+        next[k - 1] = c0;
+        c = next;
+    }
+
+    let zero = if c.iter().any(Option::is_none) {
+        Some(nl.constant(false))
+    } else {
+        None
+    };
+    let zbits: Vec<NetId> = c
+        .into_iter()
+        .map(|bit| bit.unwrap_or_else(|| zero.expect("constant materialized")))
+        .collect();
+    nl.set_output_word("Z", zbits);
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+/// Builds the hierarchical Montgomery multiplier of Fig. 1 of the paper:
+/// four [`monpro`] blocks computing `G = A·B (mod P)`:
+///
+/// ```text
+/// AR  = MonPro(A,  R²)   // block A   (constant operand R²)
+/// BR  = MonPro(B,  R²)   // block B   (constant operand R²)
+/// ABR = MonPro(AR, BR)   // block Mid (two word operands)
+/// G   = MonPro(ABR, 1)   // block Out (constant operand 1)
+/// ```
+pub fn montgomery_multiplier_hier(ctx: &GfContext) -> HierDesign {
+    let k = ctx.k();
+    let r2 = ctx.montgomery_r2();
+    let one = ctx.one();
+    HierDesign {
+        name: format!("montgomery_{k}"),
+        inputs: vec![("A".into(), k), ("B".into(), k)],
+        blocks: vec![
+            BlockInst {
+                name: "blk_a".into(),
+                netlist: monpro(ctx, "monpro_a_r2", MonproOperand::Const(r2.clone())),
+                connections: vec![Signal::PrimaryInput(0)],
+            },
+            BlockInst {
+                name: "blk_b".into(),
+                netlist: monpro(ctx, "monpro_b_r2", MonproOperand::Const(r2)),
+                connections: vec![Signal::PrimaryInput(1)],
+            },
+            BlockInst {
+                name: "blk_mid".into(),
+                netlist: monpro(ctx, "monpro_mid", MonproOperand::Word),
+                connections: vec![Signal::BlockOutput(0), Signal::BlockOutput(1)],
+            },
+            BlockInst {
+                name: "blk_out".into(),
+                netlist: monpro(ctx, "monpro_out", MonproOperand::Const(one)),
+                connections: vec![Signal::BlockOutput(2)],
+            },
+        ],
+        output: Signal::BlockOutput(3),
+        output_name: "G".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::{Gf2Poly, GfContext};
+    use gfab_netlist::sim::{exhaustive_check, simulate_word};
+    use rand::SeedableRng;
+
+    fn f16() -> GfContext {
+        GfContext::new(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap()
+    }
+
+    #[test]
+    fn monpro_word_computes_abr_inverse() {
+        let ctx = f16();
+        let nl = monpro(&ctx, "mm", MonproOperand::Word);
+        nl.validate().unwrap();
+        let rinv = ctx.montgomery_r_inv();
+        exhaustive_check(&nl, &ctx, |w| ctx.mul(&ctx.mul(&w[0], &w[1]), &rinv))
+            .unwrap_or_else(|w| panic!("mismatch at {w:?}"));
+    }
+
+    #[test]
+    fn monpro_const_matches_word_version() {
+        let ctx = f16();
+        let rinv = ctx.montgomery_r_inv();
+        let c = ctx.from_u64(0b1011);
+        let nl = monpro(&ctx, "mmc", MonproOperand::Const(c.clone()));
+        nl.validate().unwrap();
+        exhaustive_check(&nl, &ctx, |w| ctx.mul(&ctx.mul(&w[0], &c), &rinv))
+            .unwrap_or_else(|w| panic!("mismatch at {w:?}"));
+    }
+
+    #[test]
+    fn const_blocks_are_smaller() {
+        let ctx = f16();
+        let full = monpro(&ctx, "mm", MonproOperand::Word);
+        let constant = monpro(&ctx, "mmc", MonproOperand::Const(ctx.montgomery_r2()));
+        assert!(
+            constant.num_gates() < full.num_gates(),
+            "{} !< {}",
+            constant.num_gates(),
+            full.num_gates()
+        );
+    }
+
+    #[test]
+    fn hierarchical_montgomery_multiplies_f16() {
+        let ctx = f16();
+        let design = montgomery_multiplier_hier(&ctx);
+        design.validate().unwrap();
+        let flat = design.flatten();
+        flat.validate().unwrap();
+        exhaustive_check(&flat, &ctx, |w| ctx.mul(&w[0], &w[1]))
+            .unwrap_or_else(|w| panic!("mismatch at {w:?}"));
+    }
+
+    #[test]
+    fn hierarchical_montgomery_random_k16_k32() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for k in [16usize, 32] {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let flat = montgomery_multiplier_hier(&ctx).flatten();
+            for _ in 0..10 {
+                let a = ctx.random(&mut rng);
+                let b = ctx.random(&mut rng);
+                assert_eq!(
+                    simulate_word(&flat, &ctx, &[a.clone(), b.clone()]),
+                    ctx.mul(&a, &b),
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_structure_matches_fig1() {
+        let ctx = f16();
+        let d = montgomery_multiplier_hier(&ctx);
+        assert_eq!(d.blocks.len(), 4);
+        assert_eq!(d.blocks[2].netlist.input_words().len(), 2);
+        assert_eq!(d.blocks[0].netlist.input_words().len(), 1);
+        // Mid block (two word operands) is the largest, as in Table 2.
+        let sizes: Vec<usize> = d.blocks.iter().map(|b| b.netlist.num_gates()).collect();
+        assert!(sizes[2] > sizes[0] && sizes[2] > sizes[1] && sizes[2] > sizes[3]);
+    }
+}

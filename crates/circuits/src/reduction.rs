@@ -1,0 +1,49 @@
+//! The reduction matrix shared by the Mastrovito multiplier and the
+//! squarer generators.
+
+use gfab_field::{Gf2Poly, GfContext};
+
+/// Rows `x^n mod P(x)` for `n = 0 … max_n`, each as a `k`-bit row
+/// (`row[n][j]` is the coefficient of `x^j` in `x^n mod P`).
+///
+/// Rows `0 … k−1` are unit vectors; rows `k … max_n` encode how overflow
+/// bits of a polynomial product fold back into the field — the
+/// "reduction matrix" of Mastrovito's construction.
+pub fn reduction_matrix(ctx: &GfContext, max_n: usize) -> Vec<Vec<bool>> {
+    let k = ctx.k();
+    (0..=max_n)
+        .map(|n| {
+            let r = Gf2Poly::monomial(n).rem(ctx.modulus());
+            (0..k).map(|j| r.coeff(j)).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::Gf2Poly;
+
+    #[test]
+    fn low_rows_are_identity() {
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+        let m = reduction_matrix(&ctx, 6);
+        for (n, row) in m.iter().enumerate().take(4) {
+            for (j, &bit) in row.iter().enumerate() {
+                assert_eq!(bit, n == j);
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_rows_match_field_reduction() {
+        // x^4 = x + 1 mod x^4+x+1.
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+        let m = reduction_matrix(&ctx, 6);
+        assert_eq!(m[4], vec![true, true, false, false]);
+        // x^5 = x^2 + x.
+        assert_eq!(m[5], vec![false, true, true, false]);
+        // x^6 = x^3 + x^2.
+        assert_eq!(m[6], vec![false, false, true, true]);
+    }
+}

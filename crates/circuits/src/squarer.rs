@@ -1,0 +1,68 @@
+//! The Galois field squarer: `Z = A² (mod P)`.
+//!
+//! Squaring is `F_2`-linear (`(Σ a_i x^i)² = Σ a_i x^{2i}`), so the whole
+//! circuit is an XOR network derived from the reduction matrix — the
+//! structure behind the Montgomery squarers of [Wu, 2002] that the paper
+//! cites as reference [2].
+
+use crate::reduction::reduction_matrix;
+use gfab_field::GfContext;
+use gfab_netlist::{NetId, Netlist};
+
+/// Generates the squarer netlist. Gate count is `O(k·w)` XORs where `w` is
+/// the modulus weight — much smaller than a general multiplier.
+pub fn squarer(ctx: &GfContext) -> Netlist {
+    let k = ctx.k();
+    let mut nl = Netlist::new(format!("squarer_{k}"));
+    let a = nl.add_input_word("A", k);
+    let rows = reduction_matrix(ctx, 2 * k - 2);
+    let zbits: Vec<NetId> = (0..k)
+        .map(|j| {
+            // z_j = XOR of a_i where (x^{2i} mod P) has bit j set.
+            let terms: Vec<NetId> = (0..k).filter(|&i| rows[2 * i][j]).map(|i| a[i]).collect();
+            nl.xor_tree(&terms)
+        })
+        .collect();
+    nl.set_output_word("Z", zbits);
+    debug_assert!(nl.validate().is_ok());
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::GfContext;
+    use gfab_netlist::sim::{exhaustive_check, simulate_word};
+    use rand::SeedableRng;
+
+    #[test]
+    fn squares_exhaustively_small_fields() {
+        for k in 2..=8 {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let nl = squarer(&ctx);
+            nl.validate().unwrap();
+            exhaustive_check(&nl, &ctx, |w| ctx.square(&w[0]))
+                .unwrap_or_else(|w| panic!("k={k} mismatch at {w:?}"));
+        }
+    }
+
+    #[test]
+    fn squares_randomly_k163() {
+        let ctx = GfContext::new(gfab_field::nist::nist_polynomial(163).unwrap()).unwrap();
+        let nl = squarer(&ctx);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let a = ctx.random(&mut rng);
+            assert_eq!(simulate_word(&nl, &ctx, std::slice::from_ref(&a)), ctx.square(&a));
+        }
+    }
+
+    #[test]
+    fn squarer_is_much_smaller_than_multiplier() {
+        let ctx = GfContext::new(irreducible_polynomial(16).unwrap()).unwrap();
+        let sq = squarer(&ctx);
+        let mul = crate::mastrovito_multiplier(&ctx);
+        assert!(sq.num_gates() * 4 < mul.num_gates());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the abstraction engine.
+
+use gfab_netlist::NetlistError;
+use gfab_poly::PolyError;
+use std::fmt;
+
+/// Errors produced by the word-level abstraction and equivalence engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The netlist failed structural validation.
+    Netlist(NetlistError),
+    /// Polynomial arithmetic failed (exponent overflow, vanishing
+    /// polynomial unavailable for this field size).
+    Poly(PolyError),
+    /// The circuit's output word width does not match the field degree `k`.
+    WidthMismatch {
+        /// The field degree.
+        k: usize,
+        /// The offending word name.
+        word: String,
+        /// Its actual width.
+        width: usize,
+    },
+    /// Case-2 canonical completion was requested but the Gröbner basis
+    /// computation hit its resource limits.
+    CompletionLimit(String),
+    /// The Gröbner basis unexpectedly lacked a `Z + G(A)` polynomial —
+    /// this contradicts the Abstraction Theorem and indicates an internal
+    /// bug, so it is surfaced loudly rather than silently.
+    MissingAbstractionPolynomial,
+    /// Two designs cannot be compared (different input signatures).
+    SignatureMismatch(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Poly(e) => write!(f, "polynomial error: {e}"),
+            CoreError::WidthMismatch { k, word, width } => write!(
+                f,
+                "word {word} has width {width} but the field is F_2^{k}"
+            ),
+            CoreError::CompletionLimit(msg) => {
+                write!(f, "case-2 canonical completion gave up: {msg}")
+            }
+            CoreError::MissingAbstractionPolynomial => write!(
+                f,
+                "no Z + G(A) polynomial in the Groebner basis (internal error)"
+            ),
+            CoreError::SignatureMismatch(msg) => write!(f, "signature mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Poly(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<PolyError> for CoreError {
+    fn from(e: PolyError) -> Self {
+        CoreError::Poly(e)
+    }
+}

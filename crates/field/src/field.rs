@@ -1,0 +1,495 @@
+//! The extension field `F_{2^k}` and its element type.
+
+use crate::gf2poly::Gf2Poly;
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced when constructing or operating on a field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldError {
+    /// The construction polynomial is not irreducible over `F_2`.
+    ReducibleModulus(Gf2Poly),
+    /// The construction polynomial has degree < 2 (no proper extension).
+    DegreeTooSmall,
+    /// Attempted to invert the zero element.
+    ZeroInverse,
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::ReducibleModulus(p) => {
+                write!(f, "polynomial {p} is not irreducible over F_2")
+            }
+            FieldError::DegreeTooSmall => write!(f, "field construction needs degree >= 2"),
+            FieldError::ZeroInverse => write!(f, "zero element has no multiplicative inverse"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// An element of `F_{2^k}`, stored as its polynomial-basis representation
+/// (a polynomial over `F_2` of degree < k).
+///
+/// Elements are context-free data; all arithmetic goes through the owning
+/// [`GfContext`] so that the modulus is applied consistently. Mixing
+/// elements from different contexts is a logic error the type system does
+/// not prevent (deliberately, to keep elements lightweight) — the netlist
+/// and polynomial layers each hold a single shared context.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf(pub(crate) Gf2Poly);
+
+impl Gf {
+    /// Whether this is the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Whether this is the multiplicative identity.
+    pub fn is_one(&self) -> bool {
+        self.0.is_one()
+    }
+
+    /// The underlying polynomial-basis representation.
+    pub fn as_poly(&self) -> &Gf2Poly {
+        &self.0
+    }
+
+    /// Bit `i` of the polynomial-basis representation (coefficient of `α^i`).
+    pub fn bit(&self, i: usize) -> bool {
+        self.0.coeff(i)
+    }
+
+    /// Field addition (coefficient-wise XOR).
+    ///
+    /// Addition never requires modular reduction, so unlike multiplication
+    /// it is available directly on elements without a [`GfContext`]. The
+    /// result equals [`GfContext::add`] for any context both operands
+    /// belong to.
+    pub fn add(&self, other: &Gf) -> Gf {
+        Gf(self.0.add(&other.0))
+    }
+}
+
+impl fmt::Debug for Gf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf({})", self.0)
+    }
+}
+
+impl fmt::Display for Gf {
+    /// Displays the element as a polynomial in `α` (e.g. `α^3 + α + 1`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_zero() {
+            return write!(f, "0");
+        }
+        let exps: Vec<usize> = self.0.exponents().collect();
+        let mut first = true;
+        for &e in exps.iter().rev() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match e {
+                0 => write!(f, "1")?,
+                1 => write!(f, "α")?,
+                _ => write!(f, "α^{e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The field `F_{2^k} = F_2[x] / (P(x))` for an irreducible `P` of degree `k`.
+///
+/// The context owns the modulus and provides all element arithmetic. It is
+/// cheap to share via [`GfContext::shared`] (an `Arc`), which is how the
+/// polynomial ring and the verification engine reference it.
+///
+/// # Example
+///
+/// ```
+/// use gfab_field::{GfContext, Gf2Poly};
+///
+/// let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap(); // F_4
+/// let a = ctx.alpha();
+/// // α² = α + 1 in F_4
+/// assert_eq!(ctx.mul(&a, &a), ctx.add(&a, &ctx.one()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfContext {
+    k: usize,
+    modulus: Gf2Poly,
+}
+
+impl GfContext {
+    /// Constructs the field from an irreducible polynomial of degree ≥ 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::DegreeTooSmall`] for degree < 2 and
+    /// [`FieldError::ReducibleModulus`] if `modulus` fails Rabin's test.
+    pub fn new(modulus: Gf2Poly) -> Result<Self, FieldError> {
+        let k = modulus.degree().unwrap_or(0);
+        if k < 2 {
+            return Err(FieldError::DegreeTooSmall);
+        }
+        if !modulus.is_irreducible() {
+            return Err(FieldError::ReducibleModulus(modulus));
+        }
+        Ok(GfContext { k, modulus })
+    }
+
+    /// Constructs the field and wraps it in an `Arc` for sharing.
+    pub fn shared(modulus: Gf2Poly) -> Result<Arc<Self>, FieldError> {
+        Ok(Arc::new(Self::new(modulus)?))
+    }
+
+    /// The extension degree `k` (the circuit datapath width).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The field size `q = 2^k` if it fits in a `u64` (k ≤ 63).
+    pub fn order_u64(&self) -> Option<u64> {
+        (self.k <= 63).then(|| 1u64 << self.k)
+    }
+
+    /// The irreducible construction polynomial `P(x)`.
+    pub fn modulus(&self) -> &Gf2Poly {
+        &self.modulus
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> Gf {
+        Gf(Gf2Poly::zero())
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> Gf {
+        Gf(Gf2Poly::one())
+    }
+
+    /// The generator `α`, a root of `P(x)`.
+    pub fn alpha(&self) -> Gf {
+        Gf(Gf2Poly::x())
+    }
+
+    /// `α^e` reduced into the field.
+    pub fn alpha_pow(&self, e: u64) -> Gf {
+        self.pow_u64(&self.alpha(), e)
+    }
+
+    /// Builds an element from an arbitrary `F_2[x]` polynomial (reduced
+    /// modulo `P`).
+    pub fn element(&self, p: Gf2Poly) -> Gf {
+        Gf(p.rem(&self.modulus))
+    }
+
+    /// Builds an element from its low 64 polynomial-basis bits.
+    pub fn from_u64(&self, bits: u64) -> Gf {
+        self.element(Gf2Poly::from_u64(bits))
+    }
+
+    /// Builds an element from a bit slice (`bits[i]` is the coefficient of
+    /// `α^i`). Slices longer than `k` are reduced modulo `P`.
+    pub fn from_bits(&self, bits: &[bool]) -> Gf {
+        let mut p = Gf2Poly::zero();
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                p.set_coeff(i, true);
+            }
+        }
+        self.element(p)
+    }
+
+    /// The `k` polynomial-basis bits of an element, LSB first.
+    pub fn to_bits(&self, a: &Gf) -> Vec<bool> {
+        (0..self.k).map(|i| a.0.coeff(i)).collect()
+    }
+
+    /// Field addition (coefficient-wise XOR).
+    pub fn add(&self, a: &Gf, b: &Gf) -> Gf {
+        Gf(a.0.add(&b.0))
+    }
+
+    /// In-place field addition.
+    pub fn add_assign(&self, a: &mut Gf, b: &Gf) {
+        a.0.add_assign(&b.0);
+    }
+
+    /// Field multiplication: carry-less product reduced modulo `P`.
+    pub fn mul(&self, a: &Gf, b: &Gf) -> Gf {
+        Gf(a.0.mul(&b.0).rem(&self.modulus))
+    }
+
+    /// Field squaring (linear in characteristic 2; faster than `mul(a, a)`).
+    pub fn square(&self, a: &Gf) -> Gf {
+        Gf(a.0.square().rem(&self.modulus))
+    }
+
+    /// `a^e` by square-and-multiply.
+    pub fn pow_u64(&self, a: &Gf, e: u64) -> Gf {
+        Gf(a.0.pow_mod(e, &self.modulus))
+    }
+
+    /// `a^e` where `e` is given as little-endian 64-bit limbs, allowing
+    /// exponents up to `2^(64·n)` (needed for `X^q` with `q = 2^k`, k > 63).
+    pub fn pow_limbs(&self, a: &Gf, e_limbs: &[u64]) -> Gf {
+        let mut acc = Gf2Poly::one();
+        let mut base = a.0.rem(&self.modulus);
+        for &limb in e_limbs {
+            let mut l = limb;
+            for _ in 0..64 {
+                if l & 1 == 1 {
+                    acc = acc.mul(&base).rem(&self.modulus);
+                }
+                base = base.square().rem(&self.modulus);
+                l >>= 1;
+            }
+        }
+        Gf(acc)
+    }
+
+    /// The multiplicative inverse via the extended Euclidean algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::ZeroInverse`] for the zero element.
+    pub fn inv(&self, a: &Gf) -> Result<Gf, FieldError> {
+        if a.is_zero() {
+            return Err(FieldError::ZeroInverse);
+        }
+        let (g, s, _) = a.0.ext_gcd(&self.modulus);
+        debug_assert!(g.is_one(), "modulus is irreducible, gcd must be 1");
+        Ok(Gf(s.rem(&self.modulus)))
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::ZeroInverse`] if `b` is zero.
+    pub fn div(&self, a: &Gf, b: &Gf) -> Result<Gf, FieldError> {
+        Ok(self.mul(a, &self.inv(b)?))
+    }
+
+    /// A uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Gf {
+        let nlimbs = self.k.div_ceil(64);
+        let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.random()).collect();
+        let top_bits = self.k % 64;
+        if top_bits != 0 {
+            let mask = (1u64 << top_bits) - 1;
+            *limbs.last_mut().expect("k >= 2 implies at least one limb") &= mask;
+        }
+        Gf(Gf2Poly::from_limbs(limbs))
+    }
+
+    /// Iterates over all `2^k` field elements (intended for small fields;
+    /// panics if `k > 20` to prevent accidental exhaustive sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20`.
+    pub fn iter_elements(&self) -> impl Iterator<Item = Gf> + '_ {
+        assert!(self.k <= 20, "exhaustive element iteration requires k <= 20");
+        (0u64..(1 << self.k)).map(|bits| self.from_u64(bits))
+    }
+
+    /// The square root `√a = a^(2^(k-1))` (squaring is a bijection in
+    /// characteristic 2, so every element has a unique square root, and
+    /// the square-root map is `F_2`-linear).
+    pub fn sqrt(&self, a: &Gf) -> Gf {
+        let mut r = a.clone();
+        for _ in 0..self.k.saturating_sub(1) {
+            r = self.square(&r);
+        }
+        r
+    }
+
+    /// The absolute trace `Tr(a) = a + a² + a⁴ + … + a^(2^(k-1))`, always
+    /// an element of `F_2 ⊂ F_{2^k}`. Used pervasively in hardware (e.g.
+    /// point-compression and half-trace solvers in ECC).
+    pub fn trace(&self, a: &Gf) -> Gf {
+        let mut acc = a.clone();
+        let mut pow = a.clone();
+        for _ in 1..self.k {
+            pow = self.square(&pow);
+            acc = self.add(&acc, &pow);
+        }
+        debug_assert!(acc.is_zero() || acc.is_one(), "trace lands in F_2");
+        acc
+    }
+
+    /// Montgomery radix `R = x^k mod P` (as a field element this is `α^k`).
+    pub fn montgomery_r(&self) -> Gf {
+        self.element(Gf2Poly::monomial(self.k))
+    }
+
+    /// `R² mod P`, the pre-multiplication constant of Fig. 1 of the paper.
+    pub fn montgomery_r2(&self) -> Gf {
+        self.element(Gf2Poly::monomial(2 * self.k))
+    }
+
+    /// `R⁻¹ mod P`, the factor a single Montgomery reduction introduces.
+    pub fn montgomery_r_inv(&self) -> Gf {
+        self.inv(&self.montgomery_r())
+            .expect("x^k is non-zero modulo an irreducible P of degree k")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn f16() -> GfContext {
+        GfContext::new(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap()
+    }
+
+    #[test]
+    fn rejects_reducible_and_tiny_moduli() {
+        assert!(matches!(
+            GfContext::new(Gf2Poly::from_exponents(&[4, 2, 0])),
+            Err(FieldError::ReducibleModulus(_))
+        ));
+        assert!(matches!(
+            GfContext::new(Gf2Poly::x()),
+            Err(FieldError::DegreeTooSmall)
+        ));
+    }
+
+    #[test]
+    fn f4_multiplication_table() {
+        // F_4 with P = x^2 + x + 1: elements {0, 1, α, α+1}.
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let a = ctx.alpha();
+        let a1 = ctx.add(&a, &ctx.one());
+        assert_eq!(ctx.mul(&a, &a), a1); // α² = α+1
+        assert_eq!(ctx.mul(&a, &a1), ctx.one()); // α(α+1) = α²+α = 1
+        assert_eq!(ctx.mul(&a1, &a1), a); // (α+1)² = α²+1 = α
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse_f16() {
+        let ctx = f16();
+        for bits in 1u64..16 {
+            let a = ctx.from_u64(bits);
+            let ai = ctx.inv(&a).unwrap();
+            assert_eq!(ctx.mul(&a, &ai), ctx.one(), "a = {a}");
+        }
+        assert_eq!(ctx.inv(&ctx.zero()), Err(FieldError::ZeroInverse));
+    }
+
+    #[test]
+    fn frobenius_fixes_field() {
+        // a^(2^k) = a for all a in F_{2^k}.
+        let ctx = f16();
+        for a in ctx.iter_elements() {
+            assert_eq!(ctx.pow_u64(&a, 16), a);
+        }
+    }
+
+    #[test]
+    fn pow_limbs_matches_pow_u64() {
+        let ctx = f16();
+        let a = ctx.from_u64(0b1011);
+        for e in 0u64..40 {
+            assert_eq!(ctx.pow_limbs(&a, &[e]), ctx.pow_u64(&a, e));
+        }
+        // Multi-limb exponent: a^(2^64) = a^(2^64 mod 15) since ord | 15.
+        let big = ctx.pow_limbs(&a, &[0, 1]); // e = 2^64
+        let reduced = ctx.pow_u64(&a, (1u128 << 64).rem_euclid(15) as u64);
+        assert_eq!(big, reduced);
+    }
+
+    #[test]
+    fn montgomery_constants_consistent() {
+        let ctx = f16();
+        let r = ctx.montgomery_r();
+        let r2 = ctx.montgomery_r2();
+        let rinv = ctx.montgomery_r_inv();
+        assert_eq!(ctx.mul(&r, &r), r2);
+        assert_eq!(ctx.mul(&r, &rinv), ctx.one());
+    }
+
+    #[test]
+    fn random_elements_fit_in_field() {
+        let ctx = f16();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let a = ctx.random(&mut rng);
+            assert!(a.as_poly().degree().unwrap_or(0) < 4);
+        }
+    }
+
+    #[test]
+    fn sqrt_inverts_squaring() {
+        let ctx = f16();
+        for a in ctx.iter_elements() {
+            assert_eq!(ctx.sqrt(&ctx.square(&a)), a);
+            assert_eq!(ctx.square(&ctx.sqrt(&a)), a);
+        }
+    }
+
+    #[test]
+    fn sqrt_is_linear() {
+        let ctx = f16();
+        for a in ctx.iter_elements() {
+            for b in ctx.iter_elements() {
+                assert_eq!(
+                    ctx.sqrt(&ctx.add(&a, &b)),
+                    ctx.add(&ctx.sqrt(&a), &ctx.sqrt(&b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_linear_and_binary_and_balanced() {
+        let ctx = f16();
+        let mut ones = 0;
+        for a in ctx.iter_elements() {
+            let t = ctx.trace(&a);
+            assert!(t.is_zero() || t.is_one());
+            if t.is_one() {
+                ones += 1;
+            }
+            for b in ctx.iter_elements() {
+                assert_eq!(
+                    ctx.trace(&ctx.add(&a, &b)),
+                    ctx.add(&ctx.trace(&a), &ctx.trace(&b))
+                );
+            }
+        }
+        // Exactly half the field has trace 1.
+        assert_eq!(ones, 8);
+    }
+
+    #[test]
+    fn trace_is_frobenius_invariant() {
+        let ctx = f16();
+        for a in ctx.iter_elements() {
+            assert_eq!(ctx.trace(&ctx.square(&a)), ctx.trace(&a));
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let ctx = f16();
+        let a = ctx.from_u64(0b1101);
+        let bits = ctx.to_bits(&a);
+        assert_eq!(bits, vec![true, false, true, true]);
+        assert_eq!(ctx.from_bits(&bits), a);
+    }
+
+    #[test]
+    fn display_uses_alpha() {
+        let ctx = f16();
+        assert_eq!(ctx.from_u64(0b1011).to_string(), "α^3 + α + 1");
+        assert_eq!(ctx.zero().to_string(), "0");
+    }
+}

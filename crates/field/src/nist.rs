@@ -1,0 +1,123 @@
+//! Standard field polynomials: the five NIST ECC binary fields and a search
+//! routine for small-degree irreducible polynomials used in tests and demos.
+
+use crate::gf2poly::Gf2Poly;
+
+/// The NIST-recommended binary field degrees for elliptic curve cryptography.
+pub const NIST_DEGREES: [usize; 5] = [163, 233, 283, 409, 571];
+
+/// Returns the NIST-recommended irreducible polynomial for `F_{2^k}`, or
+/// `None` if `k` is not one of the five ECC field sizes.
+///
+/// The polynomials (FIPS 186-4, Appendix D):
+///
+/// * k = 163: `x^163 + x^7 + x^6 + x^3 + 1`
+/// * k = 233: `x^233 + x^74 + 1`
+/// * k = 283: `x^283 + x^12 + x^7 + x^5 + 1`
+/// * k = 409: `x^409 + x^87 + 1`
+/// * k = 571: `x^571 + x^10 + x^5 + x^2 + 1`
+///
+/// # Example
+///
+/// ```
+/// use gfab_field::nist::nist_polynomial;
+/// let p = nist_polynomial(233).unwrap();
+/// assert_eq!(p.degree(), Some(233));
+/// assert!(p.is_irreducible());
+/// ```
+pub fn nist_polynomial(k: usize) -> Option<Gf2Poly> {
+    let exps: &[usize] = match k {
+        163 => &[163, 7, 6, 3, 0],
+        233 => &[233, 74, 0],
+        283 => &[283, 12, 7, 5, 0],
+        409 => &[409, 87, 0],
+        571 => &[571, 10, 5, 2, 0],
+        _ => return None,
+    };
+    Some(Gf2Poly::from_exponents(exps))
+}
+
+/// Finds an irreducible polynomial of degree `k` over `F_2`, preferring
+/// low-weight forms: first trinomials `x^k + x^a + 1`, then pentanomials
+/// `x^k + x^a + x^b + x^c + 1`.
+///
+/// For every `k ≥ 2` an irreducible pentanomial is conjectured (and known in
+/// practice) to exist; the search is exhaustive over the candidate shapes, so
+/// this function effectively always succeeds for the degrees used in
+/// hardware (it returns `None` only if the bounded search space is somehow
+/// exhausted).
+///
+/// # Example
+///
+/// ```
+/// use gfab_field::nist::irreducible_polynomial;
+/// let p = irreducible_polynomial(8).unwrap();
+/// assert_eq!(p.degree(), Some(8));
+/// assert!(p.is_irreducible());
+/// ```
+pub fn irreducible_polynomial(k: usize) -> Option<Gf2Poly> {
+    if k < 2 {
+        return None;
+    }
+    if let Some(p) = nist_polynomial(k) {
+        return Some(p);
+    }
+    // Trinomials.
+    for a in 1..k {
+        let p = Gf2Poly::from_exponents(&[k, a, 0]);
+        if p.is_irreducible() {
+            return Some(p);
+        }
+    }
+    // Pentanomials.
+    for a in 3..k {
+        for b in 2..a {
+            for c in 1..b {
+                let p = Gf2Poly::from_exponents(&[k, a, b, c, 0]);
+                if p.is_irreducible() {
+                    return Some(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GfContext;
+
+    #[test]
+    fn all_nist_polynomials_are_irreducible() {
+        for k in NIST_DEGREES {
+            let p = nist_polynomial(k).unwrap();
+            assert_eq!(p.degree(), Some(k));
+            assert!(p.is_irreducible(), "NIST k={k}");
+        }
+    }
+
+    #[test]
+    fn nist_rejects_other_degrees() {
+        assert!(nist_polynomial(128).is_none());
+        assert!(nist_polynomial(0).is_none());
+    }
+
+    #[test]
+    fn search_finds_irreducibles_for_small_degrees() {
+        for k in 2..=64 {
+            let p = irreducible_polynomial(k).unwrap_or_else(|| panic!("no poly for k={k}"));
+            assert_eq!(p.degree(), Some(k));
+            assert!(p.is_irreducible(), "k={k}: {p}");
+            // Must actually construct a field.
+            assert!(GfContext::new(p).is_ok());
+        }
+    }
+
+    #[test]
+    fn search_prefers_known_aes_style_degree8() {
+        // Degree 8 has no irreducible trinomial; a pentanomial must be found.
+        let p = irreducible_polynomial(8).unwrap();
+        assert_eq!(p.weight(), 5);
+    }
+}

@@ -1,0 +1,243 @@
+//! Hierarchical designs: word-connected block instances.
+//!
+//! The Montgomery multiplier of Fig. 1 of the paper is "hierarchically
+//! designed as an interconnection of blocks": four MonPro blocks wired at
+//! the word level. This module captures exactly that structure — each
+//! instance is a full gate-level [`Netlist`] with word I/O, and instances
+//! are connected by naming which word feeds which block input.
+//!
+//! Hierarchical extraction in `gfab-core` abstracts each block to its
+//! word-level polynomial and composes the polynomials; [`HierDesign::flatten`]
+//! produces the equivalent flat netlist for the baselines (SAT, flattened
+//! abstraction).
+
+use crate::netlist::{NetId, Netlist, NetlistError};
+use std::collections::HashMap;
+
+/// A word-level signal inside a hierarchical design.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Signal {
+    /// The `i`-th primary input word of the design.
+    PrimaryInput(usize),
+    /// The output word of the `i`-th block instance.
+    BlockOutput(usize),
+}
+
+/// One block instance: a gate-level netlist plus the word-level signals
+/// feeding each of its input words (in declaration order).
+#[derive(Clone, Debug)]
+pub struct BlockInst {
+    /// Instance name (unique within the design).
+    pub name: String,
+    /// The block's gate-level implementation.
+    pub netlist: Netlist,
+    /// One signal per input word of `netlist`, in order.
+    pub connections: Vec<Signal>,
+}
+
+/// A hierarchical design: primary input words, block instances in
+/// topological order, and the signal that is the design output.
+#[derive(Clone, Debug)]
+pub struct HierDesign {
+    /// Design name.
+    pub name: String,
+    /// Primary input words: `(name, width)`.
+    pub inputs: Vec<(String, usize)>,
+    /// Block instances; instance `i` may only reference block outputs `< i`.
+    pub blocks: Vec<BlockInst>,
+    /// The design output signal.
+    pub output: Signal,
+    /// The design output word name.
+    pub output_name: String,
+}
+
+impl HierDesign {
+    /// Structural validation: connection arities, forward-only references,
+    /// per-block validity, and width agreement along every connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError::Parse`] describing the first structural
+    /// problem, or the underlying block's own validation error.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let err = |msg: String| Err(NetlistError::Parse(msg));
+        for (bi, inst) in self.blocks.iter().enumerate() {
+            inst.netlist.validate()?;
+            if inst.connections.len() != inst.netlist.input_words().len() {
+                return err(format!(
+                    "instance {} has {} connections for {} input words",
+                    inst.name,
+                    inst.connections.len(),
+                    inst.netlist.input_words().len()
+                ));
+            }
+            for (wi, (&sig, word)) in inst
+                .connections
+                .iter()
+                .zip(inst.netlist.input_words())
+                .enumerate()
+            {
+                let width = match sig {
+                    Signal::PrimaryInput(i) => {
+                        let Some((_, w)) = self.inputs.get(i) else {
+                            return err(format!(
+                                "instance {} connection {wi}: no primary input #{i}",
+                                inst.name
+                            ));
+                        };
+                        *w
+                    }
+                    Signal::BlockOutput(i) => {
+                        if i >= bi {
+                            return err(format!(
+                                "instance {} connection {wi}: forward reference to block #{i}",
+                                inst.name
+                            ));
+                        }
+                        self.blocks[i].netlist.output_word().width()
+                    }
+                };
+                if width != word.width() {
+                    return err(format!(
+                        "instance {} input word {} has width {}, connected signal has {width}",
+                        inst.name,
+                        word.name,
+                        word.width()
+                    ));
+                }
+            }
+        }
+        match self.output {
+            Signal::PrimaryInput(i) if i >= self.inputs.len() => {
+                err(format!("output references missing primary input #{i}"))
+            }
+            Signal::BlockOutput(i) if i >= self.blocks.len() => {
+                err(format!("output references missing block #{i}"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Total gate count across all instances.
+    pub fn num_gates(&self) -> usize {
+        self.blocks.iter().map(|b| b.netlist.num_gates()).sum()
+    }
+
+    /// Flattens the hierarchy into a single gate-level netlist computing
+    /// the same word function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid design (call [`HierDesign::validate`] first).
+    pub fn flatten(&self) -> Netlist {
+        let mut flat = Netlist::new(self.name.clone());
+        // Primary input words.
+        let mut pi_bits: Vec<Vec<NetId>> = Vec::new();
+        for (name, width) in &self.inputs {
+            pi_bits.push(flat.add_input_word(name.clone(), *width));
+        }
+        // Signal -> nets table, filled as blocks are instantiated.
+        let mut signal_bits: HashMap<Signal, Vec<NetId>> = pi_bits
+            .iter()
+            .enumerate()
+            .map(|(i, bits)| (Signal::PrimaryInput(i), bits.clone()))
+            .collect();
+        for (bi, inst) in self.blocks.iter().enumerate() {
+            let inputs: Vec<NetId> = inst
+                .connections
+                .iter()
+                .flat_map(|sig| signal_bits[sig].clone())
+                .collect();
+            let outs =
+                crate::miter::instantiate(&mut flat, &inst.netlist, &inputs, &inst.name);
+            signal_bits.insert(Signal::BlockOutput(bi), outs);
+        }
+        let out_bits = signal_bits[&self.output].clone();
+        flat.set_output_word(self.output_name.clone(), out_bits);
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate_word;
+    use gfab_field::{Gf2Poly, GfContext};
+
+    /// A 2-bit XOR "adder" block over F_4.
+    fn adder_block(name: &str) -> Netlist {
+        let mut nl = Netlist::new(name);
+        let a = nl.add_input_word("A", 2);
+        let b = nl.add_input_word("B", 2);
+        let z0 = nl.xor(a[0], b[0]);
+        let z1 = nl.xor(a[1], b[1]);
+        nl.set_output_word("Z", vec![z0, z1]);
+        nl
+    }
+
+    /// (A + B) + (A + C): two adder levels.
+    fn two_level() -> HierDesign {
+        HierDesign {
+            name: "sum3".into(),
+            inputs: vec![("A".into(), 2), ("B".into(), 2), ("C".into(), 2)],
+            blocks: vec![
+                BlockInst {
+                    name: "u0".into(),
+                    netlist: adder_block("add0"),
+                    connections: vec![Signal::PrimaryInput(0), Signal::PrimaryInput(1)],
+                },
+                BlockInst {
+                    name: "u1".into(),
+                    netlist: adder_block("add1"),
+                    connections: vec![Signal::PrimaryInput(0), Signal::PrimaryInput(2)],
+                },
+                BlockInst {
+                    name: "u2".into(),
+                    netlist: adder_block("add2"),
+                    connections: vec![Signal::BlockOutput(0), Signal::BlockOutput(1)],
+                },
+            ],
+            output: Signal::BlockOutput(2),
+            output_name: "Z".into(),
+        }
+    }
+
+    #[test]
+    fn validates_and_counts() {
+        let d = two_level();
+        d.validate().unwrap();
+        assert_eq!(d.num_gates(), 6);
+    }
+
+    #[test]
+    fn flatten_preserves_function() {
+        let d = two_level();
+        let flat = d.flatten();
+        flat.validate().unwrap();
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        // (A+B)+(A+C) = B + C over F_4.
+        for a in ctx.iter_elements() {
+            for b in ctx.iter_elements() {
+                for c in ctx.iter_elements() {
+                    let got =
+                        simulate_word(&flat, &ctx, &[a.clone(), b.clone(), c.clone()]);
+                    assert_eq!(got, ctx.add(&b, &c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut d = two_level();
+        d.blocks[0].connections[0] = Signal::BlockOutput(2);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut d = two_level();
+        d.inputs[0].1 = 3;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Miter construction: the standard equivalence-checking reduction used by
+//! the SAT/AIG baseline (Section 6 of the paper: "a miter is constructed
+//! between Spec and Impl").
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+use std::collections::HashMap;
+
+/// Builds the miter of two netlists with identical input-word signatures
+/// and equal output widths: inputs are shared, the two output words are
+/// XOR-compared bit-wise and OR-reduced into a single-bit output word
+/// `NEQ`. The miter output is 1 for exactly the input assignments on which
+/// the two circuits disagree — `spec ≡ impl` iff the miter is unsatisfiable.
+///
+/// # Panics
+///
+/// Panics if the input signatures (word count and widths) or output widths
+/// differ.
+pub fn build_miter(spec: &Netlist, impl_: &Netlist) -> Netlist {
+    assert_eq!(
+        spec.input_words().len(),
+        impl_.input_words().len(),
+        "input word count mismatch"
+    );
+    for (a, b) in spec.input_words().iter().zip(impl_.input_words()) {
+        assert_eq!(a.width(), b.width(), "input word width mismatch ({})", a.name);
+    }
+    assert_eq!(
+        spec.output_word().width(),
+        impl_.output_word().width(),
+        "output width mismatch"
+    );
+
+    let mut miter = Netlist::new(format!("miter_{}_{}", spec.name(), impl_.name()));
+    // Shared primary inputs.
+    let mut shared_inputs: Vec<NetId> = Vec::new();
+    for word in spec.input_words() {
+        let bits = miter.add_input_word(word.name.clone(), word.width());
+        shared_inputs.extend(bits);
+    }
+
+    let z_spec = instantiate(&mut miter, spec, &shared_inputs, "s");
+    let z_impl = instantiate(&mut miter, impl_, &shared_inputs, "i");
+
+    let diffs: Vec<NetId> = z_spec
+        .iter()
+        .zip(&z_impl)
+        .map(|(&a, &b)| miter.xor(a, b))
+        .collect();
+    let neq = or_tree(&mut miter, &diffs);
+    miter.set_output_word("NEQ", vec![neq]);
+    miter
+}
+
+/// Copies `src`'s gates into `dst`, mapping `src`'s primary inputs onto
+/// `inputs` (flattened, word order). Returns the mapped output word bits.
+/// Net names get `prefix_` prepended to stay unique.
+pub fn instantiate(
+    dst: &mut Netlist,
+    src: &Netlist,
+    inputs: &[NetId],
+    prefix: &str,
+) -> Vec<NetId> {
+    let src_inputs = src.input_bits();
+    assert_eq!(src_inputs.len(), inputs.len(), "input bit count mismatch");
+    let mut map: HashMap<NetId, NetId> = src_inputs
+        .iter()
+        .copied()
+        .zip(inputs.iter().copied())
+        .collect();
+    let order = crate::topo::topological_gates(src).expect("source must be acyclic");
+    for g in order {
+        let gate = src.gate(g);
+        let ins: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|i| *map.get(i).expect("inputs visited in topological order"))
+            .collect();
+        let out = dst.add_named_net(format!("{prefix}_{}", src.net_name(gate.output)));
+        dst.push_gate(gate.kind, ins, out);
+        map.insert(gate.output, out);
+    }
+    src.output_word()
+        .bits
+        .iter()
+        .map(|b| *map.get(b).expect("output bits are driven or inputs"))
+        .collect()
+}
+
+/// OR-reduces nets into one (balanced tree); empty input gives constant 0.
+pub fn or_tree(nl: &mut Netlist, nets: &[NetId]) -> NetId {
+    match nets {
+        [] => nl.constant(false),
+        [n] => *n,
+        _ => {
+            let mut level: Vec<NetId> = nets.to_vec();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    match pair {
+                        [a, b] => next.push(nl.gate2(GateKind::Or, *a, *b)),
+                        [a] => next.push(*a),
+                        _ => unreachable!("chunks(2)"),
+                    }
+                }
+                level = next;
+            }
+            level[0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::swap_gate_kind;
+    use crate::netlist::GateId;
+    use crate::sim::simulate_word;
+    use gfab_field::{Gf2Poly, GfContext};
+
+    fn fig2() -> Netlist {
+        let mut nl = Netlist::new("fig2");
+        let a = nl.add_input_word("A", 2);
+        let b = nl.add_input_word("B", 2);
+        let s0 = nl.and(a[0], b[0]);
+        let s1 = nl.and(a[0], b[1]);
+        let s2 = nl.and(a[1], b[0]);
+        let s3 = nl.and(a[1], b[1]);
+        let r0 = nl.xor(s1, s2);
+        let z0 = nl.xor(s0, s3);
+        let z1 = nl.xor(r0, s3);
+        nl.set_output_word("Z", vec![z0, z1]);
+        nl
+    }
+
+    #[test]
+    fn miter_of_identical_circuits_is_always_zero() {
+        let a = fig2();
+        let b = fig2();
+        let miter = build_miter(&a, &b);
+        miter.validate().unwrap();
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        for x in ctx.iter_elements() {
+            for y in ctx.iter_elements() {
+                let v = simulate_word(&miter, &ctx, &[x.clone(), y.clone()]);
+                assert!(v.is_zero(), "miter fired at ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn miter_detects_divergence() {
+        let good = fig2();
+        let mut bad = fig2();
+        swap_gate_kind(&mut bad, GateId(4), crate::gate::GateKind::Or);
+        let miter = build_miter(&good, &bad);
+        miter.validate().unwrap();
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut fired = false;
+        for x in ctx.iter_elements() {
+            for y in ctx.iter_elements() {
+                if !simulate_word(&miter, &ctx, &[x.clone(), y.clone()]).is_zero() {
+                    fired = true;
+                }
+            }
+        }
+        assert!(fired, "miter must expose the bug");
+    }
+
+    #[test]
+    #[should_panic(expected = "output width mismatch")]
+    fn width_mismatch_rejected() {
+        let a = fig2();
+        let mut b = Netlist::new("narrow");
+        let ain = b.add_input_word("A", 2);
+        b.add_input_word("B", 2);
+        let z = b.not(ain[0]);
+        b.set_output_word("Z", vec![z]);
+        let _ = build_miter(&a, &b);
+    }
+}

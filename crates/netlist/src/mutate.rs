@@ -1,0 +1,214 @@
+//! Deterministic bug injection for the buggy-circuit experiments
+//! (Example 5.1 of the paper introduces a bug by rewiring one XOR input).
+
+use crate::gate::GateKind;
+use crate::netlist::{GateId, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A structural mutation applied to a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Gate `gate` changed kind `from → to` (same inputs).
+    GateTypeSwap {
+        /// The mutated gate.
+        gate: GateId,
+        /// Original kind.
+        from: GateKind,
+        /// New kind.
+        to: GateKind,
+    },
+    /// Input `position` of `gate` rewired `from → to` — the paper's bug in
+    /// Example 5.1 (`r0 = s1 ⊕ s2` became `r0 = s0 ⊕ s2`).
+    WireSwap {
+        /// The mutated gate.
+        gate: GateId,
+        /// Which input was rewired.
+        position: usize,
+        /// Original net.
+        from: NetId,
+        /// New net.
+        to: NetId,
+    },
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::GateTypeSwap { gate, from, to } => {
+                write!(f, "gate g{} kind {from} -> {to}", gate.0)
+            }
+            Mutation::WireSwap {
+                gate,
+                position,
+                from,
+                to,
+            } => write!(f, "gate g{} input #{position} {from} -> {to}", gate.0),
+        }
+    }
+}
+
+/// Changes the kind of gate `g` to `to`, preserving its inputs.
+///
+/// # Panics
+///
+/// Panics if the arities differ.
+pub fn swap_gate_kind(nl: &mut Netlist, g: GateId, to: GateKind) -> Mutation {
+    let gate = nl.gate(g).clone();
+    assert_eq!(gate.kind.arity(), to.arity(), "mutation must preserve arity");
+    nl.replace_gate(g, to, gate.inputs);
+    Mutation::GateTypeSwap {
+        gate: g,
+        from: gate.kind,
+        to,
+    }
+}
+
+/// Rewires input `position` of gate `g` to net `to`.
+///
+/// # Panics
+///
+/// Panics if `position` is out of range, or if the rewiring would create a
+/// combinational cycle (checked by re-validating topology).
+pub fn swap_wire(nl: &mut Netlist, g: GateId, position: usize, to: NetId) -> Mutation {
+    let gate = nl.gate(g).clone();
+    let from = gate.inputs[position];
+    let mut inputs = gate.inputs;
+    inputs[position] = to;
+    nl.replace_gate(g, gate.kind, inputs);
+    assert!(
+        crate::topo::topological_gates(nl).is_some(),
+        "wire swap created a combinational cycle"
+    );
+    Mutation::WireSwap {
+        gate: g,
+        position,
+        from,
+        to,
+    }
+}
+
+/// Injects one random, *observable-in-principle* bug: either a gate-kind
+/// swap between AND/OR/XOR/XNOR or a wire swap to another net at the same
+/// or higher reverse-topological level (so no cycle arises).
+///
+/// Deterministic in `seed`. Returns the netlist and the mutation applied.
+///
+/// # Panics
+///
+/// Panics if the netlist has no 2-input gates to mutate.
+pub fn inject_random_bug(nl: &Netlist, seed: u64) -> (Netlist, Mutation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = nl.clone();
+    let two_input: Vec<GateId> = nl
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.kind.arity() == 2)
+        .map(|(i, _)| GateId(i as u32))
+        .collect();
+    assert!(!two_input.is_empty(), "no 2-input gates to mutate");
+    let g = *two_input.choose(&mut rng).expect("non-empty");
+    if rng.random_bool(0.5) {
+        // Gate-type swap to a different 2-input kind.
+        let from = nl.gate(g).kind;
+        let choices: Vec<GateKind> = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Xnor]
+            .into_iter()
+            .filter(|&k| k != from)
+            .collect();
+        let to = *choices.choose(&mut rng).expect("non-empty");
+        let m = swap_gate_kind(&mut out, g, to);
+        (out, m)
+    } else {
+        // Wire swap: rewire one input to a random primary input bit (always
+        // acyclic).
+        let pis = nl.input_bits();
+        let position = rng.random_range(0..2);
+        let current = nl.gate(g).inputs[position];
+        let candidates: Vec<NetId> = pis.into_iter().filter(|&n| n != current).collect();
+        let to = *candidates.choose(&mut rng).expect("multiple inputs exist");
+        let m = swap_wire(&mut out, g, position, to);
+        (out, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate_word;
+    use gfab_field::{Gf2Poly, GfContext};
+
+    fn fig2() -> Netlist {
+        let mut nl = Netlist::new("fig2");
+        let a = nl.add_input_word("A", 2);
+        let b = nl.add_input_word("B", 2);
+        let s0 = nl.and(a[0], b[0]);
+        let s1 = nl.and(a[0], b[1]);
+        let s2 = nl.and(a[1], b[0]);
+        let s3 = nl.and(a[1], b[1]);
+        let r0 = nl.xor(s1, s2);
+        let z0 = nl.xor(s0, s3);
+        let z1 = nl.xor(r0, s3);
+        nl.set_output_word("Z", vec![z0, z1]);
+        nl
+    }
+
+    #[test]
+    fn paper_bug_example_5_1() {
+        // Replace f8: r0 = s1 + s2 by r0 = s0 + s2.
+        let mut nl = fig2();
+        let r0_gate = GateId(4);
+        let s0_net = nl.gate(GateId(0)).output;
+        let m = swap_wire(&mut nl, r0_gate, 0, s0_net);
+        assert!(matches!(m, Mutation::WireSwap { .. }));
+        nl.validate().unwrap();
+        // The buggy circuit differs from multiplication somewhere.
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut differs = false;
+        for a in ctx.iter_elements() {
+            for b in ctx.iter_elements() {
+                if simulate_word(&nl, &ctx, &[a.clone(), b.clone()]) != ctx.mul(&a, &b) {
+                    differs = true;
+                }
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn gate_type_swap_preserves_structure() {
+        let mut nl = fig2();
+        let m = swap_gate_kind(&mut nl, GateId(4), GateKind::Or);
+        assert_eq!(
+            m,
+            Mutation::GateTypeSwap {
+                gate: GateId(4),
+                from: GateKind::Xor,
+                to: GateKind::Or
+            }
+        );
+        nl.validate().unwrap();
+        assert_eq!(nl.num_gates(), 7);
+    }
+
+    #[test]
+    fn random_bugs_are_deterministic_and_valid() {
+        let nl = fig2();
+        for seed in 0..20 {
+            let (m1, b1) = inject_random_bug(&nl, seed);
+            let (m2, b2) = inject_random_bug(&nl, seed);
+            assert_eq!(b1, b2, "same seed, same bug");
+            assert_eq!(m1.num_gates(), m2.num_gates());
+            m1.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut nl = fig2();
+        let m = swap_gate_kind(&mut nl, GateId(0), GateKind::Or);
+        assert_eq!(m.to_string(), "gate g0 kind and -> or");
+    }
+}

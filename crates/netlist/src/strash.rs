@@ -1,0 +1,182 @@
+//! Structural hashing (strash): merges structurally identical gates, the
+//! classic AIG-style redundancy removal used by equivalence checkers
+//! ("able to identify internal structural equivalences between the Spec
+//! and Impl circuits", Section 2 of the paper).
+//!
+//! Two gates merge when they have the same kind and the same input nets
+//! (up to commutativity). Applied before abstraction or SAT it shrinks
+//! generated netlists whose XOR/AND trees share sub-terms.
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+use crate::topo::topological_gates;
+use std::collections::HashMap;
+
+/// Statistics of one strash run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrashStats {
+    /// Gates merged into an earlier structural twin.
+    pub gates_merged: usize,
+}
+
+/// Runs structural hashing, returning the reduced netlist and statistics.
+///
+/// The result computes the same output word function; primary inputs and
+/// word bindings are preserved. Output bits whose driver merged away are
+/// re-bound to the surviving twin's net.
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic or has no output word.
+pub fn structural_hash(nl: &Netlist) -> (Netlist, StrashStats) {
+    let order = topological_gates(nl).expect("netlist must be acyclic");
+    let mut stats = StrashStats::default();
+
+    let mut out = Netlist::new(nl.name().to_string());
+    // Map from source net to rebuilt net.
+    let mut net_map: Vec<Option<NetId>> = vec![None; nl.num_nets()];
+    for word in nl.input_words() {
+        let bits: Vec<NetId> = word
+            .bits
+            .iter()
+            .map(|&b| {
+                let nb = out.add_named_net(nl.net_name(b).to_string());
+                net_map[b.index()] = Some(nb);
+                nb
+            })
+            .collect();
+        out.add_input_word_from_nets(word.name.clone(), bits);
+    }
+
+    // Structural key -> surviving output net (in the rebuilt netlist).
+    let mut table: HashMap<(GateKind, Vec<NetId>), NetId> = HashMap::new();
+
+    for g in order {
+        let gate = nl.gate(g);
+        let mut ins: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|i| net_map[i.index()].expect("inputs visited in topological order"))
+            .collect();
+        if is_commutative(gate.kind) {
+            ins.sort();
+        }
+        let key = (gate.kind, ins.clone());
+        match table.get(&key) {
+            Some(&existing) => {
+                stats.gates_merged += 1;
+                net_map[gate.output.index()] = Some(existing);
+            }
+            None => {
+                let new_out = out.add_named_net(nl.net_name(gate.output).to_string());
+                out.push_gate(gate.kind, ins, new_out);
+                table.insert(key, new_out);
+                net_map[gate.output.index()] = Some(new_out);
+            }
+        }
+    }
+
+    let zbits: Vec<NetId> = nl
+        .output_word()
+        .bits
+        .iter()
+        .map(|&b| net_map[b.index()].expect("output bits are driven or inputs"))
+        .collect();
+    out.set_output_word(nl.output_word().name.clone(), zbits);
+    (out, stats)
+}
+
+fn is_commutative(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::And
+            | GateKind::Or
+            | GateKind::Xor
+            | GateKind::Xnor
+            | GateKind::Nand
+            | GateKind::Nor
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_circuit, RandomCircuitSpec};
+    use crate::sim::random_equivalence_check;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::GfContext;
+    use rand::SeedableRng;
+
+    #[test]
+    fn merges_identical_gates() {
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input_word("A", 2);
+        let t1 = nl.and(a[0], a[1]);
+        let t2 = nl.and(a[0], a[1]); // structural twin
+        let z = nl.xor(t1, t2); // x ⊕ x, but strash only merges, not folds
+        nl.set_output_word("Z", vec![z]);
+        let (hashed, stats) = structural_hash(&nl);
+        hashed.validate().unwrap();
+        assert_eq!(stats.gates_merged, 1);
+        assert_eq!(hashed.num_gates(), 2);
+    }
+
+    #[test]
+    fn commutativity_is_canonicalized() {
+        let mut nl = Netlist::new("comm");
+        let a = nl.add_input_word("A", 2);
+        let t1 = nl.and(a[0], a[1]);
+        let t2 = nl.and(a[1], a[0]); // same gate, swapped inputs
+        let z = nl.xor(t1, t2);
+        nl.set_output_word("Z", vec![z]);
+        let (hashed, stats) = structural_hash(&nl);
+        assert_eq!(stats.gates_merged, 1);
+        assert_eq!(hashed.num_gates(), 2);
+    }
+
+    #[test]
+    fn cascaded_twins_merge_transitively() {
+        let mut nl = Netlist::new("cascade");
+        let a = nl.add_input_word("A", 2);
+        let t1 = nl.and(a[0], a[1]);
+        let t2 = nl.and(a[1], a[0]);
+        let u1 = nl.not(t1);
+        let u2 = nl.not(t2); // merges only because t1/t2 merged first
+        let z = nl.xor(u1, u2);
+        nl.set_output_word("Z", vec![z]);
+        let (hashed, stats) = structural_hash(&nl);
+        assert_eq!(stats.gates_merged, 2);
+        assert_eq!(hashed.num_gates(), 3);
+    }
+
+    #[test]
+    fn preserves_function_on_random_circuits() {
+        let ctx = GfContext::shared(irreducible_polynomial(3).unwrap()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for seed in 0..30 {
+            let nl = random_circuit(&RandomCircuitSpec {
+                num_input_words: 2,
+                width: 3,
+                num_gates: 40,
+                seed,
+            });
+            let (hashed, _) = structural_hash(&nl);
+            hashed.validate().unwrap();
+            assert!(hashed.num_gates() <= nl.num_gates());
+            random_equivalence_check(&nl, &hashed, &ctx, 32, &mut rng)
+                .unwrap_or_else(|w| panic!("seed {seed}: differs at {w:?}"));
+        }
+    }
+
+    #[test]
+    fn output_bound_to_merged_gate_survives() {
+        let mut nl = Netlist::new("obm");
+        let a = nl.add_input_word("A", 2);
+        let t1 = nl.xor(a[0], a[1]);
+        let t2 = nl.xor(a[1], a[0]);
+        nl.set_output_word("Z", vec![t1, t2]); // both bits alias post-strash
+        let (hashed, stats) = structural_hash(&nl);
+        assert_eq!(stats.gates_merged, 1);
+        assert_eq!(hashed.output_word().bits[0], hashed.output_word().bits[1]);
+    }
+}

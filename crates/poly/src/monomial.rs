@@ -1,0 +1,386 @@
+//! Sparse power products with pure-lex comparison.
+
+use crate::ring::{PolyError, Ring, VarId};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A power product `x_{v1}^{e1} · x_{v2}^{e2} · …` stored sparsely as
+/// `(variable, exponent)` factors sorted by ascending variable rank (i.e.
+/// most significant variable first, since rank 0 is the greatest variable).
+///
+/// `Ord` implements the **pure lexicographic order** induced by the variable
+/// ranking: monomials compare on the exponent of the greatest variable where
+/// they differ. This is the order underlying both the abstraction term order
+/// and RATO in the paper.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Monomial {
+    /// Factors sorted by ascending `VarId` rank; exponents are non-zero.
+    factors: Vec<(VarId, u64)>,
+}
+
+impl Monomial {
+    /// The empty product (the constant monomial `1`).
+    pub fn one() -> Self {
+        Monomial { factors: Vec::new() }
+    }
+
+    /// The single variable `v`.
+    pub fn var(v: VarId) -> Self {
+        Monomial {
+            factors: vec![(v, 1)],
+        }
+    }
+
+    /// The power `v^e` (`1` if `e == 0`).
+    pub fn var_pow(v: VarId, e: u64) -> Self {
+        if e == 0 {
+            Monomial::one()
+        } else {
+            Monomial {
+                factors: vec![(v, e)],
+            }
+        }
+    }
+
+    /// Builds a monomial from arbitrary `(var, exp)` pairs; zero exponents
+    /// are dropped, duplicates are summed, factors are sorted.
+    pub fn from_factors(mut factors: Vec<(VarId, u64)>) -> Self {
+        factors.sort_by_key(|&(v, _)| v);
+        let mut out: Vec<(VarId, u64)> = Vec::with_capacity(factors.len());
+        for (v, e) in factors {
+            if e == 0 {
+                continue;
+            }
+            match out.last_mut() {
+                Some((lv, le)) if *lv == v => *le += e,
+                _ => out.push((v, e)),
+            }
+        }
+        Monomial { factors: out }
+    }
+
+    /// Whether this is the constant monomial `1`.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// The factors, sorted by ascending variable rank.
+    pub fn factors(&self) -> &[(VarId, u64)] {
+        &self.factors
+    }
+
+    /// The exponent of `v` (0 if absent).
+    pub fn exponent(&self, v: VarId) -> u64 {
+        self.factors
+            .binary_search_by_key(&v, |&(w, _)| w)
+            .map(|i| self.factors[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Whether `v` occurs with positive exponent.
+    pub fn contains(&self, v: VarId) -> bool {
+        self.exponent(v) > 0
+    }
+
+    /// The greatest (lex-most-significant) variable, or `None` for `1`.
+    pub fn leading_var(&self) -> Option<VarId> {
+        self.factors.first().map(|&(v, _)| v)
+    }
+
+    /// The total degree (sum of exponents).
+    pub fn total_degree(&self) -> u64 {
+        self.factors.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// Iterates over the variables occurring in this monomial.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.factors.iter().map(|&(v, _)| v)
+    }
+
+    /// Multiplies two monomials under the ring's exponent mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyError::ExponentOverflow`].
+    pub fn mul(&self, other: &Monomial, ring: &Ring) -> Result<Monomial, PolyError> {
+        let mut out = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < other.factors.len() {
+            let (va, ea) = self.factors[i];
+            let (vb, eb) = other.factors[j];
+            match va.cmp(&vb) {
+                Ordering::Less => {
+                    out.push((va, ea));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push((vb, eb));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let e = ring.combine_exponents(va, ea, eb)?;
+                    if e > 0 {
+                        out.push((va, e));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.factors[i..]);
+        out.extend_from_slice(&other.factors[j..]);
+        Ok(Monomial { factors: out })
+    }
+
+    /// Whether `self` divides `other` (exponent-wise `≤`).
+    pub fn divides(&self, other: &Monomial) -> bool {
+        let mut j = 0;
+        for &(v, e) in &self.factors {
+            // Advance in other's sorted factor list.
+            loop {
+                match other.factors.get(j) {
+                    Some(&(w, _)) if w < v => j += 1,
+                    Some(&(w, f)) if w == v => {
+                        if f < e {
+                            return false;
+                        }
+                        break;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// The quotient `other / self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` does not divide `other` (checked in debug builds by
+    /// the subtraction underflow).
+    pub fn quotient_of(&self, other: &Monomial) -> Monomial {
+        debug_assert!(self.divides(other), "quotient_of requires divisibility");
+        let mut out = Vec::with_capacity(other.factors.len());
+        let mut i = 0;
+        for &(v, e) in &other.factors {
+            let mut sub = 0;
+            if let Some(&(w, f)) = self.factors.get(i) {
+                if w == v {
+                    sub = f;
+                    i += 1;
+                }
+            }
+            let r = e - sub;
+            if r > 0 {
+                out.push((v, r));
+            }
+        }
+        Monomial { factors: out }
+    }
+
+    /// The least common multiple (exponent-wise max).
+    pub fn lcm(&self, other: &Monomial) -> Monomial {
+        let mut out = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < other.factors.len() {
+            let (va, ea) = self.factors[i];
+            let (vb, eb) = other.factors[j];
+            match va.cmp(&vb) {
+                Ordering::Less => {
+                    out.push((va, ea));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push((vb, eb));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push((va, ea.max(eb)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.factors[i..]);
+        out.extend_from_slice(&other.factors[j..]);
+        Monomial { factors: out }
+    }
+
+    /// Whether the two monomials are relatively prime (share no variable) —
+    /// the hypothesis of Buchberger's product criterion (Lemma 5.1).
+    pub fn relatively_prime(&self, other: &Monomial) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < other.factors.len() {
+            match self.factors[i].0.cmp(&other.factors[j].0) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Renames variables through `f`, re-sorting as needed. Used when moving
+    /// polynomials between rings (e.g. hierarchical composition).
+    pub fn relabel(&self, f: impl Fn(VarId) -> VarId) -> Monomial {
+        Monomial::from_factors(self.factors.iter().map(|&(v, e)| (f(v), e)).collect())
+    }
+
+    /// Formats the monomial with the ring's variable names.
+    pub fn display<'a>(&'a self, ring: &'a Ring) -> impl fmt::Display + 'a {
+        MonomialDisplay { m: self, ring }
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    /// Pure lex: compare on the greatest variable where exponents differ.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (mut i, mut j) = (0, 0);
+        loop {
+            match (self.factors.get(i), other.factors.get(j)) {
+                (None, None) => return Ordering::Equal,
+                // `self` still has a factor in a more significant position:
+                // it has a positive exponent where `other` has zero.
+                (Some(_), None) => return Ordering::Greater,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(&(va, ea)), Some(&(vb, eb))) => {
+                    match va.cmp(&vb) {
+                        // va is a greater (smaller-rank) variable that other
+                        // lacks -> self has higher exponent there -> greater.
+                        Ordering::Less => return Ordering::Greater,
+                        Ordering::Greater => return Ordering::Less,
+                        Ordering::Equal => match ea.cmp(&eb) {
+                            Ordering::Equal => {
+                                i += 1;
+                                j += 1;
+                            }
+                            ord => return ord,
+                        },
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct MonomialDisplay<'a> {
+    m: &'a Monomial,
+    ring: &'a Ring,
+}
+
+impl fmt::Display for MonomialDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.m.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for &(v, e) in self.m.factors() {
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            let name = &self.ring.var_info(v).name;
+            if e == 1 {
+                write!(f, "{name}")?;
+            } else {
+                write!(f, "{name}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{ExponentMode, RingBuilder, VarKind};
+    use gfab_field::{Gf2Poly, GfContext};
+
+    fn setup() -> (Ring, VarId, VarId, VarId) {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut rb = RingBuilder::new(ctx, ExponentMode::Plain);
+        let x = rb.add_var("x", VarKind::Bit);
+        let y = rb.add_var("y", VarKind::Bit);
+        let z = rb.add_var("Z", VarKind::Word);
+        (rb.build(), x, y, z)
+    }
+
+    #[test]
+    fn lex_order_basics() {
+        let (_, x, y, z) = setup();
+        // x > y > Z; x > y^5, x*y > x, Z^9 < y.
+        assert!(Monomial::var(x) > Monomial::var(y));
+        assert!(Monomial::var(y) > Monomial::var(z));
+        assert!(Monomial::var(x) > Monomial::var_pow(y, 5));
+        let xy = Monomial::from_factors(vec![(x, 1), (y, 1)]);
+        assert!(xy > Monomial::var(x));
+        assert!(Monomial::var_pow(z, 9) < Monomial::var(y));
+        assert!(Monomial::var(x) > Monomial::one());
+    }
+
+    #[test]
+    fn lex_order_on_shared_vars() {
+        let (_, x, y, _) = setup();
+        let x2 = Monomial::var_pow(x, 2);
+        let x1y9 = Monomial::from_factors(vec![(x, 1), (y, 9)]);
+        assert!(x2 > x1y9);
+    }
+
+    #[test]
+    fn mul_merges_and_respects_mode() {
+        let (ring, x, y, _) = setup();
+        let a = Monomial::from_factors(vec![(x, 1), (y, 2)]);
+        let b = Monomial::from_factors(vec![(y, 1)]);
+        let c = a.mul(&b, &ring).unwrap();
+        assert_eq!(c, Monomial::from_factors(vec![(x, 1), (y, 3)]));
+    }
+
+    #[test]
+    fn divides_and_quotient() {
+        let (_, x, y, z) = setup();
+        let big = Monomial::from_factors(vec![(x, 2), (y, 1), (z, 3)]);
+        let small = Monomial::from_factors(vec![(x, 1), (z, 3)]);
+        assert!(small.divides(&big));
+        assert!(!big.divides(&small));
+        let q = small.quotient_of(&big);
+        assert_eq!(q, Monomial::from_factors(vec![(x, 1), (y, 1)]));
+        assert!(Monomial::one().divides(&big));
+    }
+
+    #[test]
+    fn lcm_and_relatively_prime() {
+        let (_, x, y, z) = setup();
+        let a = Monomial::from_factors(vec![(x, 2), (y, 1)]);
+        let b = Monomial::from_factors(vec![(y, 3), (z, 1)]);
+        assert_eq!(
+            a.lcm(&b),
+            Monomial::from_factors(vec![(x, 2), (y, 3), (z, 1)])
+        );
+        assert!(!a.relatively_prime(&b));
+        let c = Monomial::var(z);
+        assert!(a.relatively_prime(&c));
+    }
+
+    #[test]
+    fn from_factors_normalizes() {
+        let (_, x, y, _) = setup();
+        let m = Monomial::from_factors(vec![(y, 1), (x, 0), (y, 2)]);
+        assert_eq!(m, Monomial::var_pow(y, 3));
+        assert_eq!(m.leading_var(), Some(y));
+    }
+
+    #[test]
+    fn display_names() {
+        let (ring, x, y, _) = setup();
+        let m = Monomial::from_factors(vec![(x, 1), (y, 2)]);
+        assert_eq!(format!("{}", m.display(&ring)), "x*y^2");
+        assert_eq!(format!("{}", Monomial::one().display(&ring)), "1");
+    }
+}

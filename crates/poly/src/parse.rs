@@ -1,0 +1,397 @@
+//! A small parser for word-level polynomial expressions.
+//!
+//! Lets users write specification polynomials as text — e.g. for the
+//! ideal-membership flow ("given the specification polynomial F") without
+//! constructing [`Poly`] values by hand:
+//!
+//! ```text
+//! A*B                    the multiplier spec
+//! a^16*B + (a+1)*A       coefficients as polynomials in the root `a` (α)
+//! A^2 + B^2 + 1          squarer-ish expressions
+//! ```
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr    := term ('+' term)*
+//! term    := factor ('*' factor)*
+//! factor  := primary ('^' integer)?
+//! primary := identifier | integer | 'a' | '(' expr ')'
+//! ```
+//!
+//! `a` (or `α`, or `alpha`) denotes the field generator; bare integers are
+//! `0`/`1` (the only field constants with a canonical digit form);
+//! identifiers resolve to ring variables by name.
+
+use crate::monomial::Monomial;
+use crate::poly::Poly;
+use crate::ring::{PolyError, Ring};
+use gfab_field::Gf;
+use std::fmt;
+
+/// Errors from polynomial parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePolyError {
+    /// Unexpected character at byte offset.
+    UnexpectedChar(usize, char),
+    /// Unexpected end of input.
+    UnexpectedEnd,
+    /// An identifier did not match any ring variable.
+    UnknownVariable(String),
+    /// A numeric literal other than 0/1 (field elements must be written in
+    /// terms of the generator `a`).
+    BadConstant(String),
+    /// Arithmetic on the parsed polynomial failed.
+    Poly(PolyError),
+}
+
+impl fmt::Display for ParsePolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePolyError::UnexpectedChar(pos, c) => {
+                write!(f, "unexpected character `{c}` at offset {pos}")
+            }
+            ParsePolyError::UnexpectedEnd => write!(f, "unexpected end of expression"),
+            ParsePolyError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            ParsePolyError::BadConstant(s) => write!(
+                f,
+                "constant `{s}` is not 0 or 1; write field constants in terms of `a` (e.g. a^3 + a)"
+            ),
+            ParsePolyError::Poly(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePolyError {}
+
+impl From<PolyError> for ParsePolyError {
+    fn from(e: PolyError) -> Self {
+        ParsePolyError::Poly(e)
+    }
+}
+
+/// Parses an expression into a polynomial over `ring`, resolving
+/// identifiers through the ring's variable names. `a`/`α`/`alpha` is the
+/// field generator.
+///
+/// # Errors
+///
+/// See [`ParsePolyError`].
+///
+/// # Example
+///
+/// ```
+/// use gfab_field::{GfContext, Gf2Poly};
+/// use gfab_poly::{RingBuilder, VarKind, ExponentMode, parse_poly};
+///
+/// let ctx = GfContext::shared(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+/// let mut rb = RingBuilder::new(ctx.clone(), ExponentMode::Quotient);
+/// rb.add_var("A", VarKind::Word);
+/// rb.add_var("B", VarKind::Word);
+/// let ring = rb.build();
+/// let p = parse_poly("A*B + (a^3 + 1)*A + 1", &ring).unwrap();
+/// assert_eq!(p.num_terms(), 3);
+/// ```
+pub fn parse_poly(input: &str, ring: &Ring) -> Result<Poly, ParsePolyError> {
+    let mut parser = Parser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        ring,
+    };
+    let p = parser.expr()?;
+    parser.skip_ws();
+    if let Some(&(off, c)) = parser.chars.get(parser.pos) {
+        return Err(ParsePolyError::UnexpectedChar(off, c));
+    }
+    Ok(p)
+}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    ring: &'a Ring,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|&(_, c)| c.is_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.skip_ws();
+        let c = self.chars.get(self.pos).map(|&(_, c)| c);
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expr(&mut self) -> Result<Poly, ParsePolyError> {
+        let mut acc = self.term()?;
+        while self.peek() == Some('+') {
+            self.bump();
+            acc = acc.add(&self.term()?);
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<Poly, ParsePolyError> {
+        let mut acc = self.factor()?;
+        while self.peek() == Some('*') {
+            self.bump();
+            let rhs = self.factor()?;
+            acc = acc.mul(&rhs, self.ring)?;
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Poly, ParsePolyError> {
+        let base = self.primary()?;
+        if self.peek() == Some('^') {
+            self.bump();
+            let e = self.integer()?;
+            let mut acc = self.ring.constant(self.ring.ctx().one());
+            // Square-and-multiply on the polynomial.
+            let mut bit = 63 - e.leading_zeros().min(63);
+            loop {
+                acc = acc.mul(&acc, self.ring)?;
+                if (e >> bit) & 1 == 1 {
+                    acc = acc.mul(&base, self.ring)?;
+                }
+                if bit == 0 {
+                    break;
+                }
+                bit -= 1;
+            }
+            if e == 0 {
+                return Ok(self.ring.constant(self.ring.ctx().one()));
+            }
+            return Ok(acc);
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Poly, ParsePolyError> {
+        match self.peek() {
+            None => Err(ParsePolyError::UnexpectedEnd),
+            Some('(') => {
+                self.bump();
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some(')') => Ok(inner),
+                    Some(c) => {
+                        let off = self.chars[self.pos - 1].0;
+                        Err(ParsePolyError::UnexpectedChar(off, c))
+                    }
+                    None => Err(ParsePolyError::UnexpectedEnd),
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let n = self.integer()?;
+                match n {
+                    0 => Ok(Poly::zero()),
+                    1 => Ok(self.ring.constant(self.ring.ctx().one())),
+                    _ => Err(ParsePolyError::BadConstant(n.to_string())),
+                }
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' || c == 'α' => {
+                let name = self.identifier();
+                if name == "a" || name == "α" || name == "alpha" {
+                    return Ok(self.ring.constant(self.ring.ctx().alpha()));
+                }
+                match self.ring.var_by_name(&name) {
+                    Some(v) => Ok(Poly::from_terms(vec![(
+                        Monomial::var(v),
+                        self.ring.ctx().one(),
+                    )])),
+                    None => Err(ParsePolyError::UnknownVariable(name)),
+                }
+            }
+            Some(c) => {
+                let off = self.chars[self.pos].0;
+                Err(ParsePolyError::UnexpectedChar(off, c))
+            }
+        }
+    }
+
+    fn identifier(&mut self) -> String {
+        self.skip_ws();
+        let mut out = String::new();
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c.is_alphanumeric() || c == '_' || c == 'α' {
+                out.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn integer(&mut self) -> Result<u64, ParsePolyError> {
+        self.skip_ws();
+        let mut digits = String::new();
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return match self.chars.get(self.pos) {
+                Some(&(off, c)) => Err(ParsePolyError::UnexpectedChar(off, c)),
+                None => Err(ParsePolyError::UnexpectedEnd),
+            };
+        }
+        digits
+            .parse()
+            .map_err(|_| ParsePolyError::BadConstant(digits))
+    }
+}
+
+/// Convenience: parses a coefficient expression (no variables, only `a`)
+/// into a field element.
+///
+/// # Errors
+///
+/// As [`parse_poly`]; additionally rejects expressions containing ring
+/// variables.
+pub fn parse_constant(input: &str, ring: &Ring) -> Result<Gf, ParsePolyError> {
+    let p = parse_poly(input, ring)?;
+    if let Some(v) = p.variables().first() {
+        return Err(ParsePolyError::UnknownVariable(
+            ring.var_info(*v).name.clone(),
+        ));
+    }
+    Ok(p.coeff(&Monomial::one()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{ExponentMode, RingBuilder, VarId, VarKind};
+    use gfab_field::{Gf2Poly, GfContext};
+
+    fn ring() -> Ring {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+        let mut rb = RingBuilder::new(ctx, ExponentMode::Quotient);
+        rb.add_var("A", VarKind::Word);
+        rb.add_var("B", VarKind::Word);
+        rb.build()
+    }
+
+    #[test]
+    fn parses_product_spec() {
+        let r = ring();
+        let p = parse_poly("A*B", &r).unwrap();
+        let expected = Poly::from_terms(vec![(
+            Monomial::from_factors(vec![(VarId(0), 1), (VarId(1), 1)]),
+            r.ctx().one(),
+        )]);
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn parses_powers_and_coefficients() {
+        let r = ring();
+        let p = parse_poly("a^3*A^2 + (a+1)*B + 1", &r).unwrap();
+        assert_eq!(p.num_terms(), 3);
+        let alpha3 = r.ctx().pow_u64(&r.ctx().alpha(), 3);
+        assert_eq!(p.coeff(&Monomial::var_pow(VarId(0), 2)), alpha3);
+        let a1 = r.ctx().add(&r.ctx().alpha(), &r.ctx().one());
+        assert_eq!(p.coeff(&Monomial::var(VarId(1))), a1);
+        assert_eq!(p.coeff(&Monomial::one()), r.ctx().one());
+    }
+
+    #[test]
+    fn whitespace_and_parens() {
+        let r = ring();
+        let p1 = parse_poly("  ( A + B ) * ( A + B )  ", &r).unwrap();
+        // (A+B)² = A² + B² in characteristic 2.
+        let p2 = parse_poly("A^2 + B^2", &r).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn characteristic_two_cancellation() {
+        let r = ring();
+        assert!(parse_poly("A + A", &r).unwrap().is_zero());
+        assert!(parse_poly("1 + 1", &r).unwrap().is_zero());
+        assert!(parse_poly("0", &r).unwrap().is_zero());
+    }
+
+    #[test]
+    fn exponent_zero_and_alpha_aliases() {
+        let r = ring();
+        let one = parse_poly("A^0", &r).unwrap();
+        assert_eq!(one, r.constant(r.ctx().one()));
+        assert_eq!(
+            parse_poly("alpha", &r).unwrap(),
+            parse_poly("a", &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn quotient_exponent_reduction_applies() {
+        // In F_16 (q = 16), A^16 = A.
+        let r = ring();
+        assert_eq!(parse_poly("A^16", &r).unwrap(), parse_poly("A", &r).unwrap());
+    }
+
+    #[test]
+    fn error_cases() {
+        let r = ring();
+        assert!(matches!(
+            parse_poly("C", &r),
+            Err(ParsePolyError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            parse_poly("7*A", &r),
+            Err(ParsePolyError::BadConstant(_))
+        ));
+        assert!(matches!(
+            parse_poly("A +", &r),
+            Err(ParsePolyError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            parse_poly("(A", &r),
+            Err(ParsePolyError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            parse_poly("A B", &r),
+            Err(ParsePolyError::UnexpectedChar(..))
+        ));
+    }
+
+    #[test]
+    fn parse_constant_rejects_variables() {
+        let r = ring();
+        assert_eq!(parse_constant("a^2 + 1", &r).unwrap(), r.ctx().from_u64(0b101));
+        assert!(parse_constant("A", &r).is_err());
+    }
+
+    #[test]
+    fn roundtrip_with_display() {
+        // Display output re-parses to the same polynomial (for simple
+        // coefficient shapes).
+        let r = ring();
+        let p = parse_poly("A^2*B + a*A + 1", &r).unwrap();
+        let shown = format!("{}", p.display(&r));
+        // Display uses α; map it to `a` for the parser.
+        let reparsed = parse_poly(&shown.replace('α', "a"), &r).unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

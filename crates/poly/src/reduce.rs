@@ -1,0 +1,341 @@
+//! Multivariate division: normal forms against divisor sets.
+//!
+//! The abstraction flow of the paper is, after the single S-polynomial, a
+//! long chain of divisions `Spoly(f_w, f_g) →+ r` modulo the circuit
+//! polynomials and the vanishing polynomials. Under RATO every circuit
+//! polynomial has the form `x + tail(x)` with a distinct leading *variable*,
+//! so the reducer indexes those divisors by leading variable for O(1)
+//! lookup; arbitrary divisors (e.g. explicit vanishing polynomials in
+//! `Plain` mode) go through a linear scan.
+
+use crate::monomial::Monomial;
+use crate::poly::Poly;
+use crate::ring::{PolyError, Ring, VarId};
+use gfab_field::Gf;
+use std::collections::{BTreeMap, HashMap};
+
+/// Statistics of one normal-form computation, used by the experiment
+/// harness to report reduction effort.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Number of leading-term cancellation steps performed.
+    pub steps: u64,
+    /// Maximum number of live terms in the working polynomial.
+    pub peak_terms: usize,
+}
+
+/// A set of divisors prepared for repeated normal-form computations.
+///
+/// Divisors whose leading monomial is a single variable with exponent 1
+/// (every circuit polynomial under RATO) are indexed by that variable;
+/// everything else is scanned linearly.
+#[derive(Debug, Clone)]
+pub struct Reducer<'a> {
+    ring: &'a Ring,
+    /// Divisors with leading monomial `x` (a bare variable), keyed by `x`.
+    by_lead_var: HashMap<VarId, &'a Poly>,
+    /// All other divisors.
+    general: Vec<&'a Poly>,
+}
+
+impl<'a> Reducer<'a> {
+    /// Prepares a reducer over `divisors`.
+    ///
+    /// Zero divisors are ignored. If several divisors share the same bare
+    /// leading variable the first one wins the index and the rest go to the
+    /// general list (division remains correct, just slower).
+    pub fn new(ring: &'a Ring, divisors: impl IntoIterator<Item = &'a Poly>) -> Self {
+        let mut by_lead_var: HashMap<VarId, &'a Poly> = HashMap::new();
+        let mut general = Vec::new();
+        for d in divisors {
+            let Some(lm) = d.leading_monomial() else {
+                continue;
+            };
+            let factors = lm.factors();
+            if factors.len() == 1 && factors[0].1 == 1 {
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    by_lead_var.entry(factors[0].0)
+                {
+                    e.insert(d);
+                    continue;
+                }
+            }
+            general.push(d);
+        }
+        Reducer {
+            ring,
+            by_lead_var,
+            general,
+        }
+    }
+
+    /// The ring this reducer divides in.
+    pub fn ring(&self) -> &Ring {
+        self.ring
+    }
+
+    /// Finds a divisor whose leading monomial divides `m`.
+    fn find_divisor(&self, m: &Monomial) -> Option<&'a Poly> {
+        for &(v, _) in m.factors() {
+            if let Some(&d) = self.by_lead_var.get(&v) {
+                return Some(d);
+            }
+        }
+        self.general
+            .iter()
+            .copied()
+            .find(|d| d.leading_monomial().is_some_and(|lm| lm.divides(m)))
+    }
+
+    /// Computes the normal form (remainder) of `f` under multivariate
+    /// division by the divisor set: repeatedly cancels the greatest term
+    /// divisible by some leading monomial until no term of the remainder is
+    /// divisible by any divisor's leading term.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyError::ExponentOverflow`].
+    pub fn normal_form(&self, f: &Poly) -> Result<Poly, PolyError> {
+        self.normal_form_with_stats(f).map(|(p, _)| p)
+    }
+
+    /// [`Reducer::normal_form`] plus effort statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyError::ExponentOverflow`].
+    pub fn normal_form_with_stats(&self, f: &Poly) -> Result<(Poly, ReductionStats), PolyError> {
+        let ctx = self.ring.ctx();
+        let mut stats = ReductionStats::default();
+        // Working terms, keyed ascending; we always pop the maximum.
+        let mut work: BTreeMap<Monomial, Gf> = BTreeMap::new();
+        for (m, c) in f.terms() {
+            work.insert(m.clone(), c.clone());
+        }
+        // Remainder terms accumulate in strictly descending order because we
+        // always move the current maximum.
+        let mut remainder: Vec<(Monomial, Gf)> = Vec::new();
+        while let Some((m, c)) = work.pop_last() {
+            stats.peak_terms = stats.peak_terms.max(work.len() + 1);
+            match self.find_divisor(&m) {
+                None => remainder.push((m, c)),
+                Some(d) => {
+                    stats.steps += 1;
+                    // m = q * lm(d); cancel c*m with (c / lc(d)) * q * d.
+                    let lm = d.leading_monomial().expect("divisor is non-zero");
+                    let lc = d.leading_coeff().expect("divisor is non-zero");
+                    let q = lm.quotient_of(&m);
+                    let scale = if lc.is_one() {
+                        c
+                    } else {
+                        ctx.mul(&c, &ctx.inv(lc).expect("non-zero leading coefficient"))
+                    };
+                    // Subtract scale * q * tail(d) (char 2: subtract = add).
+                    // Gate polynomials have unit coefficients, so skip the
+                    // field multiplication whenever either factor is 1.
+                    for (tm, tc) in d.terms().iter().skip(1) {
+                        let nm = tm.mul(&q, self.ring)?;
+                        let nc = if tc.is_one() {
+                            scale.clone()
+                        } else if scale.is_one() {
+                            tc.clone()
+                        } else {
+                            ctx.mul(tc, &scale)
+                        };
+                        upsert(&mut work, nm, nc);
+                    }
+                }
+            }
+        }
+        Ok((Poly::from_terms(remainder), stats))
+    }
+}
+
+fn upsert(map: &mut BTreeMap<Monomial, Gf>, m: Monomial, c: Gf) {
+    if c.is_zero() {
+        return;
+    }
+    match map.entry(m) {
+        std::collections::btree_map::Entry::Vacant(e) => {
+            e.insert(c);
+        }
+        std::collections::btree_map::Entry::Occupied(mut e) => {
+            let merged = e.get().add(&c);
+            if merged.is_zero() {
+                e.remove();
+            } else {
+                *e.get_mut() = merged;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{ExponentMode, RingBuilder, VarKind};
+    use gfab_field::{Gf2Poly, GfContext};
+
+    /// Builds F_4[x > y > Z] for tests.
+    fn setup(mode: ExponentMode) -> (Ring, VarId, VarId, VarId) {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut rb = RingBuilder::new(ctx, mode);
+        let x = rb.add_var("x", VarKind::Bit);
+        let y = rb.add_var("y", VarKind::Bit);
+        let z = rb.add_var("Z", VarKind::Word);
+        (rb.build(), x, y, z)
+    }
+
+    fn p(terms: Vec<(Monomial, Gf)>) -> Poly {
+        Poly::from_terms(terms)
+    }
+
+    #[test]
+    fn triangular_substitution_chain() {
+        // x + y, y + Z  =>  NF(x) = Z.
+        let (ring, x, y, z) = setup(ExponentMode::Quotient);
+        let one = ring.ctx().one();
+        let d1 = p(vec![
+            (Monomial::var(x), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        let d2 = p(vec![
+            (Monomial::var(y), one.clone()),
+            (Monomial::var(z), one.clone()),
+        ]);
+        let divisors = [d1, d2];
+        let red = Reducer::new(&ring, divisors.iter());
+        let f = ring.var_poly(x);
+        let nf = red.normal_form(&f).unwrap();
+        assert_eq!(nf, ring.var_poly(z));
+    }
+
+    #[test]
+    fn remainder_not_divisible_by_any_leading_term() {
+        let (ring, x, y, _) = setup(ExponentMode::Quotient);
+        let one = ring.ctx().one();
+        // divisor: x + y  => NF(x*y + y) = y*y + y = y + y = 0 (quotient mode)
+        let d = p(vec![
+            (Monomial::var(x), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        let divisors = [d];
+        let red = Reducer::new(&ring, divisors.iter());
+        let f = p(vec![
+            (Monomial::from_factors(vec![(x, 1), (y, 1)]), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        let nf = red.normal_form(&f).unwrap();
+        assert!(nf.is_zero(), "got {}", nf.display(&ring));
+    }
+
+    #[test]
+    fn plain_mode_same_example_leaves_square() {
+        let (ring, x, y, _) = setup(ExponentMode::Plain);
+        let one = ring.ctx().one();
+        let d = p(vec![
+            (Monomial::var(x), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        let divisors = [d];
+        let red = Reducer::new(&ring, divisors.iter());
+        let f = p(vec![
+            (Monomial::from_factors(vec![(x, 1), (y, 1)]), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        // x*y -> y^2, so NF = y^2 + y.
+        let nf = red.normal_form(&f).unwrap();
+        let expected = p(vec![
+            (Monomial::var_pow(y, 2), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        assert_eq!(nf, expected);
+    }
+
+    #[test]
+    fn general_divisors_with_nontrivial_leading_monomials() {
+        let (ring, x, y, _) = setup(ExponentMode::Plain);
+        let one = ring.ctx().one();
+        // divisor: x^2 + y (leading monomial x^2, not a bare variable)
+        let d = p(vec![
+            (Monomial::var_pow(x, 2), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        let divisors = [d];
+        let red = Reducer::new(&ring, divisors.iter());
+        // f = x^3 => x * x^2 -> x*y; then x*y is not divisible by x^2.
+        let f = p(vec![(Monomial::var_pow(x, 3), one.clone())]);
+        let nf = red.normal_form(&f).unwrap();
+        let expected = p(vec![(
+            Monomial::from_factors(vec![(x, 1), (y, 1)]),
+            one.clone(),
+        )]);
+        assert_eq!(nf, expected);
+    }
+
+    #[test]
+    fn non_monic_divisors_are_scaled() {
+        let (ring, x, y, _) = setup(ExponentMode::Plain);
+        let alpha = ring.ctx().alpha();
+        let one = ring.ctx().one();
+        // divisor: α·x + y  => NF(x) = α⁻¹·y
+        let d = p(vec![
+            (Monomial::var(x), alpha.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        let divisors = [d];
+        let red = Reducer::new(&ring, divisors.iter());
+        let nf = red.normal_form(&ring.var_poly(x)).unwrap();
+        let ainv = ring.ctx().inv(&alpha).unwrap();
+        assert_eq!(nf, ring.var_poly(y).scale(&ainv, &ring));
+    }
+
+    #[test]
+    fn stats_count_steps() {
+        let (ring, x, y, z) = setup(ExponentMode::Quotient);
+        let one = ring.ctx().one();
+        let d1 = p(vec![
+            (Monomial::var(x), one.clone()),
+            (Monomial::var(y), one.clone()),
+        ]);
+        let d2 = p(vec![
+            (Monomial::var(y), one.clone()),
+            (Monomial::var(z), one.clone()),
+        ]);
+        let divisors = [d1, d2];
+        let red = Reducer::new(&ring, divisors.iter());
+        let (_, stats) = red.normal_form_with_stats(&ring.var_poly(x)).unwrap();
+        assert_eq!(stats.steps, 2); // x -> y -> Z
+    }
+
+    #[test]
+    fn division_invariant_f_equals_sum_plus_remainder() {
+        // Verify f ≡ NF(f) modulo the ideal by evaluating on all points of
+        // the variety of the divisors (here: pick divisor x + y + 1 and
+        // check on assignments satisfying it).
+        let (ring, x, y, _) = setup(ExponentMode::Plain);
+        let ctx = ring.ctx().clone();
+        let one = ctx.one();
+        let d = p(vec![
+            (Monomial::var(x), one.clone()),
+            (Monomial::var(y), one.clone()),
+            (Monomial::one(), one.clone()),
+        ]);
+        let divisors = [d.clone()];
+        let red = Reducer::new(&ring, divisors.iter());
+        let f = p(vec![
+            (Monomial::from_factors(vec![(x, 2), (y, 1)]), one.clone()),
+            (Monomial::var(x), one.clone()),
+        ]);
+        let nf = red.normal_form(&f).unwrap();
+        // On every point where d vanishes, f and nf must agree.
+        for a in ctx.iter_elements() {
+            for b in ctx.iter_elements() {
+                let vals = vec![a.clone(), b.clone(), ctx.zero()];
+                if d.eval(&ring, &vals).is_zero() {
+                    assert_eq!(f.eval(&ring, &vals), nf.eval(&ring, &vals));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Polynomial ring descriptions: ranked variables and exponent semantics.
+
+use crate::monomial::Monomial;
+use crate::poly::Poly;
+use gfab_field::{Gf, GfContext};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a ring variable.
+///
+/// The numeric value is the variable's **lex rank**: `VarId(0)` is the
+/// greatest variable of the ring's pure lexicographic order, `VarId(1)` the
+/// next, and so on. The abstraction term order of the paper is therefore
+/// encoded entirely in how the verification layer numbers its variables
+/// (reverse-topological circuit bits first, then `Z`, then the input words).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The raw rank index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Whether a variable ranges over `{0, 1}` (a circuit net) or over the whole
+/// field `F_{2^k}` (a word-level input/output).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum VarKind {
+    /// A bit-level circuit variable, constrained by `x² = x`.
+    Bit,
+    /// A word-level variable, constrained by `X^q = X` with `q = 2^k`.
+    Word,
+}
+
+/// Metadata for one ring variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Human-readable name (net name or word name).
+    pub name: String,
+    /// Bit or word semantics.
+    pub kind: VarKind,
+}
+
+/// How monomial multiplication treats exponents (see crate docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExponentMode {
+    /// Textbook arithmetic; vanishing polynomials are explicit generators.
+    Plain,
+    /// Arithmetic in the quotient ring `F_q[X]/J_0`: `x² = x` for bits,
+    /// `X^q = X` for words (when `q` fits in `u64`).
+    Quotient,
+}
+
+/// Errors from polynomial-ring operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolyError {
+    /// An exponent overflowed `u64` during multiplication.
+    ExponentOverflow,
+    /// A word-variable vanishing polynomial `X^q − X` was requested but
+    /// `q = 2^k` does not fit in `u64` (k > 63).
+    FieldTooLargeForVanishing {
+        /// The extension degree that was too large.
+        k: usize,
+    },
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::ExponentOverflow => write!(f, "monomial exponent overflowed u64"),
+            PolyError::FieldTooLargeForVanishing { k } => write!(
+                f,
+                "vanishing polynomial X^(2^{k}) - X requires k <= 63 (got k = {k})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+/// A multivariate polynomial ring `F_{2^k}[x_0, …, x_{n-1}]` with a fixed
+/// pure-lex variable ranking and an exponent mode.
+///
+/// Construct via [`RingBuilder`], adding variables from greatest to
+/// smallest.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    ctx: Arc<GfContext>,
+    vars: Vec<VarInfo>,
+    by_name: HashMap<String, VarId>,
+    mode: ExponentMode,
+    /// `q = 2^k` when it fits in `u64`, used for word-exponent reduction.
+    order_u64: Option<u64>,
+}
+
+impl Ring {
+    /// The coefficient field.
+    pub fn ctx(&self) -> &Arc<GfContext> {
+        &self.ctx
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The exponent mode this ring was built with.
+    pub fn mode(&self) -> ExponentMode {
+        self.mode
+    }
+
+    /// Metadata of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this ring.
+    pub fn var_info(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// Looks a variable up by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(VarId, &VarInfo)` from greatest to smallest.
+    pub fn vars(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (VarId(i as u32), info))
+    }
+
+    /// The polynomial consisting of the single variable `v`.
+    pub fn var_poly(&self, v: VarId) -> Poly {
+        Poly::from_terms(vec![(Monomial::var(v), self.ctx.one())])
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(&self, c: Gf) -> Poly {
+        if c.is_zero() {
+            Poly::zero()
+        } else {
+            Poly::from_terms(vec![(Monomial::one(), c)])
+        }
+    }
+
+    /// Reduces a word-variable exponent by `X^q = X` (valid on `F_q`), i.e.
+    /// maps `e ≥ 1` to `((e − 1) mod (q − 1)) + 1`. Identity when `q` does
+    /// not fit in `u64` or `e = 0`.
+    pub fn reduce_word_exponent(&self, e: u64) -> u64 {
+        match self.order_u64 {
+            Some(q) if e >= q => ((e - 1) % (q - 1)) + 1,
+            _ => e,
+        }
+    }
+
+    /// Combines two exponents of variable `v` under this ring's mode.
+    ///
+    /// # Errors
+    ///
+    /// [`PolyError::ExponentOverflow`] if the sum exceeds `u64`.
+    pub fn combine_exponents(&self, v: VarId, a: u64, b: u64) -> Result<u64, PolyError> {
+        let sum = a.checked_add(b).ok_or(PolyError::ExponentOverflow)?;
+        if self.mode == ExponentMode::Plain {
+            return Ok(sum);
+        }
+        match self.var_info(v).kind {
+            VarKind::Bit => Ok(sum.min(1)),
+            VarKind::Word => Ok(self.reduce_word_exponent(sum)),
+        }
+    }
+}
+
+/// Incremental construction of a [`Ring`], adding variables from greatest to
+/// smallest in the lex order.
+///
+/// # Example
+///
+/// ```
+/// use gfab_field::{GfContext, Gf2Poly};
+/// use gfab_poly::{RingBuilder, VarKind, ExponentMode};
+///
+/// let ctx = GfContext::shared(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+/// let mut rb = RingBuilder::new(ctx, ExponentMode::Plain);
+/// let x = rb.add_var("x", VarKind::Bit);
+/// let y = rb.add_var("y", VarKind::Bit);
+/// let ring = rb.build();
+/// assert!(x < y); // x was added first, so x is greater in lex
+/// assert_eq!(ring.num_vars(), 2);
+/// ```
+#[derive(Debug)]
+pub struct RingBuilder {
+    ctx: Arc<GfContext>,
+    vars: Vec<VarInfo>,
+    by_name: HashMap<String, VarId>,
+    mode: ExponentMode,
+}
+
+impl RingBuilder {
+    /// Starts a builder over the given coefficient field.
+    pub fn new(ctx: Arc<GfContext>, mode: ExponentMode) -> Self {
+        RingBuilder {
+            ctx,
+            vars: Vec::new(),
+            by_name: HashMap::new(),
+            mode,
+        }
+    }
+
+    /// Appends the next-smaller variable and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (variable names must be unique).
+    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
+        let name = name.into();
+        let id = VarId(self.vars.len() as u32);
+        let prev = self.by_name.insert(name.clone(), id);
+        assert!(prev.is_none(), "duplicate ring variable name: {name}");
+        self.vars.push(VarInfo { name, kind });
+        id
+    }
+
+    /// Finalizes the ring.
+    pub fn build(self) -> Ring {
+        let order_u64 = self.ctx.order_u64();
+        Ring {
+            ctx: self.ctx,
+            vars: self.vars,
+            by_name: self.by_name,
+            mode: self.mode,
+            order_u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::Gf2Poly;
+
+    fn ring(mode: ExponentMode) -> (Ring, VarId, VarId) {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut rb = RingBuilder::new(ctx, mode);
+        let x = rb.add_var("x", VarKind::Bit);
+        let z = rb.add_var("Z", VarKind::Word);
+        (rb.build(), x, z)
+    }
+
+    #[test]
+    fn variable_ranking_is_insertion_order() {
+        let (r, x, z) = ring(ExponentMode::Plain);
+        assert!(x < z);
+        assert_eq!(r.var_info(x).name, "x");
+        assert_eq!(r.var_by_name("Z"), Some(z));
+        assert_eq!(r.var_by_name("nope"), None);
+    }
+
+    #[test]
+    fn quotient_mode_caps_bit_exponents() {
+        let (r, x, _) = ring(ExponentMode::Quotient);
+        assert_eq!(r.combine_exponents(x, 1, 1).unwrap(), 1);
+        assert_eq!(r.combine_exponents(x, 0, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn quotient_mode_reduces_word_exponents_mod_q() {
+        // F_4: q = 4, X^4 = X so exponents live in {1, 2, 3}.
+        let (r, _, z) = ring(ExponentMode::Quotient);
+        assert_eq!(r.combine_exponents(z, 2, 2).unwrap(), 1); // X^4 -> X
+        assert_eq!(r.combine_exponents(z, 3, 3).unwrap(), 3); // X^6 -> X^3
+        assert_eq!(r.combine_exponents(z, 1, 2).unwrap(), 3);
+    }
+
+    #[test]
+    fn plain_mode_adds_exponents() {
+        let (r, x, z) = ring(ExponentMode::Plain);
+        assert_eq!(r.combine_exponents(x, 1, 1).unwrap(), 2);
+        assert_eq!(r.combine_exponents(z, 2, 2).unwrap(), 4);
+    }
+
+    #[test]
+    fn exponent_overflow_is_detected() {
+        let (r, _, z) = ring(ExponentMode::Plain);
+        assert_eq!(
+            r.combine_exponents(z, u64::MAX, 1),
+            Err(PolyError::ExponentOverflow)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ring variable name")]
+    fn duplicate_names_panic() {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut rb = RingBuilder::new(ctx, ExponentMode::Plain);
+        rb.add_var("x", VarKind::Bit);
+        rb.add_var("x", VarKind::Bit);
+    }
+}

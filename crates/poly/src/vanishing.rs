@@ -1,0 +1,113 @@
+//! The vanishing ideal `J_0` of `F_q` (Strong Nullstellensatz, Theorem 3.2
+//! of the paper): `J_0 = ⟨x_i² − x_i, X_j^q − X_j⟩` where `x_i` are bit
+//! variables and `X_j` word variables.
+
+use crate::monomial::Monomial;
+use crate::poly::Poly;
+use crate::ring::{PolyError, Ring, VarId, VarKind};
+
+/// The vanishing polynomial of a single variable: `x² + x` for bits,
+/// `X^q + X` for words (characteristic 2 turns `−` into `+`).
+///
+/// # Errors
+///
+/// [`PolyError::FieldTooLargeForVanishing`] if `v` is a word variable and
+/// `q = 2^k` does not fit in `u64` (k > 63). Word vanishing polynomials are
+/// only needed by the Case-2 canonical completion, which the paper (and
+/// this reproduction) exercises on small fields.
+pub fn vanishing_poly(ring: &Ring, v: VarId) -> Result<Poly, PolyError> {
+    let one = ring.ctx().one();
+    let e = match ring.var_info(v).kind {
+        VarKind::Bit => 2,
+        VarKind::Word => ring
+            .ctx()
+            .order_u64()
+            .ok_or(PolyError::FieldTooLargeForVanishing { k: ring.ctx().k() })?,
+    };
+    Ok(Poly::from_terms(vec![
+        (Monomial::var_pow(v, e), one.clone()),
+        (Monomial::var(v), one),
+    ]))
+}
+
+/// The full generating set of `J_0` for the given variables.
+///
+/// # Errors
+///
+/// See [`vanishing_poly`].
+pub fn vanishing_ideal(ring: &Ring, vars: &[VarId]) -> Result<Vec<Poly>, PolyError> {
+    vars.iter().map(|&v| vanishing_poly(ring, v)).collect()
+}
+
+/// The generating set of `J_0` for **all** ring variables.
+///
+/// # Errors
+///
+/// See [`vanishing_poly`].
+pub fn vanishing_ideal_all(ring: &Ring) -> Result<Vec<Poly>, PolyError> {
+    ring.vars()
+        .map(|(v, _)| vanishing_poly(ring, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{ExponentMode, RingBuilder};
+    use gfab_field::{Gf2Poly, GfContext};
+
+    #[test]
+    fn bit_vanishing_is_quadratic() {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut rb = RingBuilder::new(ctx, ExponentMode::Plain);
+        let x = rb.add_var("x", VarKind::Bit);
+        let ring = rb.build();
+        let p = vanishing_poly(&ring, x).unwrap();
+        assert_eq!(p.degree_in(x), 2);
+        assert_eq!(p.num_terms(), 2);
+        // Vanishes on 0 and 1.
+        for b in [ring.ctx().zero(), ring.ctx().one()] {
+            assert!(p.eval(&ring, &[b]).is_zero());
+        }
+    }
+
+    #[test]
+    fn word_vanishing_vanishes_on_whole_field() {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[3, 1, 0])).unwrap(); // F_8
+        let mut rb = RingBuilder::new(ctx.clone(), ExponentMode::Plain);
+        let a = rb.add_var("A", VarKind::Word);
+        let ring = rb.build();
+        let p = vanishing_poly(&ring, a).unwrap();
+        assert_eq!(p.degree_in(a), 8);
+        for e in ctx.iter_elements() {
+            assert!(p.eval(&ring, std::slice::from_ref(&e)).is_zero(), "at {e}");
+        }
+    }
+
+    #[test]
+    fn word_vanishing_requires_small_field() {
+        let ctx = GfContext::shared(
+            gfab_field::nist::nist_polynomial(163).unwrap(),
+        )
+        .unwrap();
+        let mut rb = RingBuilder::new(ctx, ExponentMode::Plain);
+        let a = rb.add_var("A", VarKind::Word);
+        let ring = rb.build();
+        assert_eq!(
+            vanishing_poly(&ring, a),
+            Err(PolyError::FieldTooLargeForVanishing { k: 163 })
+        );
+    }
+
+    #[test]
+    fn ideal_generators_cover_all_vars() {
+        let ctx = GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap();
+        let mut rb = RingBuilder::new(ctx, ExponentMode::Plain);
+        rb.add_var("x", VarKind::Bit);
+        rb.add_var("y", VarKind::Bit);
+        rb.add_var("A", VarKind::Word);
+        let ring = rb.build();
+        let gens = vanishing_ideal_all(&ring).unwrap();
+        assert_eq!(gens.len(), 3);
+    }
+}

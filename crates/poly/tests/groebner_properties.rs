@@ -1,0 +1,136 @@
+//! Property-based tests of the Gröbner-basis engine: on random small
+//! ideals over `F_4`, a completed basis must (a) reduce every generator to
+//! zero, (b) reduce random ideal combinations to zero, and (c) have the
+//! normal-form-idempotence property.
+
+use gfab_field::{Gf, Gf2Poly, GfContext};
+use gfab_poly::buchberger::{buchberger, reduce_basis, GbLimits, GbOutcome};
+use gfab_poly::reduce::Reducer;
+use gfab_poly::{ExponentMode, Monomial, Poly, Ring, RingBuilder, VarId, VarKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn f4() -> Arc<GfContext> {
+    GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).unwrap()
+}
+
+fn ring3(ctx: &Arc<GfContext>) -> Ring {
+    let mut rb = RingBuilder::new(ctx.clone(), ExponentMode::Plain);
+    rb.add_var("x", VarKind::Bit);
+    rb.add_var("y", VarKind::Bit);
+    rb.add_var("z", VarKind::Bit);
+    rb.build()
+}
+
+/// A random small polynomial over 3 variables with exponents <= 2.
+fn arb_poly(ctx: Arc<GfContext>) -> impl Strategy<Value = Poly> {
+    let coeff = 0u64..4;
+    let mono = (0u64..3, 0u64..3, 0u64..3);
+    prop::collection::vec((mono, coeff), 1..5).prop_map(move |terms| {
+        Poly::from_terms(
+            terms
+                .into_iter()
+                .map(|((ex, ey, ez), c)| {
+                    (
+                        Monomial::from_factors(vec![
+                            (VarId(0), ex),
+                            (VarId(1), ey),
+                            (VarId(2), ez),
+                        ]),
+                        ctx.from_u64(c),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+fn complete_gb(ring: &Ring, gens: &[Poly]) -> Option<Vec<Poly>> {
+    let limits = GbLimits {
+        max_pair_reductions: 3_000,
+        max_basis: 500,
+        max_poly_terms: 20_000,
+        max_wall_ms: 10_000,
+    };
+    match buchberger(ring, gens, &limits).unwrap() {
+        GbOutcome::Complete { basis, .. } => Some(reduce_basis(ring, &basis).unwrap()),
+        GbOutcome::LimitExceeded { .. } => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generators_reduce_to_zero(
+        seed_polys in prop::collection::vec(arb_poly(f4()), 1..4)
+    ) {
+        let ctx = f4();
+        let ring = ring3(&ctx);
+        let gens: Vec<Poly> = seed_polys.into_iter().filter(|p| !p.is_zero()).collect();
+        prop_assume!(!gens.is_empty());
+        let Some(gb) = complete_gb(&ring, &gens) else { return Ok(()); };
+        prop_assume!(!gb.is_empty());
+        let reducer = Reducer::new(&ring, gb.iter());
+        for g in &gens {
+            prop_assert!(reducer.normal_form(g).unwrap().is_zero());
+        }
+    }
+
+    #[test]
+    fn random_ideal_elements_reduce_to_zero(
+        seed_polys in prop::collection::vec(arb_poly(f4()), 2..4),
+        h1 in arb_poly(f4()),
+        h2 in arb_poly(f4()),
+    ) {
+        let ctx = f4();
+        let ring = ring3(&ctx);
+        let gens: Vec<Poly> = seed_polys.into_iter().filter(|p| !p.is_zero()).collect();
+        prop_assume!(gens.len() >= 2);
+        let Some(gb) = complete_gb(&ring, &gens) else { return Ok(()); };
+        prop_assume!(!gb.is_empty());
+        // h1*g0 + h2*g1 is in the ideal.
+        let elem = h1.mul(&gens[0], &ring).unwrap().add(&h2.mul(&gens[1], &ring).unwrap());
+        let reducer = Reducer::new(&ring, gb.iter());
+        prop_assert!(reducer.normal_form(&elem).unwrap().is_zero());
+    }
+
+    #[test]
+    fn normal_form_is_idempotent(
+        f in arb_poly(f4()),
+        divisors in prop::collection::vec(arb_poly(f4()), 1..4),
+    ) {
+        let ctx = f4();
+        let ring = ring3(&ctx);
+        let divs: Vec<Poly> = divisors.into_iter().filter(|p| !p.is_zero()).collect();
+        prop_assume!(!divs.is_empty());
+        let reducer = Reducer::new(&ring, divs.iter());
+        let nf = reducer.normal_form(&f).unwrap();
+        prop_assert_eq!(reducer.normal_form(&nf).unwrap(), nf);
+    }
+
+    #[test]
+    fn remainder_agrees_on_common_zeros(
+        f in arb_poly(f4()),
+        d in arb_poly(f4()),
+    ) {
+        // f ≡ NF(f) modulo <d>: they agree wherever d vanishes.
+        let ctx = f4();
+        let ring = ring3(&ctx);
+        prop_assume!(!d.is_zero());
+        let ds = [d.clone()];
+        let reducer = Reducer::new(&ring, ds.iter());
+        let nf = reducer.normal_form(&f).unwrap();
+        let elems: Vec<Gf> = ctx.iter_elements().collect();
+        for a in &elems {
+            for b in &elems {
+                for c in &elems {
+                    let vals = vec![a.clone(), b.clone(), c.clone()];
+                    if d.eval(&ring, &vals).is_zero() {
+                        prop_assert_eq!(f.eval(&ring, &vals), nf.eval(&ring, &vals));
+                    }
+                }
+            }
+        }
+    }
+}

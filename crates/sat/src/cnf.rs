@@ -1,0 +1,165 @@
+//! CNF formula representation.
+
+use std::fmt;
+
+/// A literal: variable index with polarity, packed as `2·var + sign`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of variable `v`.
+    pub fn pos(v: u32) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of variable `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// A literal of `v` with the given sign (`true` = positive).
+    pub fn with_sign(v: u32, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The packed code (used to index watch lists).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "~x{}", self.var())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A CNF formula under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula over `num_vars` variables.
+    pub fn new(num_vars: u32) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The clauses added so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn fresh_var(&mut self) -> u32 {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a clause (a disjunction of literals). Duplicate literals are
+    /// de-duplicated; tautological clauses (x ∨ ¬x) are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable `>= num_vars`.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        for l in &lits {
+            assert!(l.var() < self.num_vars, "literal out of range: {l}");
+        }
+        lits.sort();
+        lits.dedup();
+        let tautology = lits
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0] != w[1]);
+        if !tautology {
+            self.clauses.push(lits);
+        }
+    }
+
+    /// Evaluates the formula on a full assignment (`model[v]` is the value
+    /// of variable `v`). Used by tests and for model validation.
+    pub fn eval(&self, model: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| model[l.var() as usize] == l.is_pos())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let p = Lit::pos(5);
+        let n = Lit::neg(5);
+        assert_eq!(p.var(), 5);
+        assert!(p.is_pos());
+        assert!(!n.is_pos());
+        assert_eq!(p.negate(), n);
+        assert_eq!(n.negate(), p);
+        assert_eq!(Lit::with_sign(3, true), Lit::pos(3));
+        assert_eq!(Lit::with_sign(3, false), Lit::neg(3));
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::neg(0)]);
+        assert!(cnf.clauses().is_empty());
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(0), Lit::pos(1)]);
+        assert_eq!(cnf.clauses().len(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn eval_checks_all_clauses() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(1)]);
+        assert!(cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Miter-based equivalence checking: the SAT baseline of Section 6.
+
+use crate::cnf::Lit;
+use crate::solver::{SolveResult, Solver, SolverStats};
+use crate::tseitin::encode;
+use gfab_netlist::miter::build_miter;
+use gfab_netlist::Netlist;
+
+/// Verdict of the SAT-based miter check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatVerdict {
+    /// The miter is UNSAT: the circuits are equivalent.
+    Equivalent,
+    /// The miter is SAT: a distinguishing input assignment (bits of all
+    /// input words, in [`Netlist::input_bits`] order).
+    Counterexample(Vec<bool>),
+    /// The conflict budget ran out — the paper's "cannot prove equivalence
+    /// within 24 hours" cell.
+    Unknown,
+}
+
+/// Report of a SAT equivalence run.
+#[derive(Debug, Clone)]
+pub struct SatReport {
+    /// The verdict.
+    pub verdict: SatVerdict,
+    /// Solver statistics.
+    pub stats: SolverStats,
+    /// Number of CNF variables of the miter.
+    pub cnf_vars: u32,
+    /// Number of CNF clauses of the miter.
+    pub cnf_clauses: usize,
+}
+
+/// Builds the Spec/Impl miter, encodes it, asserts the output and solves
+/// within `conflict_budget` conflicts.
+///
+/// # Panics
+///
+/// Panics if the two netlists have incompatible interfaces (see
+/// [`build_miter`]).
+pub fn check_equivalence_sat(
+    spec: &Netlist,
+    impl_: &Netlist,
+    conflict_budget: u64,
+) -> SatReport {
+    check_equivalence_sat_with(spec, impl_, conflict_budget, None)
+}
+
+/// [`check_equivalence_sat`] with an additional wall-clock budget.
+///
+/// # Panics
+///
+/// Panics if the two netlists have incompatible interfaces.
+pub fn check_equivalence_sat_with(
+    spec: &Netlist,
+    impl_: &Netlist,
+    conflict_budget: u64,
+    wall_budget: Option<std::time::Duration>,
+) -> SatReport {
+    let miter = build_miter(spec, impl_);
+    let enc = encode(&miter);
+    let mut cnf = enc.cnf;
+    let neq = miter.output_word().bits[0];
+    cnf.add_clause(vec![Lit::pos(enc.var_of[neq.index()])]);
+    let cnf_vars = cnf.num_vars();
+    let cnf_clauses = cnf.clauses().len();
+    let mut solver = Solver::new(cnf);
+    if let Some(w) = wall_budget {
+        solver.set_wall_budget(w);
+    }
+    let verdict = match solver.solve(conflict_budget) {
+        SolveResult::Unsat => SatVerdict::Equivalent,
+        SolveResult::Unknown => SatVerdict::Unknown,
+        SolveResult::Sat(model) => {
+            let bits = miter
+                .input_bits()
+                .iter()
+                .map(|n| model[enc.var_of[n.index()] as usize])
+                .collect();
+            SatVerdict::Counterexample(bits)
+        }
+    };
+    SatReport {
+        verdict,
+        stats: solver.stats.clone(),
+        cnf_vars,
+        cnf_clauses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::GfContext;
+    use gfab_netlist::mutate::inject_random_bug;
+    use gfab_netlist::sim::simulate_bits;
+
+    #[test]
+    fn mastrovito_vs_montgomery_small_k() {
+        for k in [2usize, 3, 4] {
+            let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+            let spec = mastrovito_multiplier(&ctx);
+            let impl_ = montgomery_multiplier_hier(&GfContext::shared(
+                irreducible_polynomial(k).unwrap(),
+            )
+            .unwrap())
+            .flatten();
+            let report = check_equivalence_sat(&spec, &impl_, u64::MAX);
+            assert_eq!(report.verdict, SatVerdict::Equivalent, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn bug_produces_true_counterexample() {
+        let ctx = GfContext::new(irreducible_polynomial(3).unwrap()).unwrap();
+        let spec = mastrovito_multiplier(&ctx);
+        let mut found = 0;
+        for seed in 0..6 {
+            let (bad, _) = inject_random_bug(&spec, seed);
+            let report = check_equivalence_sat(&spec, &bad, u64::MAX);
+            if let SatVerdict::Counterexample(bits) = &report.verdict {
+                found += 1;
+                // The assignment must actually distinguish the circuits.
+                let zs = simulate_bits(&spec, bits);
+                let zb = simulate_bits(&bad, bits);
+                let os = &spec.output_word().bits;
+                let ob = &bad.output_word().bits;
+                let differs = os
+                    .iter()
+                    .zip(ob)
+                    .any(|(&s, &b)| zs[s.index()] != zb[b.index()]);
+                assert!(differs, "SAT counterexample must be real");
+            }
+        }
+        assert!(found >= 3, "most mutations must be caught");
+    }
+
+    #[test]
+    fn tiny_budget_gives_unknown_on_nontrivial_miter() {
+        let ctx = GfContext::new(irreducible_polynomial(6).unwrap()).unwrap();
+        let spec = mastrovito_multiplier(&ctx);
+        let impl_ = montgomery_multiplier_hier(&GfContext::shared(
+            irreducible_polynomial(6).unwrap(),
+        )
+        .unwrap())
+        .flatten();
+        let report = check_equivalence_sat(&spec, &impl_, 2);
+        assert_eq!(report.verdict, SatVerdict::Unknown);
+    }
+}

@@ -1,0 +1,92 @@
+//! Reverse engineering unknown datapaths: the abstraction engine doesn't
+//! need to be told what a circuit *should* compute — it derives the
+//! word-level function from the gates alone. This is the "identify the
+//! function implemented by the given Galois field arithmetic circuits"
+//! capability of the paper's contribution list.
+//!
+//! We build a bag of mystery netlists (optimized/structurally hashed so
+//! their origins aren't obvious), extract each canonical polynomial, and
+//! name the function it turned out to be.
+//!
+//! Run with: `cargo run --release --example reverse_engineer`
+
+use gfab::circuits::{
+    constant_multiplier, gf_adder, mastrovito_multiplier, monpro, montgomery_multiplier_hier,
+    sqrt_circuit, squarer, trace_circuit, MonproOperand,
+};
+use gfab::core::extract_word_polynomial;
+use gfab::field::nist::irreducible_polynomial;
+use gfab::field::GfContext;
+use gfab::netlist::opt::optimize;
+use gfab::netlist::strash::structural_hash;
+use gfab::netlist::Netlist;
+use std::time::Instant;
+
+fn disguise(nl: &Netlist, codename: &str) -> Netlist {
+    // Optimize + strash + strip the telltale design name.
+    let (opt, _) = optimize(nl);
+    let (mut hashed, _) = structural_hash(&opt);
+    hashed.set_name(codename.to_string());
+    hashed
+}
+
+fn main() {
+    let k = 8usize;
+    let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
+    println!(
+        "field F_2^{k}, P(x) = {}; reverse engineering 8 mystery netlists:\n",
+        ctx.modulus()
+    );
+
+    let c = ctx.from_u64(0x5B);
+    let mysteries: Vec<Netlist> = vec![
+        disguise(&mastrovito_multiplier(&ctx), "unit_00"),
+        disguise(&montgomery_multiplier_hier(&ctx).flatten(), "unit_01"),
+        disguise(&monpro(&ctx, "x", MonproOperand::Word), "unit_02"),
+        disguise(&squarer(&ctx), "unit_03"),
+        disguise(&sqrt_circuit(&ctx), "unit_04"),
+        disguise(&trace_circuit(&ctx), "unit_05"),
+        disguise(&gf_adder(&ctx), "unit_06"),
+        disguise(&constant_multiplier(&ctx, &c), "unit_07"),
+    ];
+
+    for nl in &mysteries {
+        let t = Instant::now();
+        let result = extract_word_polynomial(nl, &ctx).expect("extraction succeeds");
+        let elapsed = t.elapsed();
+        let f = result.canonical().expect("well-formed circuits are Case 1");
+        let shown = format!("{}", f.display());
+        // A human-readable guess at what the polynomial *is*.
+        let verdict = match shown.as_str() {
+            "A*B" => "field multiplier".to_string(),
+            "A + B" => "field adder".to_string(),
+            "A^2" => "squarer (Frobenius)".to_string(),
+            s if s == format!("A^{}", 1u64 << (k - 1)) => "square root".to_string(),
+            _ if f.num_terms() == k
+                && f.poly()
+                    .terms()
+                    .iter()
+                    .all(|(m, c)| c.is_one() && m.total_degree().is_power_of_two()) =>
+            {
+                "absolute trace Tr(A)".to_string()
+            }
+            _ if f.num_terms() == 1 && f.poly().total_degree() == Some(2) => {
+                "Montgomery product A*B*R^-1".to_string()
+            }
+            _ if f.num_terms() == 1 && f.poly().total_degree() == Some(1) => {
+                "constant multiplier".to_string()
+            }
+            _ => "unrecognized function".to_string(),
+        };
+        println!(
+            "{} ({:>5} gates): Z = {:40}  -> {verdict}  [{elapsed:?}]",
+            nl.name(),
+            nl.num_gates(),
+            if shown.len() > 40 {
+                format!("({} terms)", f.num_terms())
+            } else {
+                shown
+            },
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end equivalence verification of structurally dissimilar
+//! multipliers: flattened Mastrovito (Spec) vs. flattened Montgomery
+//! (Impl), the paper's Section 6 configuration.
+//!
+//! Run with: `cargo run --release --example verify_multiplier [k]`
+//! (default k = 16; any k with a known irreducible polynomial works —
+//! NIST sizes 163/233/… take correspondingly longer).
+
+use gfab::circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
+use gfab::core::equiv::{check_equivalence, Verdict};
+use gfab::core::ExtractOptions;
+use gfab::field::nist::irreducible_polynomial;
+use gfab::field::GfContext;
+use std::time::Instant;
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let poly = irreducible_polynomial(k).expect("no irreducible polynomial found");
+    println!("field: F_2^{k}, P(x) = {poly}");
+    let ctx = GfContext::shared(poly).expect("irreducible by construction");
+
+    let t = Instant::now();
+    let spec = mastrovito_multiplier(&ctx);
+    let impl_ = montgomery_multiplier_hier(&ctx).flatten();
+    println!(
+        "spec: {} ({} gates)   impl: {} ({} gates)   [generated in {:?}]",
+        spec.name(),
+        spec.num_gates(),
+        impl_.name(),
+        impl_.num_gates(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let report = check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default())
+        .expect("extraction succeeds");
+    let elapsed = t.elapsed();
+
+    match &report.verdict {
+        Verdict::Equivalent { function } => {
+            println!("verdict: EQUIVALENT — both implement Z = {}", function.display());
+        }
+        Verdict::Inequivalent {
+            spec,
+            impl_,
+            counterexample,
+        } => {
+            println!("verdict: INEQUIVALENT");
+            println!("  spec : Z = {}", spec.display());
+            println!("  impl : Z = {}", impl_.display());
+            if let Some(cex) = counterexample {
+                println!("  counterexample: {cex:?}");
+            }
+        }
+        Verdict::InequivalentBySimulation { counterexample } => {
+            println!("verdict: INEQUIVALENT (simulation witness)");
+            println!("  counterexample: {counterexample:?}");
+        }
+        Verdict::Unknown { reason } => println!("verdict: UNKNOWN ({reason})"),
+    }
+    println!(
+        "spec abstraction: {} steps, peak {} terms, {:?}",
+        report.spec_stats.reduction_steps,
+        report.spec_stats.peak_terms,
+        report.spec_stats.duration
+    );
+    println!(
+        "impl abstraction: {} steps, peak {} terms, {:?}",
+        report.impl_stats.reduction_steps,
+        report.impl_stats.peak_terms,
+        report.impl_stats.duration
+    );
+    println!("total equivalence check: {elapsed:?}");
+}

@@ -1,0 +1,39 @@
+//! # gfab — Galois Field circuit ABstraction
+//!
+//! Umbrella crate re-exporting the GFAB workspace: a reproduction of
+//! *"Equivalence Verification of Large Galois Field Arithmetic Circuits
+//! using Word-Level Abstraction via Gröbner Bases"* (Pruss, Kalla, Enescu —
+//! DAC 2014).
+//!
+//! See the individual crates for details:
+//!
+//! * [`field`] — `F_{2^k}` arithmetic ([`gfab_field`])
+//! * [`poly`] — multivariate polynomials and Gröbner bases ([`gfab_poly`])
+//! * [`netlist`] — gate-level circuit IR ([`gfab_netlist`])
+//! * [`circuits`] — Mastrovito/Montgomery generators ([`gfab_circuits`])
+//! * [`core`] — the word-level abstraction engine ([`gfab_core`])
+//! * [`sat`] — CDCL SAT baseline ([`gfab_sat`])
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gfab::field::{GfContext, Gf2Poly};
+//! use gfab::circuits::mastrovito_multiplier;
+//! use gfab::core::extract_word_polynomial;
+//!
+//! // Build F_16 and a 4-bit Mastrovito multiplier, then recover Z = A*B.
+//! let ctx = GfContext::shared(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+//! let mult = mastrovito_multiplier(&ctx);
+//! let result = extract_word_polynomial(&mult, &ctx).unwrap();
+//! let f = result.canonical().expect("correct circuit yields Case 1");
+//! assert_eq!(format!("{}", f.display()), "A*B");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use gfab_circuits as circuits;
+pub use gfab_core as core;
+pub use gfab_field as field;
+pub use gfab_netlist as netlist;
+pub use gfab_poly as poly;
+pub use gfab_sat as sat;

@@ -1,0 +1,332 @@
+//! The `gfab` command-line tool: word-level abstraction and equivalence
+//! checking of Galois field circuits from netlist files.
+//!
+//! ```text
+//! gfab extract  <circuit.nl>  --k <k> [--modulus e0,e1,...]
+//! gfab equiv    <spec.nl> <impl.nl> --k <k> [--modulus ...]
+//! gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N]
+//! gfab gen      <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
+//! gfab info     <circuit.nl>
+//! ```
+//!
+//! Netlists use the line-oriented text format of
+//! [`gfab::netlist::format`]; `gfab gen` produces them.
+
+use gfab::circuits::{gf_adder, mastrovito_multiplier, montgomery_multiplier_hier, squarer};
+use gfab::core::equiv::{check_equivalence, Verdict};
+use gfab::core::ideal_membership::{spec_ring, verify_against_spec};
+use gfab::core::{extract_word_polynomial, ExtractOptions, Extraction};
+use gfab::field::nist::irreducible_polynomial;
+use gfab::field::{Gf2Poly, GfContext};
+use gfab::netlist::{format as nlformat, Netlist};
+use gfab::sat::equiv::{check_equivalence_sat, SatVerdict};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "extract" => cmd_extract(rest),
+        "verify-spec" => cmd_verify_spec(rest),
+        "equiv" => cmd_equiv(rest),
+        "sat-equiv" => cmd_sat_equiv(rest),
+        "gen" => cmd_gen(rest),
+        "info" => cmd_info(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}` (try `gfab help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "gfab — word-level abstraction & equivalence checking over F_2^k
+
+USAGE:
+  gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...]
+  gfab verify-spec <circuit.nl> --spec 'A*B' --k <k> [--modulus ...]
+  gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus e0,e1,...]
+  gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N]
+  gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
+  gfab info      <circuit.nl>
+
+The field F_2^k is constructed with the NIST polynomial when k is a NIST
+ECC degree, a low-weight irreducible otherwise, or an explicit
+--modulus given as a comma-separated exponent list (e.g. 163,7,6,3,0)."
+    );
+}
+
+/// Parses `--k` / `--modulus` into a field context.
+fn parse_field(rest: &[String]) -> Result<Arc<GfContext>, String> {
+    let mut k: Option<usize> = None;
+    let mut modulus: Option<Gf2Poly> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--k" => {
+                let v = it.next().ok_or("--k needs a value")?;
+                k = Some(v.parse().map_err(|_| format!("bad k: {v}"))?);
+            }
+            "--modulus" => {
+                let v = it.next().ok_or("--modulus needs a value")?;
+                let exps: Result<Vec<usize>, _> = v.split(',').map(|s| s.parse()).collect();
+                let exps = exps.map_err(|_| format!("bad modulus exponent list: {v}"))?;
+                modulus = Some(Gf2Poly::from_exponents(&exps));
+            }
+            _ => {}
+        }
+    }
+    let p = match (modulus, k) {
+        (Some(p), _) => p,
+        (None, Some(k)) => {
+            irreducible_polynomial(k).ok_or(format!("no irreducible polynomial for k={k}"))?
+        }
+        (None, None) => return Err("--k or --modulus is required".into()),
+    };
+    GfContext::shared(p).map_err(|e| e.to_string())
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    nlformat::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn positional(rest: &[String], n: usize) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip_next = false;
+    for a in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") || a == "-o" {
+            skip_next = a != "--full"; // all our flags take one value except --full
+            continue;
+        }
+        out.push(a);
+        if out.len() == n {
+            break;
+        }
+    }
+    out
+}
+
+fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 1);
+    let [path] = pos.as_slice() else {
+        return Err("extract needs a netlist path".into());
+    };
+    let ctx = parse_field(rest)?;
+    let nl = load(path)?;
+    let t = Instant::now();
+    let result = extract_word_polynomial(&nl, &ctx).map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+    println!("circuit : {} ({} gates)", nl.name(), nl.num_gates());
+    println!("field   : F_2^{}, P(x) = {}", ctx.k(), ctx.modulus());
+    match &result.outcome {
+        Extraction::Canonical(f) => {
+            println!("function: Z = {}", f.display());
+        }
+        Extraction::Residual { remainder, note } => {
+            println!("residual: {} terms ({note})", remainder.num_terms());
+        }
+    }
+    println!(
+        "effort  : {} reduction steps, peak {} terms, {elapsed:?}",
+        result.stats.reduction_steps, result.stats.peak_terms
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Verifies a circuit against a textual specification polynomial via the
+/// ideal membership test of Lv-Kalla-Enescu (reference [5] of the paper).
+fn cmd_verify_spec(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 1);
+    let [path] = pos.as_slice() else {
+        return Err("verify-spec needs a netlist path".into());
+    };
+    let mut spec_text: Option<&String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--spec" {
+            spec_text = Some(it.next().ok_or("--spec needs an expression")?);
+        }
+    }
+    let spec_text = spec_text.ok_or("--spec \"<expr>\" is required (e.g. --spec \"A*B\")")?;
+    let ctx = parse_field(rest)?;
+    let nl = load(path)?;
+    let sr = spec_ring(&nl, &ctx);
+    let f = gfab::poly::parse_poly(spec_text, &sr.ring).map_err(|e| e.to_string())?;
+    if f.contains_var(sr.z) {
+        return Err("the spec expression must not mention the output word".into());
+    }
+    let t = Instant::now();
+    let out = verify_against_spec(&nl, &ctx, &sr, &f).map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+    if out.verified {
+        println!("VERIFIED: {} implements Z = {spec_text} ({elapsed:?})", nl.name());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        let rem = out.remainder.expect("non-verified has remainder");
+        println!(
+            "REFUTED: Z + ({spec_text}) does not vanish; residual has {} terms ({elapsed:?})",
+            rem.num_terms()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 2);
+    let [spec_path, impl_path] = pos.as_slice() else {
+        return Err("equiv needs two netlist paths".into());
+    };
+    let ctx = parse_field(rest)?;
+    let spec = load(spec_path)?;
+    let impl_ = load(impl_path)?;
+    let t = Instant::now();
+    let report = check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default())
+        .map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+    match &report.verdict {
+        Verdict::Equivalent { function } => {
+            println!("EQUIVALENT: both circuits implement Z = {}", function.display());
+            println!("({elapsed:?})");
+            Ok(ExitCode::SUCCESS)
+        }
+        Verdict::Inequivalent {
+            spec,
+            impl_,
+            counterexample,
+        } => {
+            println!("INEQUIVALENT");
+            println!("  spec: Z = {}", spec.display());
+            println!("  impl: Z = {}", impl_.display());
+            if let Some(cex) = counterexample {
+                let pretty: Vec<String> = cex.iter().map(|g| g.to_string()).collect();
+                println!("  counterexample: ({})", pretty.join(", "));
+            }
+            println!("({elapsed:?})");
+            Ok(ExitCode::FAILURE)
+        }
+        Verdict::InequivalentBySimulation { counterexample } => {
+            println!("INEQUIVALENT (simulation witness)");
+            let pretty: Vec<String> = counterexample.iter().map(|g| g.to_string()).collect();
+            println!("  counterexample: ({})", pretty.join(", "));
+            println!("({elapsed:?})");
+            Ok(ExitCode::FAILURE)
+        }
+        Verdict::Unknown { reason } => {
+            println!("UNKNOWN: {reason}");
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
+fn cmd_sat_equiv(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 2);
+    let [spec_path, impl_path] = pos.as_slice() else {
+        return Err("sat-equiv needs two netlist paths".into());
+    };
+    let mut budget = 1_000_000u64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--conflicts" {
+            let v = it.next().ok_or("--conflicts needs a value")?;
+            budget = v.parse().map_err(|_| format!("bad conflict budget: {v}"))?;
+        }
+    }
+    let spec = load(spec_path)?;
+    let impl_ = load(impl_path)?;
+    let t = Instant::now();
+    let report = check_equivalence_sat(&spec, &impl_, budget);
+    let elapsed = t.elapsed();
+    println!(
+        "miter: {} vars, {} clauses; {} conflicts, {} decisions",
+        report.cnf_vars, report.cnf_clauses, report.stats.conflicts, report.stats.decisions
+    );
+    match report.verdict {
+        SatVerdict::Equivalent => {
+            println!("EQUIVALENT (miter UNSAT, {elapsed:?})");
+            Ok(ExitCode::SUCCESS)
+        }
+        SatVerdict::Counterexample(bits) => {
+            println!("INEQUIVALENT; distinguishing input bits: {bits:?} ({elapsed:?})");
+            Ok(ExitCode::FAILURE)
+        }
+        SatVerdict::Unknown => {
+            println!("UNKNOWN: conflict budget ({budget}) exhausted ({elapsed:?})");
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
+fn cmd_gen(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 1);
+    let [arch] = pos.as_slice() else {
+        return Err("gen needs an architecture name".into());
+    };
+    let ctx = parse_field(rest)?;
+    let nl = match arch.as_str() {
+        "mastrovito" => mastrovito_multiplier(&ctx),
+        "montgomery" => montgomery_multiplier_hier(&ctx).flatten(),
+        "squarer" => squarer(&ctx),
+        "adder" => gf_adder(&ctx),
+        other => return Err(format!("unknown architecture `{other}`")),
+    };
+    let text = nlformat::emit(&nl);
+    let mut out_path: Option<&String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" {
+            out_path = Some(it.next().ok_or("-o needs a path")?);
+        }
+    }
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} ({} gates) to {path}", nl.name(), nl.num_gates());
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_info(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 1);
+    let [path] = pos.as_slice() else {
+        return Err("info needs a netlist path".into());
+    };
+    let nl = load(path)?;
+    println!("name   : {}", nl.name());
+    println!("gates  : {}", nl.num_gates());
+    println!("nets   : {}", nl.num_nets());
+    for w in nl.input_words() {
+        println!("input  : {} [{} bits]", w.name, w.width());
+    }
+    let z = nl.output_word();
+    println!("output : {} [{} bits]", z.name, z.width());
+    if let Some(depth) = gfab::netlist::topo::logic_depth(&nl) {
+        println!("depth  : {depth} gate levels");
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,149 @@
+//! Netlist-level integration: text-format roundtrips, optimization
+//! equivalence, and miter behaviour on the real benchmark generators.
+
+use gfab::circuits::{mastrovito_multiplier, monpro, MonproOperand};
+use gfab::core::{extract_word_polynomial, ExtractOptions};
+use gfab::field::nist::irreducible_polynomial;
+use gfab::field::GfContext;
+use gfab::netlist::opt::optimize;
+use gfab::netlist::random::{random_circuit, RandomCircuitSpec};
+use gfab::netlist::sim::random_equivalence_check;
+use gfab::netlist::{format, Netlist};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn field(k: usize) -> Arc<GfContext> {
+    GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap()
+}
+
+fn assert_same_function(a: &Netlist, b: &Netlist, ctx: &Arc<GfContext>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    random_equivalence_check(a, b, ctx, 64, &mut rng)
+        .unwrap_or_else(|w| panic!("functions differ at {w:?}"));
+}
+
+#[test]
+fn format_roundtrip_mastrovito_k8() {
+    let ctx = field(8);
+    let nl = mastrovito_multiplier(&ctx);
+    let text = format::emit(&nl);
+    let back = format::parse(&text).unwrap();
+    assert_eq!(back.num_gates(), nl.num_gates());
+    assert_same_function(&nl, &back, &ctx);
+    // Round-trip again: stable.
+    assert_eq!(format::emit(&back), text);
+}
+
+#[test]
+fn format_roundtrip_preserves_extraction() {
+    let ctx = field(4);
+    let nl = monpro(&ctx, "mm", MonproOperand::Word);
+    let back = format::parse(&format::emit(&nl)).unwrap();
+    let f1 = extract_word_polynomial(&nl, &ctx)
+        .unwrap()
+        .canonical()
+        .cloned()
+        .unwrap();
+    let f2 = extract_word_polynomial(&back, &ctx)
+        .unwrap()
+        .canonical()
+        .cloned()
+        .unwrap();
+    assert!(f1.matches(&f2));
+}
+
+#[test]
+fn optimizer_preserves_monpro_constant_blocks() {
+    // MonPro with a constant operand is already constant-folded by the
+    // generator; running the generic optimizer on the *word* version wired
+    // to constants must reach a comparable size and the same function.
+    let ctx = field(8);
+    let r2 = ctx.montgomery_r2();
+    let direct = monpro(&ctx, "direct", MonproOperand::Const(r2.clone()));
+
+    // Build the word version and tie B to the constant with const gates.
+    let word = monpro(&ctx, "word", MonproOperand::Word);
+    let mut wired = Netlist::new("wired");
+    let a = wired.add_input_word("A", 8);
+    let bbits: Vec<_> = (0..8).map(|i| wired.constant(r2.bit(i))).collect();
+    let mut inputs = a.clone();
+    inputs.extend(bbits);
+    let outs = gfab::netlist::miter::instantiate(&mut wired, &word, &inputs, "u");
+    wired.set_output_word("Z", outs);
+
+    let (opt, stats) = optimize(&wired);
+    opt.validate().unwrap();
+    assert!(stats.gates_folded > 0);
+    assert!(opt.num_gates() < wired.num_gates());
+    assert_same_function(&opt, &direct, &ctx);
+    // And extraction agrees too.
+    let f1 = extract_word_polynomial(&opt, &ctx)
+        .unwrap()
+        .canonical()
+        .cloned()
+        .unwrap();
+    let f2 = extract_word_polynomial(&direct, &ctx)
+        .unwrap()
+        .canonical()
+        .cloned()
+        .unwrap();
+    assert!(f1.matches(&f2));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn roundtrip_random_circuits(seed in 0u64..10_000) {
+        let spec = RandomCircuitSpec {
+            num_input_words: 2,
+            width: 3,
+            num_gates: 30,
+            seed,
+        };
+        let nl = random_circuit(&spec);
+        let back = format::parse(&format::emit(&nl)).unwrap();
+        let ctx = field(3);
+        assert_same_function(&nl, &back, &ctx);
+    }
+
+    #[test]
+    fn optimizer_preserves_random_circuits(seed in 0u64..10_000) {
+        let nl = random_circuit(&RandomCircuitSpec {
+            num_input_words: 2,
+            width: 3,
+            num_gates: 40,
+            seed,
+        });
+        let (opt, _) = optimize(&nl);
+        opt.validate().unwrap();
+        let ctx = field(3);
+        assert_same_function(&nl, &opt, &ctx);
+    }
+
+    #[test]
+    fn extraction_survives_optimization(seed in 0u64..2_000) {
+        // Canonical polynomials before and after optimization must match
+        // (they are functions of the circuit behaviour only).
+        let ctx = field(2);
+        let nl = random_circuit(&RandomCircuitSpec {
+            num_input_words: 2,
+            width: 2,
+            num_gates: 18,
+            seed,
+        });
+        let (opt, _) = optimize(&nl);
+        let f1 = gfab::core::extract_word_polynomial_with(&nl, &ctx, &ExtractOptions::default())
+            .unwrap()
+            .canonical()
+            .cloned()
+            .unwrap();
+        let f2 = gfab::core::extract_word_polynomial_with(&opt, &ctx, &ExtractOptions::default())
+            .unwrap()
+            .canonical()
+            .cloned()
+            .unwrap();
+        prop_assert!(f1.matches(&f2));
+    }
+}
