@@ -2,73 +2,43 @@
 //! sizes. The paper's runtimes are dominated by coefficient arithmetic and
 //! term bookkeeping; this bench isolates the former.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfab_bench::timing::Bench;
 use gfab_field::nist::{nist_polynomial, NIST_DEGREES};
-use gfab_field::GfContext;
-use rand_pair::pair;
+use gfab_field::{Gf, GfContext, Rng};
 use std::hint::black_box;
+use std::time::Duration;
 
-mod rand_pair {
-    use gfab_field::{Gf, GfContext};
-
-    /// Deterministic pseudo-random element pair (no rand dependency in the
-    /// bench profile: simple xorshift over the polynomial basis).
-    pub fn pair(ctx: &GfContext, seed: u64) -> (Gf, Gf) {
-        let mut state = seed | 1;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let k = ctx.k();
-        let limbs = k.div_ceil(64);
-        let mut mk = |_: usize| {
-            let v: Vec<u64> = (0..limbs).map(|_| next()).collect();
-            ctx.element(gfab_field::Gf2Poly::from_limbs(v))
-        };
-        (mk(0), mk(1))
-    }
+/// A deterministic pseudo-random element pair.
+fn pair(ctx: &GfContext, seed: u64) -> (Gf, Gf) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut mk = || ctx.random(&mut rng);
+    (mk(), mk())
 }
 
-fn bench_mul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("field_mul_nist");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let bench = Bench::from_args(Duration::from_secs(2));
+
     for k in NIST_DEGREES {
         let ctx = GfContext::new(nist_polynomial(k).unwrap()).unwrap();
         let (a, b) = pair(&ctx, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
-            bch.iter(|| ctx.mul(black_box(&a), black_box(&b)))
+        bench.run(&format!("field_mul_nist/{k}"), || {
+            ctx.mul(black_box(&a), black_box(&b))
         });
     }
-    group.finish();
-}
 
-fn bench_square(c: &mut Criterion) {
-    let mut group = c.benchmark_group("field_square_nist");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
     for k in NIST_DEGREES {
         let ctx = GfContext::new(nist_polynomial(k).unwrap()).unwrap();
         let (a, _) = pair(&ctx, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
-            bch.iter(|| ctx.square(black_box(&a)))
+        bench.run(&format!("field_square_nist/{k}"), || {
+            ctx.square(black_box(&a))
         });
     }
-    group.finish();
-}
 
-fn bench_inv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("field_inv_nist");
-    group.sample_size(20).measurement_time(std::time::Duration::from_secs(2));
     for k in NIST_DEGREES {
         let ctx = GfContext::new(nist_polynomial(k).unwrap()).unwrap();
         let (a, _) = pair(&ctx, 9);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
-            bch.iter(|| ctx.inv(black_box(&a)).unwrap())
+        bench.run(&format!("field_inv_nist/{k}"), || {
+            ctx.inv(black_box(&a)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mul, bench_square, bench_inv);
-criterion_main!(benches);

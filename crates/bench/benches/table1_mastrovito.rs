@@ -1,46 +1,32 @@
-//! Criterion series for Table 1: guided abstraction time on flattened
+//! Bench series for Table 1: guided abstraction time on flattened
 //! Mastrovito multipliers as k grows. (The paper's NIST-scale rows are in
-//! the `table1` binary; Criterion keeps the series small so `cargo bench`
-//! stays fast.)
+//! the `table1` binary; this series stays small so `cargo bench` is fast.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfab_bench::timing::Bench;
 use gfab_circuits::mastrovito_multiplier;
 use gfab_core::extract_word_polynomial;
 use gfab_field::nist::irreducible_polynomial;
 use gfab_field::GfContext;
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_mastrovito_abstraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_mastrovito_abstraction");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let bench = Bench::from_args(Duration::from_secs(3));
     for k in [8usize, 16, 32, 64] {
         let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
         let nl = mastrovito_multiplier(&ctx);
-        group.throughput(criterion::Throughput::Elements(nl.num_gates() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                let r = extract_word_polynomial(black_box(&nl), &ctx).unwrap();
-                assert!(r.canonical().is_some());
-                r.stats.reduction_steps
-            })
+        bench.run(&format!("table1_mastrovito_abstraction/{k}"), || {
+            let r = extract_word_polynomial(black_box(&nl), &ctx).unwrap();
+            assert!(r.canonical().is_some());
+            r.stats.reduction_steps
         });
     }
-    group.finish();
-}
-
-fn bench_mastrovito_generation(c: &mut Criterion) {
     // Substrate cost: netlist generation alone, to separate it from
     // abstraction time in the Table 1 numbers.
-    let mut group = c.benchmark_group("table1_mastrovito_generation");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
     for k in [32usize, 64, 163] {
         let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| mastrovito_multiplier(black_box(&ctx)).num_gates())
+        bench.run(&format!("table1_mastrovito_generation/{k}"), || {
+            mastrovito_multiplier(black_box(&ctx)).num_gates()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mastrovito_abstraction, bench_mastrovito_generation);
-criterion_main!(benches);

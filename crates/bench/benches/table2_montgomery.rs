@@ -1,73 +1,53 @@
-//! Criterion series for Table 2: per-block and whole-hierarchy abstraction
-//! of the four-block Montgomery multiplier (Fig. 1).
+//! Bench series for Table 2: per-block and whole-hierarchy abstraction of
+//! the four-block Montgomery multiplier (Fig. 1), serial vs. threaded.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfab_bench::timing::Bench;
 use gfab_circuits::{monpro, montgomery_multiplier_hier, MonproOperand};
 use gfab_core::hier::extract_hierarchical;
 use gfab_core::{extract_word_polynomial, ExtractOptions};
 use gfab_field::nist::irreducible_polynomial;
 use gfab_field::GfContext;
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_block_mid(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_args(Duration::from_secs(3));
+
     // The dominating block of Table 2 (two word operands).
-    let mut group = c.benchmark_group("table2_blk_mid_abstraction");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
     for k in [8usize, 16, 32, 64] {
         let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
         let nl = monpro(&ctx, "mid", MonproOperand::Word);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                extract_word_polynomial(black_box(&nl), &ctx)
-                    .unwrap()
-                    .stats
-                    .reduction_steps
-            })
+        bench.run(&format!("table2_blk_mid_abstraction/{k}"), || {
+            extract_word_polynomial(black_box(&nl), &ctx)
+                .unwrap()
+                .stats
+                .reduction_steps
         });
     }
-    group.finish();
-}
 
-fn bench_block_const(c: &mut Criterion) {
     // The constant-propagated input block (Blk A of Table 2).
-    let mut group = c.benchmark_group("table2_blk_a_abstraction");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
     for k in [8usize, 16, 32, 64] {
         let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
         let nl = monpro(&ctx, "blk_a", MonproOperand::Const(ctx.montgomery_r2()));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                extract_word_polynomial(black_box(&nl), &ctx)
-                    .unwrap()
-                    .stats
-                    .reduction_steps
-            })
+        bench.run(&format!("table2_blk_a_abstraction/{k}"), || {
+            extract_word_polynomial(black_box(&nl), &ctx)
+                .unwrap()
+                .stats
+                .reduction_steps
         });
     }
-    group.finish();
-}
 
-fn bench_full_hierarchy(c: &mut Criterion) {
-    // Whole Table-2 flow: all four blocks + word-level composition.
-    let mut group = c.benchmark_group("table2_full_hierarchy");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
-    for k in [8usize, 16, 32] {
-        let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
-        let design = montgomery_multiplier_hier(&ctx);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                let r = extract_hierarchical(
-                    black_box(&design),
-                    &ctx,
-                    &ExtractOptions::default(),
-                )
-                .unwrap();
+    // Whole Table-2 flow: all four blocks + word-level composition, with
+    // a serial and a 4-thread variant to expose the block-level sharding.
+    for threads in [1usize, 4] {
+        let options = ExtractOptions::default().with_threads(threads);
+        for k in [8usize, 16, 32] {
+            let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
+            let design = montgomery_multiplier_hier(&ctx);
+            bench.run(&format!("table2_full_hierarchy/t{threads}/{k}"), || {
+                let r = extract_hierarchical(black_box(&design), &ctx, &options).unwrap();
                 assert_eq!(format!("{}", r.function.display()), "A*B");
-            })
-        });
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_block_mid, bench_block_const, bench_full_hierarchy);
-criterion_main!(benches);

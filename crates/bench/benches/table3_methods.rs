@@ -1,9 +1,9 @@
-//! Criterion series for the method-comparison table: the four engines on
-//! the same Mastrovito-vs-Montgomery instance. SAT and full-GB run at the
+//! Bench series for the method-comparison table: the four engines on the
+//! same Mastrovito-vs-Montgomery instance. SAT and full-GB run at the
 //! sizes they can stomach; the algebraic engines run at k = 8 where all
 //! are comfortable (the crossover table itself is the `table3` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfab_bench::timing::Bench;
 use gfab_circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
 use gfab_core::equiv::check_equivalence;
 use gfab_core::fullgb::{full_gb_abstraction, CircuitVarOrder, FullGbOutcome};
@@ -15,6 +15,7 @@ use gfab_poly::buchberger::GbLimits;
 use gfab_sat::equiv::{check_equivalence_sat, SatVerdict};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn setup(k: usize) -> (Arc<GfContext>, gfab_netlist::Netlist, gfab_netlist::Netlist) {
     let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
@@ -23,88 +24,51 @@ fn setup(k: usize) -> (Arc<GfContext>, gfab_netlist::Netlist, gfab_netlist::Netl
     (ctx, spec, impl_)
 }
 
-fn bench_guided(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_guided_equivalence");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let bench = Bench::from_args(Duration::from_secs(3));
+
     for k in [4usize, 8, 16] {
         let (ctx, spec, impl_) = setup(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                let r = check_equivalence(
-                    black_box(&spec),
-                    &impl_,
-                    &ctx,
-                    &ExtractOptions::default(),
-                )
+        bench.run(&format!("table3_guided_equivalence/{k}"), || {
+            let r = check_equivalence(black_box(&spec), &impl_, &ctx, &ExtractOptions::default())
                 .unwrap();
-                assert!(r.verdict.is_equivalent());
-            })
+            assert!(r.verdict.is_equivalent());
         });
     }
-    group.finish();
-}
 
-fn bench_ideal_membership(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_ideal_membership");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
     for k in [4usize, 8, 16] {
         let (ctx, _, impl_) = setup(k);
         let sr = spec_ring(&impl_, &ctx);
         let f = multiplier_spec(&sr, &ctx);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                let out = verify_against_spec(black_box(&impl_), &ctx, &sr, &f).unwrap();
-                assert!(out.verified);
-            })
+        bench.run(&format!("table3_ideal_membership/{k}"), || {
+            let out = verify_against_spec(black_box(&impl_), &ctx, &sr, &f).unwrap();
+            assert!(out.verified);
         });
     }
-    group.finish();
-}
 
-fn bench_sat_miter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_sat_miter");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
     for k in [2usize, 3, 4] {
         let (_, spec, impl_) = setup(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                let r = check_equivalence_sat(black_box(&spec), &impl_, u64::MAX);
-                assert_eq!(r.verdict, SatVerdict::Equivalent);
-            })
+        bench.run(&format!("table3_sat_miter/{k}"), || {
+            let r = check_equivalence_sat(black_box(&spec), &impl_, u64::MAX);
+            assert_eq!(r.verdict, SatVerdict::Equivalent);
         });
     }
-    group.finish();
-}
 
-fn bench_full_gb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_full_groebner");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
     for k in [2usize, 3] {
         let (ctx, spec, _) = setup(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                match full_gb_abstraction(
-                    black_box(&spec),
-                    &ctx,
-                    CircuitVarOrder::ReverseTopological,
-                    &GbLimits::default(),
-                )
-                .unwrap()
-                {
-                    FullGbOutcome::Canonical { basis_size, .. } => basis_size,
-                    FullGbOutcome::GaveUp { reason, .. } => panic!("gave up: {reason}"),
-                }
-            })
-        });
+        bench.run(
+            &format!("table3_full_groebner/{k}"),
+            || match full_gb_abstraction(
+                black_box(&spec),
+                &ctx,
+                CircuitVarOrder::ReverseTopological,
+                &GbLimits::default(),
+            )
+            .unwrap()
+            {
+                FullGbOutcome::Canonical { basis_size, .. } => basis_size,
+                FullGbOutcome::GaveUp { reason, .. } => panic!("gave up: {reason}"),
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_guided,
-    bench_ideal_membership,
-    bench_sat_miter,
-    bench_full_gb
-);
-criterion_main!(benches);

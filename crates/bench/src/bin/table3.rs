@@ -68,16 +68,13 @@ fn main() {
             max_wall_ms: 120_000, // 2-minute "timeout" per cell
         };
         let t = Instant::now();
-        let gb_cell = match full_gb_abstraction(
-            &spec,
-            &ctx,
-            CircuitVarOrder::ReverseTopological,
-            &gb_limits,
-        ) {
-            Ok(FullGbOutcome::Canonical { .. }) => format!("eq {}", fmt_secs(t.elapsed())),
-            Ok(FullGbOutcome::GaveUp { .. }) => "give-up".to_string(),
-            Err(e) => format!("err:{e}"),
-        };
+        let gb_cell =
+            match full_gb_abstraction(&spec, &ctx, CircuitVarOrder::ReverseTopological, &gb_limits)
+            {
+                Ok(FullGbOutcome::Canonical { .. }) => format!("eq {}", fmt_secs(t.elapsed())),
+                Ok(FullGbOutcome::GaveUp { .. }) => "give-up".to_string(),
+                Err(e) => format!("err:{e}"),
+            };
 
         // (c) Ideal membership \[5\] on the impl circuit (spec poly given).
         let t = Instant::now();
@@ -91,8 +88,7 @@ fn main() {
 
         // (d) Guided abstraction (ours): full equivalence check.
         let t = Instant::now();
-        let ours_cell = match check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default())
-        {
+        let ours_cell = match check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default()) {
             Ok(report) if report.verdict.is_equivalent() => {
                 format!("eq {}", fmt_secs(t.elapsed()))
             }

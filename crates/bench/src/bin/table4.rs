@@ -42,7 +42,10 @@ fn ablation_variable_order() {
         let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
         let nl = mastrovito_multiplier(&ctx);
         let mut cells = Vec::new();
-        for order in [CircuitVarOrder::ReverseTopological, CircuitVarOrder::Declaration] {
+        for order in [
+            CircuitVarOrder::ReverseTopological,
+            CircuitVarOrder::Declaration,
+        ] {
             let t = Instant::now();
             match full_gb_abstraction(&nl, &ctx, order, &limits).unwrap() {
                 FullGbOutcome::Canonical { stats, .. } => {

@@ -96,12 +96,15 @@ pub fn fmt_gates(n: usize) -> String {
 }
 
 /// Parses the common CLI flags of the table binaries: `--full` enables the
-/// NIST-scale rows; a trailing list of integers overrides the k sweep.
+/// NIST-scale rows; `--threads N` sets the extraction thread budget; a
+/// trailing list of integers overrides the k sweep.
 pub struct TableArgs {
     /// Whether `--full` was passed.
     pub full: bool,
     /// Explicit k values, if any were given.
     pub ks: Vec<usize>,
+    /// Worker-thread budget (`0` = available parallelism).
+    pub threads: usize,
 }
 
 impl TableArgs {
@@ -109,17 +112,24 @@ impl TableArgs {
     pub fn parse() -> TableArgs {
         let mut full = false;
         let mut ks = Vec::new();
-        for a in std::env::args().skip(1) {
+        let mut threads = 0usize;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
             if a == "--full" {
                 full = true;
+            } else if a == "--threads" {
+                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
             } else if let Ok(k) = a.parse::<usize>() {
                 ks.push(k);
             } else {
-                eprintln!("usage: [--full] [k ...]");
+                eprintln!("usage: [--full] [--threads N] [k ...]");
                 std::process::exit(2);
             }
         }
-        TableArgs { full, ks }
+        TableArgs { full, ks, threads }
     }
 
     /// The k sweep: explicit values win; otherwise `quick`, extended by
@@ -136,9 +146,79 @@ impl TableArgs {
     }
 }
 
+pub mod timing {
+    //! A minimal measurement harness for the workspace's `harness = false`
+    //! bench targets: warm-up, repeat until a wall-clock budget, report
+    //! min/mean. No external dependencies, so `cargo bench` works in
+    //! offline builds.
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Runs and times closures, printing one line per benchmark.
+    pub struct Bench {
+        budget: Duration,
+        min_iters: u32,
+        filter: Option<String>,
+    }
+
+    impl Bench {
+        /// A harness with the given per-benchmark wall-clock budget; the
+        /// first non-flag CLI argument (if any) is a name substring filter,
+        /// so `cargo bench --bench X -- blk_mid` selects matching rows.
+        pub fn from_args(budget: Duration) -> Bench {
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            Bench {
+                budget,
+                min_iters: 10,
+                filter,
+            }
+        }
+
+        /// Sets the minimum iteration count (default 10).
+        #[must_use]
+        pub fn min_iters(mut self, n: u32) -> Bench {
+            self.min_iters = n.max(1);
+            self
+        }
+
+        /// Times `f`, printing `name ... min <t> mean <t> (<n> iters)`.
+        /// Skipped (with a note) when a filter is set and does not match.
+        pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+            if let Some(filter) = &self.filter {
+                if !name.contains(filter.as_str()) {
+                    return;
+                }
+            }
+            // Warm-up: one untimed call (page-in, lazy statics).
+            black_box(f());
+            let mut iters = 0u32;
+            let mut total = Duration::ZERO;
+            let mut min = Duration::MAX;
+            while total < self.budget || iters < self.min_iters {
+                let t = Instant::now();
+                black_box(f());
+                let dt = t.elapsed();
+                total += dt;
+                min = min.min(dt);
+                iters += 1;
+            }
+            let mean = total / iters;
+            println!("{name:40} min {min:>12.3?}  mean {mean:>12.3?}  ({iters} iters)");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timing_harness_runs_and_reports() {
+        let b = timing::Bench::from_args(std::time::Duration::from_millis(1));
+        let mut calls = 0u32;
+        b.run("noop", || calls += 1);
+    }
 
     #[test]
     fn formatting_helpers() {

@@ -54,9 +54,9 @@ pub fn mastrovito_multiplier(ctx: &GfContext) -> Netlist {
 mod tests {
     use super::*;
     use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::Rng;
     use gfab_field::{Gf2Poly, GfContext};
     use gfab_netlist::sim::{exhaustive_check, simulate_word};
-    use rand::SeedableRng;
 
     #[test]
     fn two_bit_multiplier_matches_fig2_size() {
@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn random_check_k32_and_k64() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         for k in [32usize, 64] {
             let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
             let nl = mastrovito_multiplier(&ctx);
@@ -102,7 +102,7 @@ mod tests {
         let ctx = GfContext::new(gfab_field::nist::nist_polynomial(163).unwrap()).unwrap();
         let nl = mastrovito_multiplier(&ctx);
         assert!(nl.num_gates() > 163 * 163); // k² ANDs plus XOR network
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..3 {
             let a = ctx.random(&mut rng);
             let b = ctx.random(&mut rng);

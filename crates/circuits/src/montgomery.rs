@@ -154,9 +154,9 @@ pub fn montgomery_multiplier_hier(ctx: &GfContext) -> HierDesign {
 mod tests {
     use super::*;
     use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::Rng;
     use gfab_field::{Gf2Poly, GfContext};
     use gfab_netlist::sim::{exhaustive_check, simulate_word};
-    use rand::SeedableRng;
 
     fn f16() -> GfContext {
         GfContext::new(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap()
@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn hierarchical_montgomery_random_k16_k32() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for k in [16usize, 32] {
             let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
             let flat = montgomery_multiplier_hier(&ctx).flatten();

@@ -33,8 +33,8 @@ mod tests {
     use super::*;
     use gfab_field::nist::irreducible_polynomial;
     use gfab_field::GfContext;
+    use gfab_field::Rng;
     use gfab_netlist::sim::{exhaustive_check, simulate_word};
-    use rand::SeedableRng;
 
     #[test]
     fn squares_exhaustively_small_fields() {
@@ -51,10 +51,13 @@ mod tests {
     fn squares_randomly_k163() {
         let ctx = GfContext::new(gfab_field::nist::nist_polynomial(163).unwrap()).unwrap();
         let nl = squarer(&ctx);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..10 {
             let a = ctx.random(&mut rng);
-            assert_eq!(simulate_word(&nl, &ctx, std::slice::from_ref(&a)), ctx.square(&a));
+            assert_eq!(
+                simulate_word(&nl, &ctx, std::slice::from_ref(&a)),
+                ctx.square(&a)
+            );
         }
     }
 

@@ -10,11 +10,10 @@ use crate::error::CoreError;
 use crate::extract::{extract_word_polynomial_with, ExtractOptions, ExtractionStats};
 use crate::hier::extract_hierarchical;
 use crate::wordfn::WordFunction;
-use gfab_field::{Gf, GfContext};
+use gfab_field::{Gf, GfContext, Rng};
 use gfab_netlist::hierarchy::HierDesign;
+use gfab_netlist::sim::random_equivalence_check_sharded;
 use gfab_netlist::Netlist;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 /// The verdict of an equivalence check.
@@ -90,19 +89,38 @@ pub fn check_equivalence(
     // skip this so the verdict carries both canonical polynomials (richer
     // diagnostics, and the completion there is fast anyway).
     if ctx.k() > 5 {
-        let mut rng = StdRng::seed_from_u64(0xFA57);
+        let mut rng = Rng::seed_from_u64(0xFA57);
         if let Err(cex) =
-            gfab_netlist::sim::random_equivalence_check(spec, impl_, ctx, 64, &mut rng)
+            random_equivalence_check_sharded(spec, impl_, ctx, 64, &mut rng, options.threads)
         {
             return Ok(EquivReport {
-                verdict: Verdict::InequivalentBySimulation { counterexample: cex },
+                verdict: Verdict::InequivalentBySimulation {
+                    counterexample: cex,
+                },
                 spec_stats: ExtractionStats::default(),
                 impl_stats: ExtractionStats::default(),
             });
         }
     }
-    let spec_res = extract_word_polynomial_with(spec, ctx, options)?;
-    let impl_res = extract_word_polynomial_with(impl_, ctx, options)?;
+    // Spec and impl abstractions are independent; run them on two scoped
+    // threads when the thread budget allows. Error precedence (spec first)
+    // matches the serial path, so behaviour is identical either way.
+    let (spec_res, impl_res) = if options.effective_threads() > 1 {
+        std::thread::scope(|scope| {
+            let spec_handle = scope.spawn(|| extract_word_polynomial_with(spec, ctx, options));
+            let impl_res = extract_word_polynomial_with(impl_, ctx, options);
+            (
+                spec_handle.join().expect("spec extraction thread panicked"),
+                impl_res,
+            )
+        })
+    } else {
+        (
+            extract_word_polynomial_with(spec, ctx, options),
+            extract_word_polynomial_with(impl_, ctx, options),
+        )
+    };
+    let (spec_res, impl_res) = (spec_res?, impl_res?);
     let verdict = match (spec_res.canonical(), impl_res.canonical()) {
         (Some(f1), Some(f2)) => decide(f1.clone(), f2.clone()),
         (a, _) => {
@@ -112,8 +130,8 @@ pub fn check_equivalence(
             // functional difference is detected with overwhelming
             // probability.
             let side = if a.is_none() { "spec" } else { "impl" };
-            let mut rng = StdRng::seed_from_u64(0xCEC);
-            match gfab_netlist::sim::random_equivalence_check(spec, impl_, ctx, 256, &mut rng)
+            let mut rng = Rng::seed_from_u64(0xCEC);
+            match random_equivalence_check_sharded(spec, impl_, ctx, 256, &mut rng, options.threads)
             {
                 Err(cex) => Verdict::InequivalentBySimulation {
                     counterexample: cex,
@@ -146,8 +164,25 @@ pub fn check_equivalence_hier(
     ctx: &Arc<GfContext>,
     options: &ExtractOptions,
 ) -> Result<EquivReport, CoreError> {
-    let spec_res = extract_word_polynomial_with(spec, ctx, options)?;
-    let hier = extract_hierarchical(impl_, ctx, options)?;
+    // As in the flat case, spec extraction and the hierarchical impl
+    // extraction run concurrently when the thread budget allows (the
+    // hierarchical side additionally shards its blocks internally).
+    let (spec_res, hier) = if options.effective_threads() > 1 {
+        std::thread::scope(|scope| {
+            let spec_handle = scope.spawn(|| extract_word_polynomial_with(spec, ctx, options));
+            let hier = extract_hierarchical(impl_, ctx, options);
+            (
+                spec_handle.join().expect("spec extraction thread panicked"),
+                hier,
+            )
+        })
+    } else {
+        (
+            extract_word_polynomial_with(spec, ctx, options),
+            extract_hierarchical(impl_, ctx, options),
+        )
+    };
+    let (spec_res, hier) = (spec_res?, hier?);
     let verdict = match spec_res.canonical() {
         Some(f1) => decide(f1.clone(), hier.function.clone()),
         None => Verdict::Unknown {
@@ -174,7 +209,7 @@ fn decide(f1: WordFunction, f2: WordFunction) -> Verdict {
     if f1.matches(&f2) {
         Verdict::Equivalent { function: f1 }
     } else {
-        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut rng = Rng::seed_from_u64(0x5EED);
         let counterexample = f1.find_counterexample(&f2, 4096, &mut rng);
         Verdict::Inequivalent {
             spec: f1,
@@ -255,20 +290,12 @@ mod tests {
         for seed in 0..10 {
             let (bad, what) = inject_random_bug(&spec, seed);
             // Skip mutations that happen to preserve the function.
-            let differs = gfab_netlist::sim::exhaustive_check(&bad, &ctx, |w| {
-                ctx.mul(&w[0], &w[1])
-            })
-            .is_err();
-            let report =
-                check_equivalence(&spec, &bad, &ctx, &ExtractOptions::default()).unwrap();
+            let differs =
+                gfab_netlist::sim::exhaustive_check(&bad, &ctx, |w| ctx.mul(&w[0], &w[1])).is_err();
+            let report = check_equivalence(&spec, &bad, &ctx, &ExtractOptions::default()).unwrap();
             match (&report.verdict, differs) {
                 (Verdict::Equivalent { .. }, false) => {}
-                (
-                    Verdict::Inequivalent {
-                        counterexample, ..
-                    },
-                    true,
-                ) => {
+                (Verdict::Inequivalent { counterexample, .. }, true) => {
                     caught += 1;
                     let cex = counterexample
                         .as_ref()
@@ -297,10 +324,9 @@ mod tests {
         let mut found_residual_refutation = false;
         for seed in 0..6u64 {
             let (bad, what) = inject_random_bug(&spec, seed);
-            let report =
-                check_equivalence(&spec, &bad, &ctx, &ExtractOptions::default()).unwrap();
+            let report = check_equivalence(&spec, &bad, &ctx, &ExtractOptions::default()).unwrap();
             match &report.verdict {
-                Verdict::Equivalent { .. } => {} // benign mutation
+                Verdict::Equivalent { .. } => {}   // benign mutation
                 Verdict::Inequivalent { .. } => {} // bug stayed Case 1 somehow
                 Verdict::InequivalentBySimulation { counterexample } => {
                     found_residual_refutation = true;

@@ -37,10 +37,9 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
             CoreError::Poly(e) => write!(f, "polynomial error: {e}"),
-            CoreError::WidthMismatch { k, word, width } => write!(
-                f,
-                "word {word} has width {width} but the field is F_2^{k}"
-            ),
+            CoreError::WidthMismatch { k, word, width } => {
+                write!(f, "word {word} has width {width} but the field is F_2^{k}")
+            }
             CoreError::CompletionLimit(msg) => {
                 write!(f, "case-2 canonical completion gave up: {msg}")
             }

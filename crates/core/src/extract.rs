@@ -42,6 +42,11 @@ pub struct ExtractOptions {
     pub complete_case2: bool,
     /// Resource limits for the Case-2 completion.
     pub gb_limits: GbLimits,
+    /// Worker threads for the parallel phases of the pipeline (hierarchical
+    /// block extraction, spec/impl extraction in equivalence checking, and
+    /// the sharded simulation sweep). `0` means "use all available
+    /// parallelism". Results are bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ExtractOptions {
@@ -57,7 +62,22 @@ impl Default for ExtractOptions {
                 max_wall_ms: 15_000,
                 ..GbLimits::default()
             },
+            threads: 0,
         }
+    }
+}
+
+impl ExtractOptions {
+    /// Returns a copy with the given worker-thread count (`0` = available
+    /// parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        gfab_netlist::sim::resolve_threads(self.threads)
     }
 }
 
@@ -72,12 +92,22 @@ pub struct ExtractionStats {
     pub reduction_steps: u64,
     /// Peak live terms in the working polynomial.
     pub peak_terms: usize,
+    /// Coefficient cancellations during the guided reduction (terms that
+    /// vanished when equal monomials merged to a zero coefficient).
+    pub cancellations: u64,
     /// Terms in the remainder `r`.
     pub remainder_terms: usize,
     /// Whether the Case-2 completion ran.
     pub case2_completion: bool,
     /// Wall-clock time of the whole extraction.
     pub duration: Duration,
+    /// Wall-clock time of building the polynomial model (RATO ring, gate
+    /// polynomials, word definitions).
+    pub model_time: Duration,
+    /// Wall-clock time of the guided normal-form reduction.
+    pub reduce_time: Duration,
+    /// Wall-clock time of the Case-2 completion (zero when it did not run).
+    pub case2_time: Duration,
 }
 
 /// The outcome of an extraction.
@@ -158,14 +188,18 @@ pub fn extract_word_polynomial_with(
     let mut stats = ExtractionStats {
         gates: nl.num_gates(),
         ring_vars: model.ring.num_vars(),
+        model_time: start.elapsed(),
         ..ExtractionStats::default()
     };
 
     // The guided reduction: one normal form of f_w against F ∪ J_0.
+    let reduce_start = Instant::now();
     let reducer = Reducer::new(&model.ring, model.divisors());
     let (r, rstats) = reducer.normal_form_with_stats(&model.output_word_poly)?;
+    stats.reduce_time = reduce_start.elapsed();
     stats.reduction_steps = rstats.steps;
     stats.peak_terms = rstats.peak_terms;
+    stats.cancellations = rstats.cancellations;
     stats.remainder_terms = r.num_terms();
 
     let has_bits = r
@@ -191,10 +225,13 @@ pub fn extract_word_polynomial_with(
         }
     } else {
         stats.case2_completion = true;
-        match complete_case2(&model, ctx, &r, &options.gb_limits)? {
+        let case2_start = Instant::now();
+        let outcome = match complete_case2(&model, ctx, &r, &options.gb_limits)? {
             Case2Outcome::Canonical(f) => Extraction::Canonical(f),
             Case2Outcome::GaveUp(note) => Extraction::Residual { remainder: r, note },
-        }
+        };
+        stats.case2_time = case2_start.elapsed();
+        outcome
     };
 
     stats.duration = start.elapsed();
@@ -281,17 +318,14 @@ fn complete_case2(
         GbOutcome::LimitExceeded { reason, .. } => Ok(Case2Outcome::GaveUp(reason)),
         GbOutcome::Complete { basis, .. } => {
             let z = down(model.z_var);
-            let hit = basis.iter().find(|p| {
-                p.leading_monomial() == Some(&Monomial::var(z))
-            });
+            let hit = basis
+                .iter()
+                .find(|p| p.leading_monomial() == Some(&Monomial::var(z)));
             let Some(p) = hit else {
                 return Err(CoreError::MissingAbstractionPolynomial);
             };
             // G = p + Z; must contain only input word variables.
-            let g = p.add(&Poly::from_terms(vec![(
-                Monomial::var(z),
-                ctx.one(),
-            )]));
+            let g = p.add(&Poly::from_terms(vec![(Monomial::var(z), ctx.one())]));
             let word_ok = g
                 .variables()
                 .iter()
@@ -301,8 +335,7 @@ fn complete_case2(
             }
             // Move into a Quotient-mode word ring (exponents are already
             // reduced: the GB ran with explicit vanishing polynomials).
-            let input_vars_c: Vec<VarId> =
-                model.input_vars.iter().map(|&v| down(v)).collect();
+            let input_vars_c: Vec<VarId> = model.input_vars.iter().map(|&v| down(v)).collect();
             let relabeled = g.relabel(|v| {
                 let pos = input_vars_c
                     .iter()
@@ -446,13 +479,8 @@ mod tests {
                 .unwrap_or_else(|| panic!("completion must succeed on F_4 ({what})"));
             for a in ctx.iter_elements() {
                 for b in ctx.iter_elements() {
-                    let sim =
-                        gfab_netlist::sim::simulate_word(&bad, &ctx, &[a.clone(), b.clone()]);
-                    assert_eq!(
-                        f.eval(&[a.clone(), b.clone()]),
-                        sim,
-                        "seed {seed}: {what}"
-                    );
+                    let sim = gfab_netlist::sim::simulate_word(&bad, &ctx, &[a.clone(), b.clone()]);
+                    assert_eq!(f.eval(&[a.clone(), b.clone()]), sim, "seed {seed}: {what}");
                 }
             }
         }

@@ -70,8 +70,8 @@ pub fn full_gb_abstraction(
     nl.validate()?;
     // Build a Plain-mode ring: circuit bits (per `order`) > PI bits > Z >
     // input words.
-    let levels = gfab_netlist::topo::reverse_topological_levels(nl)
-        .expect("validated netlist is acyclic");
+    let levels =
+        gfab_netlist::topo::reverse_topological_levels(nl).expect("validated netlist is acyclic");
     let mut internal: Vec<NetId> = nl
         .gates()
         .iter()
@@ -126,9 +126,7 @@ pub fn full_gb_abstraction(
     generators.extend(vanishing_ideal_all(&ring)?);
 
     match reduced_groebner_basis(&ring, &generators, limits)? {
-        GbOutcome::LimitExceeded { reason, stats } => {
-            Ok(FullGbOutcome::GaveUp { reason, stats })
-        }
+        GbOutcome::LimitExceeded { reason, stats } => Ok(FullGbOutcome::GaveUp { reason, stats }),
         GbOutcome::Complete { basis, stats } => {
             let hit = basis
                 .iter()
@@ -137,10 +135,7 @@ pub fn full_gb_abstraction(
                 return Err(CoreError::MissingAbstractionPolynomial);
             };
             let g = p.add(&Poly::from_terms(vec![(Monomial::var(z_var), one.clone())]));
-            let ok = g
-                .variables()
-                .iter()
-                .all(|&v| input_vars.contains(&v));
+            let ok = g.variables().iter().all(|&v| input_vars.contains(&v));
             if !ok {
                 return Err(CoreError::MissingAbstractionPolynomial);
             }
@@ -211,7 +206,10 @@ mod tests {
             .canonical()
             .cloned()
             .unwrap();
-        for order in [CircuitVarOrder::Declaration, CircuitVarOrder::ReverseTopological] {
+        for order in [
+            CircuitVarOrder::Declaration,
+            CircuitVarOrder::ReverseTopological,
+        ] {
             match full_gb_abstraction(&nl, &ctx, order, &GbLimits::default()).unwrap() {
                 FullGbOutcome::Canonical { function, .. } => {
                     assert!(function.matches(&guided), "{order:?}");
@@ -228,8 +226,7 @@ mod tests {
             max_pair_reductions: 1,
             ..GbLimits::default()
         };
-        match full_gb_abstraction(&fig2(), &ctx, CircuitVarOrder::Declaration, &limits).unwrap()
-        {
+        match full_gb_abstraction(&fig2(), &ctx, CircuitVarOrder::Declaration, &limits).unwrap() {
             FullGbOutcome::GaveUp { .. } => {}
             FullGbOutcome::Canonical { .. } => {
                 panic!("a 7-gate multiplier needs more than one pair reduction")

@@ -12,6 +12,7 @@ use crate::wordfn::WordFunction;
 use gfab_field::GfContext;
 use gfab_netlist::hierarchy::{HierDesign, Signal};
 use gfab_poly::{ExponentMode, Monomial, Poly, RingBuilder, VarId, VarKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,10 +42,16 @@ pub fn extract_hierarchical(
 ) -> Result<HierExtraction, CoreError> {
     design.validate()?;
 
-    // 1. Per-block gate-level → word-level abstraction.
+    // 1. Per-block gate-level → word-level abstraction. Blocks are
+    // independent at this stage (composition happens afterwards at word
+    // level), so they run concurrently on the configured worker threads;
+    // results are collected by block index, which makes the output — and
+    // the error reported when several blocks fail — identical to the
+    // serial path.
+    let per_block = extract_blocks(design, ctx, options);
     let mut blocks: Vec<(String, WordFunction, ExtractionStats)> = Vec::new();
-    for inst in &design.blocks {
-        let result = extract_word_polynomial_with(&inst.netlist, ctx, options)?;
+    for (inst, result) in design.blocks.iter().zip(per_block) {
+        let result = result?;
         let Some(f) = result.canonical() else {
             return Err(CoreError::CompletionLimit(format!(
                 "block {} did not yield a canonical polynomial (Case 2)",
@@ -68,10 +75,9 @@ pub fn extract_hierarchical(
     let mut signal_poly: Vec<Poly> = Vec::with_capacity(design.blocks.len());
     let poly_of = |sig: Signal, signal_poly: &[Poly]| -> Poly {
         match sig {
-            Signal::PrimaryInput(i) => Poly::from_terms(vec![(
-                Monomial::var(design_vars[i]),
-                ctx.one(),
-            )]),
+            Signal::PrimaryInput(i) => {
+                Poly::from_terms(vec![(Monomial::var(design_vars[i]), ctx.one())])
+            }
             Signal::BlockOutput(i) => signal_poly[i].clone(),
         }
     };
@@ -118,6 +124,57 @@ pub fn extract_hierarchical(
     })
 }
 
+/// Runs the gate-level → word-level abstraction of every block, sharded
+/// over the configured worker threads (serial when one thread suffices).
+/// The result vector is indexed by block position regardless of which
+/// thread computed each entry.
+fn extract_blocks(
+    design: &HierDesign,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+) -> Vec<Result<crate::extract::ExtractionResult, CoreError>> {
+    let n = design.blocks.len();
+    let threads = options.effective_threads().min(n.max(1));
+    if threads <= 1 {
+        return design
+            .blocks
+            .iter()
+            .map(|inst| extract_word_polynomial_with(&inst.netlist, ctx, options))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<crate::extract::ExtractionResult, CoreError>>> =
+        (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r =
+                            extract_word_polynomial_with(&design.blocks[i].netlist, ctx, options);
+                        mine.push((i, r));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for w in workers {
+            for (i, r) in w.join().expect("block extraction worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every block index was assigned to a worker"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,13 +189,8 @@ mod tests {
         for k in [4usize, 8] {
             let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
             let design = montgomery_multiplier_hier(&ctx);
-            let result =
-                extract_hierarchical(&design, &ctx, &ExtractOptions::default()).unwrap();
-            assert_eq!(
-                format!("{}", result.function.display()),
-                "A*B",
-                "k = {k}"
-            );
+            let result = extract_hierarchical(&design, &ctx, &ExtractOptions::default()).unwrap();
+            assert_eq!(format!("{}", result.function.display()), "A*B", "k = {k}");
             assert_eq!(result.blocks.len(), 4);
         }
     }

@@ -90,8 +90,8 @@ pub fn verify_against_spec(
     }
 
     // Ring: Z > input words > internal nets (reverse topological) > PI bits.
-    let levels = gfab_netlist::topo::reverse_topological_levels(nl)
-        .expect("validated netlist is acyclic");
+    let levels =
+        gfab_netlist::topo::reverse_topological_levels(nl).expect("validated netlist is acyclic");
     let mut rb = RingBuilder::new(ctx.clone(), ExponentMode::Quotient);
     let z = rb.add_var(nl.output_word().name.clone(), VarKind::Word);
     let input_vars: Vec<VarId> = nl
@@ -203,10 +203,8 @@ mod tests {
             let out = verify_against_spec(&bad, &ctx, &sr, &f).unwrap();
             // A mutation may coincidentally preserve the function; check
             // against simulation for agreement of verdicts.
-            let sim_equal = gfab_netlist::sim::exhaustive_check(&bad, &ctx, |w| {
-                ctx.mul(&w[0], &w[1])
-            })
-            .is_ok();
+            let sim_equal =
+                gfab_netlist::sim::exhaustive_check(&bad, &ctx, |w| ctx.mul(&w[0], &w[1])).is_ok();
             assert_eq!(out.verified, sim_equal, "seed {seed}: {what}");
             if !out.verified {
                 assert!(out.remainder.is_some());

@@ -64,10 +64,8 @@ pub fn interpolate(nl: &Netlist, ctx: &Arc<GfContext>) -> Result<WordFunction, C
         for bits in 0..q {
             let a = ctx.from_u64(bits);
             // base = X + a (characteristic 2).
-            let base = Poly::from_terms(vec![
-                (Monomial::var(v), one.clone()),
-                (Monomial::one(), a),
-            ]);
+            let base =
+                Poly::from_terms(vec![(Monomial::var(v), one.clone()), (Monomial::one(), a)]);
             let mut pow = ring.constant(one.clone());
             for _ in 0..(q - 1) {
                 pow = pow.mul(&base, &ring)?;

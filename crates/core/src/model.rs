@@ -132,12 +132,7 @@ impl CircuitModel {
             let mut terms: Vec<(Monomial, gfab_field::Gf)> = bits
                 .iter()
                 .enumerate()
-                .map(|(i, &b)| {
-                    (
-                        Monomial::var(net_var[b.index()]),
-                        ctx.alpha_pow(i as u64),
-                    )
-                })
+                .map(|(i, &b)| (Monomial::var(net_var[b.index()]), ctx.alpha_pow(i as u64)))
                 .collect();
             terms.push((Monomial::var(word), one.clone()));
             Poly::from_terms(terms)
@@ -224,7 +219,11 @@ pub(crate) fn gate_polynomial(
 ) -> Poly {
     let one = ctx.one();
     let out = Monomial::var(net_var(g.output));
-    let ins: Vec<Monomial> = g.inputs.iter().map(|&i| Monomial::var(net_var(i))).collect();
+    let ins: Vec<Monomial> = g
+        .inputs
+        .iter()
+        .map(|&i| Monomial::var(net_var(i)))
+        .collect();
     let mut terms = vec![(out, one.clone())];
     match g.kind {
         GateKind::And => {

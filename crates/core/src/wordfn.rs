@@ -1,6 +1,6 @@
 //! The canonical word-level function `Z = F(A, B, …)` of a circuit.
 
-use gfab_field::{Gf, GfContext};
+use gfab_field::{Gf, GfContext, Rng};
 use gfab_poly::{ExponentMode, Poly, Ring, RingBuilder, VarKind};
 use std::fmt;
 use std::sync::Arc;
@@ -106,11 +106,11 @@ impl WordFunction {
     /// already decides equivalence exactly; this is for reporting).
     ///
     /// [`matches`]: WordFunction::matches
-    pub fn find_counterexample<R: rand::Rng + ?Sized>(
+    pub fn find_counterexample(
         &self,
         other: &WordFunction,
         tries: usize,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Option<Vec<Gf>> {
         if self.input_names.len() != other.input_names.len() {
             return None;
@@ -202,8 +202,10 @@ mod tests {
         ]);
         let g = WordFunction::new(ctx.clone(), vec!["A".into(), "B".into()], sum);
         assert!(!f.matches(&g));
-        let mut rng = rand::rng();
-        let cex = f.find_counterexample(&g, 100, &mut rng).expect("must differ");
+        let mut rng = Rng::from_entropy();
+        let cex = f
+            .find_counterexample(&g, 100, &mut rng)
+            .expect("must differ");
         assert_ne!(f.eval(&cex), g.eval(&cex));
     }
 
@@ -212,7 +214,7 @@ mod tests {
         let ctx = f4();
         let f = product_fn(&ctx);
         let g = product_fn(&ctx);
-        let mut rng = rand::rng();
+        let mut rng = Rng::from_entropy();
         assert!(f.find_counterexample(&g, 100, &mut rng).is_none());
     }
 

@@ -1,7 +1,7 @@
 //! The extension field `F_{2^k}` and its element type.
 
 use crate::gf2poly::Gf2Poly;
-use rand::Rng;
+use crate::rng::Rng;
 use std::fmt;
 use std::sync::Arc;
 
@@ -277,9 +277,9 @@ impl GfContext {
     }
 
     /// A uniformly random field element.
-    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Gf {
+    pub fn random(&self, rng: &mut Rng) -> Gf {
         let nlimbs = self.k.div_ceil(64);
-        let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.random()).collect();
+        let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.next_u64()).collect();
         let top_bits = self.k % 64;
         if top_bits != 0 {
             let mask = (1u64 << top_bits) - 1;
@@ -295,7 +295,10 @@ impl GfContext {
     ///
     /// Panics if `k > 20`.
     pub fn iter_elements(&self) -> impl Iterator<Item = Gf> + '_ {
-        assert!(self.k <= 20, "exhaustive element iteration requires k <= 20");
+        assert!(
+            self.k <= 20,
+            "exhaustive element iteration requires k <= 20"
+        );
         (0u64..(1 << self.k)).map(|bits| self.from_u64(bits))
     }
 
@@ -344,7 +347,6 @@ impl GfContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn f16() -> GfContext {
         GfContext::new(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap()
@@ -419,7 +421,7 @@ mod tests {
     #[test]
     fn random_elements_fit_in_field() {
         let ctx = f16();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..100 {
             let a = ctx.random(&mut rng);
             assert!(a.as_poly().degree().unwrap_or(0) < 4);

@@ -510,7 +510,10 @@ mod tests {
     #[test]
     fn display_formatting() {
         assert_eq!(Gf2Poly::zero().to_string(), "0");
-        assert_eq!(Gf2Poly::from_exponents(&[4, 1, 0]).to_string(), "x^4 + x + 1");
+        assert_eq!(
+            Gf2Poly::from_exponents(&[4, 1, 0]).to_string(),
+            "x^4 + x + 1"
+        );
     }
 
     #[test]

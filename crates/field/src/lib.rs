@@ -40,6 +40,8 @@
 mod field;
 mod gf2poly;
 pub mod nist;
+pub mod rng;
 
 pub use field::{FieldError, Gf, GfContext};
 pub use gf2poly::Gf2Poly;
+pub use rng::Rng;

@@ -66,9 +66,8 @@ pub fn emit(nl: &Netlist) -> String {
 pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
     let mut nl = Netlist::new("unnamed");
     let mut nets: HashMap<String, NetId> = HashMap::new();
-    let perr = |line_no: usize, msg: &str| {
-        NetlistError::Parse(format!("line {}: {msg}", line_no + 1))
-    };
+    let perr =
+        |line_no: usize, msg: &str| NetlistError::Parse(format!("line {}: {msg}", line_no + 1));
 
     let lookup = |nl: &mut Netlist, nets: &mut HashMap<String, NetId>, name: &str| -> NetId {
         if let Some(&id) = nets.get(name) {
@@ -121,9 +120,7 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                     .next()
                     .ok_or_else(|| perr(line_no, "missing gate output"))?;
                 let out = lookup(&mut nl, &mut nets, out_name);
-                let inputs: Vec<NetId> = tok
-                    .map(|name| lookup(&mut nl, &mut nets, name))
-                    .collect();
+                let inputs: Vec<NetId> = tok.map(|name| lookup(&mut nl, &mut nets, name)).collect();
                 if inputs.len() != kind.arity() {
                     return Err(perr(
                         line_no,

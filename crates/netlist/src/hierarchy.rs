@@ -148,8 +148,7 @@ impl HierDesign {
                 .iter()
                 .flat_map(|sig| signal_bits[sig].clone())
                 .collect();
-            let outs =
-                crate::miter::instantiate(&mut flat, &inst.netlist, &inputs, &inst.name);
+            let outs = crate::miter::instantiate(&mut flat, &inst.netlist, &inputs, &inst.name);
             signal_bits.insert(Signal::BlockOutput(bi), outs);
         }
         let out_bits = signal_bits[&self.output].clone();
@@ -219,8 +218,7 @@ mod tests {
         for a in ctx.iter_elements() {
             for b in ctx.iter_elements() {
                 for c in ctx.iter_elements() {
-                    let got =
-                        simulate_word(&flat, &ctx, &[a.clone(), b.clone(), c.clone()]);
+                    let got = simulate_word(&flat, &ctx, &[a.clone(), b.clone(), c.clone()]);
                     assert_eq!(got, ctx.add(&b, &c));
                 }
             }

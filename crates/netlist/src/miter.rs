@@ -23,7 +23,12 @@ pub fn build_miter(spec: &Netlist, impl_: &Netlist) -> Netlist {
         "input word count mismatch"
     );
     for (a, b) in spec.input_words().iter().zip(impl_.input_words()) {
-        assert_eq!(a.width(), b.width(), "input word width mismatch ({})", a.name);
+        assert_eq!(
+            a.width(),
+            b.width(),
+            "input word width mismatch ({})",
+            a.name
+        );
     }
     assert_eq!(
         spec.output_word().width(),
@@ -55,12 +60,7 @@ pub fn build_miter(spec: &Netlist, impl_: &Netlist) -> Netlist {
 /// Copies `src`'s gates into `dst`, mapping `src`'s primary inputs onto
 /// `inputs` (flattened, word order). Returns the mapped output word bits.
 /// Net names get `prefix_` prepended to stay unique.
-pub fn instantiate(
-    dst: &mut Netlist,
-    src: &Netlist,
-    inputs: &[NetId],
-    prefix: &str,
-) -> Vec<NetId> {
+pub fn instantiate(dst: &mut Netlist, src: &Netlist, inputs: &[NetId], prefix: &str) -> Vec<NetId> {
     let src_inputs = src.input_bits();
     assert_eq!(src_inputs.len(), inputs.len(), "input bit count mismatch");
     let mut map: HashMap<NetId, NetId> = src_inputs

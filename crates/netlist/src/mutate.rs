@@ -3,9 +3,7 @@
 
 use crate::gate::GateKind;
 use crate::netlist::{GateId, NetId, Netlist};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{Rng, SeedableRng};
+use gfab_field::Rng;
 use std::fmt;
 
 /// A structural mutation applied to a netlist.
@@ -57,7 +55,11 @@ impl fmt::Display for Mutation {
 /// Panics if the arities differ.
 pub fn swap_gate_kind(nl: &mut Netlist, g: GateId, to: GateKind) -> Mutation {
     let gate = nl.gate(g).clone();
-    assert_eq!(gate.kind.arity(), to.arity(), "mutation must preserve arity");
+    assert_eq!(
+        gate.kind.arity(),
+        to.arity(),
+        "mutation must preserve arity"
+    );
     nl.replace_gate(g, to, gate.inputs);
     Mutation::GateTypeSwap {
         gate: g,
@@ -100,7 +102,7 @@ pub fn swap_wire(nl: &mut Netlist, g: GateId, position: usize, to: NetId) -> Mut
 ///
 /// Panics if the netlist has no 2-input gates to mutate.
 pub fn inject_random_bug(nl: &Netlist, seed: u64) -> (Netlist, Mutation) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = nl.clone();
     let two_input: Vec<GateId> = nl
         .gates()
@@ -110,7 +112,7 @@ pub fn inject_random_bug(nl: &Netlist, seed: u64) -> (Netlist, Mutation) {
         .map(|(i, _)| GateId(i as u32))
         .collect();
     assert!(!two_input.is_empty(), "no 2-input gates to mutate");
-    let g = *two_input.choose(&mut rng).expect("non-empty");
+    let g = *rng.choose(&two_input).expect("non-empty");
     if rng.random_bool(0.5) {
         // Gate-type swap to a different 2-input kind.
         let from = nl.gate(g).kind;
@@ -118,7 +120,7 @@ pub fn inject_random_bug(nl: &Netlist, seed: u64) -> (Netlist, Mutation) {
             .into_iter()
             .filter(|&k| k != from)
             .collect();
-        let to = *choices.choose(&mut rng).expect("non-empty");
+        let to = *rng.choose(&choices).expect("non-empty");
         let m = swap_gate_kind(&mut out, g, to);
         (out, m)
     } else {
@@ -128,7 +130,7 @@ pub fn inject_random_bug(nl: &Netlist, seed: u64) -> (Netlist, Mutation) {
         let position = rng.random_range(0..2);
         let current = nl.gate(g).inputs[position];
         let candidates: Vec<NetId> = pis.into_iter().filter(|&n| n != current).collect();
-        let to = *candidates.choose(&mut rng).expect("multiple inputs exist");
+        let to = *rng.choose(&candidates).expect("multiple inputs exist");
         let m = swap_wire(&mut out, g, position, to);
         (out, m)
     }

@@ -287,7 +287,11 @@ impl Netlist {
 
     /// Convenience: constant driver.
     pub fn constant(&mut self, value: bool) -> NetId {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.add_gate(kind, &[])
     }
 

@@ -117,8 +117,9 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptStats) {
         n: NetId,
     ) -> NetId {
         match resolve(value, n) {
-            NetValue::Const(c) => *const_nets[usize::from(c)]
-                .get_or_insert_with(|| out.constant(c)),
+            NetValue::Const(c) => {
+                *const_nets[usize::from(c)].get_or_insert_with(|| out.constant(c))
+            }
             _ => {
                 let r = root(value, n);
                 if let Some(m) = net_map[r.index()] {
@@ -187,13 +188,7 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptStats) {
 }
 
 /// Folds a 2-input gate given (partially) known inputs.
-fn fold2(
-    kind: GateKind,
-    a: NetValue,
-    b: NetValue,
-    ra: NetId,
-    rb: NetId,
-) -> Option<NetValue> {
+fn fold2(kind: GateKind, a: NetValue, b: NetValue, ra: NetId, rb: NetId) -> Option<NetValue> {
     use GateKind::*;
     use NetValue::*;
     let (ca, cb) = (

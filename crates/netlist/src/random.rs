@@ -6,9 +6,7 @@
 
 use crate::gate::GateKind;
 use crate::netlist::{NetId, Netlist};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{Rng, SeedableRng};
+use gfab_field::Rng;
 
 /// Parameters for [`random_circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,8 +42,11 @@ impl Default for RandomCircuitSpec {
 ///
 /// Panics if `width == 0` or `num_input_words == 0`.
 pub fn random_circuit(spec: &RandomCircuitSpec) -> Netlist {
-    assert!(spec.width > 0 && spec.num_input_words > 0, "degenerate spec");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    assert!(
+        spec.width > 0 && spec.num_input_words > 0,
+        "degenerate spec"
+    );
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut nl = Netlist::new(format!("random_{}", spec.seed));
     let mut pool: Vec<NetId> = Vec::new();
     for w in 0..spec.num_input_words {
@@ -62,15 +63,15 @@ pub fn random_circuit(spec: &RandomCircuitSpec) -> Netlist {
         GateKind::Not,
     ];
     for _ in 0..spec.num_gates {
-        let kind = *kinds.choose(&mut rng).expect("non-empty");
+        let kind = *rng.choose(&kinds).expect("non-empty");
         let out = match kind.arity() {
             1 => {
-                let a = *pool.choose(&mut rng).expect("non-empty pool");
+                let a = *rng.choose(&pool).expect("non-empty pool");
                 nl.add_gate(kind, &[a])
             }
             _ => {
-                let a = *pool.choose(&mut rng).expect("non-empty pool");
-                let b = *pool.choose(&mut rng).expect("non-empty pool");
+                let a = *rng.choose(&pool).expect("non-empty pool");
+                let b = *rng.choose(&pool).expect("non-empty pool");
                 nl.add_gate(kind, &[a, b])
             }
         };
@@ -99,8 +100,7 @@ mod tests {
                 ..RandomCircuitSpec::default()
             };
             let nl = random_circuit(&spec);
-            nl.validate()
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            nl.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(nl.output_word().width(), spec.width);
         }
     }

@@ -3,7 +3,20 @@
 
 use crate::netlist::{NetId, Netlist};
 use crate::topo::topological_gates;
-use gfab_field::{Gf, GfContext};
+use gfab_field::{Gf, GfContext, Rng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested thread count: `0` means "use all available
+/// parallelism" (falling back to 1 if the platform cannot report it).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
 
 /// Simulates the netlist on a full bit assignment of the primary inputs.
 ///
@@ -111,27 +124,143 @@ pub fn exhaustive_check(
 
 /// Compares two netlists with identical input signatures on `n` random
 /// word assignments; returns the first mismatching assignment found.
-pub fn random_equivalence_check<R: rand::Rng + ?Sized>(
+///
+/// Runs single-threaded; see [`random_equivalence_check_sharded`] for the
+/// multi-threaded variant. Both run the same 64-way bit-parallel sweep
+/// and return identical results for the same `rng` stream.
+pub fn random_equivalence_check(
     a: &Netlist,
     b: &Netlist,
     ctx: &GfContext,
     n: usize,
-    rng: &mut R,
+    rng: &mut Rng,
+) -> Result<(), Vec<Gf>> {
+    random_equivalence_check_sharded(a, b, ctx, n, rng, 1)
+}
+
+/// Packs word assignments `lo..hi` of `assignments` into one 64-lane wide
+/// input vector (lane `l` carries assignment `lo + l`).
+fn pack_lanes(nl: &Netlist, assignments: &[Vec<Gf>], lo: usize, hi: usize) -> Vec<u64> {
+    let mut wide = Vec::with_capacity(nl.input_bits().len());
+    for (w, word) in nl.input_words().iter().enumerate() {
+        for bit in 0..word.width() {
+            let mut v = 0u64;
+            for (lane, assignment) in assignments[lo..hi].iter().enumerate() {
+                if assignment[w].bit(bit) {
+                    v |= 1 << lane;
+                }
+            }
+            wide.push(v);
+        }
+    }
+    wide
+}
+
+/// Returns a mask of lanes (bits `0..lanes`) where the output words of the
+/// two wide-simulation traces differ.
+fn lane_diff_mask(a: &Netlist, avals: &[u64], b: &Netlist, bvals: &[u64], lanes: usize) -> u64 {
+    let mut diff = 0u64;
+    for (na, nb) in a.output_word().bits.iter().zip(&b.output_word().bits) {
+        diff |= avals[na.index()] ^ bvals[nb.index()];
+    }
+    if lanes == 64 {
+        diff
+    } else {
+        diff & ((1u64 << lanes) - 1)
+    }
+}
+
+/// Compares two netlists on `n` random word assignments using the 64-way
+/// bit-parallel simulator, sharding 64-assignment chunks across `threads`
+/// worker threads (`0` = available parallelism).
+///
+/// The assignments are drawn from `rng` up front, so the verdict — and the
+/// specific counterexample returned (the mismatching assignment with the
+/// lowest index) — is **identical for every thread count**.
+///
+/// # Panics
+///
+/// Panics if the two netlists disagree on input/output word widths, or if
+/// either is cyclic.
+pub fn random_equivalence_check_sharded(
+    a: &Netlist,
+    b: &Netlist,
+    ctx: &GfContext,
+    n: usize,
+    rng: &mut Rng,
+    threads: usize,
 ) -> Result<(), Vec<Gf>> {
     assert_eq!(
         a.input_words().len(),
         b.input_words().len(),
         "input signature mismatch"
     );
-    for _ in 0..n {
-        let words: Vec<Gf> = (0..a.input_words().len())
-            .map(|_| ctx.random(rng))
-            .collect();
-        if simulate_word(a, ctx, &words) != simulate_word(b, ctx, &words) {
-            return Err(words);
-        }
+    for (wa, wb) in a.input_words().iter().zip(b.input_words()) {
+        assert_eq!(wa.width(), wb.width(), "input width mismatch");
     }
-    Ok(())
+    assert_eq!(
+        a.output_word().width(),
+        b.output_word().width(),
+        "output width mismatch"
+    );
+    let num_words = a.input_words().len();
+    // Draw every assignment up front from the caller's RNG: the stream
+    // consumed is independent of the sharding, which keeps the check
+    // bit-identical between serial and parallel runs.
+    let assignments: Vec<Vec<Gf>> = (0..n)
+        .map(|_| (0..num_words).map(|_| ctx.random(rng)).collect())
+        .collect();
+    let num_chunks = n.div_ceil(64);
+    let threads = resolve_threads(threads).min(num_chunks.max(1));
+
+    let check_chunk = |chunk: usize| -> Option<usize> {
+        let lo = chunk * 64;
+        let hi = (lo + 64).min(n);
+        let wide_a = pack_lanes(a, &assignments, lo, hi);
+        let wide_b = pack_lanes(b, &assignments, lo, hi);
+        let avals = simulate_wide(a, &wide_a);
+        let bvals = simulate_wide(b, &wide_b);
+        let diff = lane_diff_mask(a, &avals, b, &bvals, hi - lo);
+        if diff == 0 {
+            None
+        } else {
+            Some(lo + diff.trailing_zeros() as usize)
+        }
+    };
+
+    let first_mismatch = if threads <= 1 {
+        (0..num_chunks).find_map(check_chunk)
+    } else {
+        let next_chunk = AtomicUsize::new(0);
+        let found = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut best: Option<usize> = None;
+                        loop {
+                            let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                            if chunk >= num_chunks {
+                                break;
+                            }
+                            if let Some(idx) = check_chunk(chunk) {
+                                best = Some(best.map_or(idx, |b| b.min(idx)));
+                            }
+                        }
+                        best
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .filter_map(|w| w.join().expect("simulation worker panicked"))
+                .min()
+        });
+        found
+    };
+    match first_mismatch {
+        Some(idx) => Err(assignments[idx].clone()),
+        None => Ok(()),
+    }
 }
 
 /// The per-net value trace for one input assignment, for debugging:
@@ -218,7 +347,7 @@ mod tests {
         let ins = bad.gate(r0_gate).inputs.clone();
         bad.replace_gate(r0_gate, GateKind::Or, ins);
         let ctx = f4();
-        let mut rng = rand::rng();
+        let mut rng = Rng::from_entropy();
         // 64 random samples over F_4 x F_4 will very likely hit (1,1)*(1,*)…
         // use exhaustive instead to be deterministic:
         let mut found = false;

@@ -104,8 +104,7 @@ mod tests {
     use crate::random::{random_circuit, RandomCircuitSpec};
     use crate::sim::random_equivalence_check;
     use gfab_field::nist::irreducible_polynomial;
-    use gfab_field::GfContext;
-    use rand::SeedableRng;
+    use gfab_field::{GfContext, Rng};
 
     #[test]
     fn merges_identical_gates() {
@@ -152,7 +151,7 @@ mod tests {
     #[test]
     fn preserves_function_on_random_circuits() {
         let ctx = GfContext::shared(irreducible_polynomial(3).unwrap()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for seed in 0..30 {
             let nl = random_circuit(&RandomCircuitSpec {
                 num_input_words: 2,

@@ -21,7 +21,9 @@ pub struct Monomial {
 impl Monomial {
     /// The empty product (the constant monomial `1`).
     pub fn one() -> Self {
-        Monomial { factors: Vec::new() }
+        Monomial {
+            factors: Vec::new(),
+        }
     }
 
     /// The single variable `v`.

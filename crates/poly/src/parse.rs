@@ -348,7 +348,10 @@ mod tests {
     fn quotient_exponent_reduction_applies() {
         // In F_16 (q = 16), A^16 = A.
         let r = ring();
-        assert_eq!(parse_poly("A^16", &r).unwrap(), parse_poly("A", &r).unwrap());
+        assert_eq!(
+            parse_poly("A^16", &r).unwrap(),
+            parse_poly("A", &r).unwrap()
+        );
     }
 
     #[test]
@@ -379,7 +382,10 @@ mod tests {
     #[test]
     fn parse_constant_rejects_variables() {
         let r = ring();
-        assert_eq!(parse_constant("a^2 + 1", &r).unwrap(), r.ctx().from_u64(0b101));
+        assert_eq!(
+            parse_constant("a^2 + 1", &r).unwrap(),
+            r.ctx().from_u64(0b101)
+        );
         assert!(parse_constant("A", &r).is_err());
     }
 

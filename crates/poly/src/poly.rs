@@ -388,10 +388,7 @@ mod tests {
         let (ring, x, y, _) = setup(ExponentMode::Plain);
         let one = ring.ctx().one();
         let alpha = ring.ctx().alpha();
-        let p = Poly::from_terms(vec![
-            (Monomial::var(x), alpha),
-            (Monomial::var(y), one),
-        ]);
+        let p = Poly::from_terms(vec![(Monomial::var(x), alpha), (Monomial::var(y), one)]);
         assert!(p.add(&p).is_zero());
         assert_eq!(p.add(&Poly::zero()), p);
     }

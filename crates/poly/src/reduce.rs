@@ -10,9 +10,10 @@
 
 use crate::monomial::Monomial;
 use crate::poly::Poly;
-use crate::ring::{PolyError, Ring, VarId};
+use crate::ring::{PolyError, Ring};
 use gfab_field::Gf;
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Statistics of one normal-form computation, used by the experiment
 /// harness to report reduction effort.
@@ -20,20 +21,52 @@ use std::collections::{BTreeMap, HashMap};
 pub struct ReductionStats {
     /// Number of leading-term cancellation steps performed.
     pub steps: u64,
-    /// Maximum number of live terms in the working polynomial.
+    /// Maximum number of terms simultaneously held in the working store
+    /// (an upper bound on the live-term count: equal monomials awaiting
+    /// merge are counted individually).
     pub peak_terms: usize,
+    /// Number of coefficient cancellations: merges of equal monomials whose
+    /// coefficients summed to zero, so the term vanished without a division
+    /// step.
+    pub cancellations: u64,
+}
+
+/// One entry of the division working store: ordered by monomial only, so a
+/// max-heap pops terms in descending monomial order and equal monomials
+/// surface consecutively for merging.
+#[derive(Debug, Clone)]
+struct HeapTerm(Monomial, Gf);
+
+impl PartialEq for HeapTerm {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for HeapTerm {}
+impl PartialOrd for HeapTerm {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapTerm {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
 }
 
 /// A set of divisors prepared for repeated normal-form computations.
 ///
 /// Divisors whose leading monomial is a single variable with exponent 1
-/// (every circuit polynomial under RATO) are indexed by that variable;
-/// everything else is scanned linearly.
+/// (every circuit polynomial under RATO) are indexed by a dense table over
+/// the ring's variable ranks for O(1) lookup; everything else is scanned
+/// linearly.
 #[derive(Debug, Clone)]
 pub struct Reducer<'a> {
     ring: &'a Ring,
-    /// Divisors with leading monomial `x` (a bare variable), keyed by `x`.
-    by_lead_var: HashMap<VarId, &'a Poly>,
+    /// Divisors with leading monomial `x` (a bare variable), indexed by the
+    /// RATO rank of `x` (`VarId::index`). Dense: the ring orders are small
+    /// and the lookup sits on the innermost division loop.
+    by_lead_var: Vec<Option<&'a Poly>>,
     /// All other divisors.
     general: Vec<&'a Poly>,
 }
@@ -45,7 +78,7 @@ impl<'a> Reducer<'a> {
     /// leading variable the first one wins the index and the rest go to the
     /// general list (division remains correct, just slower).
     pub fn new(ring: &'a Ring, divisors: impl IntoIterator<Item = &'a Poly>) -> Self {
-        let mut by_lead_var: HashMap<VarId, &'a Poly> = HashMap::new();
+        let mut by_lead_var: Vec<Option<&'a Poly>> = vec![None; ring.num_vars()];
         let mut general = Vec::new();
         for d in divisors {
             let Some(lm) = d.leading_monomial() else {
@@ -53,10 +86,9 @@ impl<'a> Reducer<'a> {
             };
             let factors = lm.factors();
             if factors.len() == 1 && factors[0].1 == 1 {
-                if let std::collections::hash_map::Entry::Vacant(e) =
-                    by_lead_var.entry(factors[0].0)
-                {
-                    e.insert(d);
+                let slot = &mut by_lead_var[factors[0].0.index()];
+                if slot.is_none() {
+                    *slot = Some(d);
                     continue;
                 }
             }
@@ -77,7 +109,7 @@ impl<'a> Reducer<'a> {
     /// Finds a divisor whose leading monomial divides `m`.
     fn find_divisor(&self, m: &Monomial) -> Option<&'a Poly> {
         for &(v, _) in m.factors() {
-            if let Some(&d) = self.by_lead_var.get(&v) {
+            if let Some(d) = self.by_lead_var[v.index()] {
                 return Some(d);
             }
         }
@@ -107,16 +139,32 @@ impl<'a> Reducer<'a> {
     pub fn normal_form_with_stats(&self, f: &Poly) -> Result<(Poly, ReductionStats), PolyError> {
         let ctx = self.ring.ctx();
         let mut stats = ReductionStats::default();
-        // Working terms, keyed ascending; we always pop the maximum.
-        let mut work: BTreeMap<Monomial, Gf> = BTreeMap::new();
+        // Lazy-merge working store: a max-heap ordered by monomial. Terms
+        // are pushed without merging; merging happens when equal monomials
+        // surface together at the top. This keeps the per-step cost at
+        // O(log n) pushes with no rebalancing of merged entries, and the
+        // heap's backing buffer is reused across all cancellations of one
+        // normal-form computation.
+        let mut work: BinaryHeap<HeapTerm> = BinaryHeap::with_capacity(f.num_terms() * 2);
         for (m, c) in f.terms() {
-            work.insert(m.clone(), c.clone());
+            work.push(HeapTerm(m.clone(), c.clone()));
         }
         // Remainder terms accumulate in strictly descending order because we
         // always move the current maximum.
         let mut remainder: Vec<(Monomial, Gf)> = Vec::new();
-        while let Some((m, c)) = work.pop_last() {
+        while let Some(HeapTerm(m, mut c)) = work.pop() {
             stats.peak_terms = stats.peak_terms.max(work.len() + 1);
+            // Merge every queued term with the same monomial.
+            while let Some(top) = work.peek() {
+                if top.0 != m {
+                    break;
+                }
+                c = c.add(&work.pop().expect("peeked").1);
+            }
+            if c.is_zero() {
+                stats.cancellations += 1;
+                continue;
+            }
             match self.find_divisor(&m) {
                 None => remainder.push((m, c)),
                 Some(d) => {
@@ -132,9 +180,16 @@ impl<'a> Reducer<'a> {
                     };
                     // Subtract scale * q * tail(d) (char 2: subtract = add).
                     // Gate polynomials have unit coefficients, so skip the
-                    // field multiplication whenever either factor is 1.
+                    // field multiplication whenever either factor is 1, and
+                    // skip the monomial merge-multiply when q = 1 (the
+                    // common case for the triangular RATO substitutions).
+                    let trivial_q = q.is_one();
                     for (tm, tc) in d.terms().iter().skip(1) {
-                        let nm = tm.mul(&q, self.ring)?;
+                        let nm = if trivial_q {
+                            tm.clone()
+                        } else {
+                            tm.mul(&q, self.ring)?
+                        };
                         let nc = if tc.is_one() {
                             scale.clone()
                         } else if scale.is_one() {
@@ -142,7 +197,9 @@ impl<'a> Reducer<'a> {
                         } else {
                             ctx.mul(tc, &scale)
                         };
-                        upsert(&mut work, nm, nc);
+                        if !nc.is_zero() {
+                            work.push(HeapTerm(nm, nc));
+                        }
                     }
                 }
             }
@@ -151,29 +208,11 @@ impl<'a> Reducer<'a> {
     }
 }
 
-fn upsert(map: &mut BTreeMap<Monomial, Gf>, m: Monomial, c: Gf) {
-    if c.is_zero() {
-        return;
-    }
-    match map.entry(m) {
-        std::collections::btree_map::Entry::Vacant(e) => {
-            e.insert(c);
-        }
-        std::collections::btree_map::Entry::Occupied(mut e) => {
-            let merged = e.get().add(&c);
-            if merged.is_zero() {
-                e.remove();
-            } else {
-                *e.get_mut() = merged;
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ring::{ExponentMode, RingBuilder, VarKind};
+    use crate::VarId;
     use gfab_field::{Gf2Poly, GfContext};
 
     /// Builds F_4[x > y > Z] for tests.

@@ -45,9 +45,7 @@ pub fn vanishing_ideal(ring: &Ring, vars: &[VarId]) -> Result<Vec<Poly>, PolyErr
 ///
 /// See [`vanishing_poly`].
 pub fn vanishing_ideal_all(ring: &Ring) -> Result<Vec<Poly>, PolyError> {
-    ring.vars()
-        .map(|(v, _)| vanishing_poly(ring, v))
-        .collect()
+    ring.vars().map(|(v, _)| vanishing_poly(ring, v)).collect()
 }
 
 #[cfg(test)]
@@ -86,10 +84,7 @@ mod tests {
 
     #[test]
     fn word_vanishing_requires_small_field() {
-        let ctx = GfContext::shared(
-            gfab_field::nist::nist_polynomial(163).unwrap(),
-        )
-        .unwrap();
+        let ctx = GfContext::shared(gfab_field::nist::nist_polynomial(163).unwrap()).unwrap();
         let mut rb = RingBuilder::new(ctx, ExponentMode::Plain);
         let a = rb.add_var("A", VarKind::Word);
         let ring = rb.build();

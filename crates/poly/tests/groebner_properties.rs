@@ -1,13 +1,13 @@
-//! Property-based tests of the Gröbner-basis engine: on random small
+//! Randomized property tests of the Gröbner-basis engine: on random small
 //! ideals over `F_4`, a completed basis must (a) reduce every generator to
 //! zero, (b) reduce random ideal combinations to zero, and (c) have the
-//! normal-form-idempotence property.
+//! normal-form-idempotence property. Deterministic seeds replace an earlier
+//! proptest harness so the suite runs without external dependencies.
 
-use gfab_field::{Gf, Gf2Poly, GfContext};
+use gfab_field::{Gf, Gf2Poly, GfContext, Rng};
 use gfab_poly::buchberger::{buchberger, reduce_basis, GbLimits, GbOutcome};
 use gfab_poly::reduce::Reducer;
 use gfab_poly::{ExponentMode, Monomial, Poly, Ring, RingBuilder, VarId, VarKind};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn f4() -> Arc<GfContext> {
@@ -22,27 +22,29 @@ fn ring3(ctx: &Arc<GfContext>) -> Ring {
     rb.build()
 }
 
-/// A random small polynomial over 3 variables with exponents <= 2.
-fn arb_poly(ctx: Arc<GfContext>) -> impl Strategy<Value = Poly> {
-    let coeff = 0u64..4;
-    let mono = (0u64..3, 0u64..3, 0u64..3);
-    prop::collection::vec((mono, coeff), 1..5).prop_map(move |terms| {
-        Poly::from_terms(
-            terms
-                .into_iter()
-                .map(|((ex, ey, ez), c)| {
-                    (
-                        Monomial::from_factors(vec![
-                            (VarId(0), ex),
-                            (VarId(1), ey),
-                            (VarId(2), ez),
-                        ]),
-                        ctx.from_u64(c),
-                    )
-                })
-                .collect(),
-        )
-    })
+/// A random small polynomial over 3 variables with exponents <= 2 and 1–4
+/// terms (possibly zero after coefficient collisions).
+fn random_poly(ctx: &Arc<GfContext>, rng: &mut Rng) -> Poly {
+    let num_terms = rng.random_range(1..5);
+    let terms: Vec<(Monomial, Gf)> = (0..num_terms)
+        .map(|_| {
+            let m = Monomial::from_factors(vec![
+                (VarId(0), rng.random_below(3)),
+                (VarId(1), rng.random_below(3)),
+                (VarId(2), rng.random_below(3)),
+            ]);
+            (m, ctx.from_u64(rng.random_below(4)))
+        })
+        .collect();
+    Poly::from_terms(terms)
+}
+
+fn random_gens(ctx: &Arc<GfContext>, rng: &mut Rng, max: usize) -> Vec<Poly> {
+    let n = rng.random_range(1..max + 1);
+    (0..n)
+        .map(|_| random_poly(ctx, rng))
+        .filter(|p| !p.is_zero())
+        .collect()
 }
 
 fn complete_gb(ring: &Ring, gens: &[Poly]) -> Option<Vec<Poly>> {
@@ -58,76 +60,113 @@ fn complete_gb(ring: &Ring, gens: &[Poly]) -> Option<Vec<Poly>> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generators_reduce_to_zero(
-        seed_polys in prop::collection::vec(arb_poly(f4()), 1..4)
-    ) {
-        let ctx = f4();
-        let ring = ring3(&ctx);
-        let gens: Vec<Poly> = seed_polys.into_iter().filter(|p| !p.is_zero()).collect();
-        prop_assume!(!gens.is_empty());
-        let Some(gb) = complete_gb(&ring, &gens) else { return Ok(()); };
-        prop_assume!(!gb.is_empty());
+#[test]
+fn generators_reduce_to_zero() {
+    let ctx = f4();
+    let ring = ring3(&ctx);
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let gens = random_gens(&ctx, &mut rng, 3);
+        if gens.is_empty() {
+            continue;
+        }
+        let Some(gb) = complete_gb(&ring, &gens) else {
+            continue;
+        };
+        if gb.is_empty() {
+            continue;
+        }
         let reducer = Reducer::new(&ring, gb.iter());
         for g in &gens {
-            prop_assert!(reducer.normal_form(g).unwrap().is_zero());
+            assert!(
+                reducer.normal_form(g).unwrap().is_zero(),
+                "seed {seed}: generator does not reduce to zero"
+            );
         }
     }
+}
 
-    #[test]
-    fn random_ideal_elements_reduce_to_zero(
-        seed_polys in prop::collection::vec(arb_poly(f4()), 2..4),
-        h1 in arb_poly(f4()),
-        h2 in arb_poly(f4()),
-    ) {
-        let ctx = f4();
-        let ring = ring3(&ctx);
-        let gens: Vec<Poly> = seed_polys.into_iter().filter(|p| !p.is_zero()).collect();
-        prop_assume!(gens.len() >= 2);
-        let Some(gb) = complete_gb(&ring, &gens) else { return Ok(()); };
-        prop_assume!(!gb.is_empty());
+#[test]
+fn random_ideal_elements_reduce_to_zero() {
+    let ctx = f4();
+    let ring = ring3(&ctx);
+    let mut checked = 0;
+    for seed in 100..140u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let gens = random_gens(&ctx, &mut rng, 3);
+        let h1 = random_poly(&ctx, &mut rng);
+        let h2 = random_poly(&ctx, &mut rng);
+        if gens.len() < 2 {
+            continue;
+        }
+        let Some(gb) = complete_gb(&ring, &gens) else {
+            continue;
+        };
+        if gb.is_empty() {
+            continue;
+        }
         // h1*g0 + h2*g1 is in the ideal.
-        let elem = h1.mul(&gens[0], &ring).unwrap().add(&h2.mul(&gens[1], &ring).unwrap());
+        let elem = h1
+            .mul(&gens[0], &ring)
+            .unwrap()
+            .add(&h2.mul(&gens[1], &ring).unwrap());
         let reducer = Reducer::new(&ring, gb.iter());
-        prop_assert!(reducer.normal_form(&elem).unwrap().is_zero());
+        assert!(
+            reducer.normal_form(&elem).unwrap().is_zero(),
+            "seed {seed}: ideal element does not reduce to zero"
+        );
+        checked += 1;
     }
+    assert!(checked >= 10, "only {checked} seeds produced usable ideals");
+}
 
-    #[test]
-    fn normal_form_is_idempotent(
-        f in arb_poly(f4()),
-        divisors in prop::collection::vec(arb_poly(f4()), 1..4),
-    ) {
-        let ctx = f4();
-        let ring = ring3(&ctx);
-        let divs: Vec<Poly> = divisors.into_iter().filter(|p| !p.is_zero()).collect();
-        prop_assume!(!divs.is_empty());
+#[test]
+fn normal_form_is_idempotent() {
+    let ctx = f4();
+    let ring = ring3(&ctx);
+    for seed in 200..224u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let f = random_poly(&ctx, &mut rng);
+        let divs = random_gens(&ctx, &mut rng, 3);
+        if divs.is_empty() {
+            continue;
+        }
         let reducer = Reducer::new(&ring, divs.iter());
         let nf = reducer.normal_form(&f).unwrap();
-        prop_assert_eq!(reducer.normal_form(&nf).unwrap(), nf);
+        assert_eq!(
+            reducer.normal_form(&nf).unwrap(),
+            nf,
+            "seed {seed}: normal form is not idempotent"
+        );
     }
+}
 
-    #[test]
-    fn remainder_agrees_on_common_zeros(
-        f in arb_poly(f4()),
-        d in arb_poly(f4()),
-    ) {
-        // f ≡ NF(f) modulo <d>: they agree wherever d vanishes.
-        let ctx = f4();
-        let ring = ring3(&ctx);
-        prop_assume!(!d.is_zero());
+#[test]
+fn remainder_agrees_on_common_zeros() {
+    // f ≡ NF(f) modulo <d>: they agree wherever d vanishes.
+    let ctx = f4();
+    let ring = ring3(&ctx);
+    let elems: Vec<Gf> = ctx.iter_elements().collect();
+    for seed in 300..316u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let f = random_poly(&ctx, &mut rng);
+        let d = random_poly(&ctx, &mut rng);
+        if d.is_zero() {
+            continue;
+        }
         let ds = [d.clone()];
         let reducer = Reducer::new(&ring, ds.iter());
         let nf = reducer.normal_form(&f).unwrap();
-        let elems: Vec<Gf> = ctx.iter_elements().collect();
         for a in &elems {
             for b in &elems {
                 for c in &elems {
                     let vals = vec![a.clone(), b.clone(), c.clone()];
                     if d.eval(&ring, &vals).is_zero() {
-                        prop_assert_eq!(f.eval(&ring, &vals), nf.eval(&ring, &vals));
+                        assert_eq!(
+                            f.eval(&ring, &vals),
+                            nf.eval(&ring, &vals),
+                            "seed {seed}: f and NF(f) disagree on the variety of d"
+                        );
                     }
                 }
             }

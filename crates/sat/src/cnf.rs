@@ -119,10 +119,9 @@ impl Cnf {
     /// Evaluates the formula on a full assignment (`model[v]` is the value
     /// of variable `v`). Used by tests and for model validation.
     pub fn eval(&self, model: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| model[l.var() as usize] == l.is_pos())
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| model[l.var() as usize] == l.is_pos()))
     }
 }
 

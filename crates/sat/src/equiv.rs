@@ -39,11 +39,7 @@ pub struct SatReport {
 ///
 /// Panics if the two netlists have incompatible interfaces (see
 /// [`build_miter`]).
-pub fn check_equivalence_sat(
-    spec: &Netlist,
-    impl_: &Netlist,
-    conflict_budget: u64,
-) -> SatReport {
+pub fn check_equivalence_sat(spec: &Netlist, impl_: &Netlist, conflict_budget: u64) -> SatReport {
     check_equivalence_sat_with(spec, impl_, conflict_budget, None)
 }
 
@@ -103,10 +99,9 @@ mod tests {
         for k in [2usize, 3, 4] {
             let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
             let spec = mastrovito_multiplier(&ctx);
-            let impl_ = montgomery_multiplier_hier(&GfContext::shared(
-                irreducible_polynomial(k).unwrap(),
+            let impl_ = montgomery_multiplier_hier(
+                &GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap(),
             )
-            .unwrap())
             .flatten();
             let report = check_equivalence_sat(&spec, &impl_, u64::MAX);
             assert_eq!(report.verdict, SatVerdict::Equivalent, "k = {k}");
@@ -142,10 +137,9 @@ mod tests {
     fn tiny_budget_gives_unknown_on_nontrivial_miter() {
         let ctx = GfContext::new(irreducible_polynomial(6).unwrap()).unwrap();
         let spec = mastrovito_multiplier(&ctx);
-        let impl_ = montgomery_multiplier_hier(&GfContext::shared(
-            irreducible_polynomial(6).unwrap(),
+        let impl_ = montgomery_multiplier_hier(
+            &GfContext::shared(irreducible_polynomial(6).unwrap()).unwrap(),
         )
-        .unwrap())
         .flatten();
         let report = check_equivalence_sat(&spec, &impl_, 2);
         assert_eq!(report.verdict, SatVerdict::Unknown);

@@ -112,18 +112,16 @@ impl Solver {
     fn add_clause_internal(&mut self, lits: Vec<Lit>) {
         match lits.len() {
             0 => self.ok = false,
-            1 => {
-                match self.value(lits[0]) {
-                    Some(false) => self.ok = false,
-                    Some(true) => {}
-                    None => {
-                        self.enqueue(lits[0], INVALID);
-                        if self.propagate().is_some() {
-                            self.ok = false;
-                        }
+            1 => match self.value(lits[0]) {
+                Some(false) => self.ok = false,
+                Some(true) => {}
+                None => {
+                    self.enqueue(lits[0], INVALID);
+                    if self.propagate().is_some() {
+                        self.ok = false;
                     }
                 }
-            }
+            },
             _ => {
                 let idx = self.clauses.len() as u32;
                 self.watches[lits[0].negate().code()].push(idx);
@@ -387,8 +385,7 @@ impl Solver {
     fn decide(&mut self) -> bool {
         let mut best: Option<usize> = None;
         for v in 0..self.num_vars {
-            if self.assign[v].is_none()
-                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            if self.assign[v].is_none() && best.is_none_or(|b| self.activity[v] > self.activity[b])
             {
                 best = Some(v);
             }
@@ -431,7 +428,7 @@ impl Solver {
                 if self.stats.conflicts >= conflict_budget {
                     return SolveResult::Unknown;
                 }
-                if self.stats.conflicts % 1024 == 0 {
+                if self.stats.conflicts.is_multiple_of(1024) {
                     if let Some(d) = self.deadline {
                         if std::time::Instant::now() >= d {
                             return SolveResult::Unknown;
@@ -454,7 +451,7 @@ impl Solver {
                 }
                 self.var_inc /= 0.95; // variable activity decay via growth
                 self.cla_inc /= 0.999; // clause activity decay via growth
-                if self.stats.conflicts % self.reduce_limit == 0 {
+                if self.stats.conflicts.is_multiple_of(self.reduce_limit) {
                     self.reduce_db();
                     self.reduce_limit += self.reduce_limit / 2;
                 }
@@ -568,16 +565,20 @@ mod tests {
     #[test]
     fn models_satisfy_formula_random_3sat() {
         // Cross-check against brute force on random small instances.
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use gfab_field::Rng;
+        let mut rng = Rng::seed_from_u64(99);
         for _ in 0..40 {
             let nv = 8u32;
             let nc = rng.random_range(10..40);
             let mut cnf = Cnf::new(nv);
             for _ in 0..nc {
                 let lits: Vec<Lit> = (0..3)
-                    .map(|_| Lit::with_sign(rng.random_range(0..nv), rng.random_bool(0.5)))
+                    .map(|_| {
+                        Lit::with_sign(
+                            rng.random_range(0..nv as usize) as u32,
+                            rng.random_bool(0.5),
+                        )
+                    })
                     .collect();
                 cnf.add_clause(lits);
             }

@@ -10,12 +10,12 @@
 //! Run with: `cargo run --release --example bug_hunting`
 
 use gfab::circuits::mastrovito_multiplier;
-use gfab::core::equiv::{check_equivalence, Verdict};
-use gfab::core::ExtractOptions;
+use gfab::core::equiv::Verdict;
 use gfab::field::nist::irreducible_polynomial;
 use gfab::field::GfContext;
 use gfab::netlist::mutate::inject_random_bug;
 use gfab::sat::equiv::{check_equivalence_sat, SatVerdict};
+use gfab::Verifier;
 
 fn main() {
     let k = 4usize;
@@ -28,12 +28,12 @@ fn main() {
         ctx.modulus()
     );
 
+    let verifier = Verifier::new(&ctx);
     let mut real_bugs = 0;
     let mut benign = 0;
     for seed in 0..12u64 {
         let (buggy, mutation) = inject_random_bug(&spec, seed);
-        let report = check_equivalence(&spec, &buggy, &ctx, &ExtractOptions::default())
-            .expect("extraction succeeds");
+        let report = verifier.check(&spec, &buggy).expect("extraction succeeds");
         println!("seed {seed:2}: mutation [{mutation}]");
         match &report.verdict {
             Verdict::Equivalent { .. } => {
@@ -46,12 +46,12 @@ fn main() {
                 ..
             } => {
                 real_bugs += 1;
-                println!("        BUG — buggy circuit computes Z = {}", buggy_fn.display());
+                println!(
+                    "        BUG — buggy circuit computes Z = {}",
+                    buggy_fn.display()
+                );
                 if let Some(cex) = counterexample {
-                    println!(
-                        "        counterexample: A = {}, B = {}",
-                        cex[0], cex[1]
-                    );
+                    println!("        counterexample: A = {}, B = {}", cex[0], cex[1]);
                 }
                 // Cross-check with the SAT miter baseline.
                 let sat = check_equivalence_sat(&spec, &buggy, 1_000_000);

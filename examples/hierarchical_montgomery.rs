@@ -3,15 +3,15 @@
 //! composition against a flattened Mastrovito golden model — the paper's
 //! Table 2 configuration in miniature.
 //!
-//! Run with: `cargo run --release --example hierarchical_montgomery [k]`
-//! (default k = 32).
+//! Run with: `cargo run --release --example hierarchical_montgomery [k] [threads]`
+//! (default k = 32, threads = available parallelism; blocks are extracted
+//! concurrently).
 
 use gfab::circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
-use gfab::core::equiv::{check_equivalence_hier, Verdict};
-use gfab::core::hier::extract_hierarchical;
-use gfab::core::ExtractOptions;
+use gfab::core::equiv::Verdict;
 use gfab::field::nist::irreducible_polynomial;
 use gfab::field::GfContext;
+use gfab::Verifier;
 use std::time::Instant;
 
 fn main() {
@@ -19,6 +19,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(32);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let poly = irreducible_polynomial(k).expect("no irreducible polynomial found");
     println!("field: F_2^{k}, P(x) = {poly}");
     let ctx = GfContext::shared(poly).expect("irreducible by construction");
@@ -38,10 +42,12 @@ fn main() {
         );
     }
 
-    // Per-block abstraction + word-level composition.
+    // Per-block abstraction + word-level composition, via a session that
+    // shares its thread budget across both calls below.
+    let verifier = Verifier::new(&ctx).threads(threads);
     let t = Instant::now();
-    let hier = extract_hierarchical(&design, &ctx, &ExtractOptions::default())
-        .expect("all blocks are Case 1");
+    let report = verifier.extract(&design).expect("all blocks are Case 1");
+    let hier = report.as_hier().expect("hierarchical design");
     println!("\nper-block word-level polynomials:");
     for (name, f, stats) in &hier.blocks {
         // Large-k block polynomials have k+1-ish terms; summarize instead
@@ -66,8 +72,7 @@ fn main() {
     // Equivalence against the flattened golden model.
     let t = Instant::now();
     let spec = mastrovito_multiplier(&ctx);
-    let report = check_equivalence_hier(&spec, &design, &ctx, &ExtractOptions::default())
-        .expect("extraction succeeds");
+    let report = verifier.check(&spec, &design).expect("extraction succeeds");
     match &report.verdict {
         Verdict::Equivalent { function } => {
             println!(
@@ -78,5 +83,8 @@ fn main() {
         }
         other => println!("\nunexpected verdict: {other:?}"),
     }
-    println!("equivalence check (incl. spec abstraction): {:?}", t.elapsed());
+    println!(
+        "equivalence check (incl. spec abstraction): {:?}",
+        t.elapsed()
+    );
 }

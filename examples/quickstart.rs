@@ -10,10 +10,11 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use gfab::core::fullgb::{full_gb_abstraction, CircuitVarOrder, FullGbOutcome};
-use gfab::core::{extract_word_polynomial, CoreError};
-use gfab::field::{Gf2Poly, GfContext};
+use gfab::core::CoreError;
+use gfab::field::{Gf2Poly, GfContext, Rng};
 use gfab::netlist::{mutate, GateId, Netlist};
 use gfab::poly::buchberger::GbLimits;
+use gfab::Verifier;
 
 fn fig2_multiplier() -> Netlist {
     let mut nl = Netlist::new("fig2");
@@ -36,16 +37,20 @@ fn fig2_multiplier() -> Netlist {
 
 fn main() -> Result<(), CoreError> {
     // F_4 with P(x) = x² + x + 1 (the paper's field for Fig. 2).
-    let ctx = GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0]))
-        .expect("x^2+x+1 is irreducible");
+    let ctx =
+        GfContext::shared(Gf2Poly::from_exponents(&[2, 1, 0])).expect("x^2+x+1 is irreducible");
     let nl = fig2_multiplier();
 
     println!("== Fig. 2: 2-bit multiplier over F_4, P(x) = x^2 + x + 1 ==\n");
     println!("netlist ({} gates):", nl.num_gates());
     print!("{}", gfab::netlist::format::emit(&nl));
 
+    // A verification session: one builder, reused for every extraction.
+    let verifier = Verifier::new(&ctx);
+
     // The polynomial model (Example 4.2's f_1 … f_10).
-    let result = extract_word_polynomial(&nl, &ctx)?;
+    let report = verifier.extract(&nl)?;
+    let result = report.as_flat().expect("flat netlist gives flat report");
     println!("\npolynomial model under RATO (f_1 ... f_{}):", {
         result.model.gate_polys.len() + 1 + result.model.input_word_polys.len()
     });
@@ -94,7 +99,8 @@ fn main() -> Result<(), CoreError> {
     let mutation = mutate::swap_wire(&mut buggy, r0_gate, 0, s0_net);
     println!("\n== Injecting the paper's bug: {mutation} ==");
 
-    let buggy_result = extract_word_polynomial(&buggy, &ctx)?;
+    let buggy_report = verifier.extract(&buggy)?;
+    let buggy_result = buggy_report.as_flat().expect("flat report");
     assert!(buggy_result.stats.case2_completion, "bug lands in Case 2");
     let fb = buggy_result
         .canonical()
@@ -104,7 +110,7 @@ fn main() -> Result<(), CoreError> {
 
     // Coefficient matching flags the difference immediately.
     assert!(!f.matches(fb));
-    let mut rng = rand::rng();
+    let mut rng = Rng::from_entropy();
     if let Some(cex) = f.find_counterexample(fb, 64, &mut rng) {
         println!(
             "counterexample: A = {}, B = {} (spec: {}, buggy: {})",

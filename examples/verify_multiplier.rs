@@ -7,10 +7,10 @@
 //! NIST sizes 163/233/… take correspondingly longer).
 
 use gfab::circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
-use gfab::core::equiv::{check_equivalence, Verdict};
-use gfab::core::ExtractOptions;
+use gfab::core::equiv::Verdict;
 use gfab::field::nist::irreducible_polynomial;
 use gfab::field::GfContext;
+use gfab::Verifier;
 use std::time::Instant;
 
 fn main() {
@@ -18,6 +18,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let poly = irreducible_polynomial(k).expect("no irreducible polynomial found");
     println!("field: F_2^{k}, P(x) = {poly}");
     let ctx = GfContext::shared(poly).expect("irreducible by construction");
@@ -35,13 +39,18 @@ fn main() {
     );
 
     let t = Instant::now();
-    let report = check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default())
+    let report = Verifier::new(&ctx)
+        .threads(threads)
+        .check(&spec, &impl_)
         .expect("extraction succeeds");
     let elapsed = t.elapsed();
 
     match &report.verdict {
         Verdict::Equivalent { function } => {
-            println!("verdict: EQUIVALENT — both implement Z = {}", function.display());
+            println!(
+                "verdict: EQUIVALENT — both implement Z = {}",
+                function.display()
+            );
         }
         Verdict::Inequivalent {
             spec,
@@ -63,15 +72,11 @@ fn main() {
     }
     println!(
         "spec abstraction: {} steps, peak {} terms, {:?}",
-        report.spec_stats.reduction_steps,
-        report.spec_stats.peak_terms,
-        report.spec_stats.duration
+        report.spec_stats.reduction_steps, report.spec_stats.peak_terms, report.spec_stats.duration
     );
     println!(
         "impl abstraction: {} steps, peak {} terms, {:?}",
-        report.impl_stats.reduction_steps,
-        report.impl_stats.peak_terms,
-        report.impl_stats.duration
+        report.impl_stats.reduction_steps, report.impl_stats.peak_terms, report.impl_stats.duration
     );
     println!("total equivalence check: {elapsed:?}");
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate for the gfab workspace: formatting, lints, then the tier-1
+# build-and-test pass. Run from anywhere; works fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: build (release) =="
+cargo build --release --offline
+
+echo "== tier-1: test =="
+cargo test -q --offline
+
+echo "CI OK"

@@ -16,16 +16,20 @@
 //!
 //! # Quickstart
 //!
+//! The [`Verifier`] session API is the front door: build it once over a
+//! field context, then extract or equivalence-check flat netlists and
+//! hierarchical designs alike.
+//!
 //! ```
 //! use gfab::field::{GfContext, Gf2Poly};
 //! use gfab::circuits::mastrovito_multiplier;
-//! use gfab::core::extract_word_polynomial;
+//! use gfab::Verifier;
 //!
 //! // Build F_16 and a 4-bit Mastrovito multiplier, then recover Z = A*B.
 //! let ctx = GfContext::shared(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
 //! let mult = mastrovito_multiplier(&ctx);
-//! let result = extract_word_polynomial(&mult, &ctx).unwrap();
-//! let f = result.canonical().expect("correct circuit yields Case 1");
+//! let report = Verifier::new(&ctx).extract(&mult).unwrap();
+//! let f = report.function().expect("correct circuit yields Case 1");
 //! assert_eq!(format!("{}", f.display()), "A*B");
 //! ```
 
@@ -37,3 +41,68 @@ pub use gfab_field as field;
 pub use gfab_netlist as netlist;
 pub use gfab_poly as poly;
 pub use gfab_sat as sat;
+
+pub mod verifier;
+pub use verifier::{Circuit, ExtractReport, Verifier};
+
+use gfab_core::equiv::EquivReport;
+use gfab_core::hier::HierExtraction;
+use gfab_core::{CoreError, ExtractOptions, ExtractionResult};
+use gfab_field::GfContext;
+use gfab_netlist::hierarchy::HierDesign;
+use gfab_netlist::Netlist;
+use std::sync::Arc;
+
+/// Extracts the word-level polynomial of a flat netlist with default
+/// options.
+#[deprecated(note = "use `gfab::Verifier::new(ctx).extract(&netlist)` instead")]
+pub fn extract_word_polynomial(
+    nl: &Netlist,
+    ctx: &Arc<GfContext>,
+) -> Result<ExtractionResult, CoreError> {
+    gfab_core::extract_word_polynomial(nl, ctx)
+}
+
+/// Extracts the word-level polynomial of a flat netlist with explicit
+/// options.
+#[deprecated(note = "use `gfab::Verifier::new(ctx).options(..).extract(&netlist)` instead")]
+pub fn extract_word_polynomial_with(
+    nl: &Netlist,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+) -> Result<ExtractionResult, CoreError> {
+    gfab_core::extract_word_polynomial_with(nl, ctx, options)
+}
+
+/// Extracts a hierarchical design block-by-block and composes at word
+/// level.
+#[deprecated(note = "use `gfab::Verifier::new(ctx).extract(&design)` instead")]
+pub fn extract_hierarchical(
+    design: &HierDesign,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+) -> Result<HierExtraction, CoreError> {
+    gfab_core::hier::extract_hierarchical(design, ctx, options)
+}
+
+/// Checks equivalence of two flat netlists.
+#[deprecated(note = "use `gfab::Verifier::new(ctx).check(&spec, &impl_)` instead")]
+pub fn check_equivalence(
+    spec: &Netlist,
+    impl_: &Netlist,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+) -> Result<EquivReport, CoreError> {
+    gfab_core::equiv::check_equivalence(spec, impl_, ctx, options)
+}
+
+/// Checks a flat spec against a hierarchical implementation.
+#[deprecated(note = "use `gfab::Verifier::new(ctx).check(&spec, &design)` instead")]
+pub fn check_equivalence_hier(
+    spec: &Netlist,
+    impl_: &HierDesign,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+) -> Result<EquivReport, CoreError> {
+    gfab_core::equiv::check_equivalence_hier(spec, impl_, ctx, options)
+}

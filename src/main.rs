@@ -13,13 +13,14 @@
 //! [`gfab::netlist::format`]; `gfab gen` produces them.
 
 use gfab::circuits::{gf_adder, mastrovito_multiplier, montgomery_multiplier_hier, squarer};
-use gfab::core::equiv::{check_equivalence, Verdict};
+use gfab::core::equiv::Verdict;
 use gfab::core::ideal_membership::{spec_ring, verify_against_spec};
-use gfab::core::{extract_word_polynomial, ExtractOptions, Extraction};
+use gfab::core::Extraction;
 use gfab::field::nist::irreducible_polynomial;
 use gfab::field::{Gf2Poly, GfContext};
 use gfab::netlist::{format as nlformat, Netlist};
 use gfab::sat::equiv::{check_equivalence_sat, SatVerdict};
+use gfab::Verifier;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,17 +62,38 @@ fn print_usage() {
         "gfab — word-level abstraction & equivalence checking over F_2^k
 
 USAGE:
-  gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...]
+  gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...] [--threads N]
   gfab verify-spec <circuit.nl> --spec 'A*B' --k <k> [--modulus ...]
-  gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus e0,e1,...]
+  gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus ...] [--threads N]
   gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N]
   gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
   gfab info      <circuit.nl>
 
 The field F_2^k is constructed with the NIST polynomial when k is a NIST
 ECC degree, a low-weight irreducible otherwise, or an explicit
---modulus given as a comma-separated exponent list (e.g. 163,7,6,3,0)."
+--modulus given as a comma-separated exponent list (e.g. 163,7,6,3,0).
+
+--threads N shards extraction and simulation over N worker threads
+(0 or omitted = available parallelism, 1 = fully serial); results are
+bit-identical regardless of N.
+
+EXIT CODES:
+  0  equivalent / extraction or generation succeeded
+  1  not equivalent / property refuted (a counterexample was found)
+  2  usage error, malformed input, or verdict unknown"
     );
+}
+
+/// Parses `--threads` (defaults to 0 = available parallelism).
+fn parse_threads(rest: &[String]) -> Result<usize, String> {
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it.next().ok_or("--threads needs a value")?;
+            return v.parse().map_err(|_| format!("bad thread count: {v}"));
+        }
+    }
+    Ok(0)
 }
 
 /// Parses `--k` / `--modulus` into a field context.
@@ -105,8 +127,7 @@ fn parse_field(rest: &[String]) -> Result<Arc<GfContext>, String> {
 }
 
 fn load(path: &str) -> Result<Netlist, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     nlformat::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -136,10 +157,15 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
         return Err("extract needs a netlist path".into());
     };
     let ctx = parse_field(rest)?;
+    let threads = parse_threads(rest)?;
     let nl = load(path)?;
     let t = Instant::now();
-    let result = extract_word_polynomial(&nl, &ctx).map_err(|e| e.to_string())?;
+    let report = Verifier::new(&ctx)
+        .threads(threads)
+        .extract(&nl)
+        .map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
+    let result = report.as_flat().expect("flat netlist gives flat report");
     println!("circuit : {} ({} gates)", nl.name(), nl.num_gates());
     println!("field   : F_2^{}, P(x) = {}", ctx.k(), ctx.modulus());
     match &result.outcome {
@@ -151,8 +177,12 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
         }
     }
     println!(
-        "effort  : {} reduction steps, peak {} terms, {elapsed:?}",
-        result.stats.reduction_steps, result.stats.peak_terms
+        "effort  : {} reduction steps ({} cancellations), peak {} terms, {elapsed:?}",
+        result.stats.reduction_steps, result.stats.cancellations, result.stats.peak_terms
+    );
+    println!(
+        "phases  : model {:?}, reduce {:?}, case2 {:?}",
+        result.stats.model_time, result.stats.reduce_time, result.stats.case2_time
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -183,7 +213,10 @@ fn cmd_verify_spec(rest: &[String]) -> Result<ExitCode, String> {
     let out = verify_against_spec(&nl, &ctx, &sr, &f).map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
     if out.verified {
-        println!("VERIFIED: {} implements Z = {spec_text} ({elapsed:?})", nl.name());
+        println!(
+            "VERIFIED: {} implements Z = {spec_text} ({elapsed:?})",
+            nl.name()
+        );
         Ok(ExitCode::SUCCESS)
     } else {
         let rem = out.remainder.expect("non-verified has remainder");
@@ -201,15 +234,21 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
         return Err("equiv needs two netlist paths".into());
     };
     let ctx = parse_field(rest)?;
+    let threads = parse_threads(rest)?;
     let spec = load(spec_path)?;
     let impl_ = load(impl_path)?;
     let t = Instant::now();
-    let report = check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default())
+    let report = Verifier::new(&ctx)
+        .threads(threads)
+        .check(&spec, &impl_)
         .map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
     match &report.verdict {
         Verdict::Equivalent { function } => {
-            println!("EQUIVALENT: both circuits implement Z = {}", function.display());
+            println!(
+                "EQUIVALENT: both circuits implement Z = {}",
+                function.display()
+            );
             println!("({elapsed:?})");
             Ok(ExitCode::SUCCESS)
         }
@@ -237,7 +276,7 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
         }
         Verdict::Unknown { reason } => {
             println!("UNKNOWN: {reason}");
-            Ok(ExitCode::from(3))
+            Ok(ExitCode::from(2))
         }
     }
 }
@@ -275,7 +314,7 @@ fn cmd_sat_equiv(rest: &[String]) -> Result<ExitCode, String> {
         }
         SatVerdict::Unknown => {
             println!("UNKNOWN: conflict budget ({budget}) exhausted ({elapsed:?})");
-            Ok(ExitCode::from(3))
+            Ok(ExitCode::from(2))
         }
     }
 }

@@ -1,0 +1,261 @@
+//! The unified verification session API.
+//!
+//! [`Verifier`] is a small builder that bundles a field context with an
+//! [`ExtractOptions`] configuration (thread budget, Case-2 completion
+//! limits, …) and exposes the whole abstraction/equivalence surface behind
+//! two methods:
+//!
+//! * [`Verifier::extract`] — gate-level → word-level abstraction of a flat
+//!   netlist or a hierarchical design (hierarchy is dispatched on the
+//!   argument type, no separate entry point needed);
+//! * [`Verifier::check`] — equivalence of a flat spec against a flat or
+//!   hierarchical implementation, again dispatched on the argument type.
+//!
+//! ```
+//! use gfab::field::{GfContext, Gf2Poly};
+//! use gfab::circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
+//! use gfab::Verifier;
+//!
+//! let ctx = GfContext::shared(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+//! let v = Verifier::new(&ctx).threads(2);
+//!
+//! // Extraction: flat netlists and hierarchical designs take the same call.
+//! let mult = mastrovito_multiplier(&ctx);
+//! let f = v.extract(&mult).unwrap();
+//! assert_eq!(format!("{}", f.function().unwrap().display()), "A*B");
+//!
+//! let mont = montgomery_multiplier_hier(&ctx);
+//! let g = v.extract(&mont).unwrap();
+//! assert!(f.function().unwrap().matches(g.function().unwrap()));
+//!
+//! // Equivalence: Mastrovito spec vs. hierarchical Montgomery impl.
+//! let report = v.check(&mult, &mont).unwrap();
+//! assert!(report.verdict.is_equivalent());
+//! ```
+
+use crate::core::equiv::{check_equivalence, check_equivalence_hier, EquivReport};
+use crate::core::hier::{extract_hierarchical, HierExtraction};
+use crate::core::{
+    extract_word_polynomial_with, CoreError, ExtractOptions, ExtractionResult, ExtractionStats,
+    WordFunction,
+};
+use crate::field::GfContext;
+use crate::netlist::hierarchy::HierDesign;
+use crate::netlist::Netlist;
+use std::sync::Arc;
+
+/// A circuit that can be handed to [`Verifier::extract`] or appear as the
+/// implementation side of [`Verifier::check`]: either a flat gate-level
+/// netlist or a hierarchical block design.
+#[derive(Debug, Clone, Copy)]
+pub enum Circuit<'a> {
+    /// A flat gate-level netlist.
+    Flat(&'a Netlist),
+    /// A hierarchical design (per-block extraction + word-level composition).
+    Hier(&'a HierDesign),
+}
+
+impl<'a> From<&'a Netlist> for Circuit<'a> {
+    fn from(nl: &'a Netlist) -> Self {
+        Circuit::Flat(nl)
+    }
+}
+
+impl<'a> From<&'a HierDesign> for Circuit<'a> {
+    fn from(design: &'a HierDesign) -> Self {
+        Circuit::Hier(design)
+    }
+}
+
+/// The result of [`Verifier::extract`], covering both the flat and the
+/// hierarchical flow.
+#[derive(Debug, Clone)]
+pub enum ExtractReport {
+    /// Result of extracting a flat netlist (may be a Case-2 residual).
+    /// Boxed: flat results carry the full residual/stats payload and would
+    /// otherwise dwarf the hierarchical variant.
+    Flat(Box<ExtractionResult>),
+    /// Result of extracting a hierarchical design (always canonical —
+    /// composition requires canonical block polynomials).
+    Hier(HierExtraction),
+}
+
+impl ExtractReport {
+    /// The canonical word-level function `Z = F(A, B, …)`, if one was
+    /// reached (`None` when a flat extraction ended in a Case-2 residual).
+    pub fn function(&self) -> Option<&WordFunction> {
+        match self {
+            ExtractReport::Flat(r) => r.canonical(),
+            ExtractReport::Hier(h) => Some(&h.function),
+        }
+    }
+
+    /// Extraction statistics: the flat stats, or the aggregate over all
+    /// blocks of a hierarchical design.
+    pub fn stats(&self) -> ExtractionStats {
+        match self {
+            ExtractReport::Flat(r) => r.stats.clone(),
+            ExtractReport::Hier(h) => {
+                let mut agg = ExtractionStats::default();
+                for (_, _, s) in &h.blocks {
+                    agg.gates += s.gates;
+                    agg.reduction_steps += s.reduction_steps;
+                    agg.cancellations += s.cancellations;
+                    agg.peak_terms = agg.peak_terms.max(s.peak_terms);
+                    agg.duration += s.duration;
+                    agg.model_time += s.model_time;
+                    agg.reduce_time += s.reduce_time;
+                    agg.case2_time += s.case2_time;
+                }
+                agg.duration += h.compose_time;
+                agg
+            }
+        }
+    }
+
+    /// The flat extraction result, if this report came from a flat netlist.
+    pub fn as_flat(&self) -> Option<&ExtractionResult> {
+        match self {
+            ExtractReport::Flat(r) => Some(r),
+            ExtractReport::Hier(_) => None,
+        }
+    }
+
+    /// The hierarchical extraction, if this report came from a design.
+    pub fn as_hier(&self) -> Option<&HierExtraction> {
+        match self {
+            ExtractReport::Flat(_) => None,
+            ExtractReport::Hier(h) => Some(h),
+        }
+    }
+}
+
+/// A verification session: a field context plus extraction configuration,
+/// built in fluent style and reused across any number of
+/// [`extract`](Verifier::extract) / [`check`](Verifier::check) calls.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    ctx: Arc<GfContext>,
+    options: ExtractOptions,
+}
+
+impl Verifier {
+    /// Starts a session over the given field with default options
+    /// (thread count = available parallelism).
+    pub fn new(ctx: &Arc<GfContext>) -> Self {
+        Verifier {
+            ctx: ctx.clone(),
+            options: ExtractOptions::default(),
+        }
+    }
+
+    /// Sets the worker-thread budget (`0` = available parallelism, `1` =
+    /// fully serial). Parallel runs produce bit-identical results to
+    /// serial ones.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Replaces the whole [`ExtractOptions`] block (Case-2 completion
+    /// limits, simulation fallbacks, …) for full control.
+    #[must_use]
+    pub fn options(mut self, options: ExtractOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The session's field context.
+    pub fn ctx(&self) -> &Arc<GfContext> {
+        &self.ctx
+    }
+
+    /// The session's extraction options.
+    pub fn extract_options(&self) -> &ExtractOptions {
+        &self.options
+    }
+
+    /// Abstracts a circuit to its word-level polynomial. Accepts a flat
+    /// [`Netlist`] or a hierarchical [`HierDesign`] (blocks extracted
+    /// concurrently, then composed at word level).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`] from the underlying extraction.
+    pub fn extract<'a>(&self, circuit: impl Into<Circuit<'a>>) -> Result<ExtractReport, CoreError> {
+        match circuit.into() {
+            Circuit::Flat(nl) => extract_word_polynomial_with(nl, &self.ctx, &self.options)
+                .map(|r| ExtractReport::Flat(Box::new(r))),
+            Circuit::Hier(design) => {
+                extract_hierarchical(design, &self.ctx, &self.options).map(ExtractReport::Hier)
+            }
+        }
+    }
+
+    /// Checks a flat spec netlist against a flat or hierarchical
+    /// implementation. The two sides are extracted concurrently when the
+    /// thread budget allows, and the verdict carries counterexamples on
+    /// inequivalence.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`] from the underlying extraction.
+    pub fn check<'a>(
+        &self,
+        spec: &Netlist,
+        impl_: impl Into<Circuit<'a>>,
+    ) -> Result<EquivReport, CoreError> {
+        match impl_.into() {
+            Circuit::Flat(nl) => check_equivalence(spec, nl, &self.ctx, &self.options),
+            Circuit::Hier(design) => check_equivalence_hier(spec, design, &self.ctx, &self.options),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
+    use crate::field::nist::irreducible_polynomial;
+    use crate::netlist::mutate::inject_random_bug;
+
+    fn f16() -> Arc<GfContext> {
+        GfContext::shared(irreducible_polynomial(4).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn extract_dispatches_on_argument_type() {
+        let ctx = f16();
+        let v = Verifier::new(&ctx);
+        let flat = v.extract(&mastrovito_multiplier(&ctx)).unwrap();
+        assert!(flat.as_flat().is_some());
+        assert_eq!(format!("{}", flat.function().unwrap().display()), "A*B");
+        let hier = v.extract(&montgomery_multiplier_hier(&ctx)).unwrap();
+        assert!(hier.as_hier().is_some());
+        assert_eq!(format!("{}", hier.function().unwrap().display()), "A*B");
+    }
+
+    #[test]
+    fn check_flat_and_hier() {
+        let ctx = f16();
+        let v = Verifier::new(&ctx).threads(2);
+        let spec = mastrovito_multiplier(&ctx);
+        let report = v.check(&spec, &montgomery_multiplier_hier(&ctx)).unwrap();
+        assert!(report.verdict.is_equivalent());
+        let (buggy, _) = inject_random_bug(&spec, 1);
+        let report = v.check(&spec, &buggy).unwrap();
+        assert!(!report.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn hier_stats_aggregate_blocks() {
+        let ctx = f16();
+        let report = Verifier::new(&ctx)
+            .extract(&montgomery_multiplier_hier(&ctx))
+            .unwrap();
+        let stats = report.stats();
+        assert!(stats.gates > 0);
+        assert!(stats.reduction_steps > 0);
+    }
+}

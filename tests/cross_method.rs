@@ -89,10 +89,8 @@ fn sqrt_circuit_canonical_is_high_degree_power() {
             .canonical()
             .cloned()
             .unwrap();
-        let expected = Poly::from_terms(vec![(
-            Monomial::var_pow(VarId(0), 1 << (k - 1)),
-            ctx.one(),
-        )]);
+        let expected =
+            Poly::from_terms(vec![(Monomial::var_pow(VarId(0), 1 << (k - 1)), ctx.one())]);
         assert_eq!(f.poly(), &expected, "k={k}");
         // And it must functionally invert the squarer.
         for a in ctx.iter_elements() {
@@ -272,8 +270,9 @@ fn hierarchical_and_flat_agree_up_to_k16() {
     for k in [8usize, 16] {
         let ctx = field(k);
         let design = montgomery_multiplier_hier(&ctx);
-        let hier = gfab::core::hier::extract_hierarchical(&design, &ctx, &ExtractOptions::default())
-            .unwrap();
+        let hier =
+            gfab::core::hier::extract_hierarchical(&design, &ctx, &ExtractOptions::default())
+                .unwrap();
         let flat = extract_word_polynomial(&design.flatten(), &ctx)
             .unwrap()
             .canonical()
@@ -294,6 +293,37 @@ fn extraction_at_nist_163_produces_product() {
     let f = result.canonical().expect("Case 1");
     assert_eq!(format!("{}", f.display()), "A*B");
     assert!(result.stats.reduction_steps as usize >= nl.num_gates());
+}
+
+#[test]
+fn serial_equivalence_check_matches_parallel() {
+    // threads=1 regression: the fully serial path must reach the same
+    // verdicts (and the same canonical function) as the threaded one, on
+    // both an equivalent pair and an injected-bug pair.
+    let ctx = field(8);
+    let spec = mastrovito_multiplier(&ctx);
+    let montgomery = montgomery_multiplier_hier(&ctx).flatten();
+    let serial = gfab::Verifier::new(&ctx).threads(1);
+    let threaded = gfab::Verifier::new(&ctx).threads(4);
+
+    let r1 = serial.check(&spec, &montgomery).unwrap();
+    let r4 = threaded.check(&spec, &montgomery).unwrap();
+    match (&r1.verdict, &r4.verdict) {
+        (Verdict::Equivalent { function: f1 }, Verdict::Equivalent { function: f4 }) => {
+            assert!(f1.matches(f4));
+            assert_eq!(format!("{}", f1.display()), "A*B");
+        }
+        other => panic!("expected Equivalent from both paths, got {other:?}"),
+    }
+
+    let (bad, what) = gfab::netlist::mutate::inject_random_bug(&montgomery, 2);
+    let r1 = serial.check(&spec, &bad).unwrap();
+    let r4 = threaded.check(&spec, &bad).unwrap();
+    assert_eq!(
+        r1.verdict.is_equivalent(),
+        r4.verdict.is_equivalent(),
+        "serial and threaded verdicts diverge on injected bug ({what})"
+    );
 }
 
 #[test]

@@ -7,7 +7,7 @@ use gfab::circuits::{gf_adder, mastrovito_multiplier};
 use gfab::core::interpolate::interpolate;
 use gfab::core::{extract_word_polynomial, ExtractOptions};
 use gfab::field::nist::irreducible_polynomial;
-use gfab::field::GfContext;
+use gfab::field::{GfContext, Rng};
 use gfab::netlist::hierarchy::{BlockInst, HierDesign, Signal};
 use gfab::netlist::sim::simulate_word;
 use std::sync::Arc;
@@ -59,15 +59,17 @@ fn three_input_mac_hierarchical_extraction() {
     let ctx = field(8);
     let design = mac_design(&ctx);
     let hier =
-        gfab::core::hier::extract_hierarchical(&design, &ctx, &ExtractOptions::default())
-            .unwrap();
+        gfab::core::hier::extract_hierarchical(&design, &ctx, &ExtractOptions::default()).unwrap();
     assert_eq!(format!("{}", hier.function.display()), "A*C + B*C");
     // Spot-check against simulation.
     let flat = design.flatten();
-    let mut rng = rand::rng();
+    let mut rng = Rng::from_entropy();
     for _ in 0..20 {
         let words: Vec<_> = (0..3).map(|_| ctx.random(&mut rng)).collect();
-        assert_eq!(hier.function.eval(&words), simulate_word(&flat, &ctx, &words));
+        assert_eq!(
+            hier.function.eval(&words),
+            simulate_word(&flat, &ctx, &words)
+        );
     }
 }
 
@@ -114,8 +116,7 @@ fn deep_composition_abc_product() {
         .unwrap();
     assert_eq!(format!("{}", f.display()), "A*B*C");
     let hier =
-        gfab::core::hier::extract_hierarchical(&design, &ctx, &ExtractOptions::default())
-            .unwrap();
+        gfab::core::hier::extract_hierarchical(&design, &ctx, &ExtractOptions::default()).unwrap();
     assert!(hier.function.matches(&f));
 }
 

@@ -1,111 +1,117 @@
-//! Property-based tests of the abstraction engine itself: for *random*
-//! circuits, the extracted canonical polynomial must agree with
+//! Randomized property tests of the abstraction engine itself: for
+//! *random* circuits, the extracted canonical polynomial must agree with
 //! simulation everywhere (the Abstraction Theorem, Theorem 4.2), and
 //! independent derivation routes must coincide (Corollary 4.1 uniqueness).
+//! Deterministic seeds replace an earlier proptest harness so the suite
+//! runs without external dependencies.
 
 use gfab::core::interpolate::interpolate;
-use gfab::core::{extract_word_polynomial, ExtractOptions};
 use gfab::field::nist::irreducible_polynomial;
-use gfab::field::GfContext;
+use gfab::field::{GfContext, Rng};
 use gfab::netlist::random::{random_circuit, RandomCircuitSpec};
 use gfab::netlist::sim::simulate_word;
-use proptest::prelude::*;
+use gfab::Verifier;
 use std::sync::Arc;
 
 fn field(k: usize) -> Arc<GfContext> {
     GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Theorem 4.2 on random 2-input circuits over F_4: the canonical
-    /// polynomial (Case 1 or Case-2-completed) equals the circuit as a
-    /// function, verified exhaustively.
-    #[test]
-    fn abstraction_theorem_on_random_circuits_f4(seed in 0u64..5000, gates in 4usize..40) {
-        let ctx = field(2);
+/// Theorem 4.2 on random 2-input circuits over F_4: the canonical
+/// polynomial (Case 1 or Case-2-completed) equals the circuit as a
+/// function, verified exhaustively.
+#[test]
+fn abstraction_theorem_on_random_circuits_f4() {
+    let ctx = field(2);
+    let verifier = Verifier::new(&ctx);
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed);
         let nl = random_circuit(&RandomCircuitSpec {
             num_input_words: 2,
             width: 2,
-            num_gates: gates,
-            seed,
+            num_gates: rng.random_range(4..40),
+            seed: rng.next_u64(),
         });
-        let result = extract_word_polynomial(&nl, &ctx).unwrap();
-        let f = result.canonical().expect("completion always succeeds on F_4");
+        let report = verifier.extract(&nl).unwrap();
+        let f = report
+            .function()
+            .expect("completion always succeeds on F_4");
         for a in ctx.iter_elements() {
             for b in ctx.iter_elements() {
                 let sim = simulate_word(&nl, &ctx, &[a.clone(), b.clone()]);
-                prop_assert_eq!(f.eval(&[a.clone(), b.clone()]), sim);
+                assert_eq!(f.eval(&[a.clone(), b.clone()]), sim, "seed {seed}");
             }
         }
     }
+}
 
-    /// Uniqueness (Corollary 4.1): Gröbner extraction and Lagrange
-    /// interpolation produce the identical polynomial.
-    #[test]
-    fn uniqueness_of_canonical_form_f8(seed in 0u64..5000) {
-        let ctx = field(3);
+/// Uniqueness (Corollary 4.1): Gröbner extraction and Lagrange
+/// interpolation produce the identical polynomial.
+#[test]
+fn uniqueness_of_canonical_form_f8() {
+    let ctx = field(3);
+    let verifier = Verifier::new(&ctx);
+    for seed in 0..24u64 {
         let nl = random_circuit(&RandomCircuitSpec {
             num_input_words: 1,
             width: 3,
             num_gates: 25,
             seed,
         });
-        let via_gb = extract_word_polynomial(&nl, &ctx)
-            .unwrap()
-            .canonical()
+        let report = verifier.extract(&nl).unwrap();
+        let via_gb = report
+            .function()
             .cloned()
             .expect("Case-2 completion succeeds on F_8");
         let via_lagrange = interpolate(&nl, &ctx).unwrap();
-        prop_assert!(via_gb.matches(&via_lagrange));
+        assert!(via_gb.matches(&via_lagrange), "seed {seed}");
     }
+}
 
-    /// Degree bound of the unique canonical representation
-    /// (Definition 3.1): every exponent is at most q − 1.
-    #[test]
-    fn canonical_exponents_below_field_order(seed in 0u64..5000) {
-        let ctx = field(2);
+/// Degree bound of the unique canonical representation (Definition 3.1):
+/// every exponent is at most q − 1.
+#[test]
+fn canonical_exponents_below_field_order() {
+    let ctx = field(2);
+    let verifier = Verifier::new(&ctx);
+    for seed in 0..24u64 {
         let nl = random_circuit(&RandomCircuitSpec {
             num_input_words: 2,
             width: 2,
             num_gates: 16,
             seed,
         });
-        let f = extract_word_polynomial(&nl, &ctx)
-            .unwrap()
-            .canonical()
-            .cloned()
-            .unwrap();
+        let report = verifier.extract(&nl).unwrap();
+        let f = report.function().cloned().unwrap();
         for (m, _) in f.poly().terms() {
             for &(_, e) in m.factors() {
-                prop_assert!(e <= 3, "exponent {e} exceeds q-1 = 3");
+                assert!(e <= 3, "seed {seed}: exponent {e} exceeds q-1 = 3");
             }
         }
     }
+}
 
-    /// Mutating a circuit never breaks the engine: extraction still
-    /// returns a function that matches simulation.
-    #[test]
-    fn mutations_never_break_extraction(seed in 0u64..1000, bug_seed in 0u64..50) {
-        let ctx = field(2);
+/// Mutating a circuit never breaks the engine: extraction still returns a
+/// function that matches simulation.
+#[test]
+fn mutations_never_break_extraction() {
+    let ctx = field(2);
+    let verifier = Verifier::new(&ctx);
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed);
         let nl = random_circuit(&RandomCircuitSpec {
             num_input_words: 2,
             width: 2,
             num_gates: 12,
-            seed,
+            seed: rng.next_u64(),
         });
-        let (bad, _) = gfab::netlist::mutate::inject_random_bug(&nl, bug_seed);
-        let result = gfab::core::extract_word_polynomial_with(
-            &bad,
-            &ctx,
-            &ExtractOptions::default(),
-        ).unwrap();
-        let f = result.canonical().expect("F_4 completion");
+        let (bad, _) = gfab::netlist::mutate::inject_random_bug(&nl, rng.next_u64());
+        let report = verifier.extract(&bad).unwrap();
+        let f = report.function().expect("F_4 completion");
         for a in ctx.iter_elements() {
             for b in ctx.iter_elements() {
                 let sim = simulate_word(&bad, &ctx, &[a.clone(), b.clone()]);
-                prop_assert_eq!(f.eval(&[a.clone(), b.clone()]), sim);
+                assert_eq!(f.eval(&[a.clone(), b.clone()]), sim, "seed {seed}");
             }
         }
     }

@@ -1,124 +1,171 @@
-//! Property-based tests of the field substrate: `F_2[x]` ring axioms and
-//! `F_{2^k}` field axioms on random elements.
+//! Randomized property tests of the field substrate: `F_2[x]` ring axioms
+//! and `F_{2^k}` field axioms on random elements. Deterministic seeds
+//! replace an earlier proptest harness so the suite runs without external
+//! dependencies.
 
 use gfab::field::nist::{irreducible_polynomial, nist_polynomial};
-use gfab::field::{Gf2Poly, GfContext};
-use proptest::prelude::*;
+use gfab::field::{Gf2Poly, GfContext, Rng};
 
-fn arb_poly(max_limbs: usize) -> impl Strategy<Value = Gf2Poly> {
-    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(Gf2Poly::from_limbs)
+/// A random polynomial with up to `max_limbs` random limbs.
+fn random_poly(rng: &mut Rng, max_limbs: usize) -> Gf2Poly {
+    let n = rng.random_range(0..max_limbs + 1);
+    Gf2Poly::from_limbs((0..n).map(|_| rng.next_u64()).collect())
 }
 
-proptest! {
-    #[test]
-    fn gf2poly_add_is_commutative_and_self_inverse(a in arb_poly(4), b in arb_poly(4)) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert!(a.add(&a).is_zero());
-        prop_assert_eq!(a.add(&Gf2Poly::zero()), a);
+#[test]
+fn gf2poly_add_is_commutative_and_self_inverse() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_poly(&mut rng, 4);
+        let b = random_poly(&mut rng, 4);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert!(a.add(&a).is_zero());
+        assert_eq!(a.add(&Gf2Poly::zero()), a);
     }
+}
 
-    #[test]
-    fn gf2poly_mul_is_commutative_and_associative(
-        a in arb_poly(2), b in arb_poly(2), c in arb_poly(2)
-    ) {
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+#[test]
+fn gf2poly_mul_is_commutative_and_associative() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_poly(&mut rng, 2);
+        let b = random_poly(&mut rng, 2);
+        let c = random_poly(&mut rng, 2);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
     }
+}
 
-    #[test]
-    fn gf2poly_mul_distributes_over_add(a in arb_poly(3), b in arb_poly(3), c in arb_poly(3)) {
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+#[test]
+fn gf2poly_mul_distributes_over_add() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_poly(&mut rng, 3);
+        let b = random_poly(&mut rng, 3);
+        let c = random_poly(&mut rng, 3);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
     }
+}
 
-    #[test]
-    fn gf2poly_divrem_invariant(a in arb_poly(4), b in arb_poly(2)) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn gf2poly_divrem_invariant() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_poly(&mut rng, 4);
+        let b = random_poly(&mut rng, 2);
+        if b.is_zero() {
+            continue;
+        }
         let (q, r) = a.divrem(&b);
-        prop_assert_eq!(q.mul(&b).add(&r), a);
+        assert_eq!(q.mul(&b).add(&r), a);
         if let Some(rd) = r.degree() {
-            prop_assert!(rd < b.degree().unwrap());
+            assert!(rd < b.degree().unwrap());
         }
     }
+}
 
-    #[test]
-    fn gf2poly_square_matches_mul(a in arb_poly(4)) {
-        prop_assert_eq!(a.square(), a.mul(&a));
+#[test]
+fn gf2poly_square_matches_mul() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_poly(&mut rng, 4);
+        assert_eq!(a.square(), a.mul(&a));
     }
+}
 
-    #[test]
-    fn gf2poly_gcd_divides_both(a in arb_poly(2), b in arb_poly(2)) {
-        prop_assume!(!a.is_zero() && !b.is_zero());
+#[test]
+fn gf2poly_gcd_divides_both() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_poly(&mut rng, 2);
+        let b = random_poly(&mut rng, 2);
+        if a.is_zero() || b.is_zero() {
+            continue;
+        }
         let g = a.gcd(&b);
-        prop_assert!(a.rem(&g).is_zero());
-        prop_assert!(b.rem(&g).is_zero());
+        assert!(a.rem(&g).is_zero());
+        assert!(b.rem(&g).is_zero());
     }
+}
 
-    #[test]
-    fn gf2poly_ext_gcd_bezout(a in arb_poly(2), b in arb_poly(2)) {
+#[test]
+fn gf2poly_ext_gcd_bezout() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_poly(&mut rng, 2);
+        let b = random_poly(&mut rng, 2);
         let (g, s, t) = a.ext_gcd(&b);
-        prop_assert_eq!(s.mul(&a).add(&t.mul(&b)), g);
+        assert_eq!(s.mul(&a).add(&t.mul(&b)), g);
     }
 }
 
 // Field axioms over F_2^16 on random elements.
-proptest! {
-    #[test]
-    fn f16_field_axioms(abits in any::<u64>(), bbits in any::<u64>(), cbits in any::<u64>()) {
-        let ctx = GfContext::new(irreducible_polynomial(16).unwrap()).unwrap();
-        let a = ctx.from_u64(abits & 0xFFFF);
-        let b = ctx.from_u64(bbits & 0xFFFF);
-        let c = ctx.from_u64(cbits & 0xFFFF);
+#[test]
+fn f16_field_axioms() {
+    let ctx = GfContext::new(irreducible_polynomial(16).unwrap()).unwrap();
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = ctx.from_u64(rng.next_u64() & 0xFFFF);
+        let b = ctx.from_u64(rng.next_u64() & 0xFFFF);
+        let c = ctx.from_u64(rng.next_u64() & 0xFFFF);
         // Associativity & commutativity.
-        prop_assert_eq!(ctx.mul(&a, &b), ctx.mul(&b, &a));
-        prop_assert_eq!(ctx.mul(&ctx.mul(&a, &b), &c), ctx.mul(&a, &ctx.mul(&b, &c)));
+        assert_eq!(ctx.mul(&a, &b), ctx.mul(&b, &a));
+        assert_eq!(ctx.mul(&ctx.mul(&a, &b), &c), ctx.mul(&a, &ctx.mul(&b, &c)));
         // Distributivity.
-        prop_assert_eq!(
+        assert_eq!(
             ctx.mul(&a, &ctx.add(&b, &c)),
             ctx.add(&ctx.mul(&a, &b), &ctx.mul(&a, &c))
         );
         // Identity and inverse.
-        prop_assert_eq!(ctx.mul(&a, &ctx.one()), a.clone());
+        assert_eq!(ctx.mul(&a, &ctx.one()), a.clone());
         if !a.is_zero() {
             let ai = ctx.inv(&a).unwrap();
-            prop_assert_eq!(ctx.mul(&a, &ai), ctx.one());
+            assert_eq!(ctx.mul(&a, &ai), ctx.one());
         }
         // Squaring is the Frobenius endomorphism: (a+b)² = a² + b².
-        prop_assert_eq!(
+        assert_eq!(
             ctx.square(&ctx.add(&a, &b)),
             ctx.add(&ctx.square(&a), &ctx.square(&b))
         );
     }
+}
 
-    #[test]
-    fn nist163_mul_inverse_roundtrip(bits in prop::collection::vec(any::<u64>(), 3)) {
-        let ctx = GfContext::new(nist_polynomial(163).unwrap()).unwrap();
+#[test]
+fn nist163_mul_inverse_roundtrip() {
+    let ctx = GfContext::new(nist_polynomial(163).unwrap()).unwrap();
+    for seed in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let bits: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
         let a = ctx.element(Gf2Poly::from_limbs(bits));
-        prop_assume!(!a.is_zero());
+        if a.is_zero() {
+            continue;
+        }
         let ai = ctx.inv(&a).unwrap();
-        prop_assert_eq!(ctx.mul(&a, &ai), ctx.one());
+        assert_eq!(ctx.mul(&a, &ai), ctx.one());
         // Fermat: a^(2^163) = a, via multi-limb exponent 2^163.
         let mut e = vec![0u64; 3];
         e[2] = 1 << (163 - 128);
-        prop_assert_eq!(ctx.pow_limbs(&a, &e), a);
+        assert_eq!(ctx.pow_limbs(&a, &e), a);
     }
+}
 
-    #[test]
-    fn montgomery_identity_holds(abits in any::<u64>(), bbits in any::<u64>()) {
-        // MonPro semantics: A·B·R⁻¹ scaled back by R² twice equals A·B.
-        let ctx = GfContext::new(irreducible_polynomial(12).unwrap()).unwrap();
-        let a = ctx.from_u64(abits & 0xFFF);
-        let b = ctx.from_u64(bbits & 0xFFF);
+#[test]
+fn montgomery_identity_holds() {
+    // MonPro semantics: A·B·R⁻¹ scaled back by R² twice equals A·B.
+    let ctx = GfContext::new(irreducible_polynomial(12).unwrap()).unwrap();
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = ctx.from_u64(rng.next_u64() & 0xFFF);
+        let b = ctx.from_u64(rng.next_u64() & 0xFFF);
         let r = ctx.montgomery_r();
         let rinv = ctx.montgomery_r_inv();
-        let monpro = |x: &gfab::field::Gf, y: &gfab::field::Gf| {
-            ctx.mul(&ctx.mul(x, y), &rinv)
-        };
+        let monpro = |x: &gfab::field::Gf, y: &gfab::field::Gf| ctx.mul(&ctx.mul(x, y), &rinv);
         let ar = monpro(&a, &ctx.montgomery_r2());
         let br = monpro(&b, &ctx.montgomery_r2());
-        prop_assert_eq!(ar, ctx.mul(&a, &r));
+        assert_eq!(ar, ctx.mul(&a, &r));
         let abr = monpro(&ctx.mul(&a, &r), &ctx.mul(&b, &r));
         let g = monpro(&abr, &ctx.one());
-        prop_assert_eq!(g, ctx.mul(&a, &b));
+        assert_eq!(g, ctx.mul(&a, &b));
         let _ = br;
     }
 }
