@@ -18,10 +18,11 @@
 
 use gfab_bench::{fmt_secs, TableArgs};
 use gfab_circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
-use gfab_core::equiv::check_equivalence;
+use gfab_core::equiv::{check_equivalence, Verdict};
 use gfab_core::fullgb::{full_gb_abstraction, CircuitVarOrder, FullGbOutcome};
 use gfab_core::ideal_membership::{multiplier_spec, spec_ring, verify_against_spec};
 use gfab_core::ExtractOptions;
+use gfab_field::budget::BudgetSpec;
 use gfab_field::nist::irreducible_polynomial;
 use gfab_field::GfContext;
 use gfab_poly::buchberger::GbLimits;
@@ -29,11 +30,13 @@ use gfab_sat::equiv::{check_equivalence_sat_with, SatVerdict};
 use std::time::Instant;
 
 const SAT_CONFLICT_BUDGET: u64 = 300_000;
-/// Per-cell wall-clock "timeout" (the paper used 24 h; we use 2 min).
+/// Per-cell wall-clock "timeout" (the paper used 24 h; we use 2 min;
+/// override with `--timeout SECS`).
 const WALL_BUDGET: std::time::Duration = std::time::Duration::from_secs(120);
 
 fn main() {
     let args = TableArgs::parse();
+    let wall = args.wall_budget(WALL_BUDGET);
     let ks = args.sweep(&[2, 3, 4, 6, 8, 10, 12, 16], &[24, 32, 48, 64]);
 
     println!("Method comparison: prove Mastrovito == Montgomery (flattened miter)");
@@ -53,11 +56,11 @@ fn main() {
 
         // (a) SAT miter.
         let t = Instant::now();
-        let sat = check_equivalence_sat_with(&spec, &impl_, SAT_CONFLICT_BUDGET, Some(WALL_BUDGET));
+        let sat = check_equivalence_sat_with(&spec, &impl_, SAT_CONFLICT_BUDGET, Some(wall));
         let sat_cell = match sat.verdict {
             SatVerdict::Equivalent => format!("eq {}", fmt_secs(t.elapsed())),
             SatVerdict::Counterexample(_) => format!("CEX {}", fmt_secs(t.elapsed())),
-            SatVerdict::Unknown => "give-up".to_string(),
+            SatVerdict::Unknown(_) => "give-up".to_string(),
         };
 
         // (b) Full Gröbner basis abstraction on the (smaller) spec circuit.
@@ -65,7 +68,7 @@ fn main() {
             max_pair_reductions: 20_000,
             max_basis: 5_000,
             max_poly_terms: 2_000_000,
-            max_wall_ms: 120_000, // 2-minute "timeout" per cell
+            max_wall_ms: wall.as_millis() as u64,
         };
         let t = Instant::now();
         let gb_cell =
@@ -86,13 +89,19 @@ fn main() {
             Err(e) => format!("err:{e}"),
         };
 
-        // (d) Guided abstraction (ours): full equivalence check.
+        // (d) Guided abstraction (ours): full equivalence check, under the
+        // same per-cell wall budget as the baselines (budget exhaustion
+        // shows up as a graceful give-up cell, not an abort).
+        let options = ExtractOptions::default().with_budget(BudgetSpec::wall(wall));
         let t = Instant::now();
-        let ours_cell = match check_equivalence(&spec, &impl_, &ctx, &ExtractOptions::default()) {
+        let ours_cell = match check_equivalence(&spec, &impl_, &ctx, &options) {
             Ok(report) if report.verdict.is_equivalent() => {
                 format!("eq {}", fmt_secs(t.elapsed()))
             }
-            Ok(_) => "INEQ".to_string(),
+            Ok(report) => match report.verdict {
+                Verdict::Unknown { .. } => "give-up".to_string(),
+                _ => "INEQ".to_string(),
+            },
             Err(e) => format!("err:{e}"),
         };
 

@@ -96,8 +96,9 @@ pub fn fmt_gates(n: usize) -> String {
 }
 
 /// Parses the common CLI flags of the table binaries: `--full` enables the
-/// NIST-scale rows; `--threads N` sets the extraction thread budget; a
-/// trailing list of integers overrides the k sweep.
+/// NIST-scale rows; `--threads N` sets the extraction thread budget;
+/// `--timeout SECS` overrides the per-cell wall budget; a trailing list of
+/// integers overrides the k sweep.
 pub struct TableArgs {
     /// Whether `--full` was passed.
     pub full: bool,
@@ -105,6 +106,8 @@ pub struct TableArgs {
     pub ks: Vec<usize>,
     /// Worker-thread budget (`0` = available parallelism).
     pub threads: usize,
+    /// Per-cell wall-clock budget override, if `--timeout` was given.
+    pub timeout: Option<std::time::Duration>,
 }
 
 impl TableArgs {
@@ -113,6 +116,7 @@ impl TableArgs {
         let mut full = false;
         let mut ks = Vec::new();
         let mut threads = 0usize;
+        let mut timeout = None;
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             if a == "--full" {
@@ -122,14 +126,30 @@ impl TableArgs {
                     eprintln!("--threads needs a number");
                     std::process::exit(2);
                 });
+            } else if a == "--timeout" {
+                let secs: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--timeout needs a number of seconds");
+                    std::process::exit(2);
+                });
+                timeout = Some(std::time::Duration::from_secs(secs));
             } else if let Ok(k) = a.parse::<usize>() {
                 ks.push(k);
             } else {
-                eprintln!("usage: [--full] [--threads N] [k ...]");
+                eprintln!("usage: [--full] [--threads N] [--timeout SECS] [k ...]");
                 std::process::exit(2);
             }
         }
-        TableArgs { full, ks, threads }
+        TableArgs {
+            full,
+            ks,
+            threads,
+            timeout,
+        }
+    }
+
+    /// The per-cell wall budget: `--timeout` if given, else `default`.
+    pub fn wall_budget(&self, default: std::time::Duration) -> std::time::Duration {
+        self.timeout.unwrap_or(default)
     }
 
     /// The k sweep: explicit values win; otherwise `quick`, extended by

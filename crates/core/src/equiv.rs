@@ -7,12 +7,13 @@
 //! produced.
 
 use crate::error::CoreError;
-use crate::extract::{extract_word_polynomial_with, ExtractOptions, ExtractionStats};
-use crate::hier::extract_hierarchical;
+use crate::extract::{extract_word_polynomial_budgeted, ExtractOptions, ExtractionStats};
+use crate::hier::extract_hierarchical_budgeted;
 use crate::wordfn::WordFunction;
+use gfab_field::budget::Budget;
 use gfab_field::{Gf, GfContext, Rng};
 use gfab_netlist::hierarchy::HierDesign;
-use gfab_netlist::sim::random_equivalence_check_sharded;
+use gfab_netlist::sim::{random_equivalence_check_budgeted, SimOutcome};
 use gfab_netlist::Netlist;
 use std::sync::Arc;
 
@@ -43,8 +44,24 @@ pub enum Verdict {
         /// The distinguishing input words.
         counterexample: Vec<Gf>,
     },
+    /// The word-level pipeline ran out of budget (or stayed residual), but
+    /// the SAT miter fallback proved the circuits equivalent (UNSAT miter).
+    /// Constructed by the `Verifier` fallback ladder, never by
+    /// [`check_equivalence`] itself.
+    EquivalentBySat {
+        /// Conflicts the solver spent on the proof.
+        conflicts: u64,
+    },
+    /// The SAT miter fallback found a concrete distinguishing input
+    /// assignment after the word-level pipeline could not decide.
+    InequivalentBySat {
+        /// The distinguishing input words.
+        counterexample: Vec<Gf>,
+        /// Conflicts the solver spent before finding it.
+        conflicts: u64,
+    },
     /// A canonical form could not be derived for one side (Case-2 residual
-    /// on a large field); the reason is reported.
+    /// on a large field, or budget exhaustion); the reason is reported.
     Unknown {
         /// Why no decision was reached.
         reason: String,
@@ -52,9 +69,13 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    /// Whether the verdict is [`Verdict::Equivalent`].
+    /// Whether the verdict proves equivalence ([`Verdict::Equivalent`] or
+    /// [`Verdict::EquivalentBySat`]).
     pub fn is_equivalent(&self) -> bool {
-        matches!(self, Verdict::Equivalent { .. })
+        matches!(
+            self,
+            Verdict::Equivalent { .. } | Verdict::EquivalentBySat { .. }
+        )
     }
 }
 
@@ -82,6 +103,31 @@ pub fn check_equivalence(
     ctx: &Arc<GfContext>,
     options: &ExtractOptions,
 ) -> Result<EquivReport, CoreError> {
+    check_equivalence_budgeted(spec, impl_, ctx, options, &options.budget.start())
+}
+
+/// [`check_equivalence`] under an already-running cooperative [`Budget`]
+/// shared by both abstractions (and, in the `Verifier` ladder, by the SAT
+/// fallback that may follow). Budget exhaustion mid-pipeline degrades to
+/// [`Verdict::Unknown`] with the exhausted resource named — never an
+/// error — so a caller can always act on the verdict.
+///
+/// Determinism: work units are charged only by the (deterministic)
+/// word-level algebra, so under a pure work cap the verdict is identical
+/// at any thread count. Wall-clock deadlines only decide *whether* a run
+/// completes, never what a completed run returns.
+///
+/// # Errors
+///
+/// As [`check_equivalence`]; additionally [`CoreError::BudgetExhausted`]
+/// when the budget is spent before any partial result exists.
+pub fn check_equivalence_budgeted(
+    spec: &Netlist,
+    impl_: &Netlist,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+    budget: &Budget,
+) -> Result<EquivReport, CoreError> {
     check_signatures(spec, impl_)?;
     // Cheap pre-check on larger fields: 64 random co-simulations refute a
     // buggy pair in milliseconds, where the Case-2 completion a buggy
@@ -90,25 +136,38 @@ pub fn check_equivalence(
     // diagnostics, and the completion there is fast anyway).
     if ctx.k() > 5 {
         let mut rng = Rng::seed_from_u64(0xFA57);
-        if let Err(cex) =
-            random_equivalence_check_sharded(spec, impl_, ctx, 64, &mut rng, options.threads)
-        {
-            return Ok(EquivReport {
-                verdict: Verdict::InequivalentBySimulation {
-                    counterexample: cex,
-                },
-                spec_stats: ExtractionStats::default(),
-                impl_stats: ExtractionStats::default(),
-            });
+        match random_equivalence_check_budgeted(
+            spec,
+            impl_,
+            ctx,
+            64,
+            &mut rng,
+            options.threads,
+            budget,
+        ) {
+            SimOutcome::Differ(cex) => {
+                return Ok(EquivReport {
+                    verdict: Verdict::InequivalentBySimulation {
+                        counterexample: cex,
+                    },
+                    spec_stats: ExtractionStats::default(),
+                    impl_stats: ExtractionStats::default(),
+                });
+            }
+            // An interrupted sweep proves nothing; fall through and let
+            // the word-level phase (or its own entry poll) decide.
+            SimOutcome::Agree | SimOutcome::OutOfBudget(_) => {}
         }
     }
     // Spec and impl abstractions are independent; run them on two scoped
     // threads when the thread budget allows. Error precedence (spec first)
-    // matches the serial path, so behaviour is identical either way.
+    // matches the serial path, so behaviour is identical either way. Both
+    // sides tick the *same* budget: a work cap bounds the query total.
     let (spec_res, impl_res) = if options.effective_threads() > 1 {
         std::thread::scope(|scope| {
-            let spec_handle = scope.spawn(|| extract_word_polynomial_with(spec, ctx, options));
-            let impl_res = extract_word_polynomial_with(impl_, ctx, options);
+            let spec_handle =
+                scope.spawn(|| extract_word_polynomial_budgeted(spec, ctx, options, budget));
+            let impl_res = extract_word_polynomial_budgeted(impl_, ctx, options, budget);
             (
                 spec_handle.join().expect("spec extraction thread panicked"),
                 impl_res,
@@ -116,8 +175,8 @@ pub fn check_equivalence(
         })
     } else {
         (
-            extract_word_polynomial_with(spec, ctx, options),
-            extract_word_polynomial_with(impl_, ctx, options),
+            extract_word_polynomial_budgeted(spec, ctx, options, budget),
+            extract_word_polynomial_budgeted(impl_, ctx, options, budget),
         )
     };
     let (spec_res, impl_res) = (spec_res?, impl_res?);
@@ -125,23 +184,42 @@ pub fn check_equivalence(
         (Some(f1), Some(f2)) => decide(f1.clone(), f2.clone()),
         (a, _) => {
             // One side stayed a Case-2 residual (large field, completion
-            // unavailable). Try to at least *refute* equivalence by random
-            // simulation before reporting Unknown: over a large field a
-            // functional difference is detected with overwhelming
-            // probability.
-            let side = if a.is_none() { "spec" } else { "impl" };
+            // unavailable) or timed out. Try to at least *refute*
+            // equivalence by random simulation before reporting Unknown:
+            // over a large field a functional difference is detected with
+            // overwhelming probability.
             let mut rng = Rng::seed_from_u64(0xCEC);
-            match random_equivalence_check_sharded(spec, impl_, ctx, 256, &mut rng, options.threads)
-            {
-                Err(cex) => Verdict::InequivalentBySimulation {
+            let sim = random_equivalence_check_budgeted(
+                spec,
+                impl_,
+                ctx,
+                256,
+                &mut rng,
+                options.threads,
+                budget,
+            );
+            if let SimOutcome::Differ(cex) = sim {
+                Verdict::InequivalentBySimulation {
                     counterexample: cex,
-                },
-                Ok(()) => Verdict::Unknown {
+                }
+            } else if let Some(reason) = budget.exhausted() {
+                // Deliberately side-agnostic: with a shared work cap and
+                // parallel extraction, *which* side trips first races —
+                // the fact of exhaustion does not.
+                Verdict::Unknown {
+                    reason: format!(
+                        "word-level abstraction ran out of budget ({reason}) \
+                         before reaching a canonical form"
+                    ),
+                }
+            } else {
+                let side = if a.is_none() { "spec" } else { "impl" };
+                Verdict::Unknown {
                     reason: format!(
                         "{side} abstraction did not reach a canonical form \
                          (and 256 random simulations found no difference)"
                     ),
-                },
+                }
             }
         }
     };
@@ -164,13 +242,32 @@ pub fn check_equivalence_hier(
     ctx: &Arc<GfContext>,
     options: &ExtractOptions,
 ) -> Result<EquivReport, CoreError> {
+    check_equivalence_hier_budgeted(spec, impl_, ctx, options, &options.budget.start())
+}
+
+/// [`check_equivalence_hier`] under an already-running cooperative
+/// [`Budget`] shared by the spec extraction and every block of the
+/// hierarchical impl. Exhaustion degrades to [`Verdict::Unknown`] naming
+/// the resource.
+///
+/// # Errors
+///
+/// As [`check_equivalence_hier`].
+pub fn check_equivalence_hier_budgeted(
+    spec: &Netlist,
+    impl_: &HierDesign,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+    budget: &Budget,
+) -> Result<EquivReport, CoreError> {
     // As in the flat case, spec extraction and the hierarchical impl
     // extraction run concurrently when the thread budget allows (the
     // hierarchical side additionally shards its blocks internally).
     let (spec_res, hier) = if options.effective_threads() > 1 {
         std::thread::scope(|scope| {
-            let spec_handle = scope.spawn(|| extract_word_polynomial_with(spec, ctx, options));
-            let hier = extract_hierarchical(impl_, ctx, options);
+            let spec_handle =
+                scope.spawn(|| extract_word_polynomial_budgeted(spec, ctx, options, budget));
+            let hier = extract_hierarchical_budgeted(impl_, ctx, options, budget);
             (
                 spec_handle.join().expect("spec extraction thread panicked"),
                 hier,
@@ -178,26 +275,50 @@ pub fn check_equivalence_hier(
         })
     } else {
         (
-            extract_word_polynomial_with(spec, ctx, options),
-            extract_hierarchical(impl_, ctx, options),
+            extract_word_polynomial_budgeted(spec, ctx, options, budget),
+            extract_hierarchical_budgeted(impl_, ctx, options, budget),
         )
     };
-    let (spec_res, hier) = (spec_res?, hier?);
-    let verdict = match spec_res.canonical() {
-        Some(f1) => decide(f1.clone(), hier.function.clone()),
-        None => Verdict::Unknown {
-            reason: "spec abstraction did not reach a canonical form".into(),
-        },
+    // A budget trip inside a hierarchical block is not an error at this
+    // level: it degrades to an Unknown verdict so the caller's fallback
+    // ladder can still act. Other errors (and any spec error) propagate.
+    let hier = match hier {
+        Ok(h) => Some(h),
+        Err(CoreError::BudgetExhausted { .. }) => None,
+        Err(e) => {
+            spec_res?; // spec error precedence matches the flat path
+            return Err(e);
+        }
+    };
+    let spec_res = spec_res?;
+    let verdict = match (spec_res.canonical(), &hier) {
+        (Some(f1), Some(h)) => decide(f1.clone(), h.function.clone()),
+        _ => {
+            if let Some(reason) = budget.exhausted() {
+                Verdict::Unknown {
+                    reason: format!(
+                        "word-level abstraction ran out of budget ({reason}) \
+                         before reaching a canonical form"
+                    ),
+                }
+            } else {
+                Verdict::Unknown {
+                    reason: "spec abstraction did not reach a canonical form".into(),
+                }
+            }
+        }
     };
     // Aggregate block stats for reporting.
     let mut impl_stats = ExtractionStats::default();
-    for (_, _, s) in &hier.blocks {
-        impl_stats.gates += s.gates;
-        impl_stats.reduction_steps += s.reduction_steps;
-        impl_stats.peak_terms = impl_stats.peak_terms.max(s.peak_terms);
-        impl_stats.duration += s.duration;
+    if let Some(h) = &hier {
+        for (_, _, s) in &h.blocks {
+            impl_stats.gates += s.gates;
+            impl_stats.reduction_steps += s.reduction_steps;
+            impl_stats.peak_terms = impl_stats.peak_terms.max(s.peak_terms);
+            impl_stats.duration += s.duration;
+        }
+        impl_stats.duration += h.compose_time;
     }
-    impl_stats.duration += hier.compose_time;
     Ok(EquivReport {
         verdict,
         spec_stats: spec_res.stats,
@@ -339,6 +460,7 @@ mod tests {
                 Verdict::Unknown { reason } => {
                     panic!("seed {seed} ({what}): unexpected Unknown: {reason}")
                 }
+                other => panic!("seed {seed} ({what}): SAT verdict without SAT rung: {other:?}"),
             }
         }
         assert!(

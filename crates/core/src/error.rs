@@ -1,5 +1,6 @@
 //! Error type for the abstraction engine.
 
+use gfab_field::budget::ExhaustedReason;
 use gfab_netlist::NetlistError;
 use gfab_poly::PolyError;
 use std::fmt;
@@ -30,6 +31,16 @@ pub enum CoreError {
     MissingAbstractionPolynomial,
     /// Two designs cannot be compared (different input signatures).
     SignatureMismatch(String),
+    /// A cooperative resource budget ran out in a phase with no partial
+    /// result worth keeping (model construction, hierarchical block
+    /// extraction). Phases that *can* degrade gracefully report through
+    /// `Extraction::TimedOut` / `Verdict::Unknown` instead.
+    BudgetExhausted {
+        /// The pipeline phase that was cut short.
+        phase: String,
+        /// Which resource ran out.
+        reason: ExhaustedReason,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +59,9 @@ impl fmt::Display for CoreError {
                 "no Z + G(A) polynomial in the Groebner basis (internal error)"
             ),
             CoreError::SignatureMismatch(msg) => write!(f, "signature mismatch: {msg}"),
+            CoreError::BudgetExhausted { phase, reason } => {
+                write!(f, "budget exhausted during {phase}: {reason}")
+            }
         }
     }
 }
@@ -70,6 +84,15 @@ impl From<NetlistError> for CoreError {
 
 impl From<PolyError> for CoreError {
     fn from(e: PolyError) -> Self {
-        CoreError::Poly(e)
+        match e {
+            // Budget trips surface as a first-class outcome, not as an
+            // opaque polynomial error: callers match on them to trigger
+            // the SAT fallback ladder.
+            PolyError::BudgetExceeded(b) => CoreError::BudgetExhausted {
+                phase: "polynomial algebra".into(),
+                reason: b.reason,
+            },
+            e => CoreError::Poly(e),
+        }
     }
 }

@@ -24,12 +24,13 @@
 use crate::error::CoreError;
 use crate::model::CircuitModel;
 use crate::wordfn::WordFunction;
+use gfab_field::budget::{Budget, BudgetSpec, ExhaustedReason};
 use gfab_field::GfContext;
 use gfab_netlist::Netlist;
-use gfab_poly::buchberger::{reduced_groebner_basis, GbLimits, GbOutcome};
+use gfab_poly::buchberger::{reduced_groebner_basis_budgeted, GbLimits, GbOutcome};
 use gfab_poly::reduce::Reducer;
 use gfab_poly::vanishing::vanishing_ideal_all;
-use gfab_poly::{ExponentMode, Monomial, Poly, Ring, RingBuilder, VarId, VarKind};
+use gfab_poly::{ExponentMode, Monomial, Poly, PolyError, Ring, RingBuilder, VarId, VarKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,6 +48,12 @@ pub struct ExtractOptions {
     /// the sharded simulation sweep). `0` means "use all available
     /// parallelism". Results are bit-identical for every thread count.
     pub threads: usize,
+    /// Per-query resource budget (wall-clock deadline and/or work-unit
+    /// cap); the deadline is pinned when each query starts. Exhaustion is
+    /// not an error: extraction degrades to [`Extraction::TimedOut`] and
+    /// equivalence checking to an `Unknown` verdict (or the SAT fallback,
+    /// when driven through the `Verifier` ladder).
+    pub budget: BudgetSpec,
 }
 
 impl Default for ExtractOptions {
@@ -63,6 +70,7 @@ impl Default for ExtractOptions {
                 ..GbLimits::default()
             },
             threads: 0,
+            budget: BudgetSpec::none(),
         }
     }
 }
@@ -72,6 +80,12 @@ impl ExtractOptions {
     /// parallelism).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with the given per-query resource budget.
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -108,6 +122,9 @@ pub struct ExtractionStats {
     pub reduce_time: Duration,
     /// Wall-clock time of the Case-2 completion (zero when it did not run).
     pub case2_time: Duration,
+    /// Set when a resource budget cut the extraction short: which phase
+    /// was interrupted and which resource ran out.
+    pub budget_exhausted: Option<String>,
 }
 
 /// The outcome of an extraction.
@@ -123,6 +140,15 @@ pub enum Extraction {
         remainder: Poly,
         /// Why no canonical form was produced.
         note: String,
+    },
+    /// The resource budget ran out mid-phase, before even a residual was
+    /// available. A structured partial outcome, not an error: the stats
+    /// carry the per-phase accounting up to the interruption.
+    TimedOut {
+        /// The phase that was interrupted (e.g. `"guided reduction"`).
+        phase: String,
+        /// Which resource ran out.
+        reason: ExhaustedReason,
     },
 }
 
@@ -142,7 +168,7 @@ impl ExtractionResult {
     pub fn canonical(&self) -> Option<&WordFunction> {
         match &self.outcome {
             Extraction::Canonical(f) => Some(f),
-            Extraction::Residual { .. } => None,
+            Extraction::Residual { .. } | Extraction::TimedOut { .. } => None,
         }
     }
 
@@ -150,7 +176,7 @@ impl ExtractionResult {
     pub fn residual(&self) -> Option<&Poly> {
         match &self.outcome {
             Extraction::Residual { remainder, .. } => Some(remainder),
-            Extraction::Canonical(_) => None,
+            Extraction::Canonical(_) | Extraction::TimedOut { .. } => None,
         }
     }
 }
@@ -183,8 +209,31 @@ pub fn extract_word_polynomial_with(
     ctx: &Arc<GfContext>,
     options: &ExtractOptions,
 ) -> Result<ExtractionResult, CoreError> {
+    extract_word_polynomial_budgeted(nl, ctx, options, &options.budget.start())
+}
+
+/// [`extract_word_polynomial_with`] under an already-running cooperative
+/// [`Budget`] — the entry point used when one budget spans several
+/// extractions (both sides of an equivalence query, all blocks of a
+/// hierarchical design). The budget is polled in the division hot loop
+/// and throughout the Case-2 completion; exhaustion mid-reduction yields
+/// [`Extraction::TimedOut`], exhaustion during Case 2 a residual.
+///
+/// # Errors
+///
+/// * [`CoreError::Netlist`] / [`CoreError::WidthMismatch`] from model
+///   construction;
+/// * [`CoreError::BudgetExhausted`] when the budget is already spent
+///   before the model exists (no partial result to return);
+/// * [`CoreError::Poly`] on exponent overflow (pathological inputs).
+pub fn extract_word_polynomial_budgeted(
+    nl: &Netlist,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+    budget: &Budget,
+) -> Result<ExtractionResult, CoreError> {
     let start = Instant::now();
-    let model = CircuitModel::build(nl, ctx)?;
+    let model = CircuitModel::build_budgeted(nl, ctx, budget)?;
     let mut stats = ExtractionStats {
         gates: nl.num_gates(),
         ring_vars: model.ring.num_vars(),
@@ -195,7 +244,25 @@ pub fn extract_word_polynomial_with(
     // The guided reduction: one normal form of f_w against F ∪ J_0.
     let reduce_start = Instant::now();
     let reducer = Reducer::new(&model.ring, model.divisors());
-    let (r, rstats) = reducer.normal_form_with_stats(&model.output_word_poly)?;
+    let (r, rstats) = match reducer.normal_form_budgeted(&model.output_word_poly, budget) {
+        Ok(ok) => ok,
+        Err(PolyError::BudgetExceeded(e)) => {
+            // Graceful degradation: the interruption is a structured
+            // outcome carrying per-phase accounting, not an error.
+            stats.reduce_time = reduce_start.elapsed();
+            stats.budget_exhausted = Some(format!("guided reduction: {}", e.reason));
+            stats.duration = start.elapsed();
+            return Ok(ExtractionResult {
+                model,
+                outcome: Extraction::TimedOut {
+                    phase: "guided reduction".into(),
+                    reason: e.reason,
+                },
+                stats,
+            });
+        }
+        Err(e) => return Err(e.into()),
+    };
     stats.reduce_time = reduce_start.elapsed();
     stats.reduction_steps = rstats.steps;
     stats.peak_terms = rstats.peak_terms;
@@ -226,9 +293,14 @@ pub fn extract_word_polynomial_with(
     } else {
         stats.case2_completion = true;
         let case2_start = Instant::now();
-        let outcome = match complete_case2(&model, ctx, &r, &options.gb_limits)? {
+        let outcome = match complete_case2(&model, ctx, &r, &options.gb_limits, budget)? {
             Case2Outcome::Canonical(f) => Extraction::Canonical(f),
-            Case2Outcome::GaveUp(note) => Extraction::Residual { remainder: r, note },
+            Case2Outcome::GaveUp(note) => {
+                if let Some(reason) = budget.exhausted() {
+                    stats.budget_exhausted = Some(format!("case-2 completion: {reason}"));
+                }
+                Extraction::Residual { remainder: r, note }
+            }
         };
         stats.case2_time = case2_start.elapsed();
         outcome
@@ -287,6 +359,7 @@ fn complete_case2(
     ctx: &Arc<GfContext>,
     r: &Poly,
     limits: &GbLimits,
+    budget: &Budget,
 ) -> Result<Case2Outcome, CoreError> {
     // The completion ring is the tail of the model ring: every variable
     // from the first primary-input bit onward, in the same order, but in
@@ -314,7 +387,7 @@ fn complete_case2(
     }
     generators.extend(vanishing_ideal_all(&cring)?);
 
-    match reduced_groebner_basis(&cring, &generators, limits)? {
+    match reduced_groebner_basis_budgeted(&cring, &generators, limits, budget)? {
         GbOutcome::LimitExceeded { reason, .. } => Ok(Case2Outcome::GaveUp(reason)),
         GbOutcome::Complete { basis, .. } => {
             let z = down(model.z_var);

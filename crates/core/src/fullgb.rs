@@ -11,9 +11,10 @@
 
 use crate::error::CoreError;
 use crate::wordfn::WordFunction;
+use gfab_field::budget::Budget;
 use gfab_field::GfContext;
 use gfab_netlist::{NetId, Netlist};
-use gfab_poly::buchberger::{reduced_groebner_basis, GbLimits, GbOutcome, GbStats};
+use gfab_poly::buchberger::{reduced_groebner_basis_budgeted, GbLimits, GbOutcome, GbStats};
 use gfab_poly::vanishing::vanishing_ideal_all;
 use gfab_poly::{ExponentMode, Monomial, Poly, RingBuilder, VarId, VarKind};
 use std::sync::Arc;
@@ -66,6 +67,25 @@ pub fn full_gb_abstraction(
     ctx: &Arc<GfContext>,
     order: CircuitVarOrder,
     limits: &GbLimits,
+) -> Result<FullGbOutcome, CoreError> {
+    full_gb_abstraction_budgeted(nl, ctx, order, limits, &Budget::unlimited())
+}
+
+/// [`full_gb_abstraction`] under a cooperative [`Budget`], polled in the
+/// Buchberger pair loop and the inner reductions. Exhaustion degrades to
+/// [`FullGbOutcome::GaveUp`] — exactly like the paper-facing resource
+/// limits, since for this deliberately explosive baseline giving up *is*
+/// the expected result.
+///
+/// # Errors
+///
+/// As [`full_gb_abstraction`].
+pub fn full_gb_abstraction_budgeted(
+    nl: &Netlist,
+    ctx: &Arc<GfContext>,
+    order: CircuitVarOrder,
+    limits: &GbLimits,
+    budget: &Budget,
 ) -> Result<FullGbOutcome, CoreError> {
     nl.validate()?;
     // Build a Plain-mode ring: circuit bits (per `order`) > PI bits > Z >
@@ -125,7 +145,7 @@ pub fn full_gb_abstraction(
     }
     generators.extend(vanishing_ideal_all(&ring)?);
 
-    match reduced_groebner_basis(&ring, &generators, limits)? {
+    match reduced_groebner_basis_budgeted(&ring, &generators, limits, budget)? {
         GbOutcome::LimitExceeded { reason, stats } => Ok(FullGbOutcome::GaveUp { reason, stats }),
         GbOutcome::Complete { basis, stats } => {
             let hit = basis

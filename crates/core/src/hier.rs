@@ -7,8 +7,11 @@
 //! second)." — Section 6.
 
 use crate::error::CoreError;
-use crate::extract::{extract_word_polynomial_with, ExtractOptions, ExtractionStats};
+use crate::extract::{
+    extract_word_polynomial_budgeted, ExtractOptions, Extraction, ExtractionStats,
+};
 use crate::wordfn::WordFunction;
+use gfab_field::budget::Budget;
 use gfab_field::GfContext;
 use gfab_netlist::hierarchy::{HierDesign, Signal};
 use gfab_poly::{ExponentMode, Monomial, Poly, RingBuilder, VarId, VarKind};
@@ -40,6 +43,24 @@ pub fn extract_hierarchical(
     ctx: &Arc<GfContext>,
     options: &ExtractOptions,
 ) -> Result<HierExtraction, CoreError> {
+    extract_hierarchical_budgeted(design, ctx, options, &options.budget.start())
+}
+
+/// [`extract_hierarchical`] under an already-running cooperative
+/// [`Budget`] shared by every block (and by whatever else the caller is
+/// running in parallel). A budget trip inside any block surfaces as
+/// [`CoreError::BudgetExhausted`]: composition needs *all* block
+/// polynomials, so there is no useful partial result at this level.
+///
+/// # Errors
+///
+/// As [`extract_hierarchical`], plus [`CoreError::BudgetExhausted`].
+pub fn extract_hierarchical_budgeted(
+    design: &HierDesign,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+    budget: &Budget,
+) -> Result<HierExtraction, CoreError> {
     design.validate()?;
 
     // 1. Per-block gate-level → word-level abstraction. Blocks are
@@ -48,10 +69,16 @@ pub fn extract_hierarchical(
     // results are collected by block index, which makes the output — and
     // the error reported when several blocks fail — identical to the
     // serial path.
-    let per_block = extract_blocks(design, ctx, options);
+    let per_block = extract_blocks(design, ctx, options, budget);
     let mut blocks: Vec<(String, WordFunction, ExtractionStats)> = Vec::new();
     for (inst, result) in design.blocks.iter().zip(per_block) {
         let result = result?;
+        if let Extraction::TimedOut { phase, reason } = &result.outcome {
+            return Err(CoreError::BudgetExhausted {
+                phase: format!("block {} {phase}", inst.name),
+                reason: *reason,
+            });
+        }
         let Some(f) = result.canonical() else {
             return Err(CoreError::CompletionLimit(format!(
                 "block {} did not yield a canonical polynomial (Case 2)",
@@ -132,6 +159,7 @@ fn extract_blocks(
     design: &HierDesign,
     ctx: &Arc<GfContext>,
     options: &ExtractOptions,
+    budget: &Budget,
 ) -> Vec<Result<crate::extract::ExtractionResult, CoreError>> {
     let n = design.blocks.len();
     let threads = options.effective_threads().min(n.max(1));
@@ -139,7 +167,7 @@ fn extract_blocks(
         return design
             .blocks
             .iter()
-            .map(|inst| extract_word_polynomial_with(&inst.netlist, ctx, options))
+            .map(|inst| extract_word_polynomial_budgeted(&inst.netlist, ctx, options, budget))
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -155,8 +183,12 @@ fn extract_blocks(
                         if i >= n {
                             break;
                         }
-                        let r =
-                            extract_word_polynomial_with(&design.blocks[i].netlist, ctx, options);
+                        let r = extract_word_polynomial_budgeted(
+                            &design.blocks[i].netlist,
+                            ctx,
+                            options,
+                            budget,
+                        );
                         mine.push((i, r));
                     }
                     mine

@@ -63,7 +63,7 @@ mod wordfn;
 
 pub use error::CoreError;
 pub use extract::{
-    extract_word_polynomial, extract_word_polynomial_with, ExtractOptions, Extraction,
-    ExtractionResult, ExtractionStats,
+    extract_word_polynomial, extract_word_polynomial_budgeted, extract_word_polynomial_with,
+    ExtractOptions, Extraction, ExtractionResult, ExtractionStats,
 };
 pub use wordfn::WordFunction;

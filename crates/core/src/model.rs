@@ -47,6 +47,23 @@ impl CircuitModel {
     /// * [`CoreError::WidthMismatch`] if any word is wider than `k`
     ///   (narrower output words are allowed and zero-extend).
     pub fn build(nl: &Netlist, ctx: &Arc<GfContext>) -> Result<Self, CoreError> {
+        Self::build_budgeted(nl, ctx, &gfab_field::budget::Budget::unlimited())
+    }
+
+    /// [`build`](CircuitModel::build) under a cooperative budget, polled
+    /// every few thousand gates while the gate polynomials are
+    /// constructed — million-gate netlists spend whole seconds here, long
+    /// enough that a deadline must be able to interrupt the build.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](CircuitModel::build), plus
+    /// [`CoreError::BudgetExhausted`] when the budget trips mid-build.
+    pub fn build_budgeted(
+        nl: &Netlist,
+        ctx: &Arc<GfContext>,
+        budget: &gfab_field::budget::Budget,
+    ) -> Result<Self, CoreError> {
         nl.validate()?;
         let k = ctx.k();
         for w in nl.input_words().iter().chain([nl.output_word()]) {
@@ -65,20 +82,20 @@ impl CircuitModel {
         //    order ({z0 > z1} in Example 5.1).
         let levels = gfab_netlist::topo::reverse_topological_levels(nl)
             .expect("validated netlist is acyclic");
-        let out_bit_pos = |n: NetId| -> u32 {
-            nl.output_word()
-                .bits
-                .iter()
-                .position(|&b| b == n)
-                .map_or(u32::MAX, |p| p as u32)
-        };
+        // Precomputed per-net output-bit position: the sort below compares
+        // O(n log n) keys, and scanning the k-bit output word per
+        // comparison is a measurable fixed cost at k = 571.
+        let mut out_bit_pos = vec![u32::MAX; nl.num_nets()];
+        for (p, &b) in nl.output_word().bits.iter().enumerate() {
+            out_bit_pos[b.index()] = p as u32;
+        }
         let mut internal: Vec<NetId> = nl
             .gates()
             .iter()
             .map(|g| g.output)
             .filter(|&n| !nl.is_primary_input(n))
             .collect();
-        internal.sort_by_key(|&n| (levels[n.index()], out_bit_pos(n), n.0));
+        internal.sort_by_key(|&n| (levels[n.index()], out_bit_pos[n.index()], n.0));
 
         // 2. Primary input bits, word by word, LSB (a_0) first.
         // 3. Z, then the input words.
@@ -121,11 +138,18 @@ impl CircuitModel {
 
         // --- Gate polynomials ------------------------------------------
         let one = ctx.one();
-        let gate_polys: Vec<Poly> = nl
-            .gates()
-            .iter()
-            .map(|g| gate_polynomial(&ring, ctx, g, &|n: NetId| net_var[n.index()]))
-            .collect();
+        let mut gate_polys: Vec<Poly> = Vec::with_capacity(nl.num_gates());
+        for (i, g) in nl.gates().iter().enumerate() {
+            if i % 4096 == 0 {
+                budget.check().map_err(|e| CoreError::BudgetExhausted {
+                    phase: "model construction".into(),
+                    reason: e.reason,
+                })?;
+            }
+            gate_polys.push(gate_polynomial(&ring, ctx, g, &|n: NetId| {
+                net_var[n.index()]
+            }));
+        }
 
         // --- Word-definition polynomials (Eqn. 1) ----------------------
         let word_poly = |bits: &[NetId], word: VarId| -> Poly {

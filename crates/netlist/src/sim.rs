@@ -3,8 +3,23 @@
 
 use crate::netlist::{NetId, Netlist};
 use crate::topo::topological_gates;
+use gfab_field::budget::{Budget, ExhaustedReason};
 use gfab_field::{Gf, GfContext, Rng};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Outcome of a budgeted random-equivalence sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// All sampled assignments agreed.
+    Agree,
+    /// The circuits differ on this input assignment (a genuine
+    /// counterexample: any mismatch found is real even if the sweep was
+    /// later cut short).
+    Differ(Vec<Gf>),
+    /// The budget ran out before the sweep finished and no mismatch had
+    /// been found.
+    OutOfBudget(ExhaustedReason),
+}
 
 /// Resolves a requested thread count: `0` means "use all available
 /// parallelism" (falling back to 1 if the platform cannot report it).
@@ -190,6 +205,34 @@ pub fn random_equivalence_check_sharded(
     rng: &mut Rng,
     threads: usize,
 ) -> Result<(), Vec<Gf>> {
+    match random_equivalence_check_budgeted(a, b, ctx, n, rng, threads, &Budget::unlimited()) {
+        SimOutcome::Agree => Ok(()),
+        SimOutcome::Differ(cex) => Err(cex),
+        SimOutcome::OutOfBudget(_) => unreachable!("unlimited budget cannot run out"),
+    }
+}
+
+/// [`random_equivalence_check_sharded`] polled against a cooperative
+/// [`Budget`] once per 64-assignment chunk. Simulation charges no work
+/// units (work caps are an algebra knob); it honours the wall-clock
+/// deadline and cancellation only. A [`SimOutcome::Differ`] counterexample
+/// is always genuine; when the sweep completes within budget it is also
+/// the lowest-index mismatch, identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the two netlists disagree on input/output word widths, or if
+/// either is cyclic.
+#[allow(clippy::too_many_arguments)]
+pub fn random_equivalence_check_budgeted(
+    a: &Netlist,
+    b: &Netlist,
+    ctx: &GfContext,
+    n: usize,
+    rng: &mut Rng,
+    threads: usize,
+    budget: &Budget,
+) -> SimOutcome {
     assert_eq!(
         a.input_words().len(),
         b.input_words().len(),
@@ -229,7 +272,17 @@ pub fn random_equivalence_check_sharded(
     };
 
     let first_mismatch = if threads <= 1 {
-        (0..num_chunks).find_map(check_chunk)
+        let mut best = None;
+        for chunk in 0..num_chunks {
+            if budget.check().is_err() {
+                break;
+            }
+            if let Some(idx) = check_chunk(chunk) {
+                best = Some(idx);
+                break;
+            }
+        }
+        best
     } else {
         let next_chunk = AtomicUsize::new(0);
         let found = std::thread::scope(|scope| {
@@ -238,6 +291,9 @@ pub fn random_equivalence_check_sharded(
                     scope.spawn(|| {
                         let mut best: Option<usize> = None;
                         loop {
+                            if budget.check().is_err() {
+                                break;
+                            }
                             let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                             if chunk >= num_chunks {
                                 break;
@@ -258,8 +314,12 @@ pub fn random_equivalence_check_sharded(
         found
     };
     match first_mismatch {
-        Some(idx) => Err(assignments[idx].clone()),
-        None => Ok(()),
+        // Any mismatch is a real counterexample, budget or not.
+        Some(idx) => SimOutcome::Differ(assignments[idx].clone()),
+        None => match budget.exhausted() {
+            Some(reason) => SimOutcome::OutOfBudget(reason),
+            None => SimOutcome::Agree,
+        },
     }
 }
 

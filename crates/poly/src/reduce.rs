@@ -11,9 +11,15 @@
 use crate::monomial::Monomial;
 use crate::poly::Poly;
 use crate::ring::{PolyError, Ring};
+use gfab_field::budget::Budget;
 use gfab_field::Gf;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// How many division-loop iterations run between two budget polls. Strided
+/// so the atomic loads and `Instant::now()` calls are amortised away from
+/// the innermost loop.
+const BUDGET_STRIDE: u64 = 1024;
 
 /// Statistics of one normal-form computation, used by the experiment
 /// harness to report reduction effort.
@@ -137,7 +143,34 @@ impl<'a> Reducer<'a> {
     ///
     /// Propagates [`PolyError::ExponentOverflow`].
     pub fn normal_form_with_stats(&self, f: &Poly) -> Result<(Poly, ReductionStats), PolyError> {
+        self.normal_form_inner(f, None)
+    }
+
+    /// [`Reducer::normal_form_with_stats`] polled against a cooperative
+    /// [`Budget`] every [`BUDGET_STRIDE`] division-loop iterations. Each
+    /// poll charges the stride as work units, so work-cap exhaustion
+    /// depends only on the total division effort — deterministic across
+    /// thread counts.
+    ///
+    /// # Errors
+    ///
+    /// [`PolyError::BudgetExceeded`] when the budget runs out;
+    /// otherwise propagates [`PolyError::ExponentOverflow`].
+    pub fn normal_form_budgeted(
+        &self,
+        f: &Poly,
+        budget: &Budget,
+    ) -> Result<(Poly, ReductionStats), PolyError> {
+        self.normal_form_inner(f, Some(budget))
+    }
+
+    fn normal_form_inner(
+        &self,
+        f: &Poly,
+        budget: Option<&Budget>,
+    ) -> Result<(Poly, ReductionStats), PolyError> {
         let ctx = self.ring.ctx();
+        let mut iterations: u64 = 0;
         let mut stats = ReductionStats::default();
         // Lazy-merge working store: a max-heap ordered by monomial. Terms
         // are pushed without merging; merging happens when equal monomials
@@ -153,6 +186,12 @@ impl<'a> Reducer<'a> {
         // always move the current maximum.
         let mut remainder: Vec<(Monomial, Gf)> = Vec::new();
         while let Some(HeapTerm(m, mut c)) = work.pop() {
+            if let Some(b) = budget {
+                iterations += 1;
+                if iterations.is_multiple_of(BUDGET_STRIDE) {
+                    b.tick(BUDGET_STRIDE)?;
+                }
+            }
             stats.peak_terms = stats.peak_terms.max(work.len() + 1);
             // Merge every queued term with the same monomial.
             while let Some(top) = work.peek() {

@@ -70,6 +70,9 @@ pub enum PolyError {
         /// The extension degree that was too large.
         k: usize,
     },
+    /// A cooperative [`Budget`](gfab_field::budget::Budget) stopped the
+    /// computation (deadline, work cap, or cancellation).
+    BudgetExceeded(gfab_field::budget::BudgetExceeded),
 }
 
 impl fmt::Display for PolyError {
@@ -80,11 +83,18 @@ impl fmt::Display for PolyError {
                 f,
                 "vanishing polynomial X^(2^{k}) - X requires k <= 63 (got k = {k})"
             ),
+            PolyError::BudgetExceeded(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for PolyError {}
+
+impl From<gfab_field::budget::BudgetExceeded> for PolyError {
+    fn from(e: gfab_field::budget::BudgetExceeded) -> Self {
+        PolyError::BudgetExceeded(e)
+    }
+}
 
 /// A multivariate polynomial ring `F_{2^k}[x_0, …, x_{n-1}]` with a fixed
 /// pure-lex variable ranking and an exponent mode.

@@ -1,8 +1,9 @@
 //! Miter-based equivalence checking: the SAT baseline of Section 6.
 
 use crate::cnf::Lit;
-use crate::solver::{SolveResult, Solver, SolverStats};
-use crate::tseitin::encode;
+use crate::solver::{Interrupt, SolveResult, Solver, SolverStats};
+use crate::tseitin::encode_budgeted;
+use gfab_field::budget::Budget;
 use gfab_netlist::miter::build_miter;
 use gfab_netlist::Netlist;
 
@@ -14,9 +15,10 @@ pub enum SatVerdict {
     /// The miter is SAT: a distinguishing input assignment (bits of all
     /// input words, in [`Netlist::input_bits`] order).
     Counterexample(Vec<bool>),
-    /// The conflict budget ran out — the paper's "cannot prove equivalence
-    /// within 24 hours" cell.
-    Unknown,
+    /// A resource ran out — the paper's "cannot prove equivalence within
+    /// 24 hours" cell. The payload says *which* resource ended the run
+    /// (conflict budget vs. wall clock / cancellation).
+    Unknown(Interrupt),
 }
 
 /// Report of a SAT equivalence run.
@@ -54,20 +56,71 @@ pub fn check_equivalence_sat_with(
     conflict_budget: u64,
     wall_budget: Option<std::time::Duration>,
 ) -> SatReport {
+    let budget = match wall_budget {
+        Some(w) => Budget::with_deadline(w),
+        None => Budget::unlimited(),
+    };
+    check_equivalence_sat_budgeted(spec, impl_, conflict_budget, &budget)
+}
+
+/// [`check_equivalence_sat`] under a shared cooperative [`Budget`]
+/// (deadline / cancellation token), polled in the solver's conflict and
+/// propagate loops. This is the fallback rung of the `Verifier` ladder:
+/// it inherits whatever wall clock the word-level phase left over.
+///
+/// # Panics
+///
+/// Panics if the two netlists have incompatible interfaces.
+pub fn check_equivalence_sat_budgeted(
+    spec: &Netlist,
+    impl_: &Netlist,
+    conflict_budget: u64,
+    budget: &Budget,
+) -> SatReport {
+    // Entry poll before the (unpolled) miter construction and Tseitin
+    // encoding: a budget that is already spent must not pay for either.
+    if let Err(e) = budget.check() {
+        return SatReport {
+            verdict: SatVerdict::Unknown(Interrupt::Budget(e.reason)),
+            stats: SolverStats::default(),
+            cnf_vars: 0,
+            cnf_clauses: 0,
+        };
+    }
     let miter = build_miter(spec, impl_);
-    let enc = encode(&miter);
+    let enc = match encode_budgeted(&miter, budget) {
+        Ok(enc) => enc,
+        Err(e) => {
+            return SatReport {
+                verdict: SatVerdict::Unknown(Interrupt::Budget(e.reason)),
+                stats: SolverStats::default(),
+                cnf_vars: 0,
+                cnf_clauses: 0,
+            }
+        }
+    };
     let mut cnf = enc.cnf;
     let neq = miter.output_word().bits[0];
     cnf.add_clause(vec![Lit::pos(enc.var_of[neq.index()])]);
     let cnf_vars = cnf.num_vars();
     let cnf_clauses = cnf.clauses().len();
-    let mut solver = Solver::new(cnf);
-    if let Some(w) = wall_budget {
-        solver.set_wall_budget(w);
-    }
+    // Watch-list construction over millions of clauses is itself seconds
+    // of work; build the solver under the budget so a deadline that
+    // expires here is honoured before the search even starts.
+    let mut solver = match Solver::new_budgeted(cnf, budget) {
+        Ok(s) => s,
+        Err(e) => {
+            return SatReport {
+                verdict: SatVerdict::Unknown(Interrupt::Budget(e.reason)),
+                stats: SolverStats::default(),
+                cnf_vars,
+                cnf_clauses,
+            }
+        }
+    };
     let verdict = match solver.solve(conflict_budget) {
         SolveResult::Unsat => SatVerdict::Equivalent,
-        SolveResult::Unknown => SatVerdict::Unknown,
+        SolveResult::Unknown(i) => SatVerdict::Unknown(i),
         SolveResult::Sat(model) => {
             let bits = miter
                 .input_bits()
@@ -134,7 +187,7 @@ mod tests {
     }
 
     #[test]
-    fn tiny_budget_gives_unknown_on_nontrivial_miter() {
+    fn tiny_conflict_budget_reports_conflicts_as_the_reason() {
         let ctx = GfContext::new(irreducible_polynomial(6).unwrap()).unwrap();
         let spec = mastrovito_multiplier(&ctx);
         let impl_ = montgomery_multiplier_hier(
@@ -142,6 +195,28 @@ mod tests {
         )
         .flatten();
         let report = check_equivalence_sat(&spec, &impl_, 2);
-        assert_eq!(report.verdict, SatVerdict::Unknown);
+        // The verdict must say *why* it is unknown: the conflict budget
+        // ended the run, not a wall-clock deadline.
+        assert_eq!(report.verdict, SatVerdict::Unknown(Interrupt::Conflicts(2)));
+    }
+
+    #[test]
+    fn exhausted_wall_budget_reports_deadline_as_the_reason() {
+        use gfab_field::budget::ExhaustedReason;
+        let ctx = GfContext::new(irreducible_polynomial(8).unwrap()).unwrap();
+        let spec = mastrovito_multiplier(&ctx);
+        let impl_ = montgomery_multiplier_hier(
+            &GfContext::shared(irreducible_polynomial(8).unwrap()).unwrap(),
+        )
+        .flatten();
+        // A budget that is already spent: the solver must bail out at its
+        // entry poll and name the deadline, not the conflict budget.
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let report = check_equivalence_sat_budgeted(&spec, &impl_, u64::MAX, &budget);
+        assert_eq!(
+            report.verdict,
+            SatVerdict::Unknown(Interrupt::Budget(ExhaustedReason::Deadline))
+        );
     }
 }

@@ -40,4 +40,4 @@ mod solver;
 pub mod tseitin;
 
 pub use cnf::{Cnf, Lit};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{Interrupt, SolveResult, Solver, SolverStats};

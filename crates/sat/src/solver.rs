@@ -2,6 +2,27 @@
 //! activity-based decisions, phase saving, Luby restarts.
 
 use crate::cnf::{Cnf, Lit};
+use gfab_field::budget::{Budget, BudgetExceeded, ExhaustedReason};
+
+/// What resource stopped an inconclusive solve — carried by
+/// [`SolveResult::Unknown`] so callers can distinguish "ran out of
+/// conflicts" from "ran out of wall clock" (or an external cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The per-call conflict budget (its value) was exhausted.
+    Conflicts(u64),
+    /// The cooperative [`Budget`] stopped the solver.
+    Budget(ExhaustedReason),
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Conflicts(n) => write!(f, "conflict budget ({n}) exhausted"),
+            Interrupt::Budget(r) => write!(f, "{r} exhausted"),
+        }
+    }
+}
 
 /// Outcome of a solve call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -10,8 +31,9 @@ pub enum SolveResult {
     Sat(Vec<bool>),
     /// Proven unsatisfiable.
     Unsat,
-    /// The conflict budget ran out before a decision was reached.
-    Unknown,
+    /// A resource budget ran out before a decision was reached; the payload
+    /// says which one.
+    Unknown(Interrupt),
 }
 
 /// Solver effort counters.
@@ -57,7 +79,11 @@ pub struct Solver {
     /// Effort counters.
     pub stats: SolverStats,
     ok: bool,
-    deadline: Option<std::time::Instant>,
+    /// Cooperative budget polled in the propagate and conflict loops.
+    budget: Budget,
+    /// Set when the budget trips inside `propagate` (which cannot return
+    /// the interrupt itself); `solve` checks it after every propagation.
+    interrupted: bool,
     /// Index of the first learned clause (original clauses are permanent).
     first_learned: u32,
     /// Per-clause activity (aligned with `clauses`; only meaningful for
@@ -72,6 +98,19 @@ pub struct Solver {
 impl Solver {
     /// Builds a solver from a CNF formula.
     pub fn new(cnf: Cnf) -> Solver {
+        Self::new_budgeted(cnf, &Budget::unlimited()).expect("unlimited budget never trips")
+    }
+
+    /// [`Solver::new`] under a cooperative [`Budget`], polled every 65 536
+    /// clauses while the watch lists are built — on multi-million-clause
+    /// miters the construction itself takes seconds and must be
+    /// interruptible. The budget is also attached to the solver (as with
+    /// [`Solver::set_budget`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the budget trips mid-construction.
+    pub fn new_budgeted(cnf: Cnf, budget: &Budget) -> Result<Solver, BudgetExceeded> {
         let num_vars = cnf.num_vars() as usize;
         let mut s = Solver {
             num_vars,
@@ -88,13 +127,17 @@ impl Solver {
             saved_phase: vec![false; num_vars],
             stats: SolverStats::default(),
             ok: true,
-            deadline: None,
+            budget: budget.clone(),
+            interrupted: false,
             first_learned: 0,
             cla_activity: Vec::new(),
             cla_inc: 1.0,
             reduce_limit: 8_192,
         };
-        for c in cnf.clauses() {
+        for (i, c) in cnf.clauses().iter().enumerate() {
+            if i % 65_536 == 0 {
+                budget.check()?;
+            }
             s.add_clause_internal(c.clone());
             if !s.ok {
                 break;
@@ -102,7 +145,7 @@ impl Solver {
         }
         s.first_learned = s.clauses.len() as u32;
         s.cla_activity = vec![0.0; s.clauses.len()];
-        s
+        Ok(s)
     }
 
     fn value(&self, l: Lit) -> Option<bool> {
@@ -147,6 +190,13 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            // Poll the cooperative budget in the BCP loop too: on
+            // propagation-heavy instances conflicts can be rare, and the
+            // conflict-loop poll alone would let a deadline slip far.
+            if self.stats.propagations.is_multiple_of(65_536) && self.budget.check().is_err() {
+                self.interrupted = true;
+                return None;
+            }
             // Clauses watching ¬p (i.e. stored under p's code after
             // negation convention): we store watchers under the literal
             // whose *falsification* triggers them, which is the negation of
@@ -403,10 +453,24 @@ impl Solver {
     }
 
     /// Sets a wall-clock budget; `solve` returns [`SolveResult::Unknown`]
-    /// once it is exceeded (checked every 1024 conflicts). This mirrors the
-    /// paper's 24-hour timeout discipline for the SAT baseline.
+    /// once it is exceeded. This mirrors the paper's 24-hour timeout
+    /// discipline for the SAT baseline. Equivalent to [`Solver::set_budget`]
+    /// with [`Budget::with_deadline`].
     pub fn set_wall_budget(&mut self, budget: std::time::Duration) {
-        self.deadline = Some(std::time::Instant::now() + budget);
+        self.budget = Budget::with_deadline(budget);
+    }
+
+    /// Attaches a cooperative [`Budget`] (shared deadline / cancellation
+    /// token), polled every 1024 conflicts and every 65 536 propagations.
+    /// The solver charges no work units — work caps are an algebra knob,
+    /// so a work-capped word-level phase still leaves the SAT fallback its
+    /// full wall-clock allowance.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    fn budget_interrupt(&self) -> Interrupt {
+        Interrupt::Budget(self.budget.exhausted().unwrap_or(ExhaustedReason::Deadline))
     }
 
     /// Solves with a conflict budget; [`SolveResult::Unknown`] on exhaustion.
@@ -414,26 +478,38 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        if self.budget.check().is_err() {
+            return SolveResult::Unknown(self.budget_interrupt());
+        }
         let mut luby_idx = 1u64;
         let mut restart_limit = 64 * luby(luby_idx);
         let mut conflicts_since_restart = 0u64;
+        let mut rounds = 0u64;
 
         loop {
-            if let Some(ci) = self.propagate() {
+            // Poll on the main loop itself, not just conflicts and
+            // propagations: `decide` scans every variable, so on
+            // million-variable miters a conflict-light search performs
+            // billions of operations between conflict polls.
+            rounds += 1;
+            if rounds.is_multiple_of(128) && self.budget.check().is_err() {
+                return SolveResult::Unknown(self.budget_interrupt());
+            }
+            let conflict = self.propagate();
+            if self.interrupted {
+                return SolveResult::Unknown(self.budget_interrupt());
+            }
+            if let Some(ci) = conflict {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 if self.trail_lim.is_empty() {
                     return SolveResult::Unsat;
                 }
                 if self.stats.conflicts >= conflict_budget {
-                    return SolveResult::Unknown;
+                    return SolveResult::Unknown(Interrupt::Conflicts(conflict_budget));
                 }
-                if self.stats.conflicts.is_multiple_of(1024) {
-                    if let Some(d) = self.deadline {
-                        if std::time::Instant::now() >= d {
-                            return SolveResult::Unknown;
-                        }
-                    }
+                if self.stats.conflicts.is_multiple_of(1024) && self.budget.check().is_err() {
+                    return SolveResult::Unknown(self.budget_interrupt());
                 }
                 let (learned, bj) = self.analyze(ci);
                 self.cancel_until(bj);
@@ -594,7 +670,7 @@ mod tests {
                     assert!(cnf2.eval(&model), "model does not satisfy formula");
                 }
                 SolveResult::Unsat => assert!(!brute_sat, "solver said UNSAT wrongly"),
-                SolveResult::Unknown => panic!("budget was unlimited"),
+                SolveResult::Unknown(_) => panic!("budget was unlimited"),
             }
         }
     }
@@ -641,6 +717,36 @@ mod tests {
                 }
             }
         }
-        assert_eq!(Solver::new(cnf).solve(1), SolveResult::Unknown);
+        assert_eq!(
+            Solver::new(cnf).solve(1),
+            SolveResult::Unknown(Interrupt::Conflicts(1))
+        );
+    }
+
+    #[test]
+    fn cancelled_budget_stops_solver_with_reason() {
+        let n = 6u32;
+        let v = |i: u32, j: u32| i * n + j;
+        let mut cnf = Cnf::new((n + 1) * n);
+        for i in 0..=n {
+            cnf.add_clause((0..n).map(|j| Lit::pos(v(i, j))).collect());
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    cnf.add_clause(vec![Lit::neg(v(i1, j)), Lit::neg(v(i2, j))]);
+                }
+            }
+        }
+        let mut solver = Solver::new(cnf);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        solver.set_budget(budget);
+        // The conflict-loop poll fires every 1024 conflicts; this instance
+        // has plenty, so the cancellation is observed and reported.
+        assert_eq!(
+            solver.solve(u64::MAX),
+            SolveResult::Unknown(Interrupt::Budget(ExhaustedReason::Cancelled))
+        );
     }
 }

@@ -1,7 +1,11 @@
 //! Tseitin encoding of a netlist into CNF.
 
 use crate::cnf::{Cnf, Lit};
+use gfab_field::budget::{Budget, BudgetExceeded};
 use gfab_netlist::{GateKind, NetId, Netlist};
+
+/// How many gates are encoded between budget polls.
+const BUDGET_STRIDE: usize = 65_536;
 
 /// The CNF encoding of a netlist, with the net → variable map.
 #[derive(Debug, Clone)]
@@ -16,10 +20,24 @@ pub struct Encoding {
 /// gets one CNF variable; callers constrain inputs/outputs on top (e.g.
 /// assert the miter output).
 pub fn encode(nl: &Netlist) -> Encoding {
+    encode_budgeted(nl, &Budget::unlimited()).expect("unlimited budget never trips")
+}
+
+/// [`encode`] under a cooperative [`Budget`], polled every
+/// [`BUDGET_STRIDE`] gates — million-gate miters take long enough to
+/// encode that a deadline must be able to interrupt the encoding itself.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] when the budget trips mid-encoding.
+pub fn encode_budgeted(nl: &Netlist, budget: &Budget) -> Result<Encoding, BudgetExceeded> {
     let mut cnf = Cnf::new(nl.num_nets() as u32);
     let var_of: Vec<u32> = (0..nl.num_nets() as u32).collect();
     let v = |n: NetId| var_of[n.index()];
-    for gate in nl.gates() {
+    for (i, gate) in nl.gates().iter().enumerate() {
+        if i % BUDGET_STRIDE == 0 {
+            budget.check()?;
+        }
         let z = v(gate.output);
         match gate.kind {
             GateKind::And | GateKind::Nand => {
@@ -56,7 +74,7 @@ pub fn encode(nl: &Netlist) -> Encoding {
             GateKind::Const1 => cnf.add_clause(vec![Lit::pos(z)]),
         }
     }
-    Encoding { cnf, var_of }
+    Ok(Encoding { cnf, var_of })
 }
 
 #[cfg(test)]

@@ -69,6 +69,17 @@ fn main() {
                     counterexample[0], counterexample[1]
                 );
             }
+            Verdict::EquivalentBySat { conflicts } => {
+                benign += 1;
+                println!("        benign — SAT fallback proved UNSAT ({conflicts} conflicts)");
+            }
+            Verdict::InequivalentBySat { counterexample, .. } => {
+                real_bugs += 1;
+                println!(
+                    "        BUG — SAT fallback witness at A = {}, B = {}",
+                    counterexample[0], counterexample[1]
+                );
+            }
             Verdict::Unknown { reason } => println!("        UNKNOWN: {reason}"),
         }
         println!();

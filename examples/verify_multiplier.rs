@@ -68,6 +68,16 @@ fn main() {
             println!("verdict: INEQUIVALENT (simulation witness)");
             println!("  counterexample: {counterexample:?}");
         }
+        Verdict::EquivalentBySat { conflicts } => {
+            println!("verdict: EQUIVALENT (SAT fallback, {conflicts} conflicts)");
+        }
+        Verdict::InequivalentBySat {
+            counterexample,
+            conflicts,
+        } => {
+            println!("verdict: INEQUIVALENT (SAT fallback, {conflicts} conflicts)");
+            println!("  counterexample: {counterexample:?}");
+        }
         Verdict::Unknown { reason } => println!("verdict: UNKNOWN ({reason})"),
     }
     println!(

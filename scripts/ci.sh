@@ -16,4 +16,13 @@ cargo build --release --offline
 echo "== tier-1: test =="
 cargo test -q --offline
 
+echo "== differential + mutation-kill battery (release, wall-budgeted) =="
+# Three independent engines (word-level Verifier, SAT miter, exhaustive
+# simulation) must agree on every seeded circuit, and every injected bug
+# must be killed. Release mode keeps the battery fast; `timeout` bounds
+# the whole step so a pathological regression fails CI instead of
+# wedging it.
+timeout 600 cargo test -q --offline --release \
+    --test differential_engines --test mutation_kill --test budgeted_verification
+
 echo "CI OK"

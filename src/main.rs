@@ -19,7 +19,7 @@ use gfab::core::Extraction;
 use gfab::field::nist::irreducible_polynomial;
 use gfab::field::{Gf2Poly, GfContext};
 use gfab::netlist::{format as nlformat, Netlist};
-use gfab::sat::equiv::{check_equivalence_sat, SatVerdict};
+use gfab::sat::equiv::{check_equivalence_sat_with, SatVerdict};
 use gfab::Verifier;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -63,9 +63,11 @@ fn print_usage() {
 
 USAGE:
   gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...] [--threads N]
+                 [--timeout D]
   gfab verify-spec <circuit.nl> --spec 'A*B' --k <k> [--modulus ...]
   gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus ...] [--threads N]
-  gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N]
+                 [--timeout D]
+  gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N] [--timeout D]
   gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
   gfab info      <circuit.nl>
 
@@ -77,11 +79,45 @@ ECC degree, a low-weight irreducible otherwise, or an explicit
 (0 or omitted = available parallelism, 1 = fully serial); results are
 bit-identical regardless of N.
 
+--timeout D sets a wall-clock deadline per query (e.g. 500ms, 5s, 2m;
+a bare number means seconds). `equiv` degrades gracefully: when the
+word-level pipeline runs out of time it falls back to the SAT miter
+check with the remaining budget, so the verdict is always sound.
+
 EXIT CODES:
   0  equivalent / extraction or generation succeeded
   1  not equivalent / property refuted (a counterexample was found)
-  2  usage error, malformed input, or verdict unknown"
+  2  usage error or malformed input
+  3  verdict unknown (resource budget exhausted before a decision)"
     );
+}
+
+/// Parses `--timeout` (`500ms`, `5s`, `2m`, or a bare number of seconds).
+fn parse_timeout(rest: &[String]) -> Result<Option<std::time::Duration>, String> {
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--timeout" {
+            let v = it.next().ok_or("--timeout needs a value")?;
+            return parse_duration(v).map(Some);
+        }
+    }
+    Ok(None)
+}
+
+fn parse_duration(v: &str) -> Result<std::time::Duration, String> {
+    let (digits, scale_ms) = if let Some(n) = v.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1000)
+    } else if let Some(n) = v.strip_suffix('m') {
+        (n, 60_000)
+    } else {
+        (v, 1000)
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad timeout `{v}` (use e.g. 500ms, 5s, 2m)"))?;
+    Ok(std::time::Duration::from_millis(n * scale_ms))
 }
 
 /// Parses `--threads` (defaults to 0 = available parallelism).
@@ -158,24 +194,41 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     };
     let ctx = parse_field(rest)?;
     let threads = parse_threads(rest)?;
+    let timeout = parse_timeout(rest)?;
     let nl = load(path)?;
     let t = Instant::now();
-    let report = Verifier::new(&ctx)
-        .threads(threads)
-        .extract(&nl)
-        .map_err(|e| e.to_string())?;
+    let mut v = Verifier::new(&ctx).threads(threads);
+    if let Some(w) = timeout {
+        v = v.deadline(w);
+    }
+    // A budget trip in a phase with no partial result (e.g. model
+    // construction) is still a TIMED OUT verdict, not a usage error.
+    let report = match v.extract(&nl) {
+        Ok(r) => r,
+        Err(gfab::core::CoreError::BudgetExhausted { phase, reason }) => {
+            println!("TIMED OUT during {phase}: {reason}");
+            return Ok(ExitCode::from(3));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let elapsed = t.elapsed();
     let result = report.as_flat().expect("flat netlist gives flat report");
     println!("circuit : {} ({} gates)", nl.name(), nl.num_gates());
     println!("field   : F_2^{}, P(x) = {}", ctx.k(), ctx.modulus());
-    match &result.outcome {
+    let code = match &result.outcome {
         Extraction::Canonical(f) => {
             println!("function: Z = {}", f.display());
+            ExitCode::SUCCESS
         }
         Extraction::Residual { remainder, note } => {
             println!("residual: {} terms ({note})", remainder.num_terms());
+            ExitCode::SUCCESS
         }
-    }
+        Extraction::TimedOut { phase, reason } => {
+            println!("TIMED OUT during {phase}: {reason}");
+            ExitCode::from(3)
+        }
+    };
     println!(
         "effort  : {} reduction steps ({} cancellations), peak {} terms, {elapsed:?}",
         result.stats.reduction_steps, result.stats.cancellations, result.stats.peak_terms
@@ -184,7 +237,7 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
         "phases  : model {:?}, reduce {:?}, case2 {:?}",
         result.stats.model_time, result.stats.reduce_time, result.stats.case2_time
     );
-    Ok(ExitCode::SUCCESS)
+    Ok(code)
 }
 
 /// Verifies a circuit against a textual specification polynomial via the
@@ -235,13 +288,15 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
     };
     let ctx = parse_field(rest)?;
     let threads = parse_threads(rest)?;
+    let timeout = parse_timeout(rest)?;
     let spec = load(spec_path)?;
     let impl_ = load(impl_path)?;
     let t = Instant::now();
-    let report = Verifier::new(&ctx)
-        .threads(threads)
-        .check(&spec, &impl_)
-        .map_err(|e| e.to_string())?;
+    let mut v = Verifier::new(&ctx).threads(threads);
+    if let Some(w) = timeout {
+        v = v.deadline(w);
+    }
+    let report = v.check(&spec, &impl_).map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
     match &report.verdict {
         Verdict::Equivalent { function } => {
@@ -274,9 +329,25 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
             println!("({elapsed:?})");
             Ok(ExitCode::FAILURE)
         }
+        Verdict::EquivalentBySat { conflicts } => {
+            println!("EQUIVALENT (SAT fallback: miter UNSAT after {conflicts} conflicts)");
+            println!("({elapsed:?})");
+            Ok(ExitCode::SUCCESS)
+        }
+        Verdict::InequivalentBySat {
+            counterexample,
+            conflicts,
+        } => {
+            println!("INEQUIVALENT (SAT fallback witness, {conflicts} conflicts)");
+            let pretty: Vec<String> = counterexample.iter().map(|g| g.to_string()).collect();
+            println!("  counterexample: ({})", pretty.join(", "));
+            println!("({elapsed:?})");
+            Ok(ExitCode::FAILURE)
+        }
         Verdict::Unknown { reason } => {
             println!("UNKNOWN: {reason}");
-            Ok(ExitCode::from(2))
+            println!("({elapsed:?})");
+            Ok(ExitCode::from(3))
         }
     }
 }
@@ -294,10 +365,11 @@ fn cmd_sat_equiv(rest: &[String]) -> Result<ExitCode, String> {
             budget = v.parse().map_err(|_| format!("bad conflict budget: {v}"))?;
         }
     }
+    let timeout = parse_timeout(rest)?;
     let spec = load(spec_path)?;
     let impl_ = load(impl_path)?;
     let t = Instant::now();
-    let report = check_equivalence_sat(&spec, &impl_, budget);
+    let report = check_equivalence_sat_with(&spec, &impl_, budget, timeout);
     let elapsed = t.elapsed();
     println!(
         "miter: {} vars, {} clauses; {} conflicts, {} decisions",
@@ -312,9 +384,9 @@ fn cmd_sat_equiv(rest: &[String]) -> Result<ExitCode, String> {
             println!("INEQUIVALENT; distinguishing input bits: {bits:?} ({elapsed:?})");
             Ok(ExitCode::FAILURE)
         }
-        SatVerdict::Unknown => {
-            println!("UNKNOWN: conflict budget ({budget}) exhausted ({elapsed:?})");
-            Ok(ExitCode::from(2))
+        SatVerdict::Unknown(interrupt) => {
+            println!("UNKNOWN: {interrupt} ({elapsed:?})");
+            Ok(ExitCode::from(3))
         }
     }
 }

@@ -33,16 +33,21 @@
 //! assert!(report.verdict.is_equivalent());
 //! ```
 
-use crate::core::equiv::{check_equivalence, check_equivalence_hier, EquivReport};
+use crate::core::equiv::{
+    check_equivalence_budgeted, check_equivalence_hier_budgeted, EquivReport, Verdict,
+};
 use crate::core::hier::{extract_hierarchical, HierExtraction};
 use crate::core::{
     extract_word_polynomial_with, CoreError, ExtractOptions, ExtractionResult, ExtractionStats,
     WordFunction,
 };
-use crate::field::GfContext;
+use crate::field::budget::BudgetSpec;
+use crate::field::{Gf, GfContext};
 use crate::netlist::hierarchy::HierDesign;
 use crate::netlist::Netlist;
+use crate::sat::equiv::{check_equivalence_sat_budgeted, SatVerdict};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A circuit that can be handed to [`Verifier::extract`] or appear as the
 /// implementation side of [`Verifier::check`]: either a flat gate-level
@@ -106,6 +111,9 @@ impl ExtractReport {
                     agg.model_time += s.model_time;
                     agg.reduce_time += s.reduce_time;
                     agg.case2_time += s.case2_time;
+                    if agg.budget_exhausted.is_none() {
+                        agg.budget_exhausted = s.budget_exhausted.clone();
+                    }
                 }
                 agg.duration += h.compose_time;
                 agg
@@ -137,15 +145,17 @@ impl ExtractReport {
 pub struct Verifier {
     ctx: Arc<GfContext>,
     options: ExtractOptions,
+    sat_conflicts: u64,
 }
 
 impl Verifier {
     /// Starts a session over the given field with default options
-    /// (thread count = available parallelism).
+    /// (thread count = available parallelism, no resource budget).
     pub fn new(ctx: &Arc<GfContext>) -> Self {
         Verifier {
             ctx: ctx.clone(),
             options: ExtractOptions::default(),
+            sat_conflicts: 1_000_000,
         }
     }
 
@@ -155,6 +165,39 @@ impl Verifier {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.options.threads = threads;
+        self
+    }
+
+    /// Sets a wall-clock deadline per [`check`](Verifier::check) /
+    /// [`extract`](Verifier::extract) query. The clock starts when the
+    /// query starts, and every pipeline phase (guided reduction, Case-2
+    /// completion, hierarchical blocks, simulation sweeps, the SAT
+    /// fallback) polls it cooperatively. In [`check`](Verifier::check),
+    /// the word-level phase is given *half* the deadline so the SAT
+    /// fallback rung is guaranteed room to run.
+    #[must_use]
+    pub fn deadline(mut self, wall: Duration) -> Self {
+        self.options.budget.wall = Some(wall);
+        self
+    }
+
+    /// Caps the word-level algebraic work per query, measured in division
+    /// iterations / Gröbner pair reductions. Unlike a wall-clock deadline,
+    /// a work cap is fully deterministic: whether it trips depends only on
+    /// the total work a query needs, never on thread count or machine
+    /// speed.
+    #[must_use]
+    pub fn work_cap(mut self, units: u64) -> Self {
+        self.options.budget.work = Some(units);
+        self
+    }
+
+    /// Sets the conflict cap of the SAT fallback rung of
+    /// [`check`](Verifier::check) (default one million, matching the
+    /// `gfab sat-equiv` CLI default).
+    #[must_use]
+    pub fn sat_conflicts(mut self, conflicts: u64) -> Self {
+        self.sat_conflicts = conflicts;
         self
     }
 
@@ -198,19 +241,114 @@ impl Verifier {
     /// thread budget allows, and the verdict carries counterexamples on
     /// inequivalence.
     ///
+    /// When the word-level pipeline cannot decide — a Case-2 residual on a
+    /// large field, or budget exhaustion — the query automatically falls
+    /// back to the SAT miter check with whatever wall clock remains of the
+    /// session budget, so every query yields a *sound* verdict: proven
+    /// equivalent, refuted with a counterexample, or `Unknown` naming the
+    /// exhausted resource.
+    ///
     /// # Errors
     ///
-    /// Any [`CoreError`] from the underlying extraction.
+    /// Any [`CoreError`] from the underlying extraction (budget exhaustion
+    /// is *not* an error here: it degrades into the SAT fallback).
     pub fn check<'a>(
         &self,
         spec: &Netlist,
         impl_: impl Into<Circuit<'a>>,
     ) -> Result<EquivReport, CoreError> {
-        match impl_.into() {
-            Circuit::Flat(nl) => check_equivalence(spec, nl, &self.ctx, &self.options),
-            Circuit::Hier(design) => check_equivalence_hier(spec, design, &self.ctx, &self.options),
+        let impl_ = impl_.into();
+        // The full budget spans the whole ladder; the word-level phase is
+        // run under half the wall clock so the SAT fallback always has
+        // room. Work caps bound only the word-level algebra (the SAT rung
+        // polls wall/cancellation, keeping work-cap runs deterministic).
+        let spec_budget = self.options.budget;
+        // The SAT rung shares the wall clock but gets its own cancellation
+        // flag and no work cap: a tripped word-level cap must not poison
+        // the fallback that exists to absorb it.
+        let sat_budget = BudgetSpec {
+            work: None,
+            ..spec_budget
         }
+        .start();
+        let word_budget = match spec_budget.wall {
+            Some(w) => BudgetSpec {
+                wall: Some(w / 2),
+                ..spec_budget
+            }
+            .start(),
+            None => spec_budget.start(),
+        };
+        let word = match impl_ {
+            Circuit::Flat(nl) => {
+                check_equivalence_budgeted(spec, nl, &self.ctx, &self.options, &word_budget)
+            }
+            Circuit::Hier(design) => check_equivalence_hier_budgeted(
+                spec,
+                design,
+                &self.ctx,
+                &self.options,
+                &word_budget,
+            ),
+        };
+        let (word_report, reason) = match word {
+            Ok(r) => match &r.verdict {
+                Verdict::Unknown { reason } => {
+                    let reason = reason.clone();
+                    (Some(r), reason)
+                }
+                _ => return Ok(r),
+            },
+            Err(CoreError::BudgetExhausted { phase, reason }) => {
+                (None, format!("budget exhausted during {phase}: {reason}"))
+            }
+            Err(e) => return Err(e),
+        };
+        // SAT fallback rung: the miter decides what the word level could
+        // not, on flattened netlists, under the remaining wall clock.
+        let flat_impl;
+        let impl_nl: &Netlist = match impl_ {
+            Circuit::Flat(nl) => nl,
+            Circuit::Hier(design) => {
+                flat_impl = design.flatten();
+                &flat_impl
+            }
+        };
+        let sat = check_equivalence_sat_budgeted(spec, impl_nl, self.sat_conflicts, &sat_budget);
+        let verdict = match sat.verdict {
+            SatVerdict::Equivalent => Verdict::EquivalentBySat {
+                conflicts: sat.stats.conflicts,
+            },
+            SatVerdict::Counterexample(bits) => Verdict::InequivalentBySat {
+                counterexample: input_words_from_bits(&self.ctx, spec, &bits),
+                conflicts: sat.stats.conflicts,
+            },
+            SatVerdict::Unknown(i) => Verdict::Unknown {
+                reason: format!("{reason}; SAT fallback also inconclusive: {i}"),
+            },
+        };
+        let (spec_stats, impl_stats) = match word_report {
+            Some(r) => (r.spec_stats, r.impl_stats),
+            None => Default::default(),
+        };
+        Ok(EquivReport {
+            verdict,
+            spec_stats,
+            impl_stats,
+        })
     }
+}
+
+/// Decodes a SAT counterexample (all primary input bits, word declaration
+/// order, LSB first) into one field element per input word.
+fn input_words_from_bits(ctx: &GfContext, spec: &Netlist, bits: &[bool]) -> Vec<Gf> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    for w in spec.input_words() {
+        out.push(ctx.from_bits(&bits[off..off + w.width()]));
+        off += w.width();
+    }
+    out
 }
 
 #[cfg(test)]

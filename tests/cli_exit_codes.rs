@@ -1,0 +1,191 @@
+//! Integration tests for the `gfab` binary's exit-code contract:
+//!
+//! * 0 — equivalent / success,
+//! * 1 — inequivalent (a counterexample was found),
+//! * 2 — usage error or malformed input,
+//! * 3 — verdict unknown (resource budget exhausted before a decision).
+//!
+//! The binary is spawned for real (via `CARGO_BIN_EXE_gfab`), netlist
+//! fixtures are generated with its own `gen` subcommand, and both the exit
+//! status and the shape of stdout/stderr are asserted.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gfab"))
+        .args(args)
+        .output()
+        .expect("gfab binary spawns")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status
+        .code()
+        .expect("gfab exits normally, not by signal")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Generates a netlist fixture into a per-process temp directory.
+fn fixture(arch: &str, k: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gfab-cli-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{arch}{k}.nl"));
+    if !path.exists() {
+        let out = run(&[
+            "gen",
+            arch,
+            "--k",
+            &k.to_string(),
+            "-o",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(code(&out), 0, "gen {arch} k={k} failed: {}", stderr(&out));
+    }
+    path
+}
+
+#[test]
+fn equivalent_pair_exits_zero() {
+    let spec = fixture("mastrovito", 4);
+    let impl_ = fixture("montgomery", 4);
+    let out = run(&[
+        "equiv",
+        spec.to_str().unwrap(),
+        impl_.to_str().unwrap(),
+        "--k",
+        "4",
+    ]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("EQUIVALENT"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn inequivalent_pair_exits_one() {
+    // Adder and multiplier share the (A, B) -> Z signature but differ.
+    let spec = fixture("mastrovito", 4);
+    let impl_ = fixture("adder", 4);
+    let out = run(&[
+        "equiv",
+        spec.to_str().unwrap(),
+        impl_.to_str().unwrap(),
+        "--k",
+        "4",
+    ]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("INEQUIVALENT"), "stdout: {text}");
+    assert!(text.contains("counterexample"), "stdout: {text}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Missing arguments.
+    let out = run(&["equiv", "only-one-path.nl", "--k", "4"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("error:"), "stderr: {}", stderr(&out));
+    // Unknown command.
+    let out = run(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+    // Bad timeout value.
+    let spec = fixture("mastrovito", 4);
+    let out = run(&[
+        "equiv",
+        spec.to_str().unwrap(),
+        spec.to_str().unwrap(),
+        "--k",
+        "4",
+        "--timeout",
+        "soon",
+    ]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("bad timeout"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn exhausted_timeout_exits_three() {
+    // A 1 ms deadline on a k=32 query: the word-level pipeline trips its
+    // budget polls, the SAT fallback inherits an already-dead clock, and
+    // the verdict degrades to UNKNOWN — exit 3, never a panic or a hang.
+    let spec = fixture("mastrovito", 32);
+    let impl_ = fixture("montgomery", 32);
+    let out = run(&[
+        "equiv",
+        spec.to_str().unwrap(),
+        impl_.to_str().unwrap(),
+        "--k",
+        "32",
+        "--timeout",
+        "1ms",
+    ]);
+    assert_eq!(
+        code(&out),
+        3,
+        "stdout: {}\nstderr: {}",
+        stdout(&out),
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("UNKNOWN"), "stdout: {text}");
+    // The reason must name an exhausted resource, not be an empty shrug.
+    assert!(
+        text.contains("budget") || text.contains("deadline") || text.contains("exhausted"),
+        "stdout: {text}"
+    );
+}
+
+#[test]
+fn sat_equiv_conflict_budget_exits_three() {
+    let spec = fixture("mastrovito", 8);
+    let impl_ = fixture("montgomery", 8);
+    let out = run(&[
+        "sat-equiv",
+        spec.to_str().unwrap(),
+        impl_.to_str().unwrap(),
+        "--conflicts",
+        "1",
+    ]);
+    assert_eq!(code(&out), 3, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("UNKNOWN"), "stdout: {text}");
+    assert!(text.contains("conflict budget"), "stdout: {text}");
+}
+
+#[test]
+fn extract_succeeds_and_times_out() {
+    let nl = fixture("mastrovito", 4);
+    let out = run(&["extract", nl.to_str().unwrap(), "--k", "4"]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("Z = A*B"), "stdout: {}", stdout(&out));
+
+    let big = fixture("mastrovito", 32);
+    let out = run(&[
+        "extract",
+        big.to_str().unwrap(),
+        "--k",
+        "32",
+        "--timeout",
+        "1ms",
+    ]);
+    assert_eq!(code(&out), 3, "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("TIMED OUT"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}

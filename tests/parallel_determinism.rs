@@ -141,6 +141,91 @@ fn injected_bugs_case2_completion_is_thread_deterministic() {
     }
 }
 
+/// A canonical rendering of a verdict for exact comparison (the plain
+/// `Debug` form leaks `HashMap` iteration order from the ring's name
+/// table, which is not semantically meaningful).
+fn verdict_fingerprint(v: &gfab::core::equiv::Verdict) -> String {
+    use gfab::core::equiv::Verdict;
+    match v {
+        Verdict::Equivalent { function } => format!("Equivalent Z = {}", function.display()),
+        Verdict::Inequivalent {
+            spec,
+            impl_,
+            counterexample,
+        } => format!(
+            "Inequivalent {} vs {} cex {counterexample:?}",
+            spec.display(),
+            impl_.display()
+        ),
+        Verdict::InequivalentBySimulation { counterexample } => {
+            format!("InequivalentBySimulation cex {counterexample:?}")
+        }
+        Verdict::EquivalentBySat { conflicts } => format!("EquivalentBySat {conflicts}"),
+        Verdict::InequivalentBySat {
+            counterexample,
+            conflicts,
+        } => format!("InequivalentBySat cex {counterexample:?} {conflicts}"),
+        Verdict::Unknown { reason } => format!("Unknown {reason}"),
+    }
+}
+
+#[test]
+fn budgeted_checks_are_thread_deterministic() {
+    // A work cap must stay deterministic under parallelism: whether it
+    // trips depends only on the total algebraic work a query needs, never
+    // on the thread schedule. Runs that complete within the cap are
+    // bit-identical to uncapped ones; runs that exhaust it funnel into
+    // the single-threaded SAT fallback, whose verdict is deterministic
+    // too. Either way the final verdict cannot depend on the thread
+    // budget.
+    let ctx = field(4);
+    let golden = mastrovito_multiplier(&ctx);
+    for (cap, label) in [(u64::MAX, "roomy"), (1u64, "tight")] {
+        for seed in 0..4u64 {
+            let (bad, what) = inject_random_bug(&golden, seed);
+            let run = |threads: usize| {
+                Verifier::new(&ctx)
+                    .threads(threads)
+                    .work_cap(cap)
+                    .check(&golden, &bad)
+                    .unwrap()
+            };
+            let (one, four) = (run(1), run(4));
+            assert_eq!(
+                verdict_fingerprint(&one.verdict),
+                verdict_fingerprint(&four.verdict),
+                "{label} cap, seed {seed} ({what}): verdicts differ between thread budgets"
+            );
+        }
+    }
+}
+
+#[test]
+fn roomy_work_cap_does_not_perturb_extraction() {
+    // A cap that never trips must leave the result (and the
+    // thread-independent work counters) exactly as the uncapped run.
+    for k in [4usize, 8] {
+        let ctx = field(k);
+        let nl = mastrovito_multiplier(&ctx);
+        let plain = Verifier::new(&ctx).threads(4).extract(&nl).unwrap();
+        let capped = Verifier::new(&ctx)
+            .threads(4)
+            .work_cap(1 << 40)
+            .extract(&nl)
+            .unwrap();
+        assert_eq!(
+            plain.function().unwrap().poly(),
+            capped.function().unwrap().poly(),
+            "k={k}: roomy cap changed the canonical polynomial"
+        );
+        assert_eq!(
+            plain.stats().reduction_steps,
+            capped.stats().reduction_steps,
+            "k={k}: roomy cap changed the step count"
+        );
+    }
+}
+
 #[test]
 fn sharded_counterexample_search_is_thread_deterministic() {
     // The 64-way bit-parallel sweep shards across threads; the reported
