@@ -16,7 +16,7 @@
 //! Run: `cargo run --release -p gfab-bench --bin table1 [--full] [k ...]`
 //! Default sweep: 8 16 32 64 163; `--full` adds 233 283 409 571.
 
-use gfab_bench::{fmt_gates, fmt_mb, fmt_secs, PeakAlloc, TableArgs};
+use gfab_bench::{fmt_gates, fmt_mb, fmt_secs, JsonRow, PeakAlloc, TableArgs};
 use gfab_circuits::mastrovito_multiplier;
 use gfab_core::extract_word_polynomial;
 use gfab_field::nist::irreducible_polynomial;
@@ -30,12 +30,14 @@ fn main() {
     let args = TableArgs::parse();
     let ks = args.sweep(&[8, 16, 32, 64, 163], &[233, 283, 409, 571]);
 
-    println!("Table 1: Abstraction of Mastrovito multipliers (Z = A*B)");
-    println!("(paper: k=163 in 4351 s / 153K gates ... k=571 timed out at 24 h)\n");
-    println!(
-        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
-        "k", "gates", "time_s", "red.steps", "peak_terms", "mem_MB", "result"
-    );
+    if !args.json {
+        println!("Table 1: Abstraction of Mastrovito multipliers (Z = A*B)");
+        println!("(paper: k=163 in 4351 s / 153K gates ... k=571 timed out at 24 h)\n");
+        println!(
+            "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
+            "k", "gates", "time_s", "red.steps", "peak_terms", "mem_MB", "result"
+        );
+    }
     for k in ks {
         let Some(p) = irreducible_polynomial(k) else {
             eprintln!("{k:>5}  no irreducible polynomial found");
@@ -52,15 +54,27 @@ fn main() {
             Some(_) => "WRONG",
             None => "residual",
         };
-        println!(
-            "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
-            k,
-            fmt_gates(nl.num_gates()),
-            fmt_secs(elapsed),
-            result.stats.reduction_steps,
-            result.stats.peak_terms,
-            fmt_mb(ALLOC.peak_bytes()),
-            verdict
-        );
+        if args.json {
+            JsonRow::new("table1")
+                .num("k", k as u64)
+                .num("gates", nl.num_gates() as u64)
+                .secs("time_s", elapsed)
+                .num("reduction_steps", result.stats.reduction_steps)
+                .num("peak_terms", result.stats.peak_terms as u64)
+                .num("peak_mem_bytes", ALLOC.peak_bytes() as u64)
+                .str("result", verdict)
+                .emit();
+        } else {
+            println!(
+                "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
+                k,
+                fmt_gates(nl.num_gates()),
+                fmt_secs(elapsed),
+                result.stats.reduction_steps,
+                result.stats.peak_terms,
+                fmt_mb(ALLOC.peak_bytes()),
+                verdict
+            );
+        }
     }
 }

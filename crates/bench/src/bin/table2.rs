@@ -17,7 +17,7 @@
 //! speedup column is printed; the two runs must produce byte-identical
 //! polynomials.
 
-use gfab_bench::{fmt_gates, fmt_mb, fmt_secs, PeakAlloc, TableArgs};
+use gfab_bench::{fmt_gates, fmt_mb, fmt_secs, JsonRow, PeakAlloc, TableArgs};
 use gfab_circuits::montgomery_multiplier_hier;
 use gfab_core::hier::extract_hierarchical;
 use gfab_core::ExtractOptions;
@@ -34,30 +34,32 @@ fn main() {
     let options = ExtractOptions::default().with_threads(args.threads);
     let compare_serial = options.effective_threads() > 1;
 
-    println!("Table 2: Abstraction of Montgomery blocks (Fig. 1: AR, BR, ABR, G)");
-    println!(
-        "(paper totals: k=163: 636 s ... k=571: 87458 s; threads = {})\n",
-        options.effective_threads()
-    );
-    println!(
-        "{:>5} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}{}",
-        "k",
-        "gA",
-        "gB",
-        "gMid",
-        "gOut",
-        "tA_s",
-        "tB_s",
-        "tMid_s",
-        "tOut_s",
-        "model_s",
-        "reduce_s",
-        "compose",
-        "total_s",
-        "mem_MB",
-        "result",
-        if compare_serial { "  serial_s  speedup" } else { "" }
-    );
+    if !args.json {
+        println!("Table 2: Abstraction of Montgomery blocks (Fig. 1: AR, BR, ABR, G)");
+        println!(
+            "(paper totals: k=163: 636 s ... k=571: 87458 s; threads = {})\n",
+            options.effective_threads()
+        );
+        println!(
+            "{:>5} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}{}",
+            "k",
+            "gA",
+            "gB",
+            "gMid",
+            "gOut",
+            "tA_s",
+            "tB_s",
+            "tMid_s",
+            "tOut_s",
+            "model_s",
+            "reduce_s",
+            "compose",
+            "total_s",
+            "mem_MB",
+            "result",
+            if compare_serial { "  serial_s  speedup" } else { "" }
+        );
+    }
     for k in ks {
         let Some(p) = irreducible_polynomial(k) else {
             eprintln!("{k:>5}  no irreducible polynomial found");
@@ -108,24 +110,42 @@ fn main() {
         } else {
             String::new()
         };
-        println!(
-            "{:>5} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}{}",
-            k,
-            fmt_gates(gates[0]),
-            fmt_gates(gates[1]),
-            fmt_gates(gates[2]),
-            fmt_gates(gates[3]),
-            times[0],
-            times[1],
-            times[2],
-            times[3],
-            fmt_secs(model_s),
-            fmt_secs(reduce_s),
-            fmt_secs(result.compose_time),
-            fmt_secs(total),
-            peak_mb,
-            verdict,
-            tail
-        );
+        if args.json {
+            let mut row = JsonRow::new("table2")
+                .num("k", k as u64)
+                .num("threads", options.effective_threads() as u64);
+            for (i, (name, _, s)) in result.blocks.iter().enumerate() {
+                row = row
+                    .num(&format!("gates_{name}"), gates[i] as u64)
+                    .secs(&format!("time_{name}_s"), s.duration);
+            }
+            row.secs("model_s", model_s)
+                .secs("reduce_s", reduce_s)
+                .secs("compose_s", result.compose_time)
+                .secs("total_s", total)
+                .num("peak_mem_bytes", ALLOC.peak_bytes() as u64)
+                .str("result", verdict)
+                .emit();
+        } else {
+            println!(
+                "{:>5} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}{}",
+                k,
+                fmt_gates(gates[0]),
+                fmt_gates(gates[1]),
+                fmt_gates(gates[2]),
+                fmt_gates(gates[3]),
+                times[0],
+                times[1],
+                times[2],
+                times[3],
+                fmt_secs(model_s),
+                fmt_secs(reduce_s),
+                fmt_secs(result.compose_time),
+                fmt_secs(total),
+                peak_mb,
+                verdict,
+                tail
+            );
+        }
     }
 }

@@ -16,7 +16,7 @@
 //! Run: `cargo run --release -p gfab-bench --bin table3 [--full] [k ...]`
 //! Default sweep: 2 3 4 6 8 10 12 16; `--full` adds 24 32 48 64.
 
-use gfab_bench::{fmt_secs, TableArgs};
+use gfab_bench::{fmt_secs, JsonRow, TableArgs};
 use gfab_circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
 use gfab_core::equiv::{check_equivalence, Verdict};
 use gfab_core::fullgb::{full_gb_abstraction, CircuitVarOrder, FullGbOutcome};
@@ -39,12 +39,14 @@ fn main() {
     let wall = args.wall_budget(WALL_BUDGET);
     let ks = args.sweep(&[2, 3, 4, 6, 8, 10, 12, 16], &[24, 32, 48, 64]);
 
-    println!("Method comparison: prove Mastrovito == Montgomery (flattened miter)");
-    println!("(paper: SAT dies >16 bit, full GB >32 bit, [5] >163 bit, ours 409+)\n");
-    println!(
-        "{:>4} {:>12} {:>14} {:>16} {:>14}",
-        "k", "sat_miter", "full_groebner", "ideal_member[5]", "guided(ours)"
-    );
+    if !args.json {
+        println!("Method comparison: prove Mastrovito == Montgomery (flattened miter)");
+        println!("(paper: SAT dies >16 bit, full GB >32 bit, [5] >163 bit, ours 409+)\n");
+        println!(
+            "{:>4} {:>12} {:>14} {:>16} {:>14}",
+            "k", "sat_miter", "full_groebner", "ideal_member[5]", "guided(ours)"
+        );
+    }
 
     for k in ks {
         let Some(p) = irreducible_polynomial(k) else {
@@ -57,11 +59,13 @@ fn main() {
         // (a) SAT miter.
         let t = Instant::now();
         let sat = check_equivalence_sat_with(&spec, &impl_, SAT_CONFLICT_BUDGET, Some(wall));
-        let sat_cell = match sat.verdict {
-            SatVerdict::Equivalent => format!("eq {}", fmt_secs(t.elapsed())),
-            SatVerdict::Counterexample(_) => format!("CEX {}", fmt_secs(t.elapsed())),
+        let sat_time = t.elapsed();
+        let sat_verdict = match sat.verdict {
+            SatVerdict::Equivalent => "eq".to_string(),
+            SatVerdict::Counterexample(_) => "CEX".to_string(),
             SatVerdict::Unknown(_) => "give-up".to_string(),
         };
+        let sat_cell = cell(&sat_verdict, sat_time);
 
         // (b) Full Gröbner basis abstraction on the (smaller) spec circuit.
         let gb_limits = GbLimits {
@@ -71,40 +75,67 @@ fn main() {
             max_wall_ms: wall.as_millis() as u64,
         };
         let t = Instant::now();
-        let gb_cell =
+        let gb_verdict =
             match full_gb_abstraction(&spec, &ctx, CircuitVarOrder::ReverseTopological, &gb_limits)
             {
-                Ok(FullGbOutcome::Canonical { .. }) => format!("eq {}", fmt_secs(t.elapsed())),
+                Ok(FullGbOutcome::Canonical { .. }) => "eq".to_string(),
                 Ok(FullGbOutcome::GaveUp { .. }) => "give-up".to_string(),
                 Err(e) => format!("err:{e}"),
             };
+        let gb_time = t.elapsed();
+        let gb_cell = cell(&gb_verdict, gb_time);
 
         // (c) Ideal membership \[5\] on the impl circuit (spec poly given).
         let t = Instant::now();
         let sr = spec_ring(&impl_, &ctx);
         let f = multiplier_spec(&sr, &ctx);
-        let im_cell = match verify_against_spec(&impl_, &ctx, &sr, &f) {
-            Ok(out) if out.verified => format!("eq {}", fmt_secs(t.elapsed())),
+        let im_verdict = match verify_against_spec(&impl_, &ctx, &sr, &f) {
+            Ok(out) if out.verified => "eq".to_string(),
             Ok(_) => "REFUTED".to_string(),
             Err(e) => format!("err:{e}"),
         };
+        let im_time = t.elapsed();
+        let im_cell = cell(&im_verdict, im_time);
 
         // (d) Guided abstraction (ours): full equivalence check, under the
         // same per-cell wall budget as the baselines (budget exhaustion
         // shows up as a graceful give-up cell, not an abort).
         let options = ExtractOptions::default().with_budget(BudgetSpec::wall(wall));
         let t = Instant::now();
-        let ours_cell = match check_equivalence(&spec, &impl_, &ctx, &options) {
-            Ok(report) if report.verdict.is_equivalent() => {
-                format!("eq {}", fmt_secs(t.elapsed()))
-            }
+        let ours_verdict = match check_equivalence(&spec, &impl_, &ctx, &options) {
+            Ok(report) if report.verdict.is_equivalent() => "eq".to_string(),
             Ok(report) => match report.verdict {
                 Verdict::Unknown { .. } => "give-up".to_string(),
                 _ => "INEQ".to_string(),
             },
             Err(e) => format!("err:{e}"),
         };
+        let ours_time = t.elapsed();
+        let ours_cell = cell(&ours_verdict, ours_time);
 
-        println!("{k:>4} {sat_cell:>12} {gb_cell:>14} {im_cell:>16} {ours_cell:>14}");
+        if args.json {
+            JsonRow::new("table3")
+                .num("k", k as u64)
+                .str("sat_verdict", &sat_verdict)
+                .secs("sat_time_s", sat_time)
+                .str("fullgb_verdict", &gb_verdict)
+                .secs("fullgb_time_s", gb_time)
+                .str("ideal_verdict", &im_verdict)
+                .secs("ideal_time_s", im_time)
+                .str("guided_verdict", &ours_verdict)
+                .secs("guided_time_s", ours_time)
+                .emit();
+        } else {
+            println!("{k:>4} {sat_cell:>12} {gb_cell:>14} {im_cell:>16} {ours_cell:>14}");
+        }
+    }
+}
+
+/// A human table cell: `eq <secs>` for decided runs, the bare verdict for
+/// give-ups and errors.
+fn cell(verdict: &str, elapsed: std::time::Duration) -> String {
+    match verdict {
+        "eq" | "CEX" => format!("{verdict} {}", fmt_secs(elapsed)),
+        other => other.to_string(),
     }
 }

@@ -10,9 +10,9 @@
 //!    are "simplified by constant-propagation". We compare extracting the
 //!    constant-folded block vs. the full two-operand block.
 //!
-//! Run: `cargo run --release -p gfab-bench --bin table4`
+//! Run: `cargo run --release -p gfab-bench --bin table4 [--json]`
 
-use gfab_bench::fmt_secs;
+use gfab_bench::{fmt_secs, JsonRow, TableArgs};
 use gfab_circuits::{mastrovito_multiplier, monpro, MonproOperand};
 use gfab_core::extract_word_polynomial;
 use gfab_core::fullgb::{full_gb_abstraction, CircuitVarOrder, FullGbOutcome};
@@ -23,17 +23,20 @@ use gfab_poly::buchberger::GbLimits;
 use std::time::Instant;
 
 fn main() {
-    ablation_variable_order();
-    ablation_case2_cost();
-    ablation_constant_blocks();
+    let args = TableArgs::parse();
+    ablation_variable_order(&args);
+    ablation_case2_cost(&args);
+    ablation_constant_blocks(&args);
 }
 
-fn ablation_variable_order() {
-    println!("Ablation 1: full-GB effort, RATO vs. declaration variable order");
-    println!(
-        "{:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
-        "k", "pairs_rato", "pairs_decl", "pruned_rato", "pruned_decl", "t_rato", "t_decl"
-    );
+fn ablation_variable_order(args: &TableArgs) {
+    if !args.json {
+        println!("Ablation 1: full-GB effort, RATO vs. declaration variable order");
+        println!(
+            "{:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            "k", "pairs_rato", "pairs_decl", "pruned_rato", "pruned_decl", "t_rato", "t_decl"
+        );
+    }
     let limits = GbLimits {
         max_pair_reductions: 200_000,
         ..GbLimits::default()
@@ -64,20 +67,37 @@ fn ablation_variable_order() {
                 }
             }
         }
-        println!(
-            "{:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
-            k, cells[0].0, cells[1].0, cells[0].1, cells[1].1, cells[0].2, cells[1].2
-        );
+        if args.json {
+            JsonRow::new("table4")
+                .str("ablation", "variable_order")
+                .num("k", k as u64)
+                .str("pairs_rato", &cells[0].0)
+                .str("pairs_decl", &cells[1].0)
+                .str("pruned_rato", &cells[0].1)
+                .str("pruned_decl", &cells[1].1)
+                .str("t_rato", &cells[0].2)
+                .str("t_decl", &cells[1].2)
+                .emit();
+        } else {
+            println!(
+                "{:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+                k, cells[0].0, cells[1].0, cells[0].1, cells[1].1, cells[0].2, cells[1].2
+            );
+        }
     }
-    println!();
+    if !args.json {
+        println!();
+    }
 }
 
-fn ablation_case2_cost() {
-    println!("Ablation 2: Case-2 completion cost on buggy Mastrovito multipliers");
-    println!(
-        "{:>4} {:>6} {:>14} {:>14} {:>12}",
-        "k", "bugs", "case1(benign)", "case2(buggy)", "avg_t_case2"
-    );
+fn ablation_case2_cost(args: &TableArgs) {
+    if !args.json {
+        println!("Ablation 2: Case-2 completion cost on buggy Mastrovito multipliers");
+        println!(
+            "{:>4} {:>6} {:>14} {:>14} {:>12}",
+            "k", "bugs", "case1(benign)", "case2(buggy)", "avg_t_case2"
+        );
+    }
     for k in [2usize, 3, 4, 5] {
         let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
         let golden = mastrovito_multiplier(&ctx);
@@ -101,18 +121,33 @@ fn ablation_case2_cost() {
         } else {
             "-".into()
         };
-        println!("{k:>4} {trials:>6} {case1:>14} {case2:>14} {avg:>12}");
+        if args.json {
+            JsonRow::new("table4")
+                .str("ablation", "case2_cost")
+                .num("k", k as u64)
+                .num("trials", trials)
+                .num("case1", case1 as u64)
+                .num("case2", case2 as u64)
+                .secs("case2_total_s", case2_time)
+                .emit();
+        } else {
+            println!("{k:>4} {trials:>6} {case1:>14} {case2:>14} {avg:>12}");
+        }
     }
-    println!();
+    if !args.json {
+        println!();
+    }
 }
 
-fn ablation_constant_blocks() {
-    println!("Ablation 3: constant-operand MonPro blocks vs. full two-operand blocks");
-    println!(
-        "{:>4} {:>12} {:>12} {:>10} {:>10} {:>8}",
-        "k", "gates_const", "gates_full", "t_const", "t_full", "ratio"
-    );
-    for k in [16usize, 32, 64, 163] {
+fn ablation_constant_blocks(args: &TableArgs) {
+    if !args.json {
+        println!("Ablation 3: constant-operand MonPro blocks vs. full two-operand blocks");
+        println!(
+            "{:>4} {:>12} {:>12} {:>10} {:>10} {:>8}",
+            "k", "gates_const", "gates_full", "t_const", "t_full", "ratio"
+        );
+    }
+    for k in args.sweep(&[16, 32, 64, 163], &[]) {
         let ctx = GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap();
         let constant = monpro(&ctx, "c", MonproOperand::Const(ctx.montgomery_r2()));
         let full = monpro(&ctx, "f", MonproOperand::Word);
@@ -122,14 +157,25 @@ fn ablation_constant_blocks() {
         let t = Instant::now();
         extract_word_polynomial(&full, &ctx).expect("full block");
         let t_full = t.elapsed();
-        println!(
-            "{:>4} {:>12} {:>12} {:>10} {:>10} {:>8.2}",
-            k,
-            constant.num_gates(),
-            full.num_gates(),
-            fmt_secs(t_const),
-            fmt_secs(t_full),
-            t_full.as_secs_f64() / t_const.as_secs_f64().max(1e-9)
-        );
+        if args.json {
+            JsonRow::new("table4")
+                .str("ablation", "constant_blocks")
+                .num("k", k as u64)
+                .num("gates_const", constant.num_gates() as u64)
+                .num("gates_full", full.num_gates() as u64)
+                .secs("t_const_s", t_const)
+                .secs("t_full_s", t_full)
+                .emit();
+        } else {
+            println!(
+                "{:>4} {:>12} {:>12} {:>10} {:>10} {:>8.2}",
+                k,
+                constant.num_gates(),
+                full.num_gates(),
+                fmt_secs(t_const),
+                fmt_secs(t_full),
+                t_full.as_secs_f64() / t_const.as_secs_f64().max(1e-9)
+            );
+        }
     }
 }

@@ -97,8 +97,9 @@ pub fn fmt_gates(n: usize) -> String {
 
 /// Parses the common CLI flags of the table binaries: `--full` enables the
 /// NIST-scale rows; `--threads N` sets the extraction thread budget;
-/// `--timeout SECS` overrides the per-cell wall budget; a trailing list of
-/// integers overrides the k sweep.
+/// `--timeout SECS` overrides the per-cell wall budget; `--json` switches
+/// the output to one JSON object per row (machine-readable, consumed by
+/// `scripts/bench.sh`); a trailing list of integers overrides the k sweep.
 pub struct TableArgs {
     /// Whether `--full` was passed.
     pub full: bool,
@@ -108,6 +109,9 @@ pub struct TableArgs {
     pub threads: usize,
     /// Per-cell wall-clock budget override, if `--timeout` was given.
     pub timeout: Option<std::time::Duration>,
+    /// Whether `--json` was passed: emit one JSON object per row instead
+    /// of the human-readable table.
+    pub json: bool,
 }
 
 impl TableArgs {
@@ -117,10 +121,13 @@ impl TableArgs {
         let mut ks = Vec::new();
         let mut threads = 0usize;
         let mut timeout = None;
+        let mut json = false;
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             if a == "--full" {
                 full = true;
+            } else if a == "--json" {
+                json = true;
             } else if a == "--threads" {
                 threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--threads needs a number");
@@ -135,7 +142,7 @@ impl TableArgs {
             } else if let Ok(k) = a.parse::<usize>() {
                 ks.push(k);
             } else {
-                eprintln!("usage: [--full] [--threads N] [--timeout SECS] [k ...]");
+                eprintln!("usage: [--full] [--json] [--threads N] [--timeout SECS] [k ...]");
                 std::process::exit(2);
             }
         }
@@ -144,6 +151,7 @@ impl TableArgs {
             ks,
             threads,
             timeout,
+            json,
         }
     }
 
@@ -163,6 +171,91 @@ impl TableArgs {
             v.extend_from_slice(nist_extra);
         }
         v
+    }
+}
+
+/// An ordered JSON object builder for the table binaries' `--json` mode:
+/// one object per row, keys in insertion order, no external dependencies.
+///
+/// ```
+/// let row = gfab_bench::JsonRow::new("table1")
+///     .num("k", 163)
+///     .secs("time_s", std::time::Duration::from_millis(1500))
+///     .str("result", "Z=A*B");
+/// assert_eq!(
+///     row.render(),
+///     r#"{"table":"table1","k":163,"time_s":1.5,"result":"Z=A*B"}"#
+/// );
+/// ```
+pub struct JsonRow {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonRow {
+    /// Starts a row tagged with its table name (`"table": name`).
+    pub fn new(table: &str) -> JsonRow {
+        JsonRow { fields: Vec::new() }.str("table", table)
+    }
+
+    fn push(mut self, key: &str, encoded: String) -> JsonRow {
+        self.fields.push((key.to_string(), encoded));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    #[must_use]
+    pub fn str(self, key: &str, value: &str) -> JsonRow {
+        let mut s = String::with_capacity(value.len() + 2);
+        s.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => s.push_str("\\\""),
+                '\\' => s.push_str("\\\\"),
+                c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                c => s.push(c),
+            }
+        }
+        s.push('"');
+        self.push(key, s)
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn num(self, key: &str, value: u64) -> JsonRow {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a duration field, in (fractional) seconds.
+    #[must_use]
+    pub fn secs(self, key: &str, value: std::time::Duration) -> JsonRow {
+        self.push(key, format!("{}", value.as_secs_f64()))
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn flag(self, key: &str, value: bool) -> JsonRow {
+        self.push(key, value.to_string())
+    }
+
+    /// Renders the object on one line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(k);
+            out.push_str("\":");
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prints the rendered object to stdout.
+    pub fn emit(&self) {
+        println!("{}", self.render());
     }
 }
 

@@ -13,8 +13,9 @@ use crate::wordfn::WordFunction;
 use gfab_field::budget::Budget;
 use gfab_field::{Gf, GfContext, Rng};
 use gfab_netlist::hierarchy::HierDesign;
-use gfab_netlist::sim::{random_equivalence_check_budgeted, SimOutcome};
+use gfab_netlist::sim::{random_equivalence_check_traced, SimOutcome};
 use gfab_netlist::Netlist;
+use gfab_telemetry::{Phase, Trace};
 use std::sync::Arc;
 
 /// The verdict of an equivalence check.
@@ -79,6 +80,28 @@ impl Verdict {
     }
 }
 
+/// Effort counters of the SAT fallback rung. A value-level mirror of the
+/// solver's own stats struct, defined here so the report type does not
+/// pull the solver crate into the core dependency graph; the `Verifier`
+/// ladder fills it whenever the SAT rung ran (regardless of verdict).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// CDCL conflicts.
+    pub conflicts: u64,
+    /// CDCL decisions.
+    pub decisions: u64,
+    /// CDCL unit propagations.
+    pub propagations: u64,
+    /// CDCL restarts.
+    pub restarts: u64,
+    /// Clauses learned.
+    pub learned: u64,
+    /// Variables in the miter CNF.
+    pub cnf_vars: usize,
+    /// Clauses in the miter CNF.
+    pub cnf_clauses: usize,
+}
+
 /// A full equivalence report: verdict plus per-side extraction statistics.
 #[derive(Debug, Clone)]
 pub struct EquivReport {
@@ -89,6 +112,12 @@ pub struct EquivReport {
     /// Impl extraction statistics (aggregated over blocks for
     /// hierarchical implementations).
     pub impl_stats: ExtractionStats,
+    /// SAT fallback effort, when the `Verifier` ladder ran the SAT rung
+    /// (present whether or not that rung decided the query).
+    pub sat: Option<SatStats>,
+    /// The query's span tree, when telemetry was enabled (the `Verifier`
+    /// attaches it after the query completes).
+    pub trace: Option<Trace>,
 }
 
 /// Checks functional equivalence of two flat netlists over `F_{2^k}`.
@@ -136,7 +165,7 @@ pub fn check_equivalence_budgeted(
     // diagnostics, and the completion there is fast anyway).
     if ctx.k() > 5 {
         let mut rng = Rng::seed_from_u64(0xFA57);
-        match random_equivalence_check_budgeted(
+        match random_equivalence_check_traced(
             spec,
             impl_,
             ctx,
@@ -144,6 +173,8 @@ pub fn check_equivalence_budgeted(
             &mut rng,
             options.threads,
             budget,
+            &options.telemetry,
+            "pre-check",
         ) {
             SimOutcome::Differ(cex) => {
                 return Ok(EquivReport {
@@ -152,6 +183,8 @@ pub fn check_equivalence_budgeted(
                     },
                     spec_stats: ExtractionStats::default(),
                     impl_stats: ExtractionStats::default(),
+                    sat: None,
+                    trace: None,
                 });
             }
             // An interrupted sweep proves nothing; fall through and let
@@ -163,21 +196,31 @@ pub fn check_equivalence_budgeted(
     // threads when the thread budget allows. Error precedence (spec first)
     // matches the serial path, so behaviour is identical either way. Both
     // sides tick the *same* budget: a work cap bounds the query total.
+    // Each side runs under a labelled `Phase::Extract` span (opened on
+    // whichever thread performs the work, so the span measures on-thread
+    // time); the extraction's own model/reduction spans nest beneath it.
+    let extract_side = |nl: &Netlist, label: &str| {
+        if options.telemetry.is_enabled() {
+            let span = options.telemetry.span_labeled(Phase::Extract, label);
+            let opts = options.clone().with_telemetry(span.telemetry());
+            let r = extract_word_polynomial_budgeted(nl, ctx, &opts, budget);
+            let _ = span.finish();
+            r
+        } else {
+            extract_word_polynomial_budgeted(nl, ctx, options, budget)
+        }
+    };
     let (spec_res, impl_res) = if options.effective_threads() > 1 {
         std::thread::scope(|scope| {
-            let spec_handle =
-                scope.spawn(|| extract_word_polynomial_budgeted(spec, ctx, options, budget));
-            let impl_res = extract_word_polynomial_budgeted(impl_, ctx, options, budget);
+            let spec_handle = scope.spawn(|| extract_side(spec, "spec"));
+            let impl_res = extract_side(impl_, "impl");
             (
                 spec_handle.join().expect("spec extraction thread panicked"),
                 impl_res,
             )
         })
     } else {
-        (
-            extract_word_polynomial_budgeted(spec, ctx, options, budget),
-            extract_word_polynomial_budgeted(impl_, ctx, options, budget),
-        )
+        (extract_side(spec, "spec"), extract_side(impl_, "impl"))
     };
     let (spec_res, impl_res) = (spec_res?, impl_res?);
     let verdict = match (spec_res.canonical(), impl_res.canonical()) {
@@ -189,7 +232,7 @@ pub fn check_equivalence_budgeted(
             // over a large field a functional difference is detected with
             // overwhelming probability.
             let mut rng = Rng::seed_from_u64(0xCEC);
-            let sim = random_equivalence_check_budgeted(
+            let sim = random_equivalence_check_traced(
                 spec,
                 impl_,
                 ctx,
@@ -197,6 +240,8 @@ pub fn check_equivalence_budgeted(
                 &mut rng,
                 options.threads,
                 budget,
+                &options.telemetry,
+                "refute",
             );
             if let SimOutcome::Differ(cex) = sim {
                 Verdict::InequivalentBySimulation {
@@ -227,6 +272,8 @@ pub fn check_equivalence_budgeted(
         verdict,
         spec_stats: spec_res.stats,
         impl_stats: impl_res.stats,
+        sat: None,
+        trace: None,
     })
 }
 
@@ -263,21 +310,41 @@ pub fn check_equivalence_hier_budgeted(
     // As in the flat case, spec extraction and the hierarchical impl
     // extraction run concurrently when the thread budget allows (the
     // hierarchical side additionally shards its blocks internally).
+    let extract_spec = || {
+        if options.telemetry.is_enabled() {
+            let span = options.telemetry.span_labeled(Phase::Extract, "spec");
+            let opts = options.clone().with_telemetry(span.telemetry());
+            let r = extract_word_polynomial_budgeted(spec, ctx, &opts, budget);
+            let _ = span.finish();
+            r
+        } else {
+            extract_word_polynomial_budgeted(spec, ctx, options, budget)
+        }
+    };
+    // The hierarchical side gets its own labelled `Phase::Extract` span;
+    // the per-block `Phase::Block` spans nest under it.
+    let extract_hier = || {
+        if options.telemetry.is_enabled() {
+            let span = options.telemetry.span_labeled(Phase::Extract, "impl");
+            let opts = options.clone().with_telemetry(span.telemetry());
+            let r = extract_hierarchical_budgeted(impl_, ctx, &opts, budget);
+            let _ = span.finish();
+            r
+        } else {
+            extract_hierarchical_budgeted(impl_, ctx, options, budget)
+        }
+    };
     let (spec_res, hier) = if options.effective_threads() > 1 {
         std::thread::scope(|scope| {
-            let spec_handle =
-                scope.spawn(|| extract_word_polynomial_budgeted(spec, ctx, options, budget));
-            let hier = extract_hierarchical_budgeted(impl_, ctx, options, budget);
+            let spec_handle = scope.spawn(extract_spec);
+            let hier = extract_hier();
             (
                 spec_handle.join().expect("spec extraction thread panicked"),
                 hier,
             )
         })
     } else {
-        (
-            extract_word_polynomial_budgeted(spec, ctx, options, budget),
-            extract_hierarchical_budgeted(impl_, ctx, options, budget),
-        )
+        (extract_spec(), extract_hier())
     };
     // A budget trip inside a hierarchical block is not an error at this
     // level: it degrades to an Unknown verdict so the caller's fallback
@@ -323,6 +390,8 @@ pub fn check_equivalence_hier_budgeted(
         verdict,
         spec_stats: spec_res.stats,
         impl_stats,
+        sat: None,
+        trace: None,
     })
 }
 

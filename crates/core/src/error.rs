@@ -3,6 +3,7 @@
 use gfab_field::budget::ExhaustedReason;
 use gfab_netlist::NetlistError;
 use gfab_poly::PolyError;
+use gfab_telemetry::Phase;
 use std::fmt;
 
 /// Errors produced by the word-level abstraction and equivalence engines.
@@ -36,8 +37,13 @@ pub enum CoreError {
     /// extraction). Phases that *can* degrade gracefully report through
     /// `Extraction::TimedOut` / `Verdict::Unknown` instead.
     BudgetExhausted {
-        /// The pipeline phase that was cut short.
-        phase: String,
+        /// The pipeline phase that was cut short — the same [`Phase`]
+        /// vocabulary telemetry spans use, so errors, stats and traces
+        /// all name phases identically.
+        phase: Phase,
+        /// The hierarchical block being extracted when the budget ran
+        /// out, if the trip happened inside one.
+        block: Option<String>,
         /// Which resource ran out.
         reason: ExhaustedReason,
     },
@@ -59,9 +65,16 @@ impl fmt::Display for CoreError {
                 "no Z + G(A) polynomial in the Groebner basis (internal error)"
             ),
             CoreError::SignatureMismatch(msg) => write!(f, "signature mismatch: {msg}"),
-            CoreError::BudgetExhausted { phase, reason } => {
-                write!(f, "budget exhausted during {phase}: {reason}")
-            }
+            CoreError::BudgetExhausted {
+                phase,
+                block,
+                reason,
+            } => match block {
+                Some(b) => {
+                    write!(f, "budget exhausted during {phase} (block {b}): {reason}")
+                }
+                None => write!(f, "budget exhausted during {phase}: {reason}"),
+            },
         }
     }
 }
@@ -89,7 +102,8 @@ impl From<PolyError> for CoreError {
             // opaque polynomial error: callers match on them to trigger
             // the SAT fallback ladder.
             PolyError::BudgetExceeded(b) => CoreError::BudgetExhausted {
-                phase: "polynomial algebra".into(),
+                phase: Phase::Algebra,
+                block: None,
                 reason: b.reason,
             },
             e => CoreError::Poly(e),

@@ -27,10 +27,11 @@ use crate::wordfn::WordFunction;
 use gfab_field::budget::{Budget, BudgetSpec, ExhaustedReason};
 use gfab_field::GfContext;
 use gfab_netlist::Netlist;
-use gfab_poly::buchberger::{reduced_groebner_basis_budgeted, GbLimits, GbOutcome};
+use gfab_poly::buchberger::{reduced_groebner_basis_traced, GbLimits, GbOutcome};
 use gfab_poly::reduce::Reducer;
 use gfab_poly::vanishing::vanishing_ideal_all;
 use gfab_poly::{ExponentMode, Monomial, Poly, PolyError, Ring, RingBuilder, VarId, VarKind};
+use gfab_telemetry::{Counter, Phase, Telemetry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,6 +55,11 @@ pub struct ExtractOptions {
     /// equivalence checking to an `Unknown` verdict (or the SAT fallback,
     /// when driven through the `Verifier` ladder).
     pub budget: BudgetSpec,
+    /// Telemetry handle under which the extraction records its phase
+    /// spans (model build, guided reduction, Case-2 completion, …).
+    /// Disabled by default: the off path is a single branch, so tier-1
+    /// timings and deterministic fingerprints are unchanged.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ExtractOptions {
@@ -71,6 +77,7 @@ impl Default for ExtractOptions {
             },
             threads: 0,
             budget: BudgetSpec::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -86,6 +93,13 @@ impl ExtractOptions {
     /// Returns a copy with the given per-query resource budget.
     pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Returns a copy recording spans through the given telemetry handle
+    /// (used to re-parent nested extractions under a caller's span).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -145,8 +159,8 @@ pub enum Extraction {
     /// available. A structured partial outcome, not an error: the stats
     /// carry the per-phase accounting up to the interruption.
     TimedOut {
-        /// The phase that was interrupted (e.g. `"guided reduction"`).
-        phase: String,
+        /// The phase that was interrupted (e.g. [`Phase::GuidedReduction`]).
+        phase: Phase,
         /// Which resource ran out.
         reason: ExhaustedReason,
     },
@@ -233,29 +247,34 @@ pub fn extract_word_polynomial_budgeted(
     budget: &Budget,
 ) -> Result<ExtractionResult, CoreError> {
     let start = Instant::now();
+    let tele = &options.telemetry;
+    // Phase spans are the single timing source: each stats duration below
+    // is the value returned by `Span::finish`, not a second clock.
+    let mut model_span = tele.span(Phase::ModelBuild);
     let model = CircuitModel::build_budgeted(nl, ctx, budget)?;
+    model_span.counter(Counter::Gates, nl.num_gates() as u64);
     let mut stats = ExtractionStats {
         gates: nl.num_gates(),
         ring_vars: model.ring.num_vars(),
-        model_time: start.elapsed(),
+        model_time: model_span.finish(),
         ..ExtractionStats::default()
     };
 
     // The guided reduction: one normal form of f_w against F ∪ J_0.
-    let reduce_start = Instant::now();
+    let mut reduce_span = tele.span(Phase::GuidedReduction);
     let reducer = Reducer::new(&model.ring, model.divisors());
     let (r, rstats) = match reducer.normal_form_budgeted(&model.output_word_poly, budget) {
         Ok(ok) => ok,
         Err(PolyError::BudgetExceeded(e)) => {
             // Graceful degradation: the interruption is a structured
             // outcome carrying per-phase accounting, not an error.
-            stats.reduce_time = reduce_start.elapsed();
-            stats.budget_exhausted = Some(format!("guided reduction: {}", e.reason));
+            stats.reduce_time = reduce_span.finish();
+            stats.budget_exhausted = Some(format!("{}: {}", Phase::GuidedReduction, e.reason));
             stats.duration = start.elapsed();
             return Ok(ExtractionResult {
                 model,
                 outcome: Extraction::TimedOut {
-                    phase: "guided reduction".into(),
+                    phase: Phase::GuidedReduction,
                     reason: e.reason,
                 },
                 stats,
@@ -263,7 +282,12 @@ pub fn extract_word_polynomial_budgeted(
         }
         Err(e) => return Err(e.into()),
     };
-    stats.reduce_time = reduce_start.elapsed();
+    reduce_span.counter(Counter::ReductionSteps, rstats.steps);
+    reduce_span.counter(Counter::PeakTerms, rstats.peak_terms as u64);
+    reduce_span.counter(Counter::Cancellations, rstats.cancellations);
+    reduce_span.counter(Counter::BudgetPolls, rstats.polls);
+    reduce_span.counter(Counter::RemainderTerms, r.num_terms() as u64);
+    stats.reduce_time = reduce_span.finish();
     stats.reduction_steps = rstats.steps;
     stats.peak_terms = rstats.peak_terms;
     stats.cancellations = rstats.cancellations;
@@ -292,18 +316,25 @@ pub fn extract_word_polynomial_budgeted(
         }
     } else {
         stats.case2_completion = true;
-        let case2_start = Instant::now();
-        let outcome = match complete_case2(&model, ctx, &r, &options.gb_limits, budget)? {
+        let case2_span = tele.span(Phase::Case2Completion);
+        let case2 = complete_case2(
+            &model,
+            ctx,
+            &r,
+            &options.gb_limits,
+            budget,
+            &case2_span.telemetry(),
+        );
+        stats.case2_time = case2_span.finish();
+        match case2? {
             Case2Outcome::Canonical(f) => Extraction::Canonical(f),
             Case2Outcome::GaveUp(note) => {
                 if let Some(reason) = budget.exhausted() {
-                    stats.budget_exhausted = Some(format!("case-2 completion: {reason}"));
+                    stats.budget_exhausted = Some(format!("{}: {reason}", Phase::Case2Completion));
                 }
                 Extraction::Residual { remainder: r, note }
             }
-        };
-        stats.case2_time = case2_start.elapsed();
-        outcome
+        }
     };
 
     stats.duration = start.elapsed();
@@ -360,6 +391,7 @@ fn complete_case2(
     r: &Poly,
     limits: &GbLimits,
     budget: &Budget,
+    tele: &Telemetry,
 ) -> Result<Case2Outcome, CoreError> {
     // The completion ring is the tail of the model ring: every variable
     // from the first primary-input bit onward, in the same order, but in
@@ -387,7 +419,7 @@ fn complete_case2(
     }
     generators.extend(vanishing_ideal_all(&cring)?);
 
-    match reduced_groebner_basis_budgeted(&cring, &generators, limits, budget)? {
+    match reduced_groebner_basis_traced(&cring, &generators, limits, budget, tele)? {
         GbOutcome::LimitExceeded { reason, .. } => Ok(Case2Outcome::GaveUp(reason)),
         GbOutcome::Complete { basis, .. } => {
             let z = down(model.z_var);

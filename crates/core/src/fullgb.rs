@@ -14,9 +14,10 @@ use crate::wordfn::WordFunction;
 use gfab_field::budget::Budget;
 use gfab_field::GfContext;
 use gfab_netlist::{NetId, Netlist};
-use gfab_poly::buchberger::{reduced_groebner_basis_budgeted, GbLimits, GbOutcome, GbStats};
+use gfab_poly::buchberger::{reduced_groebner_basis_traced, GbLimits, GbOutcome, GbStats};
 use gfab_poly::vanishing::vanishing_ideal_all;
 use gfab_poly::{ExponentMode, Monomial, Poly, RingBuilder, VarId, VarKind};
+use gfab_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// Variable-ordering policy for the circuit bits (Definition 4.2 allows an
@@ -87,6 +88,24 @@ pub fn full_gb_abstraction_budgeted(
     limits: &GbLimits,
     budget: &Budget,
 ) -> Result<FullGbOutcome, CoreError> {
+    full_gb_abstraction_traced(nl, ctx, order, limits, budget, &Telemetry::disabled())
+}
+
+/// [`full_gb_abstraction_budgeted`] with a [`Telemetry`] handle: the
+/// Buchberger completion and basis reduction record spans and effort
+/// counters under the caller's current span.
+///
+/// # Errors
+///
+/// As [`full_gb_abstraction`].
+pub fn full_gb_abstraction_traced(
+    nl: &Netlist,
+    ctx: &Arc<GfContext>,
+    order: CircuitVarOrder,
+    limits: &GbLimits,
+    budget: &Budget,
+    tele: &Telemetry,
+) -> Result<FullGbOutcome, CoreError> {
     nl.validate()?;
     // Build a Plain-mode ring: circuit bits (per `order`) > PI bits > Z >
     // input words.
@@ -145,7 +164,7 @@ pub fn full_gb_abstraction_budgeted(
     }
     generators.extend(vanishing_ideal_all(&ring)?);
 
-    match reduced_groebner_basis_budgeted(&ring, &generators, limits, budget)? {
+    match reduced_groebner_basis_traced(&ring, &generators, limits, budget, tele)? {
         GbOutcome::LimitExceeded { reason, stats } => Ok(FullGbOutcome::GaveUp { reason, stats }),
         GbOutcome::Complete { basis, stats } => {
             let hit = basis

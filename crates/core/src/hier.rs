@@ -15,9 +15,10 @@ use gfab_field::budget::Budget;
 use gfab_field::GfContext;
 use gfab_netlist::hierarchy::{HierDesign, Signal};
 use gfab_poly::{ExponentMode, Monomial, Poly, RingBuilder, VarId, VarKind};
+use gfab_telemetry::Phase;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The result of extracting a hierarchical design.
 #[derive(Debug, Clone)]
@@ -75,7 +76,8 @@ pub fn extract_hierarchical_budgeted(
         let result = result?;
         if let Extraction::TimedOut { phase, reason } = &result.outcome {
             return Err(CoreError::BudgetExhausted {
-                phase: format!("block {} {phase}", inst.name),
+                phase: *phase,
+                block: Some(inst.name.clone()),
                 reason: *reason,
             });
         }
@@ -89,7 +91,7 @@ pub fn extract_hierarchical_budgeted(
     }
 
     // 2. Word-level composition over the design's primary input words.
-    let compose_start = Instant::now();
+    let compose_span = options.telemetry.span(Phase::Compose);
     let mut rb = RingBuilder::new(ctx.clone(), ExponentMode::Quotient);
     let design_vars: Vec<VarId> = design
         .inputs
@@ -142,7 +144,7 @@ pub fn extract_hierarchical_budgeted(
     let _ = &dring;
     let names = design.inputs.iter().map(|(n, _)| n.clone()).collect();
     let function = WordFunction::new(ctx.clone(), names, final_poly);
-    let compose_time = compose_start.elapsed();
+    let compose_time = compose_span.finish();
 
     Ok(HierExtraction {
         function,
@@ -163,12 +165,24 @@ fn extract_blocks(
 ) -> Vec<Result<crate::extract::ExtractionResult, CoreError>> {
     let n = design.blocks.len();
     let threads = options.effective_threads().min(n.max(1));
+    // One labelled `Phase::Block` span per block, nesting the block's own
+    // model/reduction spans beneath it via a re-parented telemetry clone
+    // (works unchanged across worker threads). With telemetry disabled
+    // this is a single branch straight into the plain extraction.
+    let extract_one = |i: usize| {
+        let inst = &design.blocks[i];
+        if options.telemetry.is_enabled() {
+            let span = options.telemetry.span_labeled(Phase::Block, &inst.name);
+            let opts = options.clone().with_telemetry(span.telemetry());
+            let r = extract_word_polynomial_budgeted(&inst.netlist, ctx, &opts, budget);
+            let _ = span.finish();
+            r
+        } else {
+            extract_word_polynomial_budgeted(&inst.netlist, ctx, options, budget)
+        }
+    };
     if threads <= 1 {
-        return design
-            .blocks
-            .iter()
-            .map(|inst| extract_word_polynomial_budgeted(&inst.netlist, ctx, options, budget))
-            .collect();
+        return (0..n).map(extract_one).collect();
     }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<Result<crate::extract::ExtractionResult, CoreError>>> =
@@ -183,13 +197,7 @@ fn extract_blocks(
                         if i >= n {
                             break;
                         }
-                        let r = extract_word_polynomial_budgeted(
-                            &design.blocks[i].netlist,
-                            ctx,
-                            options,
-                            budget,
-                        );
-                        mine.push((i, r));
+                        mine.push((i, extract_one(i)));
                     }
                     mine
                 })

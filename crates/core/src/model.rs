@@ -142,7 +142,8 @@ impl CircuitModel {
         for (i, g) in nl.gates().iter().enumerate() {
             if i % 4096 == 0 {
                 budget.check().map_err(|e| CoreError::BudgetExhausted {
-                    phase: "model construction".into(),
+                    phase: gfab_telemetry::Phase::ModelBuild,
+                    block: None,
                     reason: e.reason,
                 })?;
             }

@@ -5,6 +5,7 @@ use crate::netlist::{NetId, Netlist};
 use crate::topo::topological_gates;
 use gfab_field::budget::{Budget, ExhaustedReason};
 use gfab_field::{Gf, GfContext, Rng};
+use gfab_telemetry::{Counter, Phase, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outcome of a budgeted random-equivalence sweep.
@@ -210,6 +211,33 @@ pub fn random_equivalence_check_sharded(
         SimOutcome::Differ(cex) => Err(cex),
         SimOutcome::OutOfBudget(_) => unreachable!("unlimited budget cannot run out"),
     }
+}
+
+/// [`random_equivalence_check_budgeted`] under a telemetry span: the
+/// sweep is recorded as a labelled [`Phase::Simulation`] span carrying a
+/// `sim-vectors` counter. A disabled [`Telemetry`] handle makes this
+/// identical to the untraced entry point.
+///
+/// # Panics
+///
+/// As [`random_equivalence_check_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn random_equivalence_check_traced(
+    a: &Netlist,
+    b: &Netlist,
+    ctx: &GfContext,
+    n: usize,
+    rng: &mut Rng,
+    threads: usize,
+    budget: &Budget,
+    tele: &Telemetry,
+    label: &str,
+) -> SimOutcome {
+    let mut span = tele.span_labeled(Phase::Simulation, label);
+    let outcome = random_equivalence_check_budgeted(a, b, ctx, n, rng, threads, budget);
+    span.counter(Counter::SimVectors, n as u64);
+    let _ = span.finish();
+    outcome
 }
 
 /// [`random_equivalence_check_sharded`] polled against a cooperative

@@ -35,6 +35,10 @@ pub struct ReductionStats {
     /// coefficients summed to zero, so the term vanished without a division
     /// step.
     pub cancellations: u64,
+    /// Number of cooperative-budget polls issued (0 for unbudgeted runs).
+    /// Derived from the iteration count at no per-iteration cost; surfaced
+    /// as the `budget-polls` telemetry counter.
+    pub polls: u64,
 }
 
 /// One entry of the division working store: ordered by monomial only, so a
@@ -243,6 +247,7 @@ impl<'a> Reducer<'a> {
                 }
             }
         }
+        stats.polls = iterations / BUDGET_STRIDE;
         Ok((Poly::from_terms(remainder), stats))
     }
 }

@@ -6,6 +6,7 @@ use crate::tseitin::encode_budgeted;
 use gfab_field::budget::Budget;
 use gfab_netlist::miter::build_miter;
 use gfab_netlist::Netlist;
+use gfab_telemetry::{Counter, Phase, Telemetry};
 
 /// Verdict of the SAT-based miter check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +78,24 @@ pub fn check_equivalence_sat_budgeted(
     conflict_budget: u64,
     budget: &Budget,
 ) -> SatReport {
+    check_equivalence_sat_traced(spec, impl_, conflict_budget, budget, &Telemetry::disabled())
+}
+
+/// [`check_equivalence_sat_budgeted`] with a [`Telemetry`] handle: miter
+/// construction, Tseitin encoding, solver construction and the CDCL
+/// search each record a span (with CNF-size and search-effort counters)
+/// under the caller's current span.
+///
+/// # Panics
+///
+/// Panics if the two netlists have incompatible interfaces.
+pub fn check_equivalence_sat_traced(
+    spec: &Netlist,
+    impl_: &Netlist,
+    conflict_budget: u64,
+    budget: &Budget,
+    tele: &Telemetry,
+) -> SatReport {
     // Entry poll before the (unpolled) miter construction and Tseitin
     // encoding: a budget that is already spent must not pay for either.
     if let Err(e) = budget.check() {
@@ -87,7 +106,10 @@ pub fn check_equivalence_sat_budgeted(
             cnf_clauses: 0,
         };
     }
+    let miter_span = tele.span(Phase::MiterBuild);
     let miter = build_miter(spec, impl_);
+    let _ = miter_span.finish();
+    let mut encode_span = tele.span(Phase::TseitinEncode);
     let enc = match encode_budgeted(&miter, budget) {
         Ok(enc) => enc,
         Err(e) => {
@@ -104,9 +126,13 @@ pub fn check_equivalence_sat_budgeted(
     cnf.add_clause(vec![Lit::pos(enc.var_of[neq.index()])]);
     let cnf_vars = cnf.num_vars();
     let cnf_clauses = cnf.clauses().len();
+    encode_span.counter(Counter::CnfVars, u64::from(cnf_vars));
+    encode_span.counter(Counter::CnfClauses, cnf_clauses as u64);
+    let _ = encode_span.finish();
     // Watch-list construction over millions of clauses is itself seconds
     // of work; build the solver under the budget so a deadline that
     // expires here is honoured before the search even starts.
+    let build_span = tele.span(Phase::SolverBuild);
     let mut solver = match Solver::new_budgeted(cnf, budget) {
         Ok(s) => s,
         Err(e) => {
@@ -118,6 +144,8 @@ pub fn check_equivalence_sat_budgeted(
             }
         }
     };
+    let _ = build_span.finish();
+    let mut solve_span = tele.span(Phase::SatSolve);
     let verdict = match solver.solve(conflict_budget) {
         SolveResult::Unsat => SatVerdict::Equivalent,
         SolveResult::Unknown(i) => SatVerdict::Unknown(i),
@@ -130,6 +158,12 @@ pub fn check_equivalence_sat_budgeted(
             SatVerdict::Counterexample(bits)
         }
     };
+    solve_span.counter(Counter::Conflicts, solver.stats.conflicts);
+    solve_span.counter(Counter::Decisions, solver.stats.decisions);
+    solve_span.counter(Counter::Propagations, solver.stats.propagations);
+    solve_span.counter(Counter::Restarts, solver.stats.restarts);
+    solve_span.counter(Counter::LearnedClauses, solver.stats.learned);
+    let _ = solve_span.finish();
     SatReport {
         verdict,
         stats: solver.stats.clone(),

@@ -1,0 +1,526 @@
+//! Line-delimited JSON codec for [`Trace`] (the `--trace-json` sink).
+//!
+//! # Schema (version 1)
+//!
+//! The file is UTF-8, one JSON object per line.
+//!
+//! * **Header line** (first line):
+//!   `{"type":"trace","version":1,"spans":N}` — `N` is the number of
+//!   span lines that follow.
+//! * **Span lines** (exactly `N`), each with exactly these fields:
+//!   - `"type"`: the string `"span"`;
+//!   - `"id"`: integer ≥ 1, unique within the file;
+//!   - `"parent"`: integer id of the parent span, or `null` for roots —
+//!     must reference an id present in the file;
+//!   - `"phase"`: a [`Phase`] slug (e.g. `"guided-reduction"`);
+//!   - `"label"`: free-form string or `null`;
+//!   - `"thread"`: integer display index of the recording thread;
+//!   - `"start_us"`: integer microseconds from the trace epoch;
+//!   - `"dur_us"`: integer microseconds of span duration;
+//!   - `"counters"`: object mapping [`Counter`] slugs to integers.
+//!
+//! The parser is strict — unknown fields, unknown phase/counter slugs,
+//! duplicate ids, dangling parents and a wrong span count are all
+//! errors. `gfab trace-check` and CI validate emitted files with exactly
+//! this parser.
+
+use crate::{Counter, Phase, SpanRecord, Trace};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Schema version written and accepted by this codec.
+pub const JSONL_VERSION: u64 = 1;
+
+/// A JSONL parse/validation failure, with the 1-based offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for whole-file problems).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace jsonl: {}", self.message)
+        } else {
+            write!(f, "trace jsonl line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Trace {
+    /// Serializes the trace to the documented JSONL schema.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"trace\",\"version\":{},\"spans\":{}}}",
+            JSONL_VERSION,
+            self.spans().len()
+        );
+        for s in self.spans() {
+            let _ = write!(out, "{{\"type\":\"span\",\"id\":{},\"parent\":", s.id);
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"phase\":\"{}\",\"label\":", s.phase.slug());
+            match &s.label {
+                Some(l) => write_json_string(&mut out, l),
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"thread\":{},\"start_us\":{},\"dur_us\":{},\"counters\":{{",
+                s.thread,
+                s.start.as_micros(),
+                s.duration.as_micros()
+            );
+            for (i, (c, v)) in s.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", c.slug(), v);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Parses and validates a trace from the documented JSONL schema.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseError`] naming the offending line for any syntax or
+    /// schema violation (see the module docs for the rules).
+    pub fn from_jsonl(text: &str) -> Result<Trace, ParseError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty());
+
+        let (hline, header) = lines.next().ok_or_else(|| err(0, "empty trace file"))?;
+        let header = parse_object(header).map_err(|m| err(hline, m))?;
+        expect_keys(&header, &["type", "version", "spans"]).map_err(|m| err(hline, m))?;
+        if header.get("type") != Some(&Json::Str("trace".into())) {
+            return Err(err(hline, "header \"type\" must be \"trace\""));
+        }
+        if get_u64(&header, "version").map_err(|m| err(hline, m))? != JSONL_VERSION {
+            return Err(err(
+                hline,
+                format!("unsupported version (want {JSONL_VERSION})"),
+            ));
+        }
+        let declared = get_u64(&header, "spans").map_err(|m| err(hline, m))?;
+
+        let mut spans = Vec::new();
+        let mut ids = BTreeSet::new();
+        for (lineno, line) in lines {
+            let obj = parse_object(line).map_err(|m| err(lineno, m))?;
+            expect_keys(
+                &obj,
+                &[
+                    "type", "id", "parent", "phase", "label", "thread", "start_us", "dur_us",
+                    "counters",
+                ],
+            )
+            .map_err(|m| err(lineno, m))?;
+            if obj.get("type") != Some(&Json::Str("span".into())) {
+                return Err(err(lineno, "span \"type\" must be \"span\""));
+            }
+            let id = get_u64(&obj, "id").map_err(|m| err(lineno, m))?;
+            if id == 0 {
+                return Err(err(lineno, "span id must be >= 1"));
+            }
+            if !ids.insert(id) {
+                return Err(err(lineno, format!("duplicate span id {id}")));
+            }
+            let parent = match obj.get("parent") {
+                Some(Json::Null) => None,
+                Some(Json::Num(n)) => Some(*n),
+                _ => return Err(err(lineno, "\"parent\" must be an integer or null")),
+            };
+            let phase_slug = get_str(&obj, "phase").map_err(|m| err(lineno, m))?;
+            let phase = Phase::from_slug(&phase_slug)
+                .ok_or_else(|| err(lineno, format!("unknown phase slug {phase_slug:?}")))?;
+            let label = match obj.get("label") {
+                Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => return Err(err(lineno, "\"label\" must be a string or null")),
+            };
+            let thread = get_u64(&obj, "thread").map_err(|m| err(lineno, m))?;
+            let start_us = get_u64(&obj, "start_us").map_err(|m| err(lineno, m))?;
+            let dur_us = get_u64(&obj, "dur_us").map_err(|m| err(lineno, m))?;
+            let counters_obj = match obj.get("counters") {
+                Some(Json::Obj(pairs)) => pairs,
+                _ => return Err(err(lineno, "\"counters\" must be an object")),
+            };
+            let mut counters = Vec::new();
+            for (key, value) in counters_obj {
+                let counter = Counter::from_slug(key)
+                    .ok_or_else(|| err(lineno, format!("unknown counter slug {key:?}")))?;
+                let Json::Num(v) = value else {
+                    return Err(err(lineno, format!("counter {key:?} must be an integer")));
+                };
+                counters.push((counter, *v));
+            }
+            spans.push(SpanRecord {
+                id,
+                parent,
+                phase,
+                label,
+                thread,
+                start: Duration::from_micros(start_us),
+                duration: Duration::from_micros(dur_us),
+                counters,
+            });
+        }
+
+        if spans.len() as u64 != declared {
+            return Err(err(
+                0,
+                format!("header declares {declared} spans, found {}", spans.len()),
+            ));
+        }
+        for s in &spans {
+            if let Some(p) = s.parent {
+                if !ids.contains(&p) {
+                    return Err(err(0, format!("span {} has dangling parent {p}", s.id)));
+                }
+            }
+        }
+        spans.sort_by_key(|s| s.id);
+        Ok(Trace::from_spans(spans))
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON parser — just enough for the schema above: one
+// object per line containing strings, unsigned integers, null and one
+// level of nested object. In-repo so the workspace stays dependency-free
+// (DESIGN.md §7).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Num(u64),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Obj(Vec<(String, Json)>);
+
+impl Obj {
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+fn expect_keys(obj: &Obj, keys: &[&str]) -> Result<(), String> {
+    for k in keys {
+        if obj.get(k).is_none() {
+            return Err(format!("missing required field {k:?}"));
+        }
+    }
+    for (k, _) in &obj.0 {
+        if !keys.contains(&k.as_str()) {
+            return Err(format!("unexpected field {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(Json::Num(n)) => Ok(*n),
+        _ => Err(format!("{key:?} must be an unsigned integer")),
+    }
+}
+
+fn get_str(obj: &Obj, key: &str) -> Result<String, String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("{key:?} must be a string")),
+    }
+}
+
+fn parse_object(line: &str) -> Result<Obj, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after JSON object".into());
+    }
+    match value {
+        Json::Obj(pairs) => Ok(Obj(pairs)),
+        _ => Err("line is not a JSON object".into()),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > 2 {
+            return Err("object nesting too deep for the trace schema".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("invalid literal at byte {}", self.pos))
+                }
+            }
+            Some(b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _): &(String, Json)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_spans(vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                phase: Phase::Extract,
+                label: Some("spec \"q\"\\".into()),
+                thread: 0,
+                start: Duration::from_micros(5),
+                duration: Duration::from_micros(1000),
+                counters: vec![(Counter::Gates, 12), (Counter::ReductionSteps, 34)],
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                phase: Phase::ModelBuild,
+                label: None,
+                thread: 3,
+                start: Duration::from_micros(6),
+                duration: Duration::from_micros(400),
+                counters: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let t = sample();
+        let text = t.to_jsonl();
+        let parsed = Trace::from_jsonl(&text).expect("round trip");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn every_emitted_line_is_an_object() {
+        for line in sample().to_jsonl().lines() {
+            parse_object(line).expect("each line parses standalone");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_fields() {
+        let missing =
+            "{\"type\":\"trace\",\"version\":1,\"spans\":1}\n{\"type\":\"span\",\"id\":1}";
+        let e = Trace::from_jsonl(missing).unwrap_err();
+        assert!(e.message.contains("missing required field"), "{e}");
+        assert_eq!(e.line, 2);
+
+        let extra = sample()
+            .to_jsonl()
+            .replace("\"thread\":0", "\"thread\":0,\"bogus\":1");
+        assert!(Trace::from_jsonl(&extra)
+            .unwrap_err()
+            .message
+            .contains("unexpected field"));
+    }
+
+    #[test]
+    fn rejects_unknown_slugs_and_bad_structure() {
+        let bad_phase = sample().to_jsonl().replace("\"extract\"", "\"warp-drive\"");
+        assert!(Trace::from_jsonl(&bad_phase)
+            .unwrap_err()
+            .message
+            .contains("unknown phase"));
+
+        let bad_counter = sample().to_jsonl().replace("\"gates\"", "\"widgets\"");
+        assert!(Trace::from_jsonl(&bad_counter)
+            .unwrap_err()
+            .message
+            .contains("unknown counter"));
+
+        let dangling = sample().to_jsonl().replace("\"parent\":1", "\"parent\":99");
+        assert!(Trace::from_jsonl(&dangling)
+            .unwrap_err()
+            .message
+            .contains("dangling parent"));
+
+        let wrong_count = sample().to_jsonl().replace("\"spans\":2", "\"spans\":3");
+        assert!(Trace::from_jsonl(&wrong_count)
+            .unwrap_err()
+            .message
+            .contains("declares 3 spans"));
+
+        assert!(Trace::from_jsonl("").is_err());
+        assert!(Trace::from_jsonl("not json").is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Structured tracing for the GFAB verification pipeline.
+//!
+//! The pipeline spends its time in a handful of long-running phases —
+//! circuit-model construction, the RATO guided-reduction division chain,
+//! Buchberger completion, simulation sweeps, Tseitin encoding and CDCL
+//! search — and this crate gives every one of them a uniform accounting
+//! vocabulary:
+//!
+//! * [`Phase`] — the closed set of pipeline phases. The same enum names
+//!   phases in telemetry spans, in budget-exhaustion errors
+//!   (`CoreError::BudgetExhausted`) and in timed-out extraction outcomes,
+//!   so a phase is spelled identically everywhere it can appear.
+//! * [`Counter`] — typed work counters (division steps, S-polynomials,
+//!   conflicts, …) attached to the span that performed the work.
+//! * [`Telemetry`] / [`Span`] — a cheaply cloneable handle that either
+//!   records hierarchical spans into a [`Collector`] or does nothing at
+//!   all. The disabled path is a single branch on an `Option`, so code
+//!   instrumented with spans costs nothing measurable when tracing is off.
+//! * [`Trace`] — the queryable span tree snapshot: per-phase totals,
+//!   parent/child navigation, a human-readable renderer (the CLI
+//!   `--trace` / `--stats` table) and a line-delimited JSON codec (the
+//!   CLI `--trace-json` sink) with a strict, tested schema.
+//!
+//! # Span model
+//!
+//! A span is one timed region of one phase on one thread: it records a
+//! monotonic start offset (relative to the collector's epoch), a
+//! duration, the phase, an optional free-form label (block instance
+//! name, "spec"/"impl" side, …), the recording thread and its parent
+//! span. Parenthood is explicit — a [`Span`] hands out re-parented
+//! [`Telemetry`] handles via [`Span::telemetry`], which callers pass down
+//! (including across threads, e.g. one handle per hierarchical block),
+//! so the tree never depends on thread-local ambient state.
+//!
+//! Spans are the *single* timing source: pipeline stats structs
+//! (`ExtractionStats` durations and friends) are filled from the value
+//! returned by [`Span::finish`], not from a second clock.
+//!
+//! # JSONL schema
+//!
+//! See [`Trace::to_jsonl`] for the documented line format; the parser in
+//! [`Trace::from_jsonl`] is strict and is what `gfab trace-check` and CI
+//! use to validate emitted files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod jsonl;
+mod span;
+mod trace;
+
+pub use jsonl::{ParseError, JSONL_VERSION};
+pub use span::{Collector, Span, SpanRecord, Telemetry};
+pub use trace::Trace;
+
+/// A phase of the verification pipeline.
+///
+/// The closed vocabulary shared by telemetry spans, budget-exhaustion
+/// errors and timed-out extraction outcomes. [`std::fmt::Display`] gives
+/// the human-readable name used in error messages and tables;
+/// [`Phase::slug`] gives the stable kebab-case identifier used in the
+/// JSONL trace schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Phase {
+    /// A whole `Verifier::check` equivalence query (root span).
+    Check,
+    /// A whole word-level extraction of one netlist (flat root span, or
+    /// the per-side "spec"/"impl" span inside an equivalence check).
+    Extract,
+    /// Extraction of one hierarchical block (label = instance name).
+    Block,
+    /// Word-level composition of extracted block functions.
+    Compose,
+    /// Circuit-model construction (ring, gate polynomials, word relations).
+    ModelBuild,
+    /// The RATO guided reduction: one division chain to a normal form.
+    GuidedReduction,
+    /// Case-2 completion (bounded Gröbner-basis effort on a residual).
+    Case2Completion,
+    /// Buchberger pair processing inside a Gröbner-basis computation.
+    Buchberger,
+    /// Inter-reduction of a completed basis.
+    BasisReduction,
+    /// A bit-parallel random simulation sweep.
+    Simulation,
+    /// Miter construction for the SAT fallback.
+    MiterBuild,
+    /// Tseitin CNF encoding of the miter.
+    TseitinEncode,
+    /// CDCL solver construction (watch lists, clause database).
+    SolverBuild,
+    /// The CDCL search itself.
+    SatSolve,
+    /// Generic polynomial algebra outside any more specific phase.
+    Algebra,
+}
+
+impl Phase {
+    /// Stable kebab-case identifier used in the JSONL schema.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Phase::Check => "check",
+            Phase::Extract => "extract",
+            Phase::Block => "block",
+            Phase::Compose => "compose",
+            Phase::ModelBuild => "model-build",
+            Phase::GuidedReduction => "guided-reduction",
+            Phase::Case2Completion => "case2-completion",
+            Phase::Buchberger => "buchberger",
+            Phase::BasisReduction => "basis-reduction",
+            Phase::Simulation => "simulation",
+            Phase::MiterBuild => "miter-build",
+            Phase::TseitinEncode => "tseitin-encode",
+            Phase::SolverBuild => "solver-build",
+            Phase::SatSolve => "sat-solve",
+            Phase::Algebra => "algebra",
+        }
+    }
+
+    /// Inverse of [`Phase::slug`]; `None` for unknown identifiers.
+    #[must_use]
+    pub fn from_slug(s: &str) -> Option<Phase> {
+        Some(match s {
+            "check" => Phase::Check,
+            "extract" => Phase::Extract,
+            "block" => Phase::Block,
+            "compose" => Phase::Compose,
+            "model-build" => Phase::ModelBuild,
+            "guided-reduction" => Phase::GuidedReduction,
+            "case2-completion" => Phase::Case2Completion,
+            "buchberger" => Phase::Buchberger,
+            "basis-reduction" => Phase::BasisReduction,
+            "simulation" => Phase::Simulation,
+            "miter-build" => Phase::MiterBuild,
+            "tseitin-encode" => Phase::TseitinEncode,
+            "solver-build" => Phase::SolverBuild,
+            "sat-solve" => Phase::SatSolve,
+            "algebra" => Phase::Algebra,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Phase::Check => "equivalence check",
+            Phase::Extract => "extraction",
+            Phase::Block => "block extraction",
+            Phase::Compose => "word-level composition",
+            Phase::ModelBuild => "model construction",
+            Phase::GuidedReduction => "guided reduction",
+            Phase::Case2Completion => "case-2 completion",
+            Phase::Buchberger => "Buchberger completion",
+            Phase::BasisReduction => "basis reduction",
+            Phase::Simulation => "simulation sweep",
+            Phase::MiterBuild => "miter construction",
+            Phase::TseitinEncode => "CNF encoding",
+            Phase::SolverBuild => "solver construction",
+            Phase::SatSolve => "SAT search",
+            Phase::Algebra => "polynomial algebra",
+        })
+    }
+}
+
+/// A typed work counter attached to the span that performed the work.
+///
+/// [`Counter::slug`] is the stable key used in the JSONL schema and the
+/// human-readable renderers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Counter {
+    /// Gates modelled into polynomials.
+    Gates,
+    /// Division steps taken by a reduction (lead-term rewrites).
+    ReductionSteps,
+    /// Peak number of live monomials during a reduction.
+    PeakTerms,
+    /// Coefficient cancellations observed during a reduction.
+    Cancellations,
+    /// Terms left in the remainder of a reduction.
+    RemainderTerms,
+    /// Cooperative-budget polls issued by a phase.
+    BudgetPolls,
+    /// S-polynomials formed and reduced by Buchberger.
+    SPolynomials,
+    /// Critical pairs discarded by the product/chain criteria.
+    PairsSkipped,
+    /// Size of the (reduced) Gröbner basis.
+    BasisSize,
+    /// Random vectors pushed through a simulation sweep.
+    SimVectors,
+    /// CNF variables produced by the Tseitin encoding.
+    CnfVars,
+    /// CNF clauses produced by the Tseitin encoding.
+    CnfClauses,
+    /// CDCL conflicts.
+    Conflicts,
+    /// CDCL decisions.
+    Decisions,
+    /// CDCL unit propagations.
+    Propagations,
+    /// CDCL restarts.
+    Restarts,
+    /// Clauses learned by the CDCL solver.
+    LearnedClauses,
+    /// Hierarchical blocks extracted.
+    Blocks,
+}
+
+impl Counter {
+    /// Stable kebab-case key used in the JSONL schema.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Counter::Gates => "gates",
+            Counter::ReductionSteps => "reduction-steps",
+            Counter::PeakTerms => "peak-terms",
+            Counter::Cancellations => "cancellations",
+            Counter::RemainderTerms => "remainder-terms",
+            Counter::BudgetPolls => "budget-polls",
+            Counter::SPolynomials => "s-polynomials",
+            Counter::PairsSkipped => "pairs-skipped",
+            Counter::BasisSize => "basis-size",
+            Counter::SimVectors => "sim-vectors",
+            Counter::CnfVars => "cnf-vars",
+            Counter::CnfClauses => "cnf-clauses",
+            Counter::Conflicts => "conflicts",
+            Counter::Decisions => "decisions",
+            Counter::Propagations => "propagations",
+            Counter::Restarts => "restarts",
+            Counter::LearnedClauses => "learned-clauses",
+            Counter::Blocks => "blocks",
+        }
+    }
+
+    /// Inverse of [`Counter::slug`]; `None` for unknown keys.
+    #[must_use]
+    pub fn from_slug(s: &str) -> Option<Counter> {
+        Some(match s {
+            "gates" => Counter::Gates,
+            "reduction-steps" => Counter::ReductionSteps,
+            "peak-terms" => Counter::PeakTerms,
+            "cancellations" => Counter::Cancellations,
+            "remainder-terms" => Counter::RemainderTerms,
+            "budget-polls" => Counter::BudgetPolls,
+            "s-polynomials" => Counter::SPolynomials,
+            "pairs-skipped" => Counter::PairsSkipped,
+            "basis-size" => Counter::BasisSize,
+            "sim-vectors" => Counter::SimVectors,
+            "cnf-vars" => Counter::CnfVars,
+            "cnf-clauses" => Counter::CnfClauses,
+            "conflicts" => Counter::Conflicts,
+            "decisions" => Counter::Decisions,
+            "propagations" => Counter::Propagations,
+            "restarts" => Counter::Restarts,
+            "learned-clauses" => Counter::LearnedClauses,
+            "blocks" => Counter::Blocks,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_PHASES: [Phase; 15] = [
+        Phase::Check,
+        Phase::Extract,
+        Phase::Block,
+        Phase::Compose,
+        Phase::ModelBuild,
+        Phase::GuidedReduction,
+        Phase::Case2Completion,
+        Phase::Buchberger,
+        Phase::BasisReduction,
+        Phase::Simulation,
+        Phase::MiterBuild,
+        Phase::TseitinEncode,
+        Phase::SolverBuild,
+        Phase::SatSolve,
+        Phase::Algebra,
+    ];
+
+    #[test]
+    fn phase_slugs_round_trip() {
+        for p in ALL_PHASES {
+            assert_eq!(Phase::from_slug(p.slug()), Some(p));
+            assert!(!p.to_string().is_empty());
+        }
+        assert_eq!(Phase::from_slug("no-such-phase"), None);
+    }
+
+    #[test]
+    fn counter_slugs_round_trip() {
+        const ALL: [Counter; 18] = [
+            Counter::Gates,
+            Counter::ReductionSteps,
+            Counter::PeakTerms,
+            Counter::Cancellations,
+            Counter::RemainderTerms,
+            Counter::BudgetPolls,
+            Counter::SPolynomials,
+            Counter::PairsSkipped,
+            Counter::BasisSize,
+            Counter::SimVectors,
+            Counter::CnfVars,
+            Counter::CnfClauses,
+            Counter::Conflicts,
+            Counter::Decisions,
+            Counter::Propagations,
+            Counter::Restarts,
+            Counter::LearnedClauses,
+            Counter::Blocks,
+        ];
+        for c in ALL {
+            assert_eq!(Counter::from_slug(c.slug()), Some(c));
+        }
+        assert_eq!(Counter::from_slug("no-such-counter"), None);
+    }
+}

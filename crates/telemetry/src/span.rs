@@ -1,0 +1,304 @@
+//! The recording side: [`Telemetry`] handles, [`Span`] guards and the
+//! in-memory [`Collector`].
+
+use crate::{Counter, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Process-wide assignment of small display indices to OS threads.
+///
+/// Purely presentational: the index is recorded on spans so a trace can
+/// show which work ran concurrently. It never feeds back into any
+/// computation, so it cannot perturb deterministic results.
+fn thread_index() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static INDEX: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    INDEX.with(|i| *i)
+}
+
+/// One finished span as stored by the [`Collector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the trace (1-based; ids order span creation).
+    pub id: u64,
+    /// Parent span id, or `None` for a root span.
+    pub parent: Option<u64>,
+    /// The pipeline phase this span timed.
+    pub phase: Phase,
+    /// Free-form label (block instance name, "spec"/"impl", …).
+    pub label: Option<String>,
+    /// Display index of the recording thread (see module docs).
+    pub thread: u64,
+    /// Monotonic start offset from the collector's epoch.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub duration: Duration,
+    /// Typed work counters attributed to this span.
+    pub counters: Vec<(Counter, u64)>,
+}
+
+/// In-memory sink for finished spans.
+///
+/// Created per traced query (one `Verifier::extract`/`check` call owns
+/// one collector); cheap [`Telemetry`] clones share it via `Arc`. Call
+/// [`Collector::snapshot`] after the query to obtain the queryable
+/// [`crate::Trace`].
+#[derive(Debug)]
+pub struct Collector {
+    epoch: Instant,
+    next_id: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl Collector {
+    /// Creates an empty collector whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Arc<Collector> {
+        Arc::new(Collector {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            records: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn record(&self, rec: SpanRecord) {
+        self.records.lock().expect("collector poisoned").push(rec);
+    }
+
+    /// Snapshots all finished spans into a queryable [`crate::Trace`].
+    #[must_use]
+    pub fn snapshot(&self) -> crate::Trace {
+        let mut spans = self.records.lock().expect("collector poisoned").clone();
+        spans.sort_by_key(|s| s.id);
+        crate::Trace::from_spans(spans)
+    }
+}
+
+/// A cheaply cloneable recording handle.
+///
+/// Either attached to a [`Collector`] (tracing on) or disabled (the
+/// default). The handle also carries the parent span id under which new
+/// spans nest; [`Span::telemetry`] derives re-parented handles, which is
+/// how the span tree is threaded down the pipeline — including across
+/// threads, by moving a clone into each worker.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    collector: Option<Arc<Collector>>,
+    parent: Option<u64>,
+}
+
+impl Telemetry {
+    /// A handle that records nothing. Equivalent to `Telemetry::default()`.
+    #[must_use]
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A root handle (no parent) recording into `collector`.
+    #[must_use]
+    pub fn attached(collector: &Arc<Collector>) -> Telemetry {
+        Telemetry {
+            collector: Some(Arc::clone(collector)),
+            parent: None,
+        }
+    }
+
+    /// Whether spans opened through this handle are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Opens a span for `phase` under this handle's parent.
+    ///
+    /// The guard's clock starts now; [`Span::finish`] (or dropping the
+    /// guard) stops it. On a disabled handle this only reads the
+    /// monotonic clock — nothing is allocated or locked.
+    #[must_use]
+    pub fn span(&self, phase: Phase) -> Span {
+        self.open(phase, None)
+    }
+
+    /// Opens a labelled span (block instance name, "spec"/"impl", …).
+    #[must_use]
+    pub fn span_labeled(&self, phase: Phase, label: &str) -> Span {
+        self.open(phase, Some(label))
+    }
+
+    fn open(&self, phase: Phase, label: Option<&str>) -> Span {
+        // The single enabled/disabled branch: everything below the `map`
+        // is skipped when tracing is off.
+        let state = self.collector.as_ref().map(|c| EnabledSpan {
+            collector: Arc::clone(c),
+            id: c.next_id.fetch_add(1, Ordering::Relaxed),
+            parent: self.parent,
+            label: label.map(str::to_owned),
+        });
+        Span {
+            state,
+            phase,
+            start: Instant::now(),
+            counters: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct EnabledSpan {
+    collector: Arc<Collector>,
+    id: u64,
+    parent: Option<u64>,
+    label: Option<String>,
+}
+
+/// An open span; finishing (or dropping) it records one [`SpanRecord`].
+///
+/// The guard owns the phase's clock: [`Span::finish`] returns the
+/// measured duration, which instrumented code uses to fill its stats
+/// structs — the span *is* the timing source, not a second bookkeeping
+/// system.
+#[derive(Debug)]
+pub struct Span {
+    state: Option<EnabledSpan>,
+    phase: Phase,
+    start: Instant,
+    counters: Vec<(Counter, u64)>,
+}
+
+impl Span {
+    /// Attributes `value` units of `counter` to this span.
+    ///
+    /// Values for the same counter accumulate. No-op (a single branch)
+    /// when tracing is disabled.
+    pub fn counter(&mut self, counter: Counter, value: u64) {
+        if self.state.is_none() {
+            return;
+        }
+        if let Some(slot) = self.counters.iter_mut().find(|(c, _)| *c == counter) {
+            slot.1 += value;
+        } else {
+            self.counters.push((counter, value));
+        }
+    }
+
+    /// A [`Telemetry`] handle whose spans will nest under this span.
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        match &self.state {
+            Some(s) => Telemetry {
+                collector: Some(Arc::clone(&s.collector)),
+                parent: Some(s.id),
+            },
+            None => Telemetry::disabled(),
+        }
+    }
+
+    /// Stops the clock, records the span and returns its duration.
+    #[must_use]
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        let duration = self.start.elapsed();
+        if let Some(s) = self.state.take() {
+            let start = self.start.saturating_duration_since(s.collector.epoch);
+            s.collector.record(SpanRecord {
+                id: s.id,
+                parent: s.parent,
+                phase: self.phase,
+                label: s.label,
+                thread: thread_index(),
+                start,
+                duration,
+                counters: std::mem::take(&mut self.counters),
+            });
+        }
+        duration
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.state.is_some() {
+            let _ = self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tele = Telemetry::disabled();
+        assert!(!tele.is_enabled());
+        let mut span = tele.span(Phase::Extract);
+        span.counter(Counter::Gates, 42);
+        assert!(span.counters.is_empty(), "disabled spans must not allocate");
+        let _ = span.finish();
+    }
+
+    #[test]
+    fn spans_nest_and_accumulate_counters() {
+        let collector = Collector::new();
+        let tele = Telemetry::attached(&collector);
+        let mut root = tele.span_labeled(Phase::Extract, "spec");
+        root.counter(Counter::Gates, 10);
+        root.counter(Counter::Gates, 5);
+        let child = root.telemetry().span(Phase::ModelBuild);
+        let _ = child.finish();
+        let _ = root.finish();
+
+        let trace = collector.snapshot();
+        assert_eq!(trace.spans().len(), 2);
+        let root_rec = trace.spans().iter().find(|s| s.id == 1).unwrap();
+        let child_rec = trace.spans().iter().find(|s| s.id == 2).unwrap();
+        assert_eq!(root_rec.parent, None);
+        assert_eq!(root_rec.label.as_deref(), Some("spec"));
+        assert_eq!(root_rec.counters, vec![(Counter::Gates, 15)]);
+        assert_eq!(child_rec.parent, Some(1));
+        assert_eq!(child_rec.phase, Phase::ModelBuild);
+    }
+
+    #[test]
+    fn dropping_an_open_span_still_records_it() {
+        let collector = Collector::new();
+        let tele = Telemetry::attached(&collector);
+        {
+            let _span = tele.span(Phase::SatSolve);
+        }
+        assert_eq!(collector.snapshot().spans().len(), 1);
+    }
+
+    #[test]
+    fn cross_thread_spans_share_the_collector() {
+        let collector = Collector::new();
+        let tele = Telemetry::attached(&collector);
+        let root = tele.span(Phase::Extract);
+        let handle = root.telemetry();
+        std::thread::scope(|scope| {
+            for name in ["blk_a", "blk_b"] {
+                let h = handle.clone();
+                scope.spawn(move || {
+                    let span = h.span_labeled(Phase::Block, name);
+                    let _ = span.finish();
+                });
+            }
+        });
+        let _ = root.finish();
+        let trace = collector.snapshot();
+        assert_eq!(trace.spans().len(), 3);
+        let blocks: Vec<_> = trace
+            .spans()
+            .iter()
+            .filter(|s| s.phase == Phase::Block)
+            .collect();
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|b| b.parent == Some(1)));
+    }
+}

@@ -1,0 +1,243 @@
+//! The query side: a finished [`Trace`] and its renderers.
+
+use crate::{Counter, Phase, SpanRecord};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A finished, queryable span tree.
+///
+/// Obtained from [`crate::Collector::snapshot`] (after a traced query)
+/// or [`Trace::from_jsonl`] (from a `--trace-json` file). Spans are held
+/// sorted by id, which is also span-creation order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    pub(crate) fn from_spans(spans: Vec<SpanRecord>) -> Trace {
+        Trace { spans }
+    }
+
+    /// All spans, sorted by id (= creation order).
+    #[must_use]
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Spans with no parent.
+    pub fn roots(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// Direct children of span `id`, in creation order.
+    pub fn children(&self, id: u64) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// Spans of the given phase, in creation order.
+    pub fn phase_spans(&self, phase: Phase) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.phase == phase)
+    }
+
+    /// Sum of `duration` over all spans of `phase`.
+    #[must_use]
+    pub fn phase_total(&self, phase: Phase) -> Duration {
+        self.phase_spans(phase).map(|s| s.duration).sum()
+    }
+
+    /// Sum of `counter` over all spans.
+    #[must_use]
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.spans
+            .iter()
+            .flat_map(|s| &s.counters)
+            .filter(|(c, _)| *c == counter)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Trace wall clock: latest span end minus earliest span start.
+    #[must_use]
+    pub fn wall(&self) -> Duration {
+        let start = self.spans.iter().map(|s| s.start).min();
+        let end = self.spans.iter().map(|s| s.start + s.duration).max();
+        match (start, end) {
+            (Some(s), Some(e)) => e.saturating_sub(s),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Self time of span `s`: its duration minus the duration of its
+    /// direct children (work attributed to the span itself).
+    #[must_use]
+    pub fn self_time(&self, s: &SpanRecord) -> Duration {
+        let nested: Duration = self.children(s.id).map(|c| c.duration).sum();
+        s.duration.saturating_sub(nested)
+    }
+
+    /// Per-phase aggregation: `(phase, span count, total duration, self
+    /// time)`, ordered by descending self time.
+    ///
+    /// Self times partition each thread's wall clock exactly (every
+    /// instant inside a span tree is the self time of exactly one span),
+    /// so their sum is the honest "where did the time go" answer even
+    /// with nested phases — and exceeds the wall clock precisely when
+    /// phases ran in parallel.
+    #[must_use]
+    pub fn phase_table(&self) -> Vec<(Phase, usize, Duration, Duration)> {
+        let mut rows: Vec<(Phase, usize, Duration, Duration)> = Vec::new();
+        for s in &self.spans {
+            let own = self.self_time(s);
+            match rows.iter_mut().find(|r| r.0 == s.phase) {
+                Some(r) => {
+                    r.1 += 1;
+                    r.2 += s.duration;
+                    r.3 += own;
+                }
+                None => rows.push((s.phase, 1, s.duration, own)),
+            }
+        }
+        rows.sort_by_key(|r| std::cmp::Reverse(r.3));
+        rows
+    }
+
+    /// Renders the per-phase table shown by the CLI `--stats`/`--trace`.
+    ///
+    /// One row per phase with span count, cumulative time and self time
+    /// as a percentage of the trace wall clock (self times sum to ≥100%
+    /// of the covered wall; >100% means parallel phases).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let wall = self.wall();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>5} {:>12} {:>12} {:>8}",
+            "phase", "spans", "total", "self", "% wall"
+        );
+        for (phase, count, total, own) in self.phase_table() {
+            let pct = if wall.is_zero() {
+                0.0
+            } else {
+                100.0 * own.as_secs_f64() / wall.as_secs_f64()
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>5} {:>12} {:>12} {:>7.1}%",
+                phase.to_string(),
+                count,
+                fmt_duration(total),
+                fmt_duration(own),
+                pct
+            );
+        }
+        let _ = writeln!(out, "wall clock: {}", fmt_duration(wall));
+        out
+    }
+
+    /// Renders the span tree (the CLI `--trace` view): one line per
+    /// span, indented under its parent, with duration and counters.
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let roots: Vec<u64> = self.roots().map(|s| s.id).collect();
+        for id in roots {
+            self.render_subtree(id, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_subtree(&self, id: u64, depth: usize, out: &mut String) {
+        let Some(s) = self.spans.iter().find(|s| s.id == id) else {
+            return;
+        };
+        let _ = write!(out, "{:indent$}{}", "", s.phase, indent = depth * 2);
+        if let Some(label) = &s.label {
+            let _ = write!(out, " [{label}]");
+        }
+        let _ = write!(out, "  {}", fmt_duration(s.duration));
+        if s.thread != 0 {
+            let _ = write!(out, "  (thread {})", s.thread);
+        }
+        for (c, v) in &s.counters {
+            let _ = write!(out, "  {c}={v}");
+        }
+        out.push('\n');
+        let children: Vec<u64> = self.children(id).map(|c| c.id).collect();
+        for child in children {
+            self.render_subtree(child, depth + 1, out);
+        }
+    }
+}
+
+/// Compact human duration: microseconds under 1 ms, milliseconds under
+/// 1 s, else seconds.
+fn fmt_duration(d: Duration) -> String {
+    if d < Duration::from_millis(1) {
+        format!("{}µs", d.as_micros())
+    } else if d < Duration::from_secs(1) {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.3}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, phase: Phase, start_ms: u64, dur_ms: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            phase,
+            label: None,
+            thread: 0,
+            start: Duration::from_millis(start_ms),
+            duration: Duration::from_millis(dur_ms),
+            counters: Vec::new(),
+        }
+    }
+
+    fn sample() -> Trace {
+        let mut root = span(1, None, Phase::Extract, 0, 100);
+        root.label = Some("spec".into());
+        let mut model = span(2, Some(1), Phase::ModelBuild, 0, 30);
+        model.counters = vec![(Counter::Gates, 7)];
+        let reduce = span(3, Some(1), Phase::GuidedReduction, 30, 60);
+        Trace::from_spans(vec![root, model, reduce])
+    }
+
+    #[test]
+    fn tree_queries() {
+        let t = sample();
+        assert_eq!(t.roots().count(), 1);
+        assert_eq!(t.children(1).count(), 2);
+        assert_eq!(t.phase_total(Phase::ModelBuild), Duration::from_millis(30));
+        assert_eq!(t.counter_total(Counter::Gates), 7);
+        assert_eq!(t.wall(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let t = sample();
+        let root = &t.spans()[0];
+        assert_eq!(t.self_time(root), Duration::from_millis(10));
+        let table = t.phase_table();
+        let total: Duration = table.iter().map(|r| r.3).sum();
+        assert_eq!(total, t.wall(), "self times partition the wall clock");
+    }
+
+    #[test]
+    fn renderers_cover_all_phases() {
+        let t = sample();
+        let table = t.render_table();
+        assert!(table.contains("model construction"));
+        assert!(table.contains("guided reduction"));
+        assert!(table.contains("% wall"));
+        let tree = t.render_tree();
+        assert!(tree.contains("extraction [spec]"));
+        assert!(tree.contains("gates=7"));
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark sweep: runs the four paper-table binaries in
+# --json mode and collects one JSONL file per table (BENCH_table1.json …
+# BENCH_table4.json in the repo root, one JSON object per row).
+#
+# Defaults keep the sweep quick (small k only); pass --full to add the
+# NIST-scale rows, exactly as with the binaries themselves. Extra
+# arguments are forwarded verbatim to every table binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline -p gfab-bench
+
+BIN=target/release
+for t in table1 table2 table3 table4; do
+    out="BENCH_${t}.json"
+    echo "== $t → $out =="
+    "$BIN/$t" --json "$@" | tee "$out"
+done
+
+echo "bench sweep done: BENCH_table{1,2,3,4}.json"

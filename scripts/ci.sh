@@ -16,6 +16,19 @@ cargo build --release --offline
 echo "== tier-1: test =="
 cargo test -q --offline
 
+echo "== telemetry smoke: --trace-json emits a schema-valid trace =="
+# Generate a small Mastrovito/Montgomery pair, run an equivalence check
+# with JSONL tracing, and validate the trace with the binary's own strict
+# parser (every line must parse and carry exactly the documented fields).
+GFAB=target/release/gfab
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+"$GFAB" gen mastrovito --k 16 -o "$TRACE_DIR/spec.nl"
+"$GFAB" gen montgomery --k 16 -o "$TRACE_DIR/impl.nl"
+"$GFAB" equiv "$TRACE_DIR/spec.nl" "$TRACE_DIR/impl.nl" --k 16 \
+    --trace-json "$TRACE_DIR/trace.jsonl" > /dev/null
+"$GFAB" trace-check "$TRACE_DIR/trace.jsonl"
+
 echo "== differential + mutation-kill battery (release, wall-budgeted) =="
 # Three independent engines (word-level Verifier, SAT miter, exhaustive
 # simulation) must agree on every seeded circuit, and every injected bug

@@ -13,6 +13,8 @@
 //! * [`circuits`] — Mastrovito/Montgomery generators ([`gfab_circuits`])
 //! * [`core`] — the word-level abstraction engine ([`gfab_core`])
 //! * [`sat`] — CDCL SAT baseline ([`gfab_sat`])
+//! * [`telemetry`] — phase spans, counters and JSONL traces
+//!   ([`gfab_telemetry`])
 //!
 //! # Quickstart
 //!
@@ -41,9 +43,10 @@ pub use gfab_field as field;
 pub use gfab_netlist as netlist;
 pub use gfab_poly as poly;
 pub use gfab_sat as sat;
+pub use gfab_telemetry as telemetry;
 
 pub mod verifier;
-pub use verifier::{Circuit, ExtractReport, Verifier};
+pub use verifier::{Circuit, ExtractOutcome, ExtractReport, Verifier};
 
 use gfab_core::equiv::EquivReport;
 use gfab_core::hier::HierExtraction;

@@ -49,6 +49,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "sat-equiv" => cmd_sat_equiv(rest),
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
+        "trace-check" => cmd_trace_check(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -63,13 +64,14 @@ fn print_usage() {
 
 USAGE:
   gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...] [--threads N]
-                 [--timeout D]
+                 [--timeout D] [--trace] [--stats] [--trace-json FILE]
   gfab verify-spec <circuit.nl> --spec 'A*B' --k <k> [--modulus ...]
   gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus ...] [--threads N]
-                 [--timeout D]
+                 [--timeout D] [--trace] [--stats] [--trace-json FILE]
   gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N] [--timeout D]
   gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
   gfab info      <circuit.nl>
+  gfab trace-check <trace.jsonl>
 
 The field F_2^k is constructed with the NIST polynomial when k is a NIST
 ECC degree, a low-weight irreducible otherwise, or an explicit
@@ -83,6 +85,11 @@ bit-identical regardless of N.
 a bare number means seconds). `equiv` degrades gracefully: when the
 word-level pipeline runs out of time it falls back to the SAT miter
 check with the remaining budget, so the verdict is always sound.
+
+--stats prints a per-phase table (span count, total and self time, %
+of wall clock); --trace prints the full span tree with counters;
+--trace-json FILE writes the span records as JSONL (one object per
+span; `gfab trace-check` validates the schema).
 
 EXIT CODES:
   0  equivalent / extraction or generation succeeded
@@ -176,7 +183,8 @@ fn positional(rest: &[String], n: usize) -> Vec<&String> {
             continue;
         }
         if a.starts_with("--") || a == "-o" {
-            skip_next = a != "--full"; // all our flags take one value except --full
+            // All our flags take one value except the boolean switches.
+            skip_next = !matches!(a.as_str(), "--full" | "--trace" | "--stats");
             continue;
         }
         out.push(a);
@@ -187,6 +195,63 @@ fn positional(rest: &[String], n: usize) -> Vec<&String> {
     out
 }
 
+/// True when the boolean switch `name` is present.
+fn has_flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+/// The value of a `--flag VALUE` option, if present.
+fn flag_value<'a>(rest: &'a [String], name: &str) -> Result<Option<&'a String>, String> {
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().map(Some).ok_or(format!("{name} needs a value"));
+        }
+    }
+    Ok(None)
+}
+
+/// Telemetry-output selection shared by `extract` and `equiv`.
+struct TraceArgs<'a> {
+    tree: bool,
+    stats: bool,
+    json: Option<&'a String>,
+}
+
+impl<'a> TraceArgs<'a> {
+    fn parse(rest: &'a [String]) -> Result<Self, String> {
+        Ok(TraceArgs {
+            tree: has_flag(rest, "--trace"),
+            stats: has_flag(rest, "--stats"),
+            json: flag_value(rest, "--trace-json")?,
+        })
+    }
+
+    /// Whether the query needs a telemetry collector at all.
+    fn enabled(&self) -> bool {
+        self.tree || self.stats || self.json.is_some()
+    }
+
+    /// Renders/writes the requested views of a query's trace.
+    fn emit(&self, trace: Option<&gfab::telemetry::Trace>) -> Result<(), String> {
+        let Some(trace) = trace else {
+            return Ok(());
+        };
+        if self.stats {
+            println!("{}", trace.render_table());
+        }
+        if self.tree {
+            println!("{}", trace.render_tree());
+        }
+        if let Some(path) = self.json {
+            std::fs::write(path, trace.to_jsonl())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} spans to {path}", trace.spans().len());
+        }
+        Ok(())
+    }
+}
+
 fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     let pos = positional(rest, 1);
     let [path] = pos.as_slice() else {
@@ -195,9 +260,12 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     let ctx = parse_field(rest)?;
     let threads = parse_threads(rest)?;
     let timeout = parse_timeout(rest)?;
+    let tracing = TraceArgs::parse(rest)?;
     let nl = load(path)?;
     let t = Instant::now();
-    let mut v = Verifier::new(&ctx).threads(threads);
+    let mut v = Verifier::new(&ctx)
+        .threads(threads)
+        .trace(tracing.enabled());
     if let Some(w) = timeout {
         v = v.deadline(w);
     }
@@ -205,8 +273,15 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     // construction) is still a TIMED OUT verdict, not a usage error.
     let report = match v.extract(&nl) {
         Ok(r) => r,
-        Err(gfab::core::CoreError::BudgetExhausted { phase, reason }) => {
-            println!("TIMED OUT during {phase}: {reason}");
+        Err(gfab::core::CoreError::BudgetExhausted {
+            phase,
+            block,
+            reason,
+        }) => {
+            match block {
+                Some(b) => println!("TIMED OUT during {phase} (block {b}): {reason}"),
+                None => println!("TIMED OUT during {phase}: {reason}"),
+            }
             return Ok(ExitCode::from(3));
         }
         Err(e) => return Err(e.to_string()),
@@ -237,6 +312,7 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
         "phases  : model {:?}, reduce {:?}, case2 {:?}",
         result.stats.model_time, result.stats.reduce_time, result.stats.case2_time
     );
+    tracing.emit(report.trace.as_ref())?;
     Ok(code)
 }
 
@@ -289,15 +365,28 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
     let ctx = parse_field(rest)?;
     let threads = parse_threads(rest)?;
     let timeout = parse_timeout(rest)?;
+    let tracing = TraceArgs::parse(rest)?;
     let spec = load(spec_path)?;
     let impl_ = load(impl_path)?;
     let t = Instant::now();
-    let mut v = Verifier::new(&ctx).threads(threads);
+    let mut v = Verifier::new(&ctx)
+        .threads(threads)
+        .trace(tracing.enabled());
     if let Some(w) = timeout {
         v = v.deadline(w);
     }
     let report = v.check(&spec, &impl_).map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
+    // When the SAT fallback rung ran, surface its full search effort —
+    // the word-level stats alone say nothing about where the time went.
+    if let Some(s) = &report.sat {
+        println!(
+            "sat     : {} vars, {} clauses; {} conflicts, {} decisions, \
+             {} propagations, {} restarts",
+            s.cnf_vars, s.cnf_clauses, s.conflicts, s.decisions, s.propagations, s.restarts
+        );
+    }
+    tracing.emit(report.trace.as_ref())?;
     match &report.verdict {
         Verdict::Equivalent { function } => {
             println!(
@@ -439,5 +528,25 @@ fn cmd_info(rest: &[String]) -> Result<ExitCode, String> {
     if let Some(depth) = gfab::netlist::topo::logic_depth(&nl) {
         println!("depth  : {depth} gate levels");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Validates a `--trace-json` file against the JSONL trace schema: every
+/// line must parse, carry exactly the documented fields, and the span ids
+/// must form a well-parented tree. Exit 0 on a valid trace, 2 otherwise.
+fn cmd_trace_check(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 1);
+    let [path] = pos.as_slice() else {
+        return Err("trace-check needs a trace file path".into());
+    };
+    let text =
+        std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = gfab::telemetry::Trace::from_jsonl(&text).map_err(|e| e.to_string())?;
+    println!(
+        "valid trace: {} spans, {} roots, wall {:?}",
+        trace.spans().len(),
+        trace.roots().count(),
+        trace.wall()
+    );
     Ok(ExitCode::SUCCESS)
 }

@@ -33,6 +33,7 @@
 //! assert!(report.verdict.is_equivalent());
 //! ```
 
+use crate::core::equiv::SatStats;
 use crate::core::equiv::{
     check_equivalence_budgeted, check_equivalence_hier_budgeted, EquivReport, Verdict,
 };
@@ -45,7 +46,8 @@ use crate::field::budget::BudgetSpec;
 use crate::field::{Gf, GfContext};
 use crate::netlist::hierarchy::HierDesign;
 use crate::netlist::Netlist;
-use crate::sat::equiv::{check_equivalence_sat_budgeted, SatVerdict};
+use crate::sat::equiv::{check_equivalence_sat_traced, SatVerdict};
+use crate::telemetry::{Collector, Phase, Telemetry, Trace};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -72,10 +74,10 @@ impl<'a> From<&'a HierDesign> for Circuit<'a> {
     }
 }
 
-/// The result of [`Verifier::extract`], covering both the flat and the
-/// hierarchical flow.
+/// The extraction outcome of [`Verifier::extract`], covering both the
+/// flat and the hierarchical flow.
 #[derive(Debug, Clone)]
-pub enum ExtractReport {
+pub enum ExtractOutcome {
     /// Result of extracting a flat netlist (may be a Case-2 residual).
     /// Boxed: flat results carry the full residual/stats payload and would
     /// otherwise dwarf the hierarchical variant.
@@ -85,22 +87,33 @@ pub enum ExtractReport {
     Hier(HierExtraction),
 }
 
+/// The result of [`Verifier::extract`]: the extraction outcome plus, when
+/// the session has [`Verifier::trace`] enabled, the telemetry span tree
+/// of the query.
+#[derive(Debug, Clone)]
+pub struct ExtractReport {
+    /// What the extraction produced.
+    pub outcome: ExtractOutcome,
+    /// The query's span tree (`None` unless tracing is enabled).
+    pub trace: Option<Trace>,
+}
+
 impl ExtractReport {
     /// The canonical word-level function `Z = F(A, B, …)`, if one was
     /// reached (`None` when a flat extraction ended in a Case-2 residual).
     pub fn function(&self) -> Option<&WordFunction> {
-        match self {
-            ExtractReport::Flat(r) => r.canonical(),
-            ExtractReport::Hier(h) => Some(&h.function),
+        match &self.outcome {
+            ExtractOutcome::Flat(r) => r.canonical(),
+            ExtractOutcome::Hier(h) => Some(&h.function),
         }
     }
 
     /// Extraction statistics: the flat stats, or the aggregate over all
     /// blocks of a hierarchical design.
     pub fn stats(&self) -> ExtractionStats {
-        match self {
-            ExtractReport::Flat(r) => r.stats.clone(),
-            ExtractReport::Hier(h) => {
+        match &self.outcome {
+            ExtractOutcome::Flat(r) => r.stats.clone(),
+            ExtractOutcome::Hier(h) => {
                 let mut agg = ExtractionStats::default();
                 for (_, _, s) in &h.blocks {
                     agg.gates += s.gates;
@@ -123,17 +136,17 @@ impl ExtractReport {
 
     /// The flat extraction result, if this report came from a flat netlist.
     pub fn as_flat(&self) -> Option<&ExtractionResult> {
-        match self {
-            ExtractReport::Flat(r) => Some(r),
-            ExtractReport::Hier(_) => None,
+        match &self.outcome {
+            ExtractOutcome::Flat(r) => Some(r),
+            ExtractOutcome::Hier(_) => None,
         }
     }
 
     /// The hierarchical extraction, if this report came from a design.
     pub fn as_hier(&self) -> Option<&HierExtraction> {
-        match self {
-            ExtractReport::Flat(_) => None,
-            ExtractReport::Hier(h) => Some(h),
+        match &self.outcome {
+            ExtractOutcome::Flat(_) => None,
+            ExtractOutcome::Hier(h) => Some(h),
         }
     }
 }
@@ -146,17 +159,31 @@ pub struct Verifier {
     ctx: Arc<GfContext>,
     options: ExtractOptions,
     sat_conflicts: u64,
+    trace: bool,
 }
 
 impl Verifier {
     /// Starts a session over the given field with default options
-    /// (thread count = available parallelism, no resource budget).
+    /// (thread count = available parallelism, no resource budget,
+    /// tracing off).
     pub fn new(ctx: &Arc<GfContext>) -> Self {
         Verifier {
             ctx: ctx.clone(),
             options: ExtractOptions::default(),
             sat_conflicts: 1_000_000,
+            trace: false,
         }
+    }
+
+    /// Enables per-query telemetry: every [`extract`](Verifier::extract) /
+    /// [`check`](Verifier::check) call records a span tree (phase
+    /// durations, per-block spans, effort counters) surfaced on the
+    /// report's `trace` field. Off by default — the disabled path is a
+    /// single branch per phase, so untraced runs pay nothing.
+    #[must_use]
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
     }
 
     /// Sets the worker-thread budget (`0` = available parallelism, `1` =
@@ -219,6 +246,22 @@ impl Verifier {
         &self.options
     }
 
+    /// Starts a fresh per-query collector when tracing is enabled; returns
+    /// the collector (for the final snapshot) and the options to run the
+    /// query with.
+    fn query_setup(&self) -> (Option<Arc<Collector>>, ExtractOptions) {
+        if self.trace {
+            let collector = Collector::new();
+            let options = self
+                .options
+                .clone()
+                .with_telemetry(Telemetry::attached(&collector));
+            (Some(collector), options)
+        } else {
+            (None, self.options.clone())
+        }
+    }
+
     /// Abstracts a circuit to its word-level polynomial. Accepts a flat
     /// [`Netlist`] or a hierarchical [`HierDesign`] (blocks extracted
     /// concurrently, then composed at word level).
@@ -227,13 +270,27 @@ impl Verifier {
     ///
     /// Any [`CoreError`] from the underlying extraction.
     pub fn extract<'a>(&self, circuit: impl Into<Circuit<'a>>) -> Result<ExtractReport, CoreError> {
-        match circuit.into() {
-            Circuit::Flat(nl) => extract_word_polynomial_with(nl, &self.ctx, &self.options)
-                .map(|r| ExtractReport::Flat(Box::new(r))),
+        let circuit = circuit.into();
+        let (collector, mut options) = self.query_setup();
+        let name = match circuit {
+            Circuit::Flat(nl) => nl.name().to_string(),
+            Circuit::Hier(design) => design.name.clone(),
+        };
+        let root = options.telemetry.span_labeled(Phase::Extract, &name);
+        options.telemetry = root.telemetry();
+        let outcome = match circuit {
+            Circuit::Flat(nl) => extract_word_polynomial_with(nl, &self.ctx, &options)
+                .map(|r| ExtractOutcome::Flat(Box::new(r))),
             Circuit::Hier(design) => {
-                extract_hierarchical(design, &self.ctx, &self.options).map(ExtractReport::Hier)
+                extract_hierarchical(design, &self.ctx, &options).map(ExtractOutcome::Hier)
             }
-        }
+        };
+        let _ = root.finish();
+        let outcome = outcome?;
+        Ok(ExtractReport {
+            outcome,
+            trace: collector.map(|c| c.snapshot()),
+        })
     }
 
     /// Checks a flat spec netlist against a flat or hierarchical
@@ -258,6 +315,13 @@ impl Verifier {
         impl_: impl Into<Circuit<'a>>,
     ) -> Result<EquivReport, CoreError> {
         let impl_ = impl_.into();
+        let (collector, mut options) = self.query_setup();
+        let root = options.telemetry.span_labeled(Phase::Check, spec.name());
+        options.telemetry = root.telemetry();
+        let snapshot = |root: crate::telemetry::Span| {
+            let _ = root.finish();
+            collector.as_ref().map(|c| c.snapshot())
+        };
         // The full budget spans the whole ladder; the word-level phase is
         // run under half the wall clock so the SAT fallback always has
         // room. Work caps bound only the word-level algebra (the SAT rung
@@ -281,27 +345,24 @@ impl Verifier {
         };
         let word = match impl_ {
             Circuit::Flat(nl) => {
-                check_equivalence_budgeted(spec, nl, &self.ctx, &self.options, &word_budget)
+                check_equivalence_budgeted(spec, nl, &self.ctx, &options, &word_budget)
             }
-            Circuit::Hier(design) => check_equivalence_hier_budgeted(
-                spec,
-                design,
-                &self.ctx,
-                &self.options,
-                &word_budget,
-            ),
+            Circuit::Hier(design) => {
+                check_equivalence_hier_budgeted(spec, design, &self.ctx, &options, &word_budget)
+            }
         };
         let (word_report, reason) = match word {
-            Ok(r) => match &r.verdict {
+            Ok(mut r) => match &r.verdict {
                 Verdict::Unknown { reason } => {
                     let reason = reason.clone();
                     (Some(r), reason)
                 }
-                _ => return Ok(r),
+                _ => {
+                    r.trace = snapshot(root);
+                    return Ok(r);
+                }
             },
-            Err(CoreError::BudgetExhausted { phase, reason }) => {
-                (None, format!("budget exhausted during {phase}: {reason}"))
-            }
+            Err(e @ CoreError::BudgetExhausted { .. }) => (None, e.to_string()),
             Err(e) => return Err(e),
         };
         // SAT fallback rung: the miter decides what the word level could
@@ -314,7 +375,13 @@ impl Verifier {
                 &flat_impl
             }
         };
-        let sat = check_equivalence_sat_budgeted(spec, impl_nl, self.sat_conflicts, &sat_budget);
+        let sat = check_equivalence_sat_traced(
+            spec,
+            impl_nl,
+            self.sat_conflicts,
+            &sat_budget,
+            &options.telemetry,
+        );
         let verdict = match sat.verdict {
             SatVerdict::Equivalent => Verdict::EquivalentBySat {
                 conflicts: sat.stats.conflicts,
@@ -335,6 +402,16 @@ impl Verifier {
             verdict,
             spec_stats,
             impl_stats,
+            sat: Some(SatStats {
+                conflicts: sat.stats.conflicts,
+                decisions: sat.stats.decisions,
+                propagations: sat.stats.propagations,
+                restarts: sat.stats.restarts,
+                learned: sat.stats.learned,
+                cnf_vars: sat.cnf_vars as usize,
+                cnf_clauses: sat.cnf_clauses,
+            }),
+            trace: snapshot(root),
         })
     }
 }

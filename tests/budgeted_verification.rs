@@ -78,7 +78,10 @@ fn timed_out_extraction_reports_phase_and_reason() {
             let flat = report.as_flat().unwrap();
             match &flat.outcome {
                 Extraction::TimedOut { phase, .. } => {
-                    assert!(!phase.is_empty(), "timed-out phase must be named");
+                    assert!(
+                        !phase.to_string().is_empty(),
+                        "timed-out phase must be named"
+                    );
                 }
                 other => panic!("expected TimedOut under a 1ms deadline, got {other:?}"),
             }
