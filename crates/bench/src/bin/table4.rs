@@ -75,8 +75,8 @@ fn ablation_variable_order(args: &TableArgs) {
                 .str("pairs_decl", &cells[1].0)
                 .str("pruned_rato", &cells[0].1)
                 .str("pruned_decl", &cells[1].1)
-                .str("t_rato", &cells[0].2)
-                .str("t_decl", &cells[1].2)
+                .str("t_rato_s", &cells[0].2)
+                .str("t_decl_s", &cells[1].2)
                 .emit();
         } else {
             println!(

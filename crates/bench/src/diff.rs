@@ -1,0 +1,515 @@
+//! Benchmark-row comparison: align two `--json` result files from the
+//! paper-table binaries and report per-row deltas (`gfab bench-diff`).
+//!
+//! # Alignment
+//!
+//! Each line of a result file is one flat JSON object emitted by
+//! [`JsonRow`](crate::JsonRow). Rows are keyed by their identity fields —
+//! `table`, `ablation` (when present), `k` and `threads` (when present) —
+//! and matched across the two files by that key.
+//!
+//! # Gating
+//!
+//! Only *deterministic* fields participate in regression gating:
+//! integer-valued fields whose name does not look like a wall-time or
+//! memory measurement (no `_s` suffix, no `time`/`mem`/`bytes`
+//! substring), plus verdict strings and booleans, which must match
+//! exactly. Wall times and peak-memory readings vary run to run and are
+//! reported as informational context only — a CI gate built on the gated
+//! fields is stable across machines and thread counts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON scalar from a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON number (integer fields are whole-valued `f64`s).
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The integer value, if this is a whole number representable in u64.
+    #[must_use]
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n:.3}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// One result row: its identity key plus all fields in file order.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Identity: `table[/ablation] k=<k>[ t=<threads>]`.
+    pub key: String,
+    /// All fields of the row, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Row {
+    /// Looks up a field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Whether a field takes part in regression gating (see module docs).
+/// Identity fields and measurements that vary run to run do not.
+#[must_use]
+pub fn is_gated(key: &str) -> bool {
+    !(key == "table"
+        || key == "ablation"
+        || key == "k"
+        || key == "threads"
+        || key.ends_with("_s")
+        || key.contains("time")
+        || key.contains("mem")
+        || key.contains("bytes"))
+}
+
+/// Parses one result file (one JSON object per non-blank line).
+///
+/// # Errors
+///
+/// A message naming the 1-based line on any malformed line.
+pub fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_object(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let lookup = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.render())
+        };
+        let table = lookup("table").ok_or_else(|| format!("line {}: no `table` field", i + 1))?;
+        let mut key = table;
+        if let Some(a) = lookup("ablation") {
+            let _ = write!(key, "/{a}");
+        }
+        if let Some(k) = lookup("k") {
+            let _ = write!(key, " k={k}");
+        }
+        if let Some(t) = lookup("threads") {
+            let _ = write!(key, " t={t}");
+        }
+        rows.push(Row { key, fields });
+    }
+    Ok(rows)
+}
+
+/// A gated field whose current value regressed against baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRegression {
+    /// The row's identity key.
+    pub key: String,
+    /// The offending field (`"<missing row>"` when the whole row is gone).
+    pub field: String,
+    /// Rendered baseline value.
+    pub baseline: String,
+    /// Rendered current value.
+    pub current: String,
+}
+
+impl std::fmt::Display for BenchRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {} -> {}",
+            self.key, self.field, self.baseline, self.current
+        )
+    }
+}
+
+/// One aligned row pair (either side may be missing).
+#[derive(Debug, Clone)]
+pub struct BenchDiffRow {
+    /// The shared identity key.
+    pub key: String,
+    /// The baseline row, when present.
+    pub a: Option<Row>,
+    /// The current row, when present.
+    pub b: Option<Row>,
+}
+
+/// The result of aligning two result files.
+#[derive(Debug, Clone)]
+pub struct BenchDiff {
+    /// One entry per identity key in either file, sorted by key.
+    pub rows: Vec<BenchDiffRow>,
+}
+
+impl BenchDiff {
+    /// Aligns baseline rows `a` against current rows `b` by identity key.
+    /// Duplicate keys within one file keep the *last* row (a re-run of the
+    /// same configuration supersedes earlier lines).
+    #[must_use]
+    pub fn compute(a: Vec<Row>, b: Vec<Row>) -> BenchDiff {
+        let index = |rows: Vec<Row>| -> BTreeMap<String, Row> {
+            rows.into_iter().map(|r| (r.key.clone(), r)).collect()
+        };
+        let mut map_a = index(a);
+        let mut map_b = index(b);
+        let keys: Vec<String> = map_a
+            .keys()
+            .chain(map_b.keys())
+            .cloned()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        BenchDiff {
+            rows: keys
+                .into_iter()
+                .map(|key| BenchDiffRow {
+                    a: map_a.remove(&key),
+                    b: map_b.remove(&key),
+                    key,
+                })
+                .collect(),
+        }
+    }
+
+    /// Gated-field regressions against `threshold_pct`:
+    ///
+    /// * an integer field grew beyond `baseline * (1 + pct/100)`;
+    /// * a verdict string or boolean changed at all;
+    /// * a whole baseline row is missing from the current file.
+    ///
+    /// Shrinking integers and rows only present in the current file are
+    /// improvements/additions, never regressions.
+    #[must_use]
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<BenchRegression> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let (Some(a), b) = (&row.a, &row.b) else {
+                continue; // new row: not a regression
+            };
+            let Some(b) = b else {
+                out.push(BenchRegression {
+                    key: row.key.clone(),
+                    field: "<missing row>".into(),
+                    baseline: "present".into(),
+                    current: "absent".into(),
+                });
+                continue;
+            };
+            for (name, va) in &a.fields {
+                if !is_gated(name) {
+                    continue;
+                }
+                let Some(vb) = b.field(name) else {
+                    out.push(BenchRegression {
+                        key: row.key.clone(),
+                        field: name.clone(),
+                        baseline: va.render(),
+                        current: "<missing>".into(),
+                    });
+                    continue;
+                };
+                let regressed = match (va.as_int(), vb.as_int()) {
+                    (Some(ia), Some(ib)) => {
+                        ib > ia && ib as f64 > ia as f64 * (1.0 + threshold_pct / 100.0)
+                    }
+                    _ => va != vb,
+                };
+                if regressed {
+                    out.push(BenchRegression {
+                        key: row.key.clone(),
+                        field: name.clone(),
+                        baseline: va.render(),
+                        current: vb.render(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the human-readable diff: one block per row with every
+    /// differing field (gated and informational alike).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            match (&row.a, &row.b) {
+                (Some(a), Some(b)) => {
+                    let mut lines = String::new();
+                    for (name, va) in &a.fields {
+                        match b.field(name) {
+                            Some(vb) if va == vb => {}
+                            Some(vb) => {
+                                let tag = if is_gated(name) { "" } else { " (info)" };
+                                let _ = writeln!(
+                                    lines,
+                                    "    {name}: {} -> {}{tag}",
+                                    va.render(),
+                                    vb.render()
+                                );
+                            }
+                            None => {
+                                let _ = writeln!(lines, "    {name}: {} -> <missing>", va.render());
+                            }
+                        }
+                    }
+                    if lines.is_empty() {
+                        let _ = writeln!(out, "{}: unchanged", row.key);
+                    } else {
+                        let _ = writeln!(out, "{}:", row.key);
+                        out.push_str(&lines);
+                    }
+                }
+                (Some(_), None) => {
+                    let _ = writeln!(out, "{}: MISSING in current", row.key);
+                }
+                (None, Some(_)) => {
+                    let _ = writeln!(out, "{}: new in current", row.key);
+                }
+                (None, None) => unreachable!("row key from neither side"),
+            }
+        }
+        out
+    }
+}
+
+/// Parses one flat JSON object of string/number/boolean values — exactly
+/// the grammar [`JsonRow`](crate::JsonRow) emits.
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    expect(bytes, &mut pos, b'{')?;
+    skip_ws(bytes, &mut pos);
+    if peek(bytes, pos) == Some(b'}') {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(bytes, &mut pos);
+        let key = parse_string(line, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        expect(bytes, &mut pos, b':')?;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value(line, bytes, &mut pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, &mut pos);
+        match peek(bytes, pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(fields),
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn peek(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes.get(pos).copied()
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(peek(bytes, *pos), Some(b' ' | b'\t')) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if peek(bytes, *pos) == Some(want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", want as char))
+    }
+}
+
+fn parse_value(line: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match peek(bytes, *pos) {
+        Some(b'"') => parse_string(line, bytes, pos).map(Value::Str),
+        Some(b't') if line[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if line[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(c) if c == b'-' || c.is_ascii_digit() => {
+            let start = *pos;
+            *pos += 1;
+            while matches!(
+                peek(bytes, *pos),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                *pos += 1;
+            }
+            line[start..*pos]
+                .parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+        _ => Err(format!("unsupported value at byte {pos}", pos = *pos)),
+    }
+}
+
+fn parse_string(line: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match peek(bytes, *pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match peek(bytes, *pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = line.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one whole UTF-8 character.
+                let rest = &line[*pos..];
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = concat!(
+        r#"{"table":"table1","k":16,"gates":1088,"time_s":0.12,"reduction_steps":512,"peak_terms":300,"peak_mem_bytes":1048576,"result":"Z=A*B"}"#,
+        "\n",
+        r#"{"table":"table3","k":8,"sat_verdict":"eq","sat_time_s":0.5,"guided_verdict":"eq","guided_time_s":0.01}"#,
+        "\n",
+        r#"{"table":"table4","ablation":"case2_cost","k":16,"trials":10,"case1":7,"case2":3,"case2_total_s":0.4}"#,
+        "\n",
+    );
+
+    #[test]
+    fn rows_parse_and_key() {
+        let rows = parse_rows(BASE).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].key, "table1 k=16");
+        assert_eq!(rows[2].key, "table4/case2_cost k=16");
+        assert_eq!(rows[0].field("gates").unwrap().as_int(), Some(1088));
+        assert_eq!(
+            rows[0].field("result"),
+            Some(&Value::Str("Z=A*B".to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_line_is_numbered() {
+        let err = parse_rows("{\"table\":\"t\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let rows = || parse_rows(BASE).unwrap();
+        let d = BenchDiff::compute(rows(), rows());
+        assert!(d.regressions(0.0).is_empty());
+        assert!(d.render().contains("table1 k=16: unchanged"));
+    }
+
+    #[test]
+    fn wall_time_and_memory_never_gate() {
+        let cur = BASE
+            .replace("\"time_s\":0.12", "\"time_s\":99.0")
+            .replace("\"peak_mem_bytes\":1048576", "\"peak_mem_bytes\":99999999")
+            .replace("\"sat_time_s\":0.5", "\"sat_time_s\":50.0");
+        let d = BenchDiff::compute(parse_rows(BASE).unwrap(), parse_rows(&cur).unwrap());
+        assert!(d.regressions(0.0).is_empty());
+        // ... but they do show up as informational context.
+        assert!(d.render().contains("(info)"));
+    }
+
+    #[test]
+    fn step_growth_gates_with_threshold() {
+        let cur = BASE.replace("\"reduction_steps\":512", "\"reduction_steps\":600");
+        let d = BenchDiff::compute(parse_rows(BASE).unwrap(), parse_rows(&cur).unwrap());
+        // +17%: above a 5% threshold, below a 50% one.
+        let regs = d.regressions(5.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "table1 k=16");
+        assert_eq!(regs[0].field, "reduction_steps");
+        assert!(d.regressions(50.0).is_empty());
+        // Shrinking steps is an improvement.
+        let d = BenchDiff::compute(parse_rows(&cur).unwrap(), parse_rows(BASE).unwrap());
+        assert!(d.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn verdict_flip_always_gates() {
+        let cur = BASE.replace(
+            "\"guided_verdict\":\"eq\"",
+            "\"guided_verdict\":\"give-up\"",
+        );
+        let d = BenchDiff::compute(parse_rows(BASE).unwrap(), parse_rows(&cur).unwrap());
+        let regs = d.regressions(1000.0); // threshold does not apply to verdicts
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "guided_verdict");
+    }
+
+    #[test]
+    fn missing_row_is_a_regression_new_row_is_not() {
+        let rows = parse_rows(BASE).unwrap();
+        let fewer: Vec<Row> = parse_rows(BASE)
+            .unwrap()
+            .into_iter()
+            .filter(|r| r.key != "table3 k=8")
+            .collect();
+        let d = BenchDiff::compute(rows, fewer);
+        let regs = d.regressions(0.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "<missing row>");
+        // The reverse (a new row in current) is fine.
+        let d = BenchDiff::compute(
+            parse_rows(BASE)
+                .unwrap()
+                .into_iter()
+                .filter(|r| r.key != "table3 k=8")
+                .collect(),
+            parse_rows(BASE).unwrap(),
+        );
+        assert!(d.regressions(0.0).is_empty());
+    }
+}

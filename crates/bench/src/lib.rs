@@ -1,6 +1,9 @@
 //! Shared harness utilities for the paper-table binaries: a peak-tracking
-//! global allocator (the paper's "Max Mem" column) and small formatting
-//! helpers.
+//! global allocator (the paper's "Max Mem" column), small formatting
+//! helpers, and the [`diff`] module comparing two `--json` result files
+//! (`gfab bench-diff`).
+
+pub mod diff;
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -31,7 +31,7 @@ use gfab_poly::buchberger::{reduced_groebner_basis_traced, GbLimits, GbOutcome};
 use gfab_poly::reduce::Reducer;
 use gfab_poly::vanishing::vanishing_ideal_all;
 use gfab_poly::{ExponentMode, Monomial, Poly, PolyError, Ring, RingBuilder, VarId, VarKind};
-use gfab_telemetry::{Counter, Phase, Telemetry};
+use gfab_telemetry::{Counter, Hist, Phase, Telemetry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -287,6 +287,8 @@ pub fn extract_word_polynomial_budgeted(
     reduce_span.counter(Counter::Cancellations, rstats.cancellations);
     reduce_span.counter(Counter::BudgetPolls, rstats.polls);
     reduce_span.counter(Counter::RemainderTerms, r.num_terms() as u64);
+    reduce_span.observe(Hist::DivisionChainLen, rstats.steps);
+    reduce_span.observe_hist(Hist::ReductionPolySize, &rstats.size_hist);
     stats.reduce_time = reduce_span.finish();
     stats.reduction_steps = rstats.steps;
     stats.peak_terms = rstats.peak_terms;

@@ -5,7 +5,7 @@ use crate::netlist::{NetId, Netlist};
 use crate::topo::topological_gates;
 use gfab_field::budget::{Budget, ExhaustedReason};
 use gfab_field::{Gf, GfContext, Rng};
-use gfab_telemetry::{Counter, Phase, Telemetry};
+use gfab_telemetry::{Counter, Hist, Phase, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outcome of a budgeted random-equivalence sweep.
@@ -234,8 +234,14 @@ pub fn random_equivalence_check_traced(
     label: &str,
 ) -> SimOutcome {
     let mut span = tele.span_labeled(Phase::Simulation, label);
+    let start = std::time::Instant::now();
     let outcome = random_equivalence_check_budgeted(a, b, ctx, n, rng, threads, budget);
     span.counter(Counter::SimVectors, n as u64);
+    if span.is_enabled() {
+        // Wall-clock sample; Hist::SimBatchUs is flagged non-deterministic
+        // so trace-diff never gates on it.
+        span.observe(Hist::SimBatchUs, start.elapsed().as_micros() as u64);
+    }
     let _ = span.finish();
     outcome
 }

@@ -13,6 +13,7 @@ use crate::poly::Poly;
 use crate::ring::{PolyError, Ring};
 use gfab_field::budget::Budget;
 use gfab_field::Gf;
+use gfab_telemetry::HistData;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -20,6 +21,12 @@ use std::collections::BinaryHeap;
 /// so the atomic loads and `Instant::now()` calls are amortised away from
 /// the innermost loop.
 const BUDGET_STRIDE: u64 = 1024;
+
+/// How many division-loop iterations run between two working-store size
+/// samples (feeding the `reduction-poly-size` histogram). A divisor of
+/// [`BUDGET_STRIDE`] so the two strides share one modulus check; sampling
+/// is deterministic because it depends only on the iteration count.
+const SIZE_SAMPLE_STRIDE: u64 = 64;
 
 /// Statistics of one normal-form computation, used by the experiment
 /// harness to report reduction effort.
@@ -39,6 +46,11 @@ pub struct ReductionStats {
     /// Derived from the iteration count at no per-iteration cost; surfaced
     /// as the `budget-polls` telemetry counter.
     pub polls: u64,
+    /// Distribution of the live working-store size, sampled every
+    /// [`SIZE_SAMPLE_STRIDE`] iterations (the `reduction-poly-size`
+    /// telemetry histogram). Deterministic: sample points depend only on
+    /// the iteration count, never on wall time or thread interleaving.
+    pub size_hist: HistData,
 }
 
 /// One entry of the division working store: ordered by monomial only, so a
@@ -190,10 +202,13 @@ impl<'a> Reducer<'a> {
         // always move the current maximum.
         let mut remainder: Vec<(Monomial, Gf)> = Vec::new();
         while let Some(HeapTerm(m, mut c)) = work.pop() {
-            if let Some(b) = budget {
-                iterations += 1;
-                if iterations.is_multiple_of(BUDGET_STRIDE) {
-                    b.tick(BUDGET_STRIDE)?;
+            iterations += 1;
+            if iterations.is_multiple_of(SIZE_SAMPLE_STRIDE) {
+                stats.size_hist.record(work.len() as u64 + 1);
+                if let Some(b) = budget {
+                    if iterations.is_multiple_of(BUDGET_STRIDE) {
+                        b.tick(BUDGET_STRIDE)?;
+                    }
                 }
             }
             stats.peak_terms = stats.peak_terms.max(work.len() + 1);
@@ -247,7 +262,11 @@ impl<'a> Reducer<'a> {
                 }
             }
         }
-        stats.polls = iterations / BUDGET_STRIDE;
+        stats.polls = if budget.is_some() {
+            iterations / BUDGET_STRIDE
+        } else {
+            0
+        };
         Ok((Poly::from_terms(remainder), stats))
     }
 }

@@ -6,7 +6,7 @@ use crate::tseitin::encode_budgeted;
 use gfab_field::budget::Budget;
 use gfab_netlist::miter::build_miter;
 use gfab_netlist::Netlist;
-use gfab_telemetry::{Counter, Phase, Telemetry};
+use gfab_telemetry::{Counter, Hist, HistData, Phase, Telemetry};
 
 /// Verdict of the SAT-based miter check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +128,15 @@ pub fn check_equivalence_sat_traced(
     let cnf_clauses = cnf.clauses().len();
     encode_span.counter(Counter::CnfVars, u64::from(cnf_vars));
     encode_span.counter(Counter::CnfClauses, cnf_clauses as u64);
+    if encode_span.is_enabled() {
+        // Clause-length distribution is cheap relative to encoding but
+        // still a full pass over the CNF; only pay for it when traced.
+        let mut hist = HistData::new();
+        for clause in cnf.clauses() {
+            hist.record(clause.len() as u64);
+        }
+        encode_span.observe_hist(Hist::CnfClauseLen, &hist);
+    }
     let _ = encode_span.finish();
     // Watch-list construction over millions of clauses is itself seconds
     // of work; build the solver under the budget so a deadline that

@@ -1,0 +1,459 @@
+//! Trace comparison: align two span trees by phase path and report
+//! per-phase deltas (`gfab trace-diff`).
+//!
+//! # Alignment
+//!
+//! Spans are aggregated by their *phase path* — the chain of [`Phase`]
+//! slugs from the root down, e.g. `check/extract/guided-reduction`.
+//! Labels (block instance names, "spec"/"impl") are deliberately **not**
+//! part of the key: renaming a hierarchical block must not break the
+//! alignment, and the per-phase totals are what regression gating needs.
+//! All spans sharing a path merge into one [`PhaseAgg`]: counters and
+//! durations sum, gauges combine per [`Gauge::combine`], histograms
+//! merge bucket-wise.
+//!
+//! # Determinism
+//!
+//! Regression gating uses *work units* only — the counters for which
+//! [`Counter::is_work`] holds (division steps, Gröbner pairs, gates,
+//! simulation vectors, CDCL conflicts). These are bit-identical across
+//! thread counts and machines (PR 2's budget determinism), so a CI gate
+//! built on them is stable; wall time and memory are reported as
+//! informational context, never gated.
+
+use crate::{Counter, Gauge, Hist, HistData, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Everything aggregated under one phase path on one side of a diff.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// Number of spans merged into this aggregate.
+    pub spans: usize,
+    /// Sum of span durations (cumulative, not self time).
+    pub wall: Duration,
+    /// Summed counters.
+    pub counters: Vec<(Counter, u64)>,
+    /// Combined gauges (per [`Gauge::combine`]).
+    pub gauges: Vec<(Gauge, u64)>,
+    /// Bucket-wise merged histograms.
+    pub hists: Vec<(Hist, HistData)>,
+}
+
+impl PhaseAgg {
+    /// Value of one counter (0 when absent).
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(c, _)| *c == counter)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Sum of the deterministic work-unit counters
+    /// (see [`Counter::is_work`]).
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(c, _)| c.is_work())
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    fn add_counter(&mut self, counter: Counter, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(c, _)| *c == counter) {
+            slot.1 += value;
+        } else {
+            self.counters.push((counter, value));
+        }
+    }
+
+    fn add_gauge(&mut self, gauge: Gauge, value: u64) {
+        if let Some(slot) = self.gauges.iter_mut().find(|(g, _)| *g == gauge) {
+            slot.1 = gauge.combine(slot.1, value);
+        } else {
+            self.gauges.push((gauge, value));
+        }
+    }
+
+    fn add_hist(&mut self, hist: Hist, data: &HistData) {
+        if let Some(slot) = self.hists.iter_mut().find(|(h, _)| *h == hist) {
+            slot.1.merge(data);
+        } else {
+            self.hists.push((hist, *data));
+        }
+    }
+}
+
+/// One aligned phase path with its aggregate on each side (`None` when
+/// the path only occurs in the other trace).
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Slash-joined phase-slug path, e.g. `check/extract/model-build`.
+    pub path: String,
+    /// Aggregate in the baseline trace (A).
+    pub a: Option<PhaseAgg>,
+    /// Aggregate in the current trace (B).
+    pub b: Option<PhaseAgg>,
+}
+
+impl DiffRow {
+    /// Baseline work units (0 when the phase is absent in A).
+    #[must_use]
+    pub fn work_a(&self) -> u64 {
+        self.a.as_ref().map_or(0, PhaseAgg::work)
+    }
+
+    /// Current work units (0 when the phase is absent in B).
+    #[must_use]
+    pub fn work_b(&self) -> u64 {
+        self.b.as_ref().map_or(0, PhaseAgg::work)
+    }
+}
+
+/// A work-unit regression found by [`TraceDiff::regressions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// The offending phase path.
+    pub path: String,
+    /// Baseline work units.
+    pub baseline: u64,
+    /// Current work units (exceeds the threshold over baseline).
+    pub current: u64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: work units {} -> {} (+{})",
+            self.path,
+            self.baseline,
+            self.current,
+            self.current - self.baseline
+        )
+    }
+}
+
+/// The result of aligning two traces (see the module docs).
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// One row per phase path occurring in either trace, sorted by path.
+    pub rows: Vec<DiffRow>,
+}
+
+/// Aggregates all spans of a trace by label-free phase path.
+fn aggregate(trace: &Trace) -> BTreeMap<String, PhaseAgg> {
+    // Paths are built by walking parent links; spans are sorted by id and
+    // parents always precede children (ids order span creation), so one
+    // forward pass with an id → path memo suffices.
+    let mut path_of: BTreeMap<u64, String> = BTreeMap::new();
+    let mut out: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    for s in trace.spans() {
+        let path = match s.parent.and_then(|p| path_of.get(&p)) {
+            Some(parent_path) => format!("{parent_path}/{}", s.phase.slug()),
+            None => s.phase.slug().to_string(),
+        };
+        path_of.insert(s.id, path.clone());
+        let agg = out.entry(path).or_default();
+        agg.spans += 1;
+        agg.wall += s.duration;
+        for (c, v) in &s.counters {
+            agg.add_counter(*c, *v);
+        }
+        for (g, v) in &s.gauges {
+            agg.add_gauge(*g, *v);
+        }
+        for (h, d) in &s.hists {
+            agg.add_hist(*h, d);
+        }
+    }
+    out
+}
+
+impl TraceDiff {
+    /// Aligns baseline trace `a` against current trace `b`.
+    #[must_use]
+    pub fn compute(a: &Trace, b: &Trace) -> TraceDiff {
+        let mut agg_a = aggregate(a);
+        let mut agg_b = aggregate(b);
+        let paths: Vec<String> = agg_a.keys().chain(agg_b.keys()).cloned().collect();
+        let mut rows = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for path in paths {
+            if !seen.insert(path.clone()) {
+                continue;
+            }
+            rows.push(DiffRow {
+                a: agg_a.remove(&path),
+                b: agg_b.remove(&path),
+                path,
+            });
+        }
+        rows.sort_by(|x, y| x.path.cmp(&y.path));
+        TraceDiff { rows }
+    }
+
+    /// Whether every phase path has identical work units on both sides —
+    /// what two runs of the same workload must satisfy regardless of
+    /// `--threads` (the CI self-diff smoke check).
+    #[must_use]
+    pub fn work_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.work_a() == r.work_b())
+    }
+
+    /// Phase paths whose current work units exceed baseline by more than
+    /// `threshold_pct` percent (0.0 = any increase). Phases absent from
+    /// the baseline regress on any nonzero work; phases absent from the
+    /// current trace never regress (that is an improvement).
+    #[must_use]
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<Regression> {
+        self.rows
+            .iter()
+            .filter_map(|r| {
+                let (base, cur) = (r.work_a(), r.work_b());
+                let allowed = base as f64 * (1.0 + threshold_pct / 100.0);
+                if cur > base && cur as f64 > allowed {
+                    Some(Regression {
+                        path: r.path.clone(),
+                        baseline: base,
+                        current: cur,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the human-readable diff table: one line per phase path
+    /// with work units, span counts and wall time on both sides, plus
+    /// indented per-counter / per-histogram deltas where they differ.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>12} {:>12} {:>9} {:>10} {:>10}",
+            "phase path", "spans", "work A", "work B", "Δwork", "wall A", "wall B"
+        );
+        for r in &self.rows {
+            let spans = format!(
+                "{}/{}",
+                r.a.as_ref().map_or(0, |a| a.spans),
+                r.b.as_ref().map_or(0, |b| b.spans)
+            );
+            let (wa, wb) = (r.work_a(), r.work_b());
+            let delta = wb as i128 - wa as i128;
+            let delta_s = if delta == 0 {
+                "+0".to_string()
+            } else {
+                format!("{delta:+}")
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>7} {:>12} {:>12} {:>9} {:>10} {:>10}",
+                r.path,
+                spans,
+                wa,
+                wb,
+                delta_s,
+                fmt_wall(r.a.as_ref()),
+                fmt_wall(r.b.as_ref()),
+            );
+            self.render_details(r, &mut out);
+        }
+        out
+    }
+
+    fn render_details(&self, r: &DiffRow, out: &mut String) {
+        let empty = PhaseAgg::default();
+        let a = r.a.as_ref().unwrap_or(&empty);
+        let b = r.b.as_ref().unwrap_or(&empty);
+        let mut counters: Vec<Counter> = Vec::new();
+        for (c, _) in a.counters.iter().chain(&b.counters) {
+            if !counters.contains(c) {
+                counters.push(*c);
+            }
+        }
+        for c in counters {
+            let (va, vb) = (a.counter(c), b.counter(c));
+            if va != vb {
+                let _ = writeln!(out, "    {c}: {va} -> {vb} ({:+})", vb as i128 - va as i128);
+            }
+        }
+        let kinds: Vec<Hist> = a.hists.iter().chain(&b.hists).map(|(h, _)| *h).collect();
+        let mut seen = Vec::new();
+        for h in kinds {
+            if seen.contains(&h) {
+                continue;
+            }
+            seen.push(h);
+            let find = |agg: &PhaseAgg| {
+                agg.hists
+                    .iter()
+                    .find(|(k, _)| *k == h)
+                    .map_or_else(HistData::new, |(_, d)| *d)
+            };
+            let (da, db) = (find(a), find(b));
+            if da != db {
+                let _ = writeln!(
+                    out,
+                    "    hist {h}: n {} -> {}, mean {:.1} -> {:.1}, max {} -> {}",
+                    da.count,
+                    db.count,
+                    da.mean(),
+                    db.mean(),
+                    da.max,
+                    db.max
+                );
+            }
+        }
+    }
+}
+
+fn fmt_wall(agg: Option<&PhaseAgg>) -> String {
+    match agg {
+        None => "-".to_string(),
+        Some(a) => {
+            let d = a.wall;
+            if d < Duration::from_millis(1) {
+                format!("{}µs", d.as_micros())
+            } else if d < Duration::from_secs(1) {
+                format!("{:.2}ms", d.as_secs_f64() * 1e3)
+            } else {
+                format!("{:.3}s", d.as_secs_f64())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, SpanRecord};
+
+    fn span(id: u64, parent: Option<u64>, phase: Phase, label: Option<&str>) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            phase,
+            label: label.map(str::to_owned),
+            thread: 0,
+            start: Duration::ZERO,
+            duration: Duration::from_millis(10),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    fn simple(steps: u64) -> Trace {
+        let root = span(1, None, Phase::Check, None);
+        let ext = span(2, Some(1), Phase::Extract, Some("spec"));
+        let mut red = span(3, Some(2), Phase::GuidedReduction, None);
+        red.counters = vec![(Counter::ReductionSteps, steps), (Counter::BudgetPolls, 5)];
+        Trace::from_spans(vec![root, ext, red])
+    }
+
+    #[test]
+    fn self_diff_is_work_identical() {
+        let t = simple(100);
+        let d = TraceDiff::compute(&t, &t);
+        assert!(d.work_identical());
+        assert!(d.regressions(0.0).is_empty());
+        assert_eq!(d.rows.len(), 3);
+        assert!(d
+            .rows
+            .iter()
+            .any(|r| r.path == "check/extract/guided-reduction"));
+    }
+
+    #[test]
+    fn inflated_work_regresses_and_names_the_phase() {
+        let d = TraceDiff::compute(&simple(100), &simple(120));
+        assert!(!d.work_identical());
+        // 20% over baseline: above a 5% threshold, below a 50% one.
+        let regs = d.regressions(5.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "check/extract/guided-reduction");
+        assert_eq!(regs[0].baseline, 100);
+        assert_eq!(regs[0].current, 120);
+        assert!(d.regressions(50.0).is_empty());
+        // Improvements never regress.
+        assert!(TraceDiff::compute(&simple(120), &simple(100))
+            .regressions(0.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn labels_do_not_split_paths() {
+        // Two labelled block spans aggregate under one path, so renaming
+        // a block between runs cannot break the alignment.
+        let mut a_spans = vec![span(1, None, Phase::Extract, None)];
+        let mut blk = span(2, Some(1), Phase::Block, Some("old_name"));
+        blk.counters = vec![(Counter::Gates, 50)];
+        a_spans.push(blk);
+        let a = Trace::from_spans(a_spans);
+
+        let mut b_spans = vec![span(1, None, Phase::Extract, None)];
+        let mut blk = span(2, Some(1), Phase::Block, Some("renamed"));
+        blk.counters = vec![(Counter::Gates, 50)];
+        b_spans.push(blk);
+        let b = Trace::from_spans(b_spans);
+
+        let d = TraceDiff::compute(&a, &b);
+        assert!(d.work_identical());
+        assert_eq!(d.rows.len(), 2);
+    }
+
+    #[test]
+    fn missing_phase_sides_are_explicit() {
+        let a = simple(100);
+        let b = Trace::from_spans(vec![span(1, None, Phase::Check, None)]);
+        let d = TraceDiff::compute(&a, &b);
+        let row = d
+            .rows
+            .iter()
+            .find(|r| r.path == "check/extract/guided-reduction")
+            .unwrap();
+        assert!(row.a.is_some() && row.b.is_none());
+        // Work disappeared: an improvement, not a regression.
+        assert!(d.regressions(0.0).is_empty());
+        // The reverse direction (new work from nothing) does regress.
+        let d = TraceDiff::compute(&b, &a);
+        let regs = d.regressions(0.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].baseline, 0);
+    }
+
+    #[test]
+    fn zero_work_spans_diff_cleanly() {
+        let mk = || {
+            let mut s = span(1, None, Phase::Compose, None);
+            s.counters = vec![(Counter::BudgetPolls, 3)]; // not a work counter
+            Trace::from_spans(vec![s])
+        };
+        let d = TraceDiff::compute(&mk(), &mk());
+        assert!(d.work_identical());
+        assert_eq!(d.rows[0].work_a(), 0);
+        assert!(d.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn render_lists_counter_and_hist_deltas() {
+        let mut b = simple(120);
+        let mut spans = b.spans().to_vec();
+        let mut h = HistData::new();
+        h.record(12);
+        spans[2].hists = vec![(Hist::DivisionChainLen, h)];
+        b = Trace::from_spans(spans);
+        let out = TraceDiff::compute(&simple(100), &b).render();
+        assert!(out.contains("check/extract/guided-reduction"));
+        assert!(out.contains("reduction-steps: 100 -> 120 (+20)"));
+        assert!(out.contains("hist division-chain-len"));
+        assert!(out.contains("+20"));
+    }
+}

@@ -1,12 +1,13 @@
 //! Line-delimited JSON codec for [`Trace`] (the `--trace-json` sink).
 //!
-//! # Schema (version 1)
+//! # Schema (version 2; version 1 still parses)
 //!
 //! The file is UTF-8, one JSON object per line.
 //!
 //! * **Header line** (first line):
-//!   `{"type":"trace","version":1,"spans":N}` — `N` is the number of
-//!   span lines that follow.
+//!   `{"type":"trace","version":2,"spans":N}` — `N` is the number of
+//!   span lines that follow. `version` may be 1 or 2; it fixes the exact
+//!   field set of every span line.
 //! * **Span lines** (exactly `N`), each with exactly these fields:
 //!   - `"type"`: the string `"span"`;
 //!   - `"id"`: integer ≥ 1, unique within the file;
@@ -17,36 +18,60 @@
 //!   - `"thread"`: integer display index of the recording thread;
 //!   - `"start_us"`: integer microseconds from the trace epoch;
 //!   - `"dur_us"`: integer microseconds of span duration;
-//!   - `"counters"`: object mapping [`Counter`] slugs to integers.
+//!   - `"counters"`: object mapping [`Counter`] slugs to integers;
+//!   - *(version 2 only)* `"gauges"`: object mapping [`Gauge`] slugs to
+//!     integers;
+//!   - *(version 2 only)* `"hists"`: object mapping [`Hist`] slugs to
+//!     histogram objects `{"count":C,"sum":S,"min":m,"max":M,`
+//!     `"buckets":[b0,…,b15]}` with exactly
+//!     [`HIST_BUCKETS`](crate::HIST_BUCKETS) buckets summing to `C`.
 //!
-//! The parser is strict — unknown fields, unknown phase/counter slugs,
-//! duplicate ids, dangling parents and a wrong span count are all
-//! errors. `gfab trace-check` and CI validate emitted files with exactly
-//! this parser.
+//! A version-1 file must *not* carry `gauges`/`hists`; a version-2 file
+//! must carry both (possibly empty objects). The parser is strict —
+//! unknown fields, unknown slugs, duplicate ids, dangling parents, a
+//! wrong span count and malformed histograms are all errors, and every
+//! error names the offending line *and field path* (what `gfab
+//! trace-check` prints). Version-1 files parse into spans with empty
+//! gauge/histogram sets, so every downstream consumer (trace-diff
+//! included) treats old traces uniformly.
 
-use crate::{Counter, Phase, SpanRecord, Trace};
+use crate::{Counter, Gauge, Hist, HistData, Phase, SpanRecord, Trace, HIST_BUCKETS};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-/// Schema version written and accepted by this codec.
-pub const JSONL_VERSION: u64 = 1;
+/// Schema version written by this codec. [`Trace::from_jsonl`] accepts
+/// this version and version 1.
+pub const JSONL_VERSION: u64 = 2;
 
-/// A JSONL parse/validation failure, with the 1-based offending line.
+/// Oldest schema version [`Trace::from_jsonl`] still accepts.
+pub const JSONL_MIN_VERSION: u64 = 1;
+
+/// A JSONL parse/validation failure, with the 1-based offending line and
+/// (when the problem is tied to a specific field) the field path within
+/// that line, e.g. `hists.division-chain-len.buckets`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number (0 for whole-file problems).
     pub line: usize,
+    /// Dotted field path within the line (empty when the problem is not
+    /// tied to one field, e.g. malformed JSON).
+    pub path: String,
     /// What was wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.line == 0 {
-            write!(f, "trace jsonl: {}", self.message)
-        } else {
-            write!(f, "trace jsonl line {}: {}", self.line, self.message)
+        match (self.line, self.path.is_empty()) {
+            (0, true) => write!(f, "trace jsonl: {}", self.message),
+            (0, false) => write!(f, "trace jsonl field {}: {}", self.path, self.message),
+            (l, true) => write!(f, "trace jsonl line {l}: {}", self.message),
+            (l, false) => write!(
+                f,
+                "trace jsonl line {l}, field {}: {}",
+                self.path, self.message
+            ),
         }
     }
 }
@@ -56,12 +81,21 @@ impl std::error::Error for ParseError {}
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
+        path: String::new(),
+        message: message.into(),
+    }
+}
+
+fn err_at(line: usize, path: impl Into<String>, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        path: path.into(),
         message: message.into(),
     }
 }
 
 impl Trace {
-    /// Serializes the trace to the documented JSONL schema.
+    /// Serializes the trace to the documented JSONL schema (version 2).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -97,17 +131,47 @@ impl Trace {
                 }
                 let _ = write!(out, "\"{}\":{}", c.slug(), v);
             }
+            out.push_str("},\"gauges\":{");
+            for (i, (g, v)) in s.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", g.slug(), v);
+            }
+            out.push_str("},\"hists\":{");
+            for (i, (h, d)) in s.hists.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                    h.slug(),
+                    d.count,
+                    d.sum,
+                    d.min,
+                    d.max
+                );
+                for (j, b) in d.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push_str("]}");
+            }
             out.push_str("}}\n");
         }
         out
     }
 
-    /// Parses and validates a trace from the documented JSONL schema.
+    /// Parses and validates a trace from the documented JSONL schema
+    /// (versions 1 and 2).
     ///
     /// # Errors
     ///
-    /// A [`ParseError`] naming the offending line for any syntax or
-    /// schema violation (see the module docs for the rules).
+    /// A [`ParseError`] naming the offending line and field path for any
+    /// syntax or schema violation (see the module docs for the rules).
     pub fn from_jsonl(text: &str) -> Result<Trace, ParseError> {
         let mut lines = text
             .lines()
@@ -117,69 +181,120 @@ impl Trace {
 
         let (hline, header) = lines.next().ok_or_else(|| err(0, "empty trace file"))?;
         let header = parse_object(header).map_err(|m| err(hline, m))?;
-        expect_keys(&header, &["type", "version", "spans"]).map_err(|m| err(hline, m))?;
+        expect_keys(&header, &["type", "version", "spans"]).map_err(|e| e.on_line(hline))?;
         if header.get("type") != Some(&Json::Str("trace".into())) {
-            return Err(err(hline, "header \"type\" must be \"trace\""));
+            return Err(err_at(hline, "type", "header \"type\" must be \"trace\""));
         }
-        if get_u64(&header, "version").map_err(|m| err(hline, m))? != JSONL_VERSION {
-            return Err(err(
+        let version = get_u64(&header, "version").map_err(|e| e.on_line(hline))?;
+        if !(JSONL_MIN_VERSION..=JSONL_VERSION).contains(&version) {
+            return Err(err_at(
                 hline,
-                format!("unsupported version (want {JSONL_VERSION})"),
+                "version",
+                format!(
+                    "unsupported version {version} (want {JSONL_MIN_VERSION}..={JSONL_VERSION})"
+                ),
             ));
         }
-        let declared = get_u64(&header, "spans").map_err(|m| err(hline, m))?;
+        let declared = get_u64(&header, "spans").map_err(|e| e.on_line(hline))?;
+
+        let v1_keys: &[&str] = &[
+            "type", "id", "parent", "phase", "label", "thread", "start_us", "dur_us", "counters",
+        ];
+        let v2_keys: &[&str] = &[
+            "type", "id", "parent", "phase", "label", "thread", "start_us", "dur_us", "counters",
+            "gauges", "hists",
+        ];
+        let span_keys = if version >= 2 { v2_keys } else { v1_keys };
 
         let mut spans = Vec::new();
         let mut ids = BTreeSet::new();
         for (lineno, line) in lines {
             let obj = parse_object(line).map_err(|m| err(lineno, m))?;
-            expect_keys(
-                &obj,
-                &[
-                    "type", "id", "parent", "phase", "label", "thread", "start_us", "dur_us",
-                    "counters",
-                ],
-            )
-            .map_err(|m| err(lineno, m))?;
+            expect_keys(&obj, span_keys).map_err(|e| e.on_line(lineno))?;
             if obj.get("type") != Some(&Json::Str("span".into())) {
-                return Err(err(lineno, "span \"type\" must be \"span\""));
+                return Err(err_at(lineno, "type", "span \"type\" must be \"span\""));
             }
-            let id = get_u64(&obj, "id").map_err(|m| err(lineno, m))?;
+            let id = get_u64(&obj, "id").map_err(|e| e.on_line(lineno))?;
             if id == 0 {
-                return Err(err(lineno, "span id must be >= 1"));
+                return Err(err_at(lineno, "id", "span id must be >= 1"));
             }
             if !ids.insert(id) {
-                return Err(err(lineno, format!("duplicate span id {id}")));
+                return Err(err_at(lineno, "id", format!("duplicate span id {id}")));
             }
             let parent = match obj.get("parent") {
                 Some(Json::Null) => None,
                 Some(Json::Num(n)) => Some(*n),
-                _ => return Err(err(lineno, "\"parent\" must be an integer or null")),
+                _ => {
+                    return Err(err_at(
+                        lineno,
+                        "parent",
+                        "\"parent\" must be an integer or null",
+                    ))
+                }
             };
-            let phase_slug = get_str(&obj, "phase").map_err(|m| err(lineno, m))?;
-            let phase = Phase::from_slug(&phase_slug)
-                .ok_or_else(|| err(lineno, format!("unknown phase slug {phase_slug:?}")))?;
+            let phase_slug = get_str(&obj, "phase").map_err(|e| e.on_line(lineno))?;
+            let phase = Phase::from_slug(&phase_slug).ok_or_else(|| {
+                err_at(
+                    lineno,
+                    "phase",
+                    format!("unknown phase slug {phase_slug:?}"),
+                )
+            })?;
             let label = match obj.get("label") {
                 Some(Json::Null) => None,
                 Some(Json::Str(s)) => Some(s.clone()),
-                _ => return Err(err(lineno, "\"label\" must be a string or null")),
+                _ => {
+                    return Err(err_at(
+                        lineno,
+                        "label",
+                        "\"label\" must be a string or null",
+                    ))
+                }
             };
-            let thread = get_u64(&obj, "thread").map_err(|m| err(lineno, m))?;
-            let start_us = get_u64(&obj, "start_us").map_err(|m| err(lineno, m))?;
-            let dur_us = get_u64(&obj, "dur_us").map_err(|m| err(lineno, m))?;
-            let counters_obj = match obj.get("counters") {
-                Some(Json::Obj(pairs)) => pairs,
-                _ => return Err(err(lineno, "\"counters\" must be an object")),
-            };
+            let thread = get_u64(&obj, "thread").map_err(|e| e.on_line(lineno))?;
+            let start_us = get_u64(&obj, "start_us").map_err(|e| e.on_line(lineno))?;
+            let dur_us = get_u64(&obj, "dur_us").map_err(|e| e.on_line(lineno))?;
+
+            let counters_obj = get_obj(&obj, "counters").map_err(|e| e.on_line(lineno))?;
             let mut counters = Vec::new();
             for (key, value) in counters_obj {
-                let counter = Counter::from_slug(key)
-                    .ok_or_else(|| err(lineno, format!("unknown counter slug {key:?}")))?;
+                let path = format!("counters.{key}");
+                let counter = Counter::from_slug(key).ok_or_else(|| {
+                    err_at(lineno, &path, format!("unknown counter slug {key:?}"))
+                })?;
                 let Json::Num(v) = value else {
-                    return Err(err(lineno, format!("counter {key:?} must be an integer")));
+                    return Err(err_at(lineno, &path, "counter values must be integers"));
                 };
                 counters.push((counter, *v));
             }
+
+            let mut gauges = Vec::new();
+            let mut hists = Vec::new();
+            if version >= 2 {
+                for (key, value) in get_obj(&obj, "gauges").map_err(|e| e.on_line(lineno))? {
+                    let path = format!("gauges.{key}");
+                    let gauge = Gauge::from_slug(key).ok_or_else(|| {
+                        err_at(lineno, &path, format!("unknown gauge slug {key:?}"))
+                    })?;
+                    let Json::Num(v) = value else {
+                        return Err(err_at(lineno, &path, "gauge values must be integers"));
+                    };
+                    gauges.push((gauge, *v));
+                }
+                for (key, value) in get_obj(&obj, "hists").map_err(|e| e.on_line(lineno))? {
+                    let path = format!("hists.{key}");
+                    let hist = Hist::from_slug(key).ok_or_else(|| {
+                        err_at(lineno, &path, format!("unknown histogram slug {key:?}"))
+                    })?;
+                    let Json::Obj(pairs) = value else {
+                        return Err(err_at(lineno, &path, "histograms must be objects"));
+                    };
+                    let data = parse_hist(&Obj(pairs.clone()))
+                        .map_err(|e| err_at(lineno, format!("{path}.{}", e.0), e.1))?;
+                    hists.push((hist, data));
+                }
+            }
+
             spans.push(SpanRecord {
                 id,
                 parent,
@@ -189,25 +304,84 @@ impl Trace {
                 start: Duration::from_micros(start_us),
                 duration: Duration::from_micros(dur_us),
                 counters,
+                gauges,
+                hists,
             });
         }
 
         if spans.len() as u64 != declared {
-            return Err(err(
+            return Err(err_at(
                 0,
+                "spans",
                 format!("header declares {declared} spans, found {}", spans.len()),
             ));
         }
         for s in &spans {
             if let Some(p) = s.parent {
                 if !ids.contains(&p) {
-                    return Err(err(0, format!("span {} has dangling parent {p}", s.id)));
+                    return Err(err_at(
+                        0,
+                        "parent",
+                        format!("span {} has dangling parent {p}", s.id),
+                    ));
                 }
             }
         }
         spans.sort_by_key(|s| s.id);
         Ok(Trace::from_spans(spans))
     }
+}
+
+/// Validates one histogram object; the error carries the sub-path
+/// (relative to the histogram) and message.
+fn parse_hist(obj: &Obj) -> Result<HistData, (String, String)> {
+    expect_keys(obj, &["count", "sum", "min", "max", "buckets"])
+        .map_err(|e| (e.path, e.message))?;
+    let field = |key: &str| -> Result<u64, (String, String)> {
+        match obj.get(key) {
+            Some(Json::Num(n)) => Ok(*n),
+            _ => Err((key.into(), "must be an unsigned integer".into())),
+        }
+    };
+    let (count, sum, min, max) = (field("count")?, field("sum")?, field("min")?, field("max")?);
+    let Some(Json::Arr(items)) = obj.get("buckets") else {
+        return Err(("buckets".into(), "must be an array".into()));
+    };
+    if items.len() != HIST_BUCKETS {
+        return Err((
+            "buckets".into(),
+            format!(
+                "must have exactly {HIST_BUCKETS} buckets, found {}",
+                items.len()
+            ),
+        ));
+    }
+    let mut buckets = [0u64; HIST_BUCKETS];
+    for (i, item) in items.iter().enumerate() {
+        let Json::Num(n) = item else {
+            return Err((
+                format!("buckets[{i}]"),
+                "must be an unsigned integer".into(),
+            ));
+        };
+        buckets[i] = *n;
+    }
+    if buckets.iter().sum::<u64>() != count {
+        return Err((
+            "buckets".into(),
+            format!("bucket totals must sum to \"count\" ({count})"),
+        ));
+    }
+    if count > 0 && min > max {
+        return Err(("min".into(), "histogram min exceeds max".into()));
+    }
+    Ok(HistData {
+        count,
+        sum,
+        min,
+        max,
+        buckets,
+    })
 }
 
 fn write_json_string(out: &mut String, s: &str) {
@@ -227,9 +401,9 @@ fn write_json_string(out: &mut String, s: &str) {
 
 // ---------------------------------------------------------------------
 // Minimal strict JSON parser — just enough for the schema above: one
-// object per line containing strings, unsigned integers, null and one
-// level of nested object. In-repo so the workspace stays dependency-free
-// (DESIGN.md §7).
+// object per line containing strings, unsigned integers, null, nested
+// objects and arrays of integers. In-repo so the workspace stays
+// dependency-free (DESIGN.md §7/§8).
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
@@ -238,6 +412,7 @@ enum Json {
     Num(u64),
     Str(String),
     Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
 }
 
 struct Obj(Vec<(String, Json)>);
@@ -248,31 +423,64 @@ impl Obj {
     }
 }
 
-fn expect_keys(obj: &Obj, keys: &[&str]) -> Result<(), String> {
+/// A field-scoped validation failure before a line number is known.
+struct FieldError {
+    path: String,
+    message: String,
+}
+
+impl FieldError {
+    fn on_line(self, line: usize) -> ParseError {
+        ParseError {
+            line,
+            path: self.path,
+            message: self.message,
+        }
+    }
+}
+
+fn field_err(path: impl Into<String>, message: impl Into<String>) -> FieldError {
+    FieldError {
+        path: path.into(),
+        message: message.into(),
+    }
+}
+
+fn expect_keys(obj: &Obj, keys: &[&str]) -> Result<(), FieldError> {
     for k in keys {
         if obj.get(k).is_none() {
-            return Err(format!("missing required field {k:?}"));
+            return Err(field_err(*k, format!("missing required field {k:?}")));
         }
     }
     for (k, _) in &obj.0 {
         if !keys.contains(&k.as_str()) {
-            return Err(format!("unexpected field {k:?}"));
+            return Err(field_err(k.clone(), format!("unexpected field {k:?}")));
         }
     }
     Ok(())
 }
 
-fn get_u64(obj: &Obj, key: &str) -> Result<u64, String> {
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, FieldError> {
     match obj.get(key) {
         Some(Json::Num(n)) => Ok(*n),
-        _ => Err(format!("{key:?} must be an unsigned integer")),
+        _ => Err(field_err(
+            key,
+            format!("{key:?} must be an unsigned integer"),
+        )),
     }
 }
 
-fn get_str(obj: &Obj, key: &str) -> Result<String, String> {
+fn get_str(obj: &Obj, key: &str) -> Result<String, FieldError> {
     match obj.get(key) {
         Some(Json::Str(s)) => Ok(s.clone()),
-        _ => Err(format!("{key:?} must be a string")),
+        _ => Err(field_err(key, format!("{key:?} must be a string"))),
+    }
+}
+
+fn get_obj<'a>(obj: &'a Obj, key: &str) -> Result<&'a Vec<(String, Json)>, FieldError> {
+    match obj.get(key) {
+        Some(Json::Obj(pairs)) => Ok(pairs),
+        _ => Err(field_err(key, format!("{key:?} must be an object"))),
     }
 }
 
@@ -319,11 +527,14 @@ impl Parser<'_> {
     }
 
     fn value(&mut self, depth: usize) -> Result<Json, String> {
-        if depth > 2 {
-            return Err("object nesting too deep for the trace schema".into());
+        // Deepest legal chain: span obj → "hists" obj → histogram obj →
+        // "buckets" array.
+        if depth > 4 {
+            return Err("nesting too deep for the trace schema".into());
         }
         match self.peek() {
             Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b'n') => {
                 if self.bytes[self.pos..].starts_with(b"null") {
@@ -365,6 +576,29 @@ impl Parser<'_> {
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
             }
         }
     }
@@ -438,6 +672,9 @@ mod tests {
     use super::*;
 
     fn sample() -> Trace {
+        let mut hist = HistData::new();
+        hist.record(3);
+        hist.record(100);
         Trace::from_spans(vec![
             SpanRecord {
                 id: 1,
@@ -448,6 +685,8 @@ mod tests {
                 start: Duration::from_micros(5),
                 duration: Duration::from_micros(1000),
                 counters: vec![(Counter::Gates, 12), (Counter::ReductionSteps, 34)],
+                gauges: vec![(Gauge::MemPeakBytes, 4096), (Gauge::MemAllocs, 7)],
+                hists: vec![(Hist::DivisionChainLen, hist)],
             },
             SpanRecord {
                 id: 2,
@@ -458,9 +697,20 @@ mod tests {
                 start: Duration::from_micros(6),
                 duration: Duration::from_micros(400),
                 counters: vec![],
+                gauges: vec![],
+                hists: vec![],
             },
         ])
     }
+
+    /// A hand-written version-1 file (the pre-metrics schema).
+    const V1_TEXT: &str = concat!(
+        "{\"type\":\"trace\",\"version\":1,\"spans\":2}\n",
+        "{\"type\":\"span\",\"id\":1,\"parent\":null,\"phase\":\"extract\",\"label\":\"spec\",",
+        "\"thread\":0,\"start_us\":5,\"dur_us\":1000,\"counters\":{\"gates\":12}}\n",
+        "{\"type\":\"span\",\"id\":2,\"parent\":1,\"phase\":\"model-build\",\"label\":null,",
+        "\"thread\":0,\"start_us\":6,\"dur_us\":400,\"counters\":{}}\n",
+    );
 
     #[test]
     fn round_trip_preserves_every_field() {
@@ -478,35 +728,67 @@ mod tests {
     }
 
     #[test]
-    fn rejects_missing_and_unknown_fields() {
+    fn version_1_files_still_parse() {
+        let t = Trace::from_jsonl(V1_TEXT).expect("v1 parses");
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.spans()[0].counters, vec![(Counter::Gates, 12)]);
+        assert!(t.spans()[0].gauges.is_empty());
+        assert!(t.spans()[0].hists.is_empty());
+    }
+
+    #[test]
+    fn version_1_files_must_not_carry_v2_fields() {
+        let mixed = V1_TEXT.replace("\"counters\":{}}", "\"counters\":{},\"gauges\":{}}");
+        let e = Trace::from_jsonl(&mixed).unwrap_err();
+        assert!(e.message.contains("unexpected field"), "{e}");
+        assert_eq!(e.path, "gauges");
+    }
+
+    #[test]
+    fn version_2_files_must_carry_v2_fields() {
+        let text = sample()
+            .to_jsonl()
+            .replace(",\"gauges\":{\"mem-peak-bytes\":4096,\"mem-allocs\":7}", "");
+        let e = Trace::from_jsonl(&text).unwrap_err();
+        assert!(e.message.contains("missing required field"), "{e}");
+        assert_eq!(e.path, "gauges");
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_fields_with_paths() {
         let missing =
-            "{\"type\":\"trace\",\"version\":1,\"spans\":1}\n{\"type\":\"span\",\"id\":1}";
+            "{\"type\":\"trace\",\"version\":2,\"spans\":1}\n{\"type\":\"span\",\"id\":1}";
         let e = Trace::from_jsonl(missing).unwrap_err();
         assert!(e.message.contains("missing required field"), "{e}");
         assert_eq!(e.line, 2);
+        assert_eq!(e.path, "parent");
 
         let extra = sample()
             .to_jsonl()
             .replace("\"thread\":0", "\"thread\":0,\"bogus\":1");
-        assert!(Trace::from_jsonl(&extra)
-            .unwrap_err()
-            .message
-            .contains("unexpected field"));
+        let e = Trace::from_jsonl(&extra).unwrap_err();
+        assert!(e.message.contains("unexpected field"));
+        assert_eq!(e.path, "bogus");
     }
 
     #[test]
     fn rejects_unknown_slugs_and_bad_structure() {
         let bad_phase = sample().to_jsonl().replace("\"extract\"", "\"warp-drive\"");
-        assert!(Trace::from_jsonl(&bad_phase)
-            .unwrap_err()
-            .message
-            .contains("unknown phase"));
+        let e = Trace::from_jsonl(&bad_phase).unwrap_err();
+        assert!(e.message.contains("unknown phase"));
+        assert_eq!(e.path, "phase");
 
         let bad_counter = sample().to_jsonl().replace("\"gates\"", "\"widgets\"");
-        assert!(Trace::from_jsonl(&bad_counter)
-            .unwrap_err()
-            .message
-            .contains("unknown counter"));
+        let e = Trace::from_jsonl(&bad_counter).unwrap_err();
+        assert!(e.message.contains("unknown counter"));
+        assert_eq!(e.path, "counters.widgets");
+
+        let bad_gauge = sample()
+            .to_jsonl()
+            .replace("\"mem-allocs\"", "\"mem-leaks\"");
+        let e = Trace::from_jsonl(&bad_gauge).unwrap_err();
+        assert!(e.message.contains("unknown gauge"));
+        assert_eq!(e.path, "gauges.mem-leaks");
 
         let dangling = sample().to_jsonl().replace("\"parent\":1", "\"parent\":99");
         assert!(Trace::from_jsonl(&dangling)
@@ -522,5 +804,27 @@ mod tests {
 
         assert!(Trace::from_jsonl("").is_err());
         assert!(Trace::from_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_histograms_with_deep_paths() {
+        // Bucket totals no longer sum to "count".
+        let bad_count = sample().to_jsonl().replace("\"count\":2", "\"count\":3");
+        let e = Trace::from_jsonl(&bad_count).unwrap_err();
+        assert!(e.message.contains("sum to"), "{e}");
+        assert_eq!(e.path, "hists.division-chain-len.buckets");
+        assert_eq!(e.line, 2);
+
+        // Wrong bucket count.
+        let short = sample()
+            .to_jsonl()
+            .replace("\"buckets\":[0,1", "\"buckets\":[1");
+        let e = Trace::from_jsonl(&short).unwrap_err();
+        assert!(e.message.contains("exactly"), "{e}");
+
+        // min > max.
+        let bad_min = sample().to_jsonl().replace("\"min\":3", "\"min\":999");
+        let e = Trace::from_jsonl(&bad_min).unwrap_err();
+        assert_eq!(e.path, "hists.division-chain-len.min");
     }
 }

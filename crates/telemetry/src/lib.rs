@@ -45,11 +45,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod jsonl;
+pub mod mem;
+mod metrics;
 mod span;
 mod trace;
 
+pub use diff::{DiffRow, PhaseAgg, Regression, TraceDiff};
 pub use jsonl::{ParseError, JSONL_VERSION};
+pub use metrics::{Gauge, Hist, HistData, HIST_BUCKETS};
 pub use span::{Collector, Span, SpanRecord, Telemetry};
 pub use trace::Trace;
 
@@ -234,6 +239,23 @@ impl Counter {
             Counter::LearnedClauses => "learned-clauses",
             Counter::Blocks => "blocks",
         }
+    }
+
+    /// Whether this counter is a *work-unit* counter: a deterministic
+    /// measure of algebraic/search effort that is bit-identical across
+    /// thread counts and machines (division steps, Gröbner pairs, gate
+    /// models, simulation vectors, CDCL conflicts). Work units are what
+    /// `gfab trace-diff` gates regressions on — never wall time.
+    #[must_use]
+    pub fn is_work(self) -> bool {
+        matches!(
+            self,
+            Counter::Gates
+                | Counter::ReductionSteps
+                | Counter::SPolynomials
+                | Counter::SimVectors
+                | Counter::Conflicts
+        )
     }
 
     /// Inverse of [`Counter::slug`]; `None` for unknown keys.

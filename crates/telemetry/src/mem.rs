@@ -1,0 +1,227 @@
+//! Per-phase memory accounting: safe bookkeeping behind an instrumented
+//! global allocator.
+//!
+//! This crate forbids `unsafe`, so the `GlobalAlloc` wrapper itself lives
+//! with whoever owns the binary (the `gfab` CLI installs one; tests can
+//! install their own). The wrapper forwards every allocation event to
+//! [`on_alloc`] / [`on_dealloc`], which are:
+//!
+//! * **zero-cost when off** — the first thing either hook does is one
+//!   relaxed atomic load of the global enable flag; tracking is off by
+//!   default and only [`MemGuard`]s turn it on;
+//! * **thread-local** — bytes are attributed to the allocating thread,
+//!   so a span observes exactly the allocations made by the code it
+//!   wraps (cross-thread frees are accounted on the freeing thread; the
+//!   live-bytes figure is relative to when tracking was enabled).
+//!
+//! Span integration: [`span_enter`] snapshots the thread's counters and
+//! resets the peak watermark to the current live level; [`span_exit`]
+//! reads the watermark back, restores the enclosing span's watermark
+//! (so nested spans each see their own peak) and returns the deltas,
+//! which [`crate::Span`] records as [`crate::Gauge`] values.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of live [`MemGuard`]s; tracking is on while nonzero.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+struct ThreadMem {
+    /// Live bytes since tracking started (may go negative if blocks
+    /// allocated before tracking are freed after).
+    cur: Cell<i64>,
+    /// High-water mark of `cur` since the innermost open span began.
+    peak: Cell<i64>,
+    /// Total bytes allocated since thread start (while tracking).
+    total: Cell<u64>,
+    /// Total allocation count since thread start (while tracking).
+    allocs: Cell<u64>,
+}
+
+thread_local! {
+    static MEM: ThreadMem = const {
+        ThreadMem {
+            cur: Cell::new(0),
+            peak: Cell::new(0),
+            total: Cell::new(0),
+            allocs: Cell::new(0),
+        }
+    };
+}
+
+/// Whether allocation tracking is currently enabled (any live guard).
+#[inline]
+#[must_use]
+pub fn is_tracking() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Enables allocation tracking for the guard's lifetime.
+///
+/// Guards nest (a counter, not a flag), so concurrent traced queries can
+/// each hold one. Tracking only yields data if the process installed an
+/// instrumented global allocator that calls [`on_alloc`]/[`on_dealloc`];
+/// without one, spans simply record no memory gauges.
+#[must_use]
+pub fn track() -> MemGuard {
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    MemGuard { _priv: () }
+}
+
+/// RAII guard returned by [`track`]; dropping it disables tracking once
+/// every other guard is gone.
+#[derive(Debug)]
+pub struct MemGuard {
+    _priv: (),
+}
+
+impl Drop for MemGuard {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Allocation hook for an instrumented global allocator.
+///
+/// When tracking is off this is a single relaxed load. Uses `try_with`
+/// so allocations during thread teardown are silently ignored instead of
+/// aborting.
+#[inline]
+pub fn on_alloc(size: usize) {
+    if !is_tracking() {
+        return;
+    }
+    let _ = MEM.try_with(|m| {
+        let cur = m.cur.get() + size as i64;
+        m.cur.set(cur);
+        if cur > m.peak.get() {
+            m.peak.set(cur);
+        }
+        m.total.set(m.total.get().wrapping_add(size as u64));
+        m.allocs.set(m.allocs.get() + 1);
+    });
+}
+
+/// Deallocation hook for an instrumented global allocator.
+#[inline]
+pub fn on_dealloc(size: usize) {
+    if !is_tracking() {
+        return;
+    }
+    let _ = MEM.try_with(|m| {
+        m.cur.set(m.cur.get() - size as i64);
+    });
+}
+
+/// Snapshot of the thread's memory counters at span entry.
+#[derive(Debug, Clone, Copy)]
+pub struct MemSnapshot {
+    start_total: u64,
+    start_allocs: u64,
+    saved_peak: i64,
+}
+
+/// Memory attributed to a span, as returned by [`span_exit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Peak live bytes on the span's thread while it was open.
+    pub peak_bytes: u64,
+    /// Total bytes allocated on the span's thread while it was open.
+    pub alloc_bytes: u64,
+    /// Allocations on the span's thread while it was open.
+    pub allocs: u64,
+}
+
+/// Begins per-span accounting: returns `None` when tracking is off,
+/// otherwise snapshots the thread counters and resets the peak watermark
+/// to the current live level (so the span measures its *own* peak).
+#[must_use]
+pub fn span_enter() -> Option<MemSnapshot> {
+    if !is_tracking() {
+        return None;
+    }
+    MEM.try_with(|m| {
+        let saved_peak = m.peak.get();
+        m.peak.set(m.cur.get());
+        MemSnapshot {
+            start_total: m.total.get(),
+            start_allocs: m.allocs.get(),
+            saved_peak,
+        }
+    })
+    .ok()
+}
+
+/// Ends per-span accounting: returns the span's memory deltas and
+/// restores the enclosing span's watermark.
+#[must_use]
+pub fn span_exit(snap: MemSnapshot) -> MemDelta {
+    MEM.try_with(|m| {
+        let watermark = m.peak.get();
+        m.peak.set(snap.saved_peak.max(watermark));
+        MemDelta {
+            peak_bytes: watermark.max(0) as u64,
+            alloc_bytes: m.total.get().wrapping_sub(snap.start_total),
+            allocs: m.allocs.get() - snap.start_allocs,
+        }
+    })
+    .unwrap_or(MemDelta {
+        peak_bytes: 0,
+        alloc_bytes: 0,
+        allocs: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The enable count is process-global; serialize the tests that
+    /// observe it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn hooks_are_inert_without_a_guard() {
+        let _l = LOCK.lock().unwrap();
+        assert!(!is_tracking());
+        on_alloc(1024);
+        on_dealloc(1024);
+        assert!(span_enter().is_none());
+    }
+
+    #[test]
+    fn spans_see_their_own_peak_and_totals() {
+        let _l = LOCK.lock().unwrap();
+        let _guard = track();
+        let outer = span_enter().expect("tracking on");
+        on_alloc(100);
+        {
+            let inner = span_enter().expect("tracking on");
+            on_alloc(500);
+            on_dealloc(500);
+            on_alloc(50);
+            let d = span_exit(inner);
+            assert_eq!(d.peak_bytes, 600, "inner peak is cur(100)+500");
+            assert_eq!(d.alloc_bytes, 550);
+            assert_eq!(d.allocs, 2);
+        }
+        on_dealloc(100);
+        on_dealloc(50);
+        let d = span_exit(outer);
+        assert_eq!(d.peak_bytes, 600, "outer inherits the nested watermark");
+        assert_eq!(d.alloc_bytes, 650);
+        assert_eq!(d.allocs, 3);
+    }
+
+    #[test]
+    fn guards_nest() {
+        let _l = LOCK.lock().unwrap();
+        let a = track();
+        let b = track();
+        drop(a);
+        assert!(is_tracking());
+        drop(b);
+        assert!(!is_tracking());
+    }
+}

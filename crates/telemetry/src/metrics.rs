@@ -1,0 +1,313 @@
+//! The metrics vocabulary beyond plain counters: [`Gauge`] values and
+//! fixed-bucket [`Hist`] histograms ([`HistData`]).
+//!
+//! Counters ([`crate::Counter`]) are monotonic work tallies; gauges are
+//! sampled values with an explicit per-kind combine rule (peak memory is
+//! a maximum, total allocations are a sum); histograms record the
+//! *distribution* of a quantity — division-chain lengths, live polynomial
+//! sizes, S-polynomial sizes, CNF clause lengths, simulation batch times
+//! — in a fixed power-of-two bucket layout so two traces can be compared
+//! bucket by bucket without any binning negotiation.
+
+/// Number of buckets in every [`HistData`]. Bucket `i` covers values in
+/// `[2^i, 2^(i+1))`, except bucket 0 which also holds 0 and the last
+/// bucket which is open-ended.
+pub const HIST_BUCKETS: usize = 16;
+
+/// A sampled (non-monotonic) per-span value.
+///
+/// Unlike counters, gauges carry an explicit aggregation rule: when two
+/// spans of the same phase are merged (trace-diff aggregation, nested
+/// span roll-ups) the combined value is [`Gauge::combine`] of the parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Gauge {
+    /// Peak live heap bytes observed on the span's thread while the span
+    /// was open (memory accounting must be enabled). Combines by `max`.
+    MemPeakBytes,
+    /// Total bytes allocated on the span's thread while the span was
+    /// open. Combines by `+`.
+    MemAllocBytes,
+    /// Number of heap allocations on the span's thread while the span
+    /// was open. Combines by `+`.
+    MemAllocs,
+}
+
+impl Gauge {
+    /// Stable kebab-case key used in the JSONL schema (v2).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Gauge::MemPeakBytes => "mem-peak-bytes",
+            Gauge::MemAllocBytes => "mem-alloc-bytes",
+            Gauge::MemAllocs => "mem-allocs",
+        }
+    }
+
+    /// Inverse of [`Gauge::slug`]; `None` for unknown keys.
+    #[must_use]
+    pub fn from_slug(s: &str) -> Option<Gauge> {
+        Some(match s {
+            "mem-peak-bytes" => Gauge::MemPeakBytes,
+            "mem-alloc-bytes" => Gauge::MemAllocBytes,
+            "mem-allocs" => Gauge::MemAllocs,
+            _ => return None,
+        })
+    }
+
+    /// Combines two observations of this gauge (see variant docs).
+    #[must_use]
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            Gauge::MemPeakBytes => a.max(b),
+            Gauge::MemAllocBytes | Gauge::MemAllocs => a.saturating_add(b),
+        }
+    }
+}
+
+impl std::fmt::Display for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// A histogram kind: which quantity a [`HistData`] is a distribution of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Hist {
+    /// Division steps per reduction chain (one sample per normal form).
+    DivisionChainLen,
+    /// Live working-polynomial terms, sampled every budget stride during
+    /// a guided reduction.
+    ReductionPolySize,
+    /// Terms per S-polynomial reduced by Buchberger.
+    SPolyTerms,
+    /// Literals per CNF clause emitted by the Tseitin encoding.
+    CnfClauseLen,
+    /// Microseconds per simulation sweep batch (wall time — excluded
+    /// from deterministic comparisons, informational in diffs).
+    SimBatchUs,
+}
+
+impl Hist {
+    /// Stable kebab-case key used in the JSONL schema (v2).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Hist::DivisionChainLen => "division-chain-len",
+            Hist::ReductionPolySize => "reduction-poly-size",
+            Hist::SPolyTerms => "s-poly-terms",
+            Hist::CnfClauseLen => "cnf-clause-len",
+            Hist::SimBatchUs => "sim-batch-us",
+        }
+    }
+
+    /// Inverse of [`Hist::slug`]; `None` for unknown keys.
+    #[must_use]
+    pub fn from_slug(s: &str) -> Option<Hist> {
+        Some(match s {
+            "division-chain-len" => Hist::DivisionChainLen,
+            "reduction-poly-size" => Hist::ReductionPolySize,
+            "s-poly-terms" => Hist::SPolyTerms,
+            "cnf-clause-len" => Hist::CnfClauseLen,
+            "sim-batch-us" => Hist::SimBatchUs,
+            _ => return None,
+        })
+    }
+
+    /// Whether samples of this histogram are deterministic across thread
+    /// counts and machines (everything except wall-time histograms).
+    #[must_use]
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, Hist::SimBatchUs)
+    }
+}
+
+impl std::fmt::Display for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// A fixed-layout histogram: power-of-two buckets plus count/sum/min/max.
+///
+/// The layout is identical for every [`Hist`] kind, so histograms from
+/// different traces merge and diff without binning negotiation, and the
+/// struct is `Copy`-sized (no heap allocation on the recording path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistData {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also
+    /// holds 0, the last bucket is open-ended.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistData {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> HistData {
+        HistData::default()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The bucket index a value falls into.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (63 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    #[must_use]
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
+        self.max = self.max.max(value);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistData) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_slugs_round_trip_and_combine() {
+        for g in [Gauge::MemPeakBytes, Gauge::MemAllocBytes, Gauge::MemAllocs] {
+            assert_eq!(Gauge::from_slug(g.slug()), Some(g));
+        }
+        assert_eq!(Gauge::from_slug("no-such-gauge"), None);
+        assert_eq!(Gauge::MemPeakBytes.combine(10, 7), 10);
+        assert_eq!(Gauge::MemAllocBytes.combine(10, 7), 17);
+    }
+
+    #[test]
+    fn hist_slugs_round_trip() {
+        for h in [
+            Hist::DivisionChainLen,
+            Hist::ReductionPolySize,
+            Hist::SPolyTerms,
+            Hist::CnfClauseLen,
+            Hist::SimBatchUs,
+        ] {
+            assert_eq!(Hist::from_slug(h.slug()), Some(h));
+        }
+        assert_eq!(Hist::from_slug("no-such-hist"), None);
+        assert!(Hist::DivisionChainLen.is_deterministic());
+        assert!(!Hist::SimBatchUs.is_deterministic());
+    }
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(HistData::bucket_of(0), 0);
+        assert_eq!(HistData::bucket_of(1), 0);
+        assert_eq!(HistData::bucket_of(2), 1);
+        assert_eq!(HistData::bucket_of(3), 1);
+        assert_eq!(HistData::bucket_of(4), 2);
+        assert_eq!(HistData::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(HistData::bucket_lo(0), 0);
+        assert_eq!(HistData::bucket_lo(3), 8);
+    }
+
+    #[test]
+    fn record_and_merge_agree() {
+        let mut a = HistData::new();
+        let mut b = HistData::new();
+        let mut all = HistData::new();
+        for v in [0, 1, 5, 9, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3, 70_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(all.count, 7);
+        assert_eq!(all.min, 0);
+        assert_eq!(all.max, 70_000);
+        assert!((all.mean() - (115 + 70_003) as f64 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = HistData::new();
+        a.record(4);
+        let before = a;
+        a.merge(&HistData::new());
+        assert_eq!(a, before);
+        let mut e = HistData::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

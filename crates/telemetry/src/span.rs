@@ -1,7 +1,8 @@
 //! The recording side: [`Telemetry`] handles, [`Span`] guards and the
 //! in-memory [`Collector`].
 
-use crate::{Counter, Phase};
+use crate::mem::{self, MemSnapshot};
+use crate::{Counter, Gauge, Hist, HistData, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -38,6 +39,10 @@ pub struct SpanRecord {
     pub duration: Duration,
     /// Typed work counters attributed to this span.
     pub counters: Vec<(Counter, u64)>,
+    /// Sampled gauge values (combined per [`Gauge::combine`]).
+    pub gauges: Vec<(Gauge, u64)>,
+    /// Fixed-bucket histograms attributed to this span.
+    pub hists: Vec<(Hist, HistData)>,
 }
 
 /// In-memory sink for finished spans.
@@ -136,12 +141,15 @@ impl Telemetry {
             id: c.next_id.fetch_add(1, Ordering::Relaxed),
             parent: self.parent,
             label: label.map(str::to_owned),
+            mem: mem::span_enter(),
         });
         Span {
             state,
             phase,
             start: Instant::now(),
             counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
         }
     }
 }
@@ -152,6 +160,7 @@ struct EnabledSpan {
     id: u64,
     parent: Option<u64>,
     label: Option<String>,
+    mem: Option<MemSnapshot>,
 }
 
 /// An open span; finishing (or dropping) it records one [`SpanRecord`].
@@ -166,9 +175,18 @@ pub struct Span {
     phase: Phase,
     start: Instant,
     counters: Vec<(Counter, u64)>,
+    gauges: Vec<(Gauge, u64)>,
+    hists: Vec<(Hist, HistData)>,
 }
 
 impl Span {
+    /// Whether this span records anything. Lets callers skip building
+    /// observations (e.g. a full histogram pass) on disabled handles.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
     /// Attributes `value` units of `counter` to this span.
     ///
     /// Values for the same counter accumulate. No-op (a single branch)
@@ -181,6 +199,46 @@ impl Span {
             slot.1 += value;
         } else {
             self.counters.push((counter, value));
+        }
+    }
+
+    /// Records a gauge observation; repeated observations of the same
+    /// gauge combine per [`Gauge::combine`]. No-op when tracing is
+    /// disabled.
+    pub fn gauge(&mut self, gauge: Gauge, value: u64) {
+        if self.state.is_none() {
+            return;
+        }
+        if let Some(slot) = self.gauges.iter_mut().find(|(g, _)| *g == gauge) {
+            slot.1 = gauge.combine(slot.1, value);
+        } else {
+            self.gauges.push((gauge, value));
+        }
+    }
+
+    /// Records one histogram sample. No-op when tracing is disabled.
+    pub fn observe(&mut self, hist: Hist, value: u64) {
+        if self.state.is_none() {
+            return;
+        }
+        self.hist_mut(hist).record(value);
+    }
+
+    /// Merges a pre-aggregated histogram into this span's histogram of
+    /// the same kind. No-op when tracing is disabled.
+    pub fn observe_hist(&mut self, hist: Hist, data: &HistData) {
+        if self.state.is_none() || data.is_empty() {
+            return;
+        }
+        self.hist_mut(hist).merge(data);
+    }
+
+    fn hist_mut(&mut self, hist: Hist) -> &mut HistData {
+        if let Some(i) = self.hists.iter().position(|(h, _)| *h == hist) {
+            &mut self.hists[i].1
+        } else {
+            self.hists.push((hist, HistData::new()));
+            &mut self.hists.last_mut().expect("just pushed").1
         }
     }
 
@@ -205,6 +263,12 @@ impl Span {
     fn close(&mut self) -> Duration {
         let duration = self.start.elapsed();
         if let Some(s) = self.state.take() {
+            if let Some(snap) = s.mem {
+                let d = mem::span_exit(snap);
+                self.gauges.push((Gauge::MemPeakBytes, d.peak_bytes));
+                self.gauges.push((Gauge::MemAllocBytes, d.alloc_bytes));
+                self.gauges.push((Gauge::MemAllocs, d.allocs));
+            }
             let start = self.start.saturating_duration_since(s.collector.epoch);
             s.collector.record(SpanRecord {
                 id: s.id,
@@ -215,6 +279,8 @@ impl Span {
                 start,
                 duration,
                 counters: std::mem::take(&mut self.counters),
+                gauges: std::mem::take(&mut self.gauges),
+                hists: std::mem::take(&mut self.hists),
             });
         }
         duration
@@ -239,7 +305,11 @@ mod tests {
         assert!(!tele.is_enabled());
         let mut span = tele.span(Phase::Extract);
         span.counter(Counter::Gates, 42);
+        span.gauge(Gauge::MemPeakBytes, 9);
+        span.observe(Hist::DivisionChainLen, 3);
         assert!(span.counters.is_empty(), "disabled spans must not allocate");
+        assert!(span.gauges.is_empty());
+        assert!(span.hists.is_empty());
         let _ = span.finish();
     }
 
@@ -263,6 +333,34 @@ mod tests {
         assert_eq!(root_rec.counters, vec![(Counter::Gates, 15)]);
         assert_eq!(child_rec.parent, Some(1));
         assert_eq!(child_rec.phase, Phase::ModelBuild);
+    }
+
+    #[test]
+    fn gauges_combine_and_histograms_accumulate() {
+        let collector = Collector::new();
+        let tele = Telemetry::attached(&collector);
+        let mut span = tele.span(Phase::GuidedReduction);
+        span.gauge(Gauge::MemPeakBytes, 100);
+        span.gauge(Gauge::MemPeakBytes, 40);
+        span.gauge(Gauge::MemAllocs, 2);
+        span.gauge(Gauge::MemAllocs, 3);
+        span.observe(Hist::DivisionChainLen, 7);
+        let mut pre = HistData::new();
+        pre.record(9);
+        span.observe_hist(Hist::DivisionChainLen, &pre);
+        let _ = span.finish();
+
+        let trace = collector.snapshot();
+        let rec = &trace.spans()[0];
+        assert!(rec.gauges.contains(&(Gauge::MemPeakBytes, 100)));
+        assert!(rec.gauges.contains(&(Gauge::MemAllocs, 5)));
+        let (_, h) = rec
+            .hists
+            .iter()
+            .find(|(h, _)| *h == Hist::DivisionChainLen)
+            .expect("histogram recorded");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 16);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The query side: a finished [`Trace`] and its renderers.
 
-use crate::{Counter, Phase, SpanRecord};
+use crate::{Counter, Gauge, Hist, HistData, Phase, SpanRecord};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -53,6 +53,44 @@ impl Trace {
             .iter()
             .flat_map(|s| &s.counters)
             .filter(|(c, _)| *c == counter)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Combines `gauge` over all spans per [`Gauge::combine`]; `None`
+    /// when no span recorded it.
+    #[must_use]
+    pub fn gauge_total(&self, gauge: Gauge) -> Option<u64> {
+        self.spans
+            .iter()
+            .flat_map(|s| &s.gauges)
+            .filter(|(g, _)| *g == gauge)
+            .map(|(_, v)| *v)
+            .reduce(|a, b| gauge.combine(a, b))
+    }
+
+    /// Merges `hist` over all spans; empty when no span recorded it.
+    #[must_use]
+    pub fn hist_total(&self, hist: Hist) -> HistData {
+        let mut out = HistData::new();
+        for s in &self.spans {
+            for (h, d) in &s.hists {
+                if *h == hist {
+                    out.merge(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of the deterministic work-unit counters
+    /// (see [`Counter::is_work`]) over all spans.
+    #[must_use]
+    pub fn work_units(&self) -> u64 {
+        self.spans
+            .iter()
+            .flat_map(|s| &s.counters)
+            .filter(|(c, _)| c.is_work())
             .map(|(_, v)| *v)
             .sum()
     }
@@ -110,19 +148,24 @@ impl Trace {
     #[must_use]
     pub fn render_table(&self) -> String {
         let wall = self.wall();
+        let has_mem = self.gauge_total(Gauge::MemPeakBytes).is_some();
         let mut out = String::new();
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{:<24} {:>5} {:>12} {:>12} {:>8}",
             "phase", "spans", "total", "self", "% wall"
         );
+        if has_mem {
+            let _ = write!(out, " {:>10}", "peak mem");
+        }
+        out.push('\n');
         for (phase, count, total, own) in self.phase_table() {
             let pct = if wall.is_zero() {
                 0.0
             } else {
                 100.0 * own.as_secs_f64() / wall.as_secs_f64()
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:<24} {:>5} {:>12} {:>12} {:>7.1}%",
                 phase.to_string(),
@@ -131,6 +174,23 @@ impl Trace {
                 fmt_duration(own),
                 pct
             );
+            if has_mem {
+                let peak = self
+                    .phase_spans(phase)
+                    .flat_map(|s| &s.gauges)
+                    .filter(|(g, _)| *g == Gauge::MemPeakBytes)
+                    .map(|(_, v)| *v)
+                    .max();
+                match peak {
+                    Some(p) => {
+                        let _ = write!(out, " {:>10}", fmt_bytes(p));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
+                }
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "wall clock: {}", fmt_duration(wall));
         out
@@ -163,11 +223,45 @@ impl Trace {
         for (c, v) in &s.counters {
             let _ = write!(out, "  {c}={v}");
         }
+        for (g, v) in &s.gauges {
+            match g {
+                Gauge::MemPeakBytes | Gauge::MemAllocBytes => {
+                    let _ = write!(out, "  {g}={}", fmt_bytes(*v));
+                }
+                _ => {
+                    let _ = write!(out, "  {g}={v}");
+                }
+            }
+        }
+        for (h, d) in &s.hists {
+            let _ = write!(
+                out,
+                "  {h}[n={} mean={:.1} max={}]",
+                d.count,
+                d.mean(),
+                d.max
+            );
+        }
         out.push('\n');
         let children: Vec<u64> = self.children(id).map(|c| c.id).collect();
         for child in children {
             self.render_subtree(child, depth + 1, out);
         }
+    }
+}
+
+/// Compact human byte count (KiB/MiB/GiB with one decimal).
+pub(crate) fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let bf = b as f64;
+    if bf < KIB {
+        format!("{b}B")
+    } else if bf < KIB * KIB {
+        format!("{:.1}KiB", bf / KIB)
+    } else if bf < KIB * KIB * KIB {
+        format!("{:.1}MiB", bf / (KIB * KIB))
+    } else {
+        format!("{:.1}GiB", bf / (KIB * KIB * KIB))
     }
 }
 
@@ -197,6 +291,8 @@ mod tests {
             start: Duration::from_millis(start_ms),
             duration: Duration::from_millis(dur_ms),
             counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
         }
     }
 
@@ -227,6 +323,26 @@ mod tests {
         let table = t.phase_table();
         let total: Duration = table.iter().map(|r| r.3).sum();
         assert_eq!(total, t.wall(), "self times partition the wall clock");
+    }
+
+    #[test]
+    fn mem_gauges_add_a_peak_column() {
+        let t = sample();
+        assert!(!t.render_table().contains("peak mem"));
+        let mut spans = t.spans().to_vec();
+        spans[1].gauges.push((Gauge::MemPeakBytes, 3 * 1024 * 1024));
+        let t = Trace::from_spans(spans);
+        let table = t.render_table();
+        assert!(table.contains("peak mem"));
+        assert!(table.contains("3.0MiB"));
+        assert_eq!(t.gauge_total(Gauge::MemPeakBytes), Some(3 * 1024 * 1024));
+    }
+
+    #[test]
+    fn work_units_sum_deterministic_counters() {
+        let t = sample();
+        // Gates is a work counter; durations are not.
+        assert_eq!(t.work_units(), 7);
     }
 
     #[test]

@@ -29,6 +29,22 @@ trap 'rm -rf "$TRACE_DIR"' EXIT
     --trace-json "$TRACE_DIR/trace.jsonl" > /dev/null
 "$GFAB" trace-check "$TRACE_DIR/trace.jsonl"
 
+echo "== trace-diff smoke: self-comparison has zero deltas =="
+# A trace diffed against itself must gate clean at threshold 0 and show
+# no field deltas at all; and the same workload at a different thread
+# count must show zero *work-unit* delta per phase (work units are
+# deterministic — the property the CI perf gate is built on).
+"$GFAB" trace-diff "$TRACE_DIR/trace.jsonl" "$TRACE_DIR/trace.jsonl" \
+    --threshold 0 > "$TRACE_DIR/selfdiff.txt"
+if grep -q ' -> ' "$TRACE_DIR/selfdiff.txt"; then
+    echo "trace-diff self-comparison shows deltas:" >&2
+    cat "$TRACE_DIR/selfdiff.txt" >&2
+    exit 1
+fi
+"$GFAB" equiv "$TRACE_DIR/spec.nl" "$TRACE_DIR/impl.nl" --k 16 --threads 2 \
+    --trace-json "$TRACE_DIR/trace2.jsonl" > /dev/null
+"$GFAB" trace-diff "$TRACE_DIR/trace.jsonl" "$TRACE_DIR/trace2.jsonl" --threshold 0
+
 echo "== differential + mutation-kill battery (release, wall-budgeted) =="
 # Three independent engines (word-level Verifier, SAT miter, exhaustive
 # simulation) must agree on every seeded circuit, and every injected bug
@@ -37,5 +53,10 @@ echo "== differential + mutation-kill battery (release, wall-budgeted) =="
 # wedging it.
 timeout 600 cargo test -q --offline --release \
     --test differential_engines --test mutation_kill --test budgeted_verification
+
+echo "== perf gate: pinned workload vs committed baselines =="
+# Work-unit thresholds only — bench-diff never gates on wall time or
+# memory, so this step is stable on any CI machine.
+scripts/perf_gate.sh
 
 echo "CI OK"

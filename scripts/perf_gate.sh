@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: re-runs the pinned benchmark workload
+# (scripts/bench.sh --pinned) into a temp directory and diffs each table
+# against the committed baselines (BENCH_table*.json in the repo root)
+# with `gfab bench-diff --threshold`.
+#
+# Only deterministic fields gate — work counters (reduction steps, peak
+# terms, gate counts) and verdict strings, which are bit-identical across
+# machines and thread counts. Wall times and peak memory are reported as
+# informational context but can never fail the gate, so this is safe to
+# run on any CI machine.
+#
+# Threshold (percent growth allowed per integer field) comes from
+# $PERF_GATE_THRESHOLD, default 5. Exit 1 on regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${PERF_GATE_THRESHOLD:-5}"
+
+echo "== build (release) =="
+cargo build --release --offline
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== run pinned workload =="
+BENCH_DIR="$TMP" scripts/bench.sh --pinned >/dev/null
+
+GFAB=target/release/gfab
+status=0
+for t in table1 table2 table3 table4; do
+    base="BENCH_${t}.json"
+    if [ ! -f "$base" ]; then
+        echo "perf-gate: missing committed baseline $base" >&2
+        exit 2
+    fi
+    echo "== bench-diff $t (threshold ${THRESHOLD}%) =="
+    "$GFAB" bench-diff "$base" "$TMP/BENCH_${t}.json" --threshold "$THRESHOLD" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "perf-gate: REGRESSION (see bench-diff output above)" >&2
+    exit 1
+fi
+echo "perf-gate OK"

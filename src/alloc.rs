@@ -1,0 +1,50 @@
+//! The instrumented global allocator of the `gfab` binary.
+//!
+//! [`TraceAlloc`] wraps the system allocator and forwards every
+//! (de)allocation size to [`gfab::telemetry::mem`], which attributes live
+//! bytes and allocation counts to the active telemetry span. The library
+//! crate forbids `unsafe`, so the one `unsafe impl` lives here, in the
+//! binary: the hooks themselves are safe functions, and when tracking is
+//! off (`--mem-stats` absent) each hook is a single relaxed atomic load —
+//! there is no measurable overhead on untracked runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// System allocator plus [`gfab::telemetry::mem`] accounting hooks.
+pub struct TraceAlloc;
+
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the accounting hooks allocate nothing and only
+// touch atomics / plain thread-locals, so they cannot re-enter the
+// allocator or unwind.
+unsafe impl GlobalAlloc for TraceAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            gfab::telemetry::mem::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        gfab::telemetry::mem::on_dealloc(layout.size());
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            gfab::telemetry::mem::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            gfab::telemetry::mem::on_dealloc(layout.size());
+            gfab::telemetry::mem::on_alloc(new_size);
+        }
+        p
+    }
+}

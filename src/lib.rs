@@ -13,8 +13,11 @@
 //! * [`circuits`] — Mastrovito/Montgomery generators ([`gfab_circuits`])
 //! * [`core`] — the word-level abstraction engine ([`gfab_core`])
 //! * [`sat`] — CDCL SAT baseline ([`gfab_sat`])
-//! * [`telemetry`] — phase spans, counters and JSONL traces
+//! * [`telemetry`] — phase spans, counters, gauges, histograms,
+//!   per-phase memory accounting, JSONL traces and trace diffing
 //!   ([`gfab_telemetry`])
+//! * [`bench`] — paper-table harness utilities and benchmark result
+//!   diffing ([`gfab_bench`])
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use gfab_bench as bench;
 pub use gfab_circuits as circuits;
 pub use gfab_core as core;
 pub use gfab_field as field;

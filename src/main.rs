@@ -12,6 +12,8 @@
 //! Netlists use the line-oriented text format of
 //! [`gfab::netlist::format`]; `gfab gen` produces them.
 
+mod alloc;
+
 use gfab::circuits::{gf_adder, mastrovito_multiplier, montgomery_multiplier_hier, squarer};
 use gfab::core::equiv::Verdict;
 use gfab::core::ideal_membership::{spec_ring, verify_against_spec};
@@ -24,6 +26,12 @@ use gfab::Verifier;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Route every allocation through the accounting hooks so `--mem-stats`
+/// can attribute memory to phases; with tracking off (the default) each
+/// hook is one relaxed atomic load.
+#[global_allocator]
+static ALLOC: alloc::TraceAlloc = alloc::TraceAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +58,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
         "trace-check" => cmd_trace_check(rest),
+        "trace-diff" => cmd_trace_diff(rest),
+        "bench-diff" => cmd_bench_diff(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -64,14 +74,18 @@ fn print_usage() {
 
 USAGE:
   gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...] [--threads N]
-                 [--timeout D] [--trace] [--stats] [--trace-json FILE]
+                 [--timeout D] [--trace] [--stats] [--mem-stats]
+                 [--trace-json FILE]
   gfab verify-spec <circuit.nl> --spec 'A*B' --k <k> [--modulus ...]
   gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus ...] [--threads N]
-                 [--timeout D] [--trace] [--stats] [--trace-json FILE]
+                 [--timeout D] [--trace] [--stats] [--mem-stats]
+                 [--trace-json FILE]
   gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N] [--timeout D]
   gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
   gfab info      <circuit.nl>
   gfab trace-check <trace.jsonl>
+  gfab trace-diff  <baseline.jsonl> <current.jsonl> [--threshold PCT]
+  gfab bench-diff  <baseline.json> <current.json> [--threshold PCT]
 
 The field F_2^k is constructed with the NIST polynomial when k is a NIST
 ECC degree, a low-weight irreducible otherwise, or an explicit
@@ -88,8 +102,17 @@ check with the remaining budget, so the verdict is always sound.
 
 --stats prints a per-phase table (span count, total and self time, %
 of wall clock); --trace prints the full span tree with counters;
---trace-json FILE writes the span records as JSONL (one object per
-span; `gfab trace-check` validates the schema).
+--mem-stats additionally attributes live-bytes peak and allocation
+totals to each phase (implies --stats); --trace-json FILE writes the
+span records as JSONL (one object per span; `gfab trace-check`
+validates the schema).
+
+trace-diff aligns two JSONL traces by phase path and reports per-phase
+deltas. With --threshold PCT it exits 1 when any phase's *work units*
+(deterministic effort counters, identical across thread counts and
+machines) grew more than PCT percent over baseline; wall time and
+memory are informational, never gated. bench-diff does the same for
+two `--json` result files from the paper-table benchmarks.
 
 EXIT CODES:
   0  equivalent / extraction or generation succeeded
@@ -184,7 +207,7 @@ fn positional(rest: &[String], n: usize) -> Vec<&String> {
         }
         if a.starts_with("--") || a == "-o" {
             // All our flags take one value except the boolean switches.
-            skip_next = !matches!(a.as_str(), "--full" | "--trace" | "--stats");
+            skip_next = !matches!(a.as_str(), "--full" | "--trace" | "--stats" | "--mem-stats");
             continue;
         }
         out.push(a);
@@ -215,14 +238,19 @@ fn flag_value<'a>(rest: &'a [String], name: &str) -> Result<Option<&'a String>, 
 struct TraceArgs<'a> {
     tree: bool,
     stats: bool,
+    mem: bool,
     json: Option<&'a String>,
 }
 
 impl<'a> TraceArgs<'a> {
     fn parse(rest: &'a [String]) -> Result<Self, String> {
+        let mem = has_flag(rest, "--mem-stats");
         Ok(TraceArgs {
             tree: has_flag(rest, "--trace"),
-            stats: has_flag(rest, "--stats"),
+            // Memory accounting without an output sink would be invisible;
+            // --mem-stats therefore implies the per-phase stats table.
+            stats: has_flag(rest, "--stats") || mem,
+            mem,
             json: flag_value(rest, "--trace-json")?,
         })
     }
@@ -265,7 +293,8 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     let t = Instant::now();
     let mut v = Verifier::new(&ctx)
         .threads(threads)
-        .trace(tracing.enabled());
+        .trace(tracing.enabled())
+        .mem_stats(tracing.mem);
     if let Some(w) = timeout {
         v = v.deadline(w);
     }
@@ -371,7 +400,8 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
     let t = Instant::now();
     let mut v = Verifier::new(&ctx)
         .threads(threads)
-        .trace(tracing.enabled());
+        .trace(tracing.enabled())
+        .mem_stats(tracing.mem);
     if let Some(w) = timeout {
         v = v.deadline(w);
     }
@@ -549,4 +579,84 @@ fn cmd_trace_check(rest: &[String]) -> Result<ExitCode, String> {
         trace.wall()
     );
     Ok(ExitCode::SUCCESS)
+}
+
+/// Parses a `--threshold` percentage (`5`, `5%`, `2.5`).
+fn parse_threshold(rest: &[String]) -> Result<Option<f64>, String> {
+    let Some(v) = flag_value(rest, "--threshold")? else {
+        return Ok(None);
+    };
+    let pct: f64 = v
+        .trim_end_matches('%')
+        .parse()
+        .map_err(|_| format!("bad threshold `{v}` (use e.g. 5 or 2.5%)"))?;
+    if pct < 0.0 {
+        return Err(format!("threshold must be non-negative, got {v}"));
+    }
+    Ok(Some(pct))
+}
+
+fn load_trace(path: &str) -> Result<gfab::telemetry::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    gfab::telemetry::Trace::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Aligns two JSONL traces by phase path and reports per-phase deltas.
+/// With `--threshold PCT`, exits 1 when any phase's deterministic work
+/// units grew more than PCT percent over the baseline.
+fn cmd_trace_diff(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 2);
+    let [a_path, b_path] = pos.as_slice() else {
+        return Err("trace-diff needs two trace files: <baseline.jsonl> <current.jsonl>".into());
+    };
+    let threshold = parse_threshold(rest)?;
+    let a = load_trace(a_path)?;
+    let b = load_trace(b_path)?;
+    let diff = gfab::telemetry::TraceDiff::compute(&a, &b);
+    print!("{}", diff.render());
+    let Some(pct) = threshold else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let regs = diff.regressions(pct);
+    if regs.is_empty() {
+        println!("OK: no phase exceeds the +{pct}% work-unit threshold");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &regs {
+            println!("REGRESSION {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Aligns two benchmark `--json` result files by row identity and reports
+/// per-field deltas; gating mirrors `trace-diff` (deterministic fields
+/// only — wall time and memory never fail the gate).
+fn cmd_bench_diff(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 2);
+    let [a_path, b_path] = pos.as_slice() else {
+        return Err("bench-diff needs two result files: <baseline.json> <current.json>".into());
+    };
+    let threshold = parse_threshold(rest)?;
+    let read_rows = |path: &str| -> Result<Vec<gfab::bench::diff::Row>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        gfab::bench::diff::parse_rows(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read_rows(a_path)?;
+    let b = read_rows(b_path)?;
+    let diff = gfab::bench::diff::BenchDiff::compute(a, b);
+    print!("{}", diff.render());
+    let Some(pct) = threshold else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let regs = diff.regressions(pct);
+    if regs.is_empty() {
+        println!("OK: no deterministic field exceeds the +{pct}% threshold");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &regs {
+            println!("REGRESSION {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }

@@ -160,6 +160,7 @@ pub struct Verifier {
     options: ExtractOptions,
     sat_conflicts: u64,
     trace: bool,
+    mem_stats: bool,
 }
 
 impl Verifier {
@@ -172,6 +173,7 @@ impl Verifier {
             options: ExtractOptions::default(),
             sat_conflicts: 1_000_000,
             trace: false,
+            mem_stats: false,
         }
     }
 
@@ -183,6 +185,23 @@ impl Verifier {
     #[must_use]
     pub fn trace(mut self, enabled: bool) -> Self {
         self.trace = enabled;
+        self
+    }
+
+    /// Enables per-phase memory accounting for traced queries: every span
+    /// additionally records live-bytes peak, total bytes allocated and
+    /// allocation count as gauges (shown by `--stats`/`--trace` and
+    /// serialized into the JSONL trace).
+    ///
+    /// Accounting needs the process's global allocator to be instrumented
+    /// (the `gfab` binary installs [`telemetry::mem`]-aware hooks; see
+    /// `gfab::telemetry::mem`). Without such hooks this knob records
+    /// all-zero gauges. It has no effect unless [`trace`](Verifier::trace)
+    /// is also enabled, and untracked runs pay a single relaxed atomic
+    /// load per allocation — nothing else.
+    #[must_use]
+    pub fn mem_stats(mut self, enabled: bool) -> Self {
+        self.mem_stats = enabled;
         self
     }
 
@@ -247,18 +266,26 @@ impl Verifier {
     }
 
     /// Starts a fresh per-query collector when tracing is enabled; returns
-    /// the collector (for the final snapshot) and the options to run the
-    /// query with.
-    fn query_setup(&self) -> (Option<Arc<Collector>>, ExtractOptions) {
+    /// the collector (for the final snapshot), the options to run the
+    /// query with, and — when memory accounting is on — the RAII guard
+    /// that keeps allocator tracking alive for the query's duration.
+    fn query_setup(
+        &self,
+    ) -> (
+        Option<Arc<Collector>>,
+        ExtractOptions,
+        Option<crate::telemetry::mem::MemGuard>,
+    ) {
         if self.trace {
             let collector = Collector::new();
             let options = self
                 .options
                 .clone()
                 .with_telemetry(Telemetry::attached(&collector));
-            (Some(collector), options)
+            let mem = self.mem_stats.then(crate::telemetry::mem::track);
+            (Some(collector), options, mem)
         } else {
-            (None, self.options.clone())
+            (None, self.options.clone(), None)
         }
     }
 
@@ -271,7 +298,7 @@ impl Verifier {
     /// Any [`CoreError`] from the underlying extraction.
     pub fn extract<'a>(&self, circuit: impl Into<Circuit<'a>>) -> Result<ExtractReport, CoreError> {
         let circuit = circuit.into();
-        let (collector, mut options) = self.query_setup();
+        let (collector, mut options, _mem) = self.query_setup();
         let name = match circuit {
             Circuit::Flat(nl) => nl.name().to_string(),
             Circuit::Hier(design) => design.name.clone(),
@@ -315,7 +342,7 @@ impl Verifier {
         impl_: impl Into<Circuit<'a>>,
     ) -> Result<EquivReport, CoreError> {
         let impl_ = impl_.into();
-        let (collector, mut options) = self.query_setup();
+        let (collector, mut options, _mem) = self.query_setup();
         let root = options.telemetry.span_labeled(Phase::Check, spec.name());
         options.telemetry = root.telemetry();
         let snapshot = |root: crate::telemetry::Span| {

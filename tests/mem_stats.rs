@@ -1,0 +1,115 @@
+//! Integration tests for per-phase memory accounting.
+//!
+//! The library crate forbids `unsafe`, so — exactly like the `gfab`
+//! binary — this test crate installs its own thin `GlobalAlloc` wrapper
+//! that forwards allocation sizes to `gfab::telemetry::mem`. The tests
+//! then drive the [`Verifier`] session API and assert that:
+//!
+//! * `mem_stats(true)` attributes a nonzero live-bytes peak to the
+//!   phases that do real algebra, and the gauges survive the JSONL
+//!   round trip;
+//! * runs without `mem_stats` record no memory gauges at all (the
+//!   accounting is opt-in, not ambient).
+
+use gfab::circuits::{mastrovito_multiplier, montgomery_multiplier_hier};
+use gfab::field::nist::irreducible_polynomial;
+use gfab::field::GfContext;
+use gfab::telemetry::{mem, Gauge, Trace};
+use gfab::Verifier;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::Arc;
+
+struct TestAlloc;
+
+// SAFETY: delegates verbatim to `System`; the hooks only touch atomics
+// and plain thread-locals, so they cannot re-enter the allocator.
+unsafe impl GlobalAlloc for TestAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            mem::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        mem::on_dealloc(layout.size());
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOC: TestAlloc = TestAlloc;
+
+fn ctx() -> Arc<GfContext> {
+    GfContext::shared(irreducible_polynomial(16).unwrap()).unwrap()
+}
+
+/// The maximum mem-peak-bytes gauge observed on any span of `phase_slug`
+/// spans (`None` when no such span carries the gauge).
+fn peak_of(trace: &Trace, phase_slug: &str) -> Option<u64> {
+    trace
+        .spans()
+        .iter()
+        .filter(|s| s.phase.slug() == phase_slug)
+        .flat_map(|s| &s.gauges)
+        .filter(|(g, _)| *g == Gauge::MemPeakBytes)
+        .map(|(_, v)| *v)
+        .max()
+}
+
+#[test]
+fn mem_stats_attributes_peak_bytes_to_phases() {
+    let ctx = ctx();
+    let v = Verifier::new(&ctx).trace(true).mem_stats(true).threads(1);
+    let report = v.extract(&mastrovito_multiplier(&ctx)).unwrap();
+    let trace = report.trace.expect("tracing on");
+    // The phases doing real algebra must show a nonzero live-bytes peak.
+    let reduce = peak_of(&trace, "guided-reduction").expect("reduction span has mem gauges");
+    assert!(reduce > 0, "guided reduction allocated nothing?");
+    let model = peak_of(&trace, "model-build").expect("model span has mem gauges");
+    assert!(model > 0);
+    // Allocation counts ride along.
+    assert!(trace.spans().iter().any(|s| s
+        .gauges
+        .iter()
+        .any(|(g, v)| *g == Gauge::MemAllocs && *v > 0)));
+    // The stats table surfaces the peak column.
+    let table = trace.render_table();
+    assert!(table.contains("peak mem"), "table: {table}");
+    // And the gauges survive the JSONL round trip.
+    let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("round trip");
+    assert_eq!(peak_of(&parsed, "guided-reduction"), Some(reduce));
+}
+
+#[test]
+fn without_mem_stats_no_gauges_are_recorded() {
+    let ctx = ctx();
+    let v = Verifier::new(&ctx).trace(true).threads(1);
+    let report = v.check(
+        &mastrovito_multiplier(&ctx),
+        &montgomery_multiplier_hier(&ctx),
+    );
+    let trace = report.unwrap().trace.expect("tracing on");
+    assert!(
+        trace.spans().iter().all(|s| s.gauges.is_empty()),
+        "memory gauges recorded without mem_stats"
+    );
+    assert!(
+        !trace.render_table().contains("peak mem"),
+        "peak column without mem_stats"
+    );
+}
+
+#[test]
+fn tracking_is_scoped_to_the_query() {
+    // The Verifier's RAII guard must switch accounting off again: after a
+    // mem_stats query returns, allocations are no longer counted.
+    let ctx = ctx();
+    let v = Verifier::new(&ctx).trace(true).mem_stats(true).threads(1);
+    let _ = v.extract(&mastrovito_multiplier(&ctx)).unwrap();
+    assert!(
+        !mem::is_tracking(),
+        "allocator tracking left on after the query"
+    );
+}

@@ -1,0 +1,306 @@
+//! Integration tests for the trace/bench comparison tooling:
+//!
+//! * `gfab trace-diff` — alignment by phase path, deterministic
+//!   work-unit gating across thread counts, v1-vs-v2 schema mixing,
+//!   mutation-style regression detection;
+//! * `gfab trace-check` — line number *and* field path on corrupted
+//!   traces;
+//! * `gfab bench-diff` — gating on deterministic benchmark fields only.
+//!
+//! The binary is spawned for real (via `CARGO_BIN_EXE_gfab`), traces are
+//! produced by its own `equiv --trace-json`, and both the exit status and
+//! the shape of stdout/stderr are asserted.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gfab"))
+        .args(args)
+        .output()
+        .expect("gfab binary spawns")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status
+        .code()
+        .expect("gfab exits normally, not by signal")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gfab-trace-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn fixture(arch: &str, k: usize) -> PathBuf {
+    let path = temp_dir().join(format!("{arch}{k}.nl"));
+    if !path.exists() {
+        let out = run(&[
+            "gen",
+            arch,
+            "--k",
+            &k.to_string(),
+            "-o",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(code(&out), 0, "gen {arch} k={k} failed: {}", stderr(&out));
+    }
+    path
+}
+
+/// Runs `equiv` on the k=16 Mastrovito/Montgomery pair with the given
+/// thread count, writing (and returning) a JSONL trace.
+fn equiv_trace(threads: usize, name: &str) -> PathBuf {
+    let spec = fixture("mastrovito", 16);
+    let impl_ = fixture("montgomery", 16);
+    let trace = temp_dir().join(name);
+    let out = run(&[
+        "equiv",
+        spec.to_str().unwrap(),
+        impl_.to_str().unwrap(),
+        "--k",
+        "16",
+        "--threads",
+        &threads.to_string(),
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "equiv failed: {}", stderr(&out));
+    trace
+}
+
+#[test]
+fn trace_diff_is_work_identical_across_thread_counts() {
+    // The ISSUE's acceptance criterion: the same workload at --threads 1
+    // and --threads 2 must show zero work-unit delta in every phase, so a
+    // CI gate on work units is stable on any runner.
+    let a = equiv_trace(1, "threads1.jsonl");
+    let b = equiv_trace(2, "threads2.jsonl");
+    let out = run(&[
+        "trace-diff",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--threshold",
+        "0",
+    ]);
+    assert_eq!(code(&out), 0, "stdout: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("guided-reduction"), "stdout: {text}");
+    assert!(text.contains("OK"), "stdout: {text}");
+    // Every work delta is zero.
+    for line in text.lines().filter(|l| l.contains("check/")) {
+        assert!(line.contains("+0"), "nonzero work delta: {line}");
+    }
+}
+
+#[test]
+fn trace_diff_self_comparison_reports_zero_deltas() {
+    let a = equiv_trace(1, "self.jsonl");
+    let out = run(&["trace-diff", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    // Without --threshold the diff is informational; a self-diff must not
+    // show a single nonzero work delta or counter line.
+    for line in text.lines().skip(1) {
+        assert!(
+            !line.contains("->"),
+            "self-diff shows a field delta: {line}"
+        );
+    }
+}
+
+#[test]
+fn inflated_counter_trips_the_gate_and_names_the_phase() {
+    // Mutation-style test: inflate the reduction-steps counter of the
+    // baseline's guided-reduction span and assert the gate fails naming
+    // exactly that phase.
+    let base = equiv_trace(1, "mutation-base.jsonl");
+    let text = std::fs::read_to_string(&base).expect("trace readable");
+    let line = text
+        .lines()
+        .find(|l| l.contains("guided-reduction") && l.contains("\"reduction-steps\":"))
+        .expect("trace has a guided-reduction span with steps");
+    let steps: u64 = {
+        let tail = &line[line.find("\"reduction-steps\":").unwrap() + 18..];
+        tail[..tail.find(|c: char| !c.is_ascii_digit()).unwrap()]
+            .parse()
+            .expect("numeric steps")
+    };
+    let mutated = text.replace(
+        &format!("\"reduction-steps\":{steps}"),
+        &format!("\"reduction-steps\":{}", steps * 2),
+    );
+    let cur = temp_dir().join("mutation-inflated.jsonl");
+    std::fs::write(&cur, mutated).expect("write mutated trace");
+
+    let out = run(&[
+        "trace-diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "10",
+    ]);
+    assert_eq!(code(&out), 1, "stdout: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("REGRESSION") && text.contains("guided-reduction"),
+        "stdout: {text}"
+    );
+    // Only the mutated phase regresses.
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("REGRESSION")).count(),
+        1,
+        "stdout: {text}"
+    );
+    // The same pair under a generous threshold passes.
+    let out = run(&[
+        "trace-diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "200",
+    ]);
+    assert_eq!(code(&out), 0, "stdout: {}", stdout(&out));
+}
+
+/// A hand-written v1 trace (pre-gauges/histograms schema): two spans
+/// shaped like an `extract` run.
+const V1_TRACE: &str = concat!(
+    "{\"type\":\"trace\",\"version\":1,\"spans\":2}\n",
+    "{\"type\":\"span\",\"id\":1,\"parent\":null,\"phase\":\"extract\",\"label\":\"old\",",
+    "\"thread\":0,\"start_us\":0,\"dur_us\":1000,\"counters\":{\"gates\":12}}\n",
+    "{\"type\":\"span\",\"id\":2,\"parent\":1,\"phase\":\"guided-reduction\",\"label\":null,",
+    "\"thread\":0,\"start_us\":10,\"dur_us\":900,\"counters\":{\"reduction-steps\":500}}\n",
+);
+
+#[test]
+fn trace_diff_accepts_v1_baseline_against_v2_current() {
+    // Old committed baselines must stay diffable after the schema bump:
+    // v1 spans simply have no gauges/histograms.
+    let old = temp_dir().join("v1-base.jsonl");
+    std::fs::write(&old, V1_TRACE).expect("write v1 trace");
+    let mut current = V1_TRACE.replace("\"version\":1", "\"version\":2");
+    current = current
+        .replace(
+            "\"counters\":{\"gates\":12}}",
+            "\"counters\":{\"gates\":12},\"gauges\":{},\"hists\":{}}",
+        )
+        .replace(
+            "\"counters\":{\"reduction-steps\":500}}",
+            "\"counters\":{\"reduction-steps\":500},\"gauges\":{\"mem-peak-bytes\":4096},\"hists\":{}}",
+        )
+        // The current run renamed the labelled block: alignment is by
+        // phase path, so this must not split the rows.
+        .replace("\"label\":\"old\"", "\"label\":\"renamed\"");
+    let cur = temp_dir().join("v2-current.jsonl");
+    std::fs::write(&cur, current).expect("write v2 trace");
+    let out = run(&[
+        "trace-diff",
+        old.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "0",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stdout: {}\nstderr: {}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("OK"), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn trace_check_names_line_and_field_path() {
+    // Corrupt a real trace: drop one bucket from a histogram array so the
+    // error must name both the JSONL line and the field path into the
+    // nested histogram object.
+    let good = equiv_trace(1, "check-good.jsonl");
+    let text = std::fs::read_to_string(&good).expect("trace readable");
+    assert!(text.contains("\"hists\":{"), "v2 traces carry hists");
+    let line_no = text
+        .lines()
+        .position(|l| l.contains("\"buckets\":["))
+        .expect("some span has a histogram")
+        + 1;
+    let corrupted = text.replacen("\"buckets\":[", "\"buckets\":[1,", 1);
+    let bad = temp_dir().join("check-corrupt.jsonl");
+    std::fs::write(&bad, corrupted).expect("write corrupted trace");
+    let out = run(&["trace-check", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "stdout: {}", stdout(&out));
+    let err = stderr(&out);
+    assert!(err.contains(&format!("line {line_no}")), "stderr: {err}");
+    assert!(err.contains("buckets"), "stderr: {err}");
+    // The pristine file still validates.
+    let out = run(&["trace-check", good.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn bench_diff_gates_deterministic_fields_only() {
+    let base = temp_dir().join("bench-base.json");
+    let cur = temp_dir().join("bench-cur.json");
+    let baseline = concat!(
+        "{\"table\":\"table1\",\"k\":16,\"gates\":1088,\"time_s\":0.5,",
+        "\"reduction_steps\":5000,\"peak_terms\":300,\"peak_mem_bytes\":1000000,",
+        "\"result\":\"Z=A*B\"}\n"
+    );
+    std::fs::write(&base, baseline).expect("write baseline");
+    // Slower wall clock and bigger peak memory, same algorithmic effort:
+    // not a regression.
+    let drifted = baseline
+        .replace("\"time_s\":0.5", "\"time_s\":9.9")
+        .replace("\"peak_mem_bytes\":1000000", "\"peak_mem_bytes\":9999999");
+    std::fs::write(&cur, drifted).expect("write current");
+    let out = run(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "0",
+    ]);
+    assert_eq!(code(&out), 0, "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("OK"), "stdout: {}", stdout(&out));
+
+    // More reduction steps *is* a regression, and the verdict names the
+    // row and field.
+    let slower = baseline.replace("\"reduction_steps\":5000", "\"reduction_steps\":6000");
+    std::fs::write(&cur, slower).expect("write current");
+    let out = run(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "10",
+    ]);
+    assert_eq!(code(&out), 1, "stdout: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("REGRESSION") && text.contains("reduction_steps"),
+        "stdout: {text}"
+    );
+    assert!(text.contains("table1 k=16"), "stdout: {text}");
+}
+
+#[test]
+fn diff_usage_errors_exit_two() {
+    let out = run(&["trace-diff", "only-one.jsonl"]);
+    assert_eq!(code(&out), 2);
+    let out = run(&["bench-diff", "a.json", "b.json", "--threshold", "lots"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("bad threshold"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
