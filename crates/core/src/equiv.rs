@@ -7,8 +7,9 @@
 //! produced.
 
 use crate::error::CoreError;
-use crate::extract::{extract_word_polynomial_budgeted, ExtractOptions, ExtractionStats};
-use crate::hier::extract_hierarchical_budgeted;
+use crate::extract::{ExtractOptions, ExtractionStats};
+use crate::hier::extract_hierarchical_budgeted_with;
+use crate::provider::{DirectExtract, ExtractProvider};
 use crate::wordfn::WordFunction;
 use gfab_field::budget::Budget;
 use gfab_field::{Gf, GfContext, Rng};
@@ -78,6 +79,17 @@ impl Verdict {
             Verdict::Equivalent { .. } | Verdict::EquivalentBySat { .. }
         )
     }
+
+    /// The distinguishing input assignment, for any inequivalence
+    /// verdict that carries one; `None` otherwise.
+    pub fn counterexample(&self) -> Option<&[Gf]> {
+        match self {
+            Verdict::Inequivalent { counterexample, .. } => counterexample.as_deref(),
+            Verdict::InequivalentBySimulation { counterexample }
+            | Verdict::InequivalentBySat { counterexample, .. } => Some(counterexample),
+            _ => None,
+        }
+    }
 }
 
 /// Effort counters of the SAT fallback rung. A value-level mirror of the
@@ -103,21 +115,70 @@ pub struct SatStats {
 }
 
 /// A full equivalence report: verdict plus per-side extraction statistics.
+///
+/// Prefer the accessor methods ([`EquivReport::verdict`],
+/// [`EquivReport::counterexample`], [`EquivReport::sat_stats`],
+/// [`EquivReport::trace`], …) — they are the uniform surface shared with
+/// `ExtractReport`. The public fields remain readable for one more
+/// release and will become private.
 #[derive(Debug, Clone)]
 pub struct EquivReport {
-    /// The verdict.
+    /// The verdict. Deprecated as a field: use [`EquivReport::verdict`].
     pub verdict: Verdict,
-    /// Spec extraction statistics.
+    /// Spec extraction statistics. Deprecated as a field: use
+    /// [`EquivReport::spec_stats`].
     pub spec_stats: ExtractionStats,
     /// Impl extraction statistics (aggregated over blocks for
-    /// hierarchical implementations).
+    /// hierarchical implementations). Deprecated as a field: use
+    /// [`EquivReport::impl_stats`].
     pub impl_stats: ExtractionStats,
     /// SAT fallback effort, when the `Verifier` ladder ran the SAT rung
-    /// (present whether or not that rung decided the query).
+    /// (present whether or not that rung decided the query). Deprecated
+    /// as a field: use [`EquivReport::sat_stats`].
     pub sat: Option<SatStats>,
     /// The query's span tree, when telemetry was enabled (the `Verifier`
-    /// attaches it after the query completes).
+    /// attaches it after the query completes). Deprecated as a field:
+    /// use [`EquivReport::trace`].
     pub trace: Option<Trace>,
+}
+
+impl EquivReport {
+    /// The verdict.
+    #[must_use]
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// The distinguishing input assignment, when the verdict carries one.
+    #[must_use]
+    pub fn counterexample(&self) -> Option<&[Gf]> {
+        self.verdict.counterexample()
+    }
+
+    /// Spec-side extraction statistics.
+    #[must_use]
+    pub fn spec_stats(&self) -> &ExtractionStats {
+        &self.spec_stats
+    }
+
+    /// Impl-side extraction statistics (aggregated over blocks for
+    /// hierarchical implementations).
+    #[must_use]
+    pub fn impl_stats(&self) -> &ExtractionStats {
+        &self.impl_stats
+    }
+
+    /// SAT fallback effort, when the SAT rung ran.
+    #[must_use]
+    pub fn sat_stats(&self) -> Option<&SatStats> {
+        self.sat.as_ref()
+    }
+
+    /// The query's span tree, when telemetry was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
 }
 
 /// Checks functional equivalence of two flat netlists over `F_{2^k}`.
@@ -151,6 +212,32 @@ pub fn check_equivalence(
 /// As [`check_equivalence`]; additionally [`CoreError::BudgetExhausted`]
 /// when the budget is spent before any partial result exists.
 pub fn check_equivalence_budgeted(
+    spec: &Netlist,
+    impl_: &Netlist,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+    budget: &Budget,
+) -> Result<EquivReport, CoreError> {
+    check_equivalence_budgeted_with(&DirectExtract, spec, impl_, ctx, options, budget)
+}
+
+/// [`check_equivalence_budgeted`] with an explicit [`ExtractProvider`]
+/// supplying the per-side extractions — the hook the batch engine's
+/// artifact cache plugs into. With [`DirectExtract`] this *is*
+/// [`check_equivalence_budgeted`]; with any provider honouring the
+/// determinism contract (see [`crate::provider`]) the verdict is
+/// bit-identical.
+///
+/// Only the two flat extractions route through the provider. The
+/// simulation pre-check, the refutation sweep and the decision step are
+/// per-query (they depend on the *pair*, not one netlist) and always
+/// run.
+///
+/// # Errors
+///
+/// As [`check_equivalence_budgeted`].
+pub fn check_equivalence_budgeted_with(
+    provider: &dyn ExtractProvider,
     spec: &Netlist,
     impl_: &Netlist,
     ctx: &Arc<GfContext>,
@@ -203,11 +290,11 @@ pub fn check_equivalence_budgeted(
         if options.telemetry.is_enabled() {
             let span = options.telemetry.span_labeled(Phase::Extract, label);
             let opts = options.clone().with_telemetry(span.telemetry());
-            let r = extract_word_polynomial_budgeted(nl, ctx, &opts, budget);
+            let r = provider.extract(nl, ctx, &opts, budget);
             let _ = span.finish();
             r
         } else {
-            extract_word_polynomial_budgeted(nl, ctx, options, budget)
+            provider.extract(nl, ctx, options, budget)
         }
     };
     let (spec_res, impl_res) = if options.effective_threads() > 1 {
@@ -307,6 +394,26 @@ pub fn check_equivalence_hier_budgeted(
     options: &ExtractOptions,
     budget: &Budget,
 ) -> Result<EquivReport, CoreError> {
+    check_equivalence_hier_budgeted_with(&DirectExtract, spec, impl_, ctx, options, budget)
+}
+
+/// [`check_equivalence_hier_budgeted`] with an explicit
+/// [`ExtractProvider`] supplying the spec extraction *and* every
+/// per-block extraction of the hierarchical impl — so identical
+/// sub-blocks across a batch extract once. Same determinism contract as
+/// [`check_equivalence_budgeted_with`].
+///
+/// # Errors
+///
+/// As [`check_equivalence_hier_budgeted`].
+pub fn check_equivalence_hier_budgeted_with(
+    provider: &dyn ExtractProvider,
+    spec: &Netlist,
+    impl_: &HierDesign,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+    budget: &Budget,
+) -> Result<EquivReport, CoreError> {
     // As in the flat case, spec extraction and the hierarchical impl
     // extraction run concurrently when the thread budget allows (the
     // hierarchical side additionally shards its blocks internally).
@@ -314,11 +421,11 @@ pub fn check_equivalence_hier_budgeted(
         if options.telemetry.is_enabled() {
             let span = options.telemetry.span_labeled(Phase::Extract, "spec");
             let opts = options.clone().with_telemetry(span.telemetry());
-            let r = extract_word_polynomial_budgeted(spec, ctx, &opts, budget);
+            let r = provider.extract(spec, ctx, &opts, budget);
             let _ = span.finish();
             r
         } else {
-            extract_word_polynomial_budgeted(spec, ctx, options, budget)
+            provider.extract(spec, ctx, options, budget)
         }
     };
     // The hierarchical side gets its own labelled `Phase::Extract` span;
@@ -327,11 +434,11 @@ pub fn check_equivalence_hier_budgeted(
         if options.telemetry.is_enabled() {
             let span = options.telemetry.span_labeled(Phase::Extract, "impl");
             let opts = options.clone().with_telemetry(span.telemetry());
-            let r = extract_hierarchical_budgeted(impl_, ctx, &opts, budget);
+            let r = extract_hierarchical_budgeted_with(provider, impl_, ctx, &opts, budget);
             let _ = span.finish();
             r
         } else {
-            extract_hierarchical_budgeted(impl_, ctx, options, budget)
+            extract_hierarchical_budgeted_with(provider, impl_, ctx, options, budget)
         }
     };
     let (spec_res, hier) = if options.effective_threads() > 1 {

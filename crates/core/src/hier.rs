@@ -7,9 +7,8 @@
 //! second)." — Section 6.
 
 use crate::error::CoreError;
-use crate::extract::{
-    extract_word_polynomial_budgeted, ExtractOptions, Extraction, ExtractionStats,
-};
+use crate::extract::{ExtractOptions, Extraction, ExtractionStats};
+use crate::provider::{DirectExtract, ExtractProvider};
 use crate::wordfn::WordFunction;
 use gfab_field::budget::Budget;
 use gfab_field::GfContext;
@@ -62,6 +61,25 @@ pub fn extract_hierarchical_budgeted(
     options: &ExtractOptions,
     budget: &Budget,
 ) -> Result<HierExtraction, CoreError> {
+    extract_hierarchical_budgeted_with(&DirectExtract, design, ctx, options, budget)
+}
+
+/// [`extract_hierarchical_budgeted`] with an explicit
+/// [`ExtractProvider`] supplying every per-block flat extraction — the
+/// hook through which the batch engine's artifact cache makes identical
+/// sub-blocks (within one design or across a whole batch) extract once.
+/// Composition always runs per design.
+///
+/// # Errors
+///
+/// As [`extract_hierarchical_budgeted`].
+pub fn extract_hierarchical_budgeted_with(
+    provider: &dyn ExtractProvider,
+    design: &HierDesign,
+    ctx: &Arc<GfContext>,
+    options: &ExtractOptions,
+    budget: &Budget,
+) -> Result<HierExtraction, CoreError> {
     design.validate()?;
 
     // 1. Per-block gate-level → word-level abstraction. Blocks are
@@ -70,7 +88,7 @@ pub fn extract_hierarchical_budgeted(
     // results are collected by block index, which makes the output — and
     // the error reported when several blocks fail — identical to the
     // serial path.
-    let per_block = extract_blocks(design, ctx, options, budget);
+    let per_block = extract_blocks(provider, design, ctx, options, budget);
     let mut blocks: Vec<(String, WordFunction, ExtractionStats)> = Vec::new();
     for (inst, result) in design.blocks.iter().zip(per_block) {
         let result = result?;
@@ -158,6 +176,7 @@ pub fn extract_hierarchical_budgeted(
 /// The result vector is indexed by block position regardless of which
 /// thread computed each entry.
 fn extract_blocks(
+    provider: &dyn ExtractProvider,
     design: &HierDesign,
     ctx: &Arc<GfContext>,
     options: &ExtractOptions,
@@ -174,11 +193,11 @@ fn extract_blocks(
         if options.telemetry.is_enabled() {
             let span = options.telemetry.span_labeled(Phase::Block, &inst.name);
             let opts = options.clone().with_telemetry(span.telemetry());
-            let r = extract_word_polynomial_budgeted(&inst.netlist, ctx, &opts, budget);
+            let r = provider.extract(&inst.netlist, ctx, &opts, budget);
             let _ = span.finish();
             r
         } else {
-            extract_word_polynomial_budgeted(&inst.netlist, ctx, options, budget)
+            provider.extract(&inst.netlist, ctx, options, budget)
         }
     };
     if threads <= 1 {

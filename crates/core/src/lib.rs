@@ -59,6 +59,7 @@ pub mod hier;
 pub mod ideal_membership;
 pub mod interpolate;
 pub mod model;
+mod provider;
 mod wordfn;
 
 pub use error::CoreError;
@@ -66,4 +67,5 @@ pub use extract::{
     extract_word_polynomial, extract_word_polynomial_budgeted, extract_word_polynomial_with,
     ExtractOptions, Extraction, ExtractionResult, ExtractionStats,
 };
+pub use provider::{DirectExtract, ExtractProvider};
 pub use wordfn::WordFunction;

@@ -1,0 +1,154 @@
+//! A bounded, thread-safe cache of constructed field contexts.
+//!
+//! [`GfContext::new`] runs Rabin's irreducibility test on the modulus —
+//! cheap for small fields, but a real cost at the NIST sizes
+//! (k = 163…571) and pure waste when a batch of queries shares one
+//! field. [`ContextCache`] memoizes `modulus → Arc<GfContext>` so each
+//! distinct field is constructed (and Rabin-tested) once per batch.
+//!
+//! The key is the full modulus polynomial ([`Gf2Poly`] is `Eq + Hash`),
+//! so there is no hash-collision concern: equal keys *are* equal
+//! fields. Capacity is bounded with least-recently-inserted eviction —
+//! batches rarely touch more than a handful of fields, so the bound is
+//! a safety net, not a tuning knob.
+
+use crate::{FieldError, Gf2Poly, GfContext};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Thread-safe memo of `modulus → Arc<GfContext>` with hit/miss
+/// counters (see module docs).
+#[derive(Debug)]
+pub struct ContextCache {
+    entries: Mutex<CacheMap>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheMap {
+    map: HashMap<Gf2Poly, (Arc<GfContext>, u64)>,
+    stamp: u64,
+}
+
+impl ContextCache {
+    /// A cache holding at most `capacity` contexts (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ContextCache {
+        ContextCache {
+            entries: Mutex::new(CacheMap::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the shared context for `modulus`, constructing it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`GfContext::new`] reports (degree too small, reducible
+    /// modulus). Failures are not cached.
+    pub fn get(&self, modulus: &Gf2Poly) -> Result<Arc<GfContext>, FieldError> {
+        {
+            let mut e = self.entries.lock().expect("context cache lock");
+            e.stamp += 1;
+            let stamp = e.stamp;
+            if let Some((ctx, used)) = e.map.get_mut(modulus) {
+                *used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(ctx));
+            }
+        }
+        // Construct outside the lock: Rabin's test on a NIST-size
+        // modulus is the expensive part and must not serialize readers.
+        // Two threads may race to build the same context; both results
+        // are identical and the second insert simply wins.
+        let ctx = GfContext::shared(modulus.clone())?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut e = self.entries.lock().expect("context cache lock");
+        e.stamp += 1;
+        let stamp = e.stamp;
+        e.map.insert(modulus.clone(), (Arc::clone(&ctx), stamp));
+        while e.map.len() > self.capacity {
+            let oldest = e
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity map");
+            e.map.remove(&oldest);
+        }
+        Ok(ctx)
+    }
+
+    /// Lookups answered from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that constructed a fresh context.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_arc() {
+        let cache = ContextCache::new(4);
+        let m = Gf2Poly::from_exponents(&[4, 1, 0]);
+        let a = cache.get(&m).unwrap();
+        let b = cache.get(&m).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_moduli_get_distinct_contexts() {
+        let cache = ContextCache::new(4);
+        let a = cache.get(&Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+        let b = cache
+            .get(&Gf2Poly::from_exponents(&[8, 4, 3, 1, 0]))
+            .unwrap();
+        assert_eq!(a.k(), 4);
+        assert_eq!(b.k(), 8);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn eviction_respects_recency() {
+        let cache = ContextCache::new(2);
+        let m4 = Gf2Poly::from_exponents(&[4, 1, 0]);
+        let m8 = Gf2Poly::from_exponents(&[8, 4, 3, 1, 0]);
+        let m16 = Gf2Poly::from_exponents(&[16, 5, 3, 1, 0]);
+        cache.get(&m4).unwrap();
+        cache.get(&m8).unwrap();
+        cache.get(&m4).unwrap(); // m4 now more recent than m8
+        cache.get(&m16).unwrap(); // evicts m8
+        cache.get(&m4).unwrap(); // still cached
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 3);
+        cache.get(&m8).unwrap(); // rebuilt after eviction
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn failures_are_reported_and_not_cached() {
+        let cache = ContextCache::new(2);
+        // x^4 + 1 = (x+1)^4 over F_2 — reducible.
+        let bad = Gf2Poly::from_exponents(&[4, 0]);
+        assert!(cache.get(&bad).is_err());
+        assert!(cache.get(&bad).is_err());
+        assert_eq!(cache.hits(), 0);
+    }
+}

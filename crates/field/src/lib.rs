@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+mod ctxcache;
 mod field;
 mod gf2poly;
 pub mod nist;
 pub mod rng;
 
+pub use ctxcache::ContextCache;
 pub use field::{FieldError, Gf, GfContext};
 pub use gf2poly::Gf2Poly;
 pub use rng::Rng;

@@ -1,0 +1,178 @@
+//! Canonical content encoding and hashing of netlists.
+//!
+//! The batch engine's artifact cache keys extraction results by netlist
+//! *content*, not identity: two netlists that describe the same circuit
+//! structure over the same words must map to the same key, no matter
+//! how they were built or what their nets are called. [`canonical_bytes`]
+//! produces that content encoding and [`canonical_hash`] the 64-bit
+//! FNV-1a digest of it.
+//!
+//! # What the encoding covers
+//!
+//! * net count, gates in creation order (kind, input net ids, output
+//!   net id) — net ids are already dense indices, so structurally
+//!   identical netlists encode identically;
+//! * input words and the output word: name, width and bit net ids.
+//!   Word **names** are included because they appear in the extracted
+//!   word function (`Z = A*B` vs `Z = P*Q` are different artifacts);
+//! * a format version byte, bumped whenever the encoding changes.
+//!
+//! # What it deliberately ignores
+//!
+//! * the design name (`Netlist::name`) — a display label only;
+//! * individual net names — they never influence extraction.
+//!
+//! Ignoring the design name is what lets a batch containing, say, the
+//! two structurally identical `MonPro` pre-scaling blocks of a
+//! Montgomery multiplier extract once and hit the cache once.
+//!
+//! # Collision safety
+//!
+//! A 64-bit digest can collide, so the cache never trusts the hash
+//! alone: every entry stores the full canonical byte string, and a
+//! lookup compares it byte-for-byte before returning a value. The hash
+//! is only a bucket index; see `gfab`'s `ArtifactCache`.
+
+use crate::{GateKind, Netlist, Word};
+
+/// Version byte prefixed to every canonical encoding. Bump on any
+/// change to the byte layout so stale digests can never alias.
+pub const CANON_VERSION: u8 = 1;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes arbitrary bytes with 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical content encoding of a netlist (see module docs).
+///
+/// Deterministic: the same structure always yields the same bytes, on
+/// every platform and at every thread count.
+#[must_use]
+pub fn canonical_bytes(nl: &Netlist) -> Vec<u8> {
+    // Rough size guess: ~13 bytes per gate plus word headers.
+    let mut out = Vec::with_capacity(16 + nl.num_gates() * 13);
+    out.push(CANON_VERSION);
+    push_u32(&mut out, nl.num_nets() as u32);
+
+    push_u32(&mut out, nl.input_words().len() as u32);
+    for w in nl.input_words() {
+        push_word(&mut out, w);
+    }
+
+    push_u32(&mut out, nl.num_gates() as u32);
+    for g in nl.gates() {
+        out.push(gate_kind_code(g.kind));
+        out.push(g.inputs.len() as u8);
+        for i in &g.inputs {
+            push_u32(&mut out, i.0);
+        }
+        push_u32(&mut out, g.output.0);
+    }
+
+    match nl.try_output_word() {
+        Some(w) => {
+            out.push(1);
+            push_word(&mut out, w);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// FNV-1a digest of [`canonical_bytes`].
+#[must_use]
+pub fn canonical_hash(nl: &Netlist) -> u64 {
+    fnv1a(&canonical_bytes(nl))
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_word(out: &mut Vec<u8>, w: &Word) {
+    push_u32(out, w.name.len() as u32);
+    out.extend_from_slice(w.name.as_bytes());
+    push_u32(out, w.bits.len() as u32);
+    for b in &w.bits {
+        push_u32(out, b.0);
+    }
+}
+
+/// Stable one-byte code per gate kind (independent of enum layout).
+fn gate_kind_code(kind: GateKind) -> u8 {
+    match kind {
+        GateKind::And => 0,
+        GateKind::Or => 1,
+        GateKind::Xor => 2,
+        GateKind::Xnor => 3,
+        GateKind::Nand => 4,
+        GateKind::Nor => 5,
+        GateKind::Not => 6,
+        GateKind::Buf => 7,
+        GateKind::Const0 => 8,
+        GateKind::Const1 => 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str, word: &str, kind: GateKind) -> Netlist {
+        let mut nl = Netlist::new(name);
+        let a = nl.add_input_word("A", 2);
+        let b = nl.add_input_word("B", 2);
+        let z0 = nl.gate2(kind, a[0], b[0]);
+        let z1 = nl.gate2(GateKind::Xor, a[1], b[1]);
+        nl.set_output_word(word, vec![z0, z1]);
+        nl
+    }
+
+    #[test]
+    fn design_and_net_names_do_not_affect_the_encoding() {
+        let mut x = tiny("left", "Z", GateKind::And);
+        let y = tiny("right", "Z", GateKind::And);
+        assert_eq!(canonical_bytes(&x), canonical_bytes(&y));
+        assert_eq!(canonical_hash(&x), canonical_hash(&y));
+        // Renaming a net is invisible too.
+        x.set_net_name(crate::NetId(0), "fancy_net_name");
+        assert_eq!(canonical_bytes(&x), canonical_bytes(&y));
+    }
+
+    #[test]
+    fn structure_and_word_names_do_affect_it() {
+        let base = tiny("m", "Z", GateKind::And);
+        let other_gate = tiny("m", "Z", GateKind::Or);
+        let other_word = tiny("m", "W", GateKind::And);
+        assert_ne!(canonical_bytes(&base), canonical_bytes(&other_gate));
+        assert_ne!(canonical_bytes(&base), canonical_bytes(&other_word));
+        assert_ne!(canonical_hash(&base), canonical_hash(&other_gate));
+    }
+
+    #[test]
+    fn encoding_is_stable_across_calls() {
+        let nl = tiny("m", "Z", GateKind::Nand);
+        assert_eq!(canonical_bytes(&nl), canonical_bytes(&nl));
+        assert_eq!(canonical_hash(&nl), canonical_hash(&nl));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`miter`] — word-aligned miter construction for the SAT baseline.
 //! * [`hierarchy`] — word-connected block instances (the four-block
 //!   Montgomery multiplier of Fig. 1) with flattening.
+//! * [`canon`] — canonical content encoding + FNV-1a hashing, the
+//!   artifact-cache key for batch verification.
 //! * [`format`] — a small text netlist format (parse/emit) so circuits can
 //!   be stored on disk and exchanged.
 //!
@@ -48,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod format;
 mod gate;
 pub mod hierarchy;

@@ -37,6 +37,7 @@
 mod cnf;
 pub mod equiv;
 mod solver;
+pub mod template;
 pub mod tseitin;
 
 pub use cnf::{Cnf, Lit};

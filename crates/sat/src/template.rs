@@ -1,0 +1,166 @@
+//! Gate-shape Tseitin clause templates.
+//!
+//! Every gate of a given [`GateKind`] produces the same clause *shape* —
+//! only the variable numbers differ. This module factors those shapes
+//! into one static, process-wide template table: the artifact that
+//! ISSUE-6 calls the "gate-shape → Tseitin clause templates" cache. It
+//! is built at compile time (there is nothing run-time-dependent in a
+//! clause shape), shared by every encoding in every thread, and
+//! instantiated per gate by substituting the gate's output/input
+//! variables into the [`Slot`]s.
+//!
+//! The template order reproduces the historical inline emission
+//! byte-for-byte: same clauses, same clause order, same literal order
+//! within each clause. CNF output — and therefore CDCL behaviour,
+//! conflict counts and verdicts — is bit-identical to the pre-template
+//! encoder.
+
+use gfab_netlist::GateKind;
+
+/// Which gate pin a template literal refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The gate's output net.
+    Out,
+    /// The gate's first input.
+    In0,
+    /// The gate's second input.
+    In1,
+}
+
+/// One literal of a clause template: a pin and a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TLit {
+    /// The pin the literal binds to.
+    pub slot: Slot,
+    /// `true` for the positive literal of that pin's variable.
+    pub positive: bool,
+}
+
+const fn tl(slot: Slot, positive: bool) -> TLit {
+    TLit { slot, positive }
+}
+
+use Slot::{In0, In1, Out};
+
+// z <-> a & b  (AND; NAND flips the Out polarity).
+const AND: &[&[TLit]] = &[
+    &[tl(Out, false), tl(In0, true)],
+    &[tl(Out, false), tl(In1, true)],
+    &[tl(Out, true), tl(In0, false), tl(In1, false)],
+];
+const NAND: &[&[TLit]] = &[
+    &[tl(Out, true), tl(In0, true)],
+    &[tl(Out, true), tl(In1, true)],
+    &[tl(Out, false), tl(In0, false), tl(In1, false)],
+];
+// z <-> a | b.
+const OR: &[&[TLit]] = &[
+    &[tl(Out, true), tl(In0, false)],
+    &[tl(Out, true), tl(In1, false)],
+    &[tl(Out, false), tl(In0, true), tl(In1, true)],
+];
+const NOR: &[&[TLit]] = &[
+    &[tl(Out, false), tl(In0, false)],
+    &[tl(Out, false), tl(In1, false)],
+    &[tl(Out, true), tl(In0, true), tl(In1, true)],
+];
+// z <-> a ⊕ b.
+const XOR: &[&[TLit]] = &[
+    &[tl(Out, false), tl(In0, true), tl(In1, true)],
+    &[tl(Out, false), tl(In0, false), tl(In1, false)],
+    &[tl(Out, true), tl(In0, true), tl(In1, false)],
+    &[tl(Out, true), tl(In0, false), tl(In1, true)],
+];
+const XNOR: &[&[TLit]] = &[
+    &[tl(Out, true), tl(In0, true), tl(In1, true)],
+    &[tl(Out, true), tl(In0, false), tl(In1, false)],
+    &[tl(Out, false), tl(In0, true), tl(In1, false)],
+    &[tl(Out, false), tl(In0, false), tl(In1, true)],
+];
+const NOT: &[&[TLit]] = &[
+    &[tl(Out, true), tl(In0, true)],
+    &[tl(Out, false), tl(In0, false)],
+];
+const BUF: &[&[TLit]] = &[
+    &[tl(Out, false), tl(In0, true)],
+    &[tl(Out, true), tl(In0, false)],
+];
+const CONST0: &[&[TLit]] = &[&[tl(Out, false)]];
+const CONST1: &[&[TLit]] = &[&[tl(Out, true)]];
+
+/// The clause template for one gate kind: a slice of clauses, each a
+/// slice of [`TLit`]s, in the exact order the encoder must emit them.
+#[must_use]
+pub fn clause_template(kind: GateKind) -> &'static [&'static [TLit]] {
+    match kind {
+        GateKind::And => AND,
+        GateKind::Nand => NAND,
+        GateKind::Or => OR,
+        GateKind::Nor => NOR,
+        GateKind::Xor => XOR,
+        GateKind::Xnor => XNOR,
+        GateKind::Not => NOT,
+        GateKind::Buf => BUF,
+        GateKind::Const0 => CONST0,
+        GateKind::Const1 => CONST1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates one template as a boolean constraint: does assignment
+    /// (z, a, b) satisfy every clause?
+    fn satisfies(template: &[&[TLit]], z: bool, a: bool, b: bool) -> bool {
+        template.iter().all(|clause| {
+            clause.iter().any(|l| {
+                let v = match l.slot {
+                    Slot::Out => z,
+                    Slot::In0 => a,
+                    Slot::In1 => b,
+                };
+                v == l.positive
+            })
+        })
+    }
+
+    #[test]
+    fn templates_encode_exactly_the_gate_function() {
+        for kind in GateKind::ALL {
+            let template = clause_template(kind);
+            for bits in 0u32..8 {
+                let (z, a, b) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+                let inputs: Vec<bool> = [a, b][..kind.arity()].to_vec();
+                // Unused input slots never appear in the template, so
+                // any (a, b) with the right z must agree.
+                let expect = kind.eval(&inputs) == z;
+                assert_eq!(
+                    satisfies(template, z, a, b),
+                    expect,
+                    "{kind} on z={z} a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn templates_only_reference_live_slots() {
+        for kind in GateKind::ALL {
+            for clause in clause_template(kind) {
+                for l in *clause {
+                    let needed = match l.slot {
+                        Slot::Out => 0,
+                        Slot::In0 => 1,
+                        Slot::In1 => 2,
+                    };
+                    assert!(
+                        kind.arity() >= needed,
+                        "{kind} template references missing input"
+                    );
+                }
+            }
+        }
+    }
+}

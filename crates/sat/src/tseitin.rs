@@ -1,8 +1,9 @@
 //! Tseitin encoding of a netlist into CNF.
 
 use crate::cnf::{Cnf, Lit};
+use crate::template::{clause_template, Slot};
 use gfab_field::budget::{Budget, BudgetExceeded};
-use gfab_netlist::{GateKind, NetId, Netlist};
+use gfab_netlist::{NetId, Netlist};
 
 /// How many gates are encoded between budget polls.
 const BUDGET_STRIDE: usize = 65_536;
@@ -27,6 +28,11 @@ pub fn encode(nl: &Netlist) -> Encoding {
 /// [`BUDGET_STRIDE`] gates — million-gate miters take long enough to
 /// encode that a deadline must be able to interrupt the encoding itself.
 ///
+/// Clauses come from the shared gate-shape template table
+/// ([`clause_template`]): one static shape per [`gfab_netlist::GateKind`],
+/// instantiated here by substituting the gate's net variables. The
+/// emitted CNF is bit-identical to the historical inline encoder.
+///
 /// # Errors
 ///
 /// [`BudgetExceeded`] when the budget trips mid-encoding.
@@ -38,40 +44,19 @@ pub fn encode_budgeted(nl: &Netlist, budget: &Budget) -> Result<Encoding, Budget
         if i % BUDGET_STRIDE == 0 {
             budget.check()?;
         }
-        let z = v(gate.output);
-        match gate.kind {
-            GateKind::And | GateKind::Nand => {
-                let (a, b) = (v(gate.inputs[0]), v(gate.inputs[1]));
-                let zpos = gate.kind == GateKind::And;
-                // z' <-> a & b where z' = z or ¬z.
-                cnf.add_clause(vec![Lit::with_sign(z, !zpos), Lit::pos(a)]);
-                cnf.add_clause(vec![Lit::with_sign(z, !zpos), Lit::pos(b)]);
-                cnf.add_clause(vec![Lit::with_sign(z, zpos), Lit::neg(a), Lit::neg(b)]);
-            }
-            GateKind::Or | GateKind::Nor => {
-                let (a, b) = (v(gate.inputs[0]), v(gate.inputs[1]));
-                let zpos = gate.kind == GateKind::Or;
-                cnf.add_clause(vec![Lit::with_sign(z, zpos), Lit::neg(a)]);
-                cnf.add_clause(vec![Lit::with_sign(z, zpos), Lit::neg(b)]);
-                cnf.add_clause(vec![Lit::with_sign(z, !zpos), Lit::pos(a), Lit::pos(b)]);
-            }
-            GateKind::Xor | GateKind::Xnor => {
-                let (a, b) = (v(gate.inputs[0]), v(gate.inputs[1]));
-                let zpos = gate.kind == GateKind::Xor;
-                // z' <-> a ⊕ b.
-                cnf.add_clause(vec![Lit::with_sign(z, !zpos), Lit::pos(a), Lit::pos(b)]);
-                cnf.add_clause(vec![Lit::with_sign(z, !zpos), Lit::neg(a), Lit::neg(b)]);
-                cnf.add_clause(vec![Lit::with_sign(z, zpos), Lit::pos(a), Lit::neg(b)]);
-                cnf.add_clause(vec![Lit::with_sign(z, zpos), Lit::neg(a), Lit::pos(b)]);
-            }
-            GateKind::Not | GateKind::Buf => {
-                let a = v(gate.inputs[0]);
-                let zpos = gate.kind == GateKind::Buf;
-                cnf.add_clause(vec![Lit::with_sign(z, !zpos), Lit::pos(a)]);
-                cnf.add_clause(vec![Lit::with_sign(z, zpos), Lit::neg(a)]);
-            }
-            GateKind::Const0 => cnf.add_clause(vec![Lit::neg(z)]),
-            GateKind::Const1 => cnf.add_clause(vec![Lit::pos(z)]),
+        for clause in clause_template(gate.kind) {
+            let lits = clause
+                .iter()
+                .map(|l| {
+                    let var = match l.slot {
+                        Slot::Out => v(gate.output),
+                        Slot::In0 => v(gate.inputs[0]),
+                        Slot::In1 => v(gate.inputs[1]),
+                    };
+                    Lit::with_sign(var, l.positive)
+                })
+                .collect();
+            cnf.add_clause(lits);
         }
     }
     Ok(Encoding { cnf, var_of })
@@ -82,6 +67,7 @@ mod tests {
     use super::*;
     use crate::solver::{SolveResult, Solver};
     use gfab_netlist::sim::simulate_bits;
+    use gfab_netlist::GateKind;
 
     #[test]
     fn encoding_is_consistent_with_simulation() {

@@ -1,0 +1,320 @@
+//! Minimal strict JSON parser shared by the trace codec and the batch
+//! manifest loader.
+//!
+//! Just enough JSON for GFAB's own file formats: objects, arrays,
+//! strings, unsigned integers and `null` — no floats, no booleans, no
+//! comments. In-repo so the workspace stays dependency-free (DESIGN.md
+//! §9). The [`jsonl`](crate::Trace::from_jsonl) trace codec parses one
+//! object per *line* with a shallow nesting cap; the batch manifest
+//! loader parses one object per *file* (whitespace including newlines
+//! is insignificant) with a deeper cap.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+///
+/// Numbers are unsigned 64-bit integers only — every number in GFAB's
+/// schemas (span ids, counters, bit widths, exponents) is one, and
+/// rejecting floats keeps round trips exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// The `null` literal.
+    Null,
+    /// An unsigned integer.
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An object, in source order with duplicate keys rejected.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+/// A parsed JSON object with ordered key lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obj(pub Vec<(String, Json)>);
+
+impl Obj {
+    /// Looks up a key; `None` when absent.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Nesting cap for the single-line trace schema. The deepest legal
+/// chain is span obj → `"hists"` obj → histogram obj → `"buckets"`
+/// array.
+pub const LINE_DEPTH: usize = 4;
+
+/// Nesting cap for whole-file documents (batch manifests).
+pub const FILE_DEPTH: usize = 16;
+
+/// Parses one JSON object from a single line (no newlines allowed in
+/// the insignificant whitespace), with the shallow [`LINE_DEPTH`]
+/// nesting cap of the trace schema.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending byte position for any
+/// syntax violation, trailing garbage, or a non-object top level.
+pub fn parse_object(line: &str) -> Result<Obj, String> {
+    parse_with(line, false, LINE_DEPTH)
+}
+
+/// Parses one JSON object from a whole document: newlines are ordinary
+/// insignificant whitespace and nesting up to [`FILE_DEPTH`] is
+/// accepted. This is what the batch manifest loader uses.
+///
+/// # Errors
+///
+/// As [`parse_object`].
+pub fn parse_document(text: &str) -> Result<Obj, String> {
+    parse_with(text, true, FILE_DEPTH)
+}
+
+fn parse_with(text: &str, multiline: bool, max_depth: usize) -> Result<Obj, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        multiline,
+        max_depth,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after JSON object".into());
+    }
+    match value {
+        Json::Obj(pairs) => Ok(Obj(pairs)),
+        _ => Err("top level is not a JSON object".into()),
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    multiline: bool,
+    max_depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b' ' | b'\t') => self.pos += 1,
+                Some(b'\n' | b'\r') if self.multiline => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > self.max_depth {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("invalid literal at byte {}", self.pos))
+                }
+            }
+            Some(b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _): &(String, Json)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_objects_reject_newlines() {
+        assert!(parse_object("{\"a\":1}").is_ok());
+        assert!(parse_object("{\"a\":\n1}").is_err());
+    }
+
+    #[test]
+    fn documents_span_lines_and_nest_deeper() {
+        let doc = "{\n  \"queries\": [\n    {\"name\": \"q0\", \"op\": \"equiv\"},\n    {\"name\": \"q1\", \"op\": \"extract\"}\n  ]\n}";
+        let obj = parse_document(doc).expect("manifest-shaped document parses");
+        let Some(Json::Arr(items)) = obj.get("queries") else {
+            panic!("queries array");
+        };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_and_trailing_garbage_are_errors() {
+        assert!(parse_document("{\"a\":1,\"a\":2}")
+            .unwrap_err()
+            .contains("duplicate key"));
+        assert!(parse_document("{\"a\":1} x")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_document("[1,2]").unwrap_err().contains("top level"));
+    }
+
+    #[test]
+    fn strings_unescape_and_reescape() {
+        let obj = parse_document("{\"s\":\"a\\\"b\\\\c\\u0041\"}").unwrap();
+        assert_eq!(obj.get("s"), Some(&Json::Str("a\"b\\cA".into())));
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\n");
+        assert_eq!(out, "\"a\\\"b\\\\c\\u000a\"");
+    }
+}

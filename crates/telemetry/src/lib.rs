@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod diff;
+pub mod json;
 mod jsonl;
 pub mod mem;
 mod metrics;
@@ -99,6 +100,8 @@ pub enum Phase {
     SatSolve,
     /// Generic polynomial algebra outside any more specific phase.
     Algebra,
+    /// An artifact-cache probe by the batch engine (hit or miss).
+    CacheLookup,
 }
 
 impl Phase {
@@ -121,6 +124,7 @@ impl Phase {
             Phase::SolverBuild => "solver-build",
             Phase::SatSolve => "sat-solve",
             Phase::Algebra => "algebra",
+            Phase::CacheLookup => "cache-lookup",
         }
     }
 
@@ -143,6 +147,7 @@ impl Phase {
             "solver-build" => Phase::SolverBuild,
             "sat-solve" => Phase::SatSolve,
             "algebra" => Phase::Algebra,
+            "cache-lookup" => Phase::CacheLookup,
             _ => return None,
         })
     }
@@ -166,6 +171,7 @@ impl std::fmt::Display for Phase {
             Phase::SolverBuild => "solver construction",
             Phase::SatSolve => "SAT search",
             Phase::Algebra => "polynomial algebra",
+            Phase::CacheLookup => "artifact-cache lookup",
         })
     }
 }
@@ -213,6 +219,12 @@ pub enum Counter {
     LearnedClauses,
     /// Hierarchical blocks extracted.
     Blocks,
+    /// Artifact-cache lookups that found a byte-verified entry.
+    CacheHits,
+    /// Artifact-cache lookups that fell through to a fresh computation.
+    CacheMisses,
+    /// Artifact-cache entries evicted under capacity pressure.
+    CacheEvictions,
 }
 
 impl Counter {
@@ -238,6 +250,9 @@ impl Counter {
             Counter::Restarts => "restarts",
             Counter::LearnedClauses => "learned-clauses",
             Counter::Blocks => "blocks",
+            Counter::CacheHits => "cache-hits",
+            Counter::CacheMisses => "cache-misses",
+            Counter::CacheEvictions => "cache-evictions",
         }
     }
 
@@ -280,6 +295,9 @@ impl Counter {
             "restarts" => Counter::Restarts,
             "learned-clauses" => Counter::LearnedClauses,
             "blocks" => Counter::Blocks,
+            "cache-hits" => Counter::CacheHits,
+            "cache-misses" => Counter::CacheMisses,
+            "cache-evictions" => Counter::CacheEvictions,
             _ => return None,
         })
     }
@@ -295,7 +313,7 @@ impl std::fmt::Display for Counter {
 mod tests {
     use super::*;
 
-    const ALL_PHASES: [Phase; 15] = [
+    const ALL_PHASES: [Phase; 16] = [
         Phase::Check,
         Phase::Extract,
         Phase::Block,
@@ -311,6 +329,7 @@ mod tests {
         Phase::SolverBuild,
         Phase::SatSolve,
         Phase::Algebra,
+        Phase::CacheLookup,
     ];
 
     #[test]
@@ -324,7 +343,7 @@ mod tests {
 
     #[test]
     fn counter_slugs_round_trip() {
-        const ALL: [Counter; 18] = [
+        const ALL: [Counter; 21] = [
             Counter::Gates,
             Counter::ReductionSteps,
             Counter::PeakTerms,
@@ -343,10 +362,26 @@ mod tests {
             Counter::Restarts,
             Counter::LearnedClauses,
             Counter::Blocks,
+            Counter::CacheHits,
+            Counter::CacheMisses,
+            Counter::CacheEvictions,
         ];
         for c in ALL {
             assert_eq!(Counter::from_slug(c.slug()), Some(c));
         }
         assert_eq!(Counter::from_slug("no-such-counter"), None);
+    }
+
+    #[test]
+    fn cache_counters_are_not_work_units() {
+        // Hit/miss/eviction patterns depend on scheduling and capacity,
+        // so they must never feed the trace-diff work-unit gate.
+        for c in [
+            Counter::CacheHits,
+            Counter::CacheMisses,
+            Counter::CacheEvictions,
+        ] {
+            assert!(!c.is_work());
+        }
     }
 }

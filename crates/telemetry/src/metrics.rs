@@ -87,6 +87,10 @@ pub enum Hist {
     /// Microseconds per simulation sweep batch (wall time — excluded
     /// from deterministic comparisons, informational in diffs).
     SimBatchUs,
+    /// Microseconds a batch-engine query spent queued before a worker
+    /// dequeued it (wall time — excluded from deterministic
+    /// comparisons, informational in diffs).
+    QueueLatencyUs,
 }
 
 impl Hist {
@@ -99,6 +103,7 @@ impl Hist {
             Hist::SPolyTerms => "s-poly-terms",
             Hist::CnfClauseLen => "cnf-clause-len",
             Hist::SimBatchUs => "sim-batch-us",
+            Hist::QueueLatencyUs => "queue-latency-us",
         }
     }
 
@@ -111,6 +116,7 @@ impl Hist {
             "s-poly-terms" => Hist::SPolyTerms,
             "cnf-clause-len" => Hist::CnfClauseLen,
             "sim-batch-us" => Hist::SimBatchUs,
+            "queue-latency-us" => Hist::QueueLatencyUs,
             _ => return None,
         })
     }
@@ -119,7 +125,7 @@ impl Hist {
     /// counts and machines (everything except wall-time histograms).
     #[must_use]
     pub fn is_deterministic(self) -> bool {
-        !matches!(self, Hist::SimBatchUs)
+        !matches!(self, Hist::SimBatchUs | Hist::QueueLatencyUs)
     }
 }
 
@@ -258,12 +264,14 @@ mod tests {
             Hist::SPolyTerms,
             Hist::CnfClauseLen,
             Hist::SimBatchUs,
+            Hist::QueueLatencyUs,
         ] {
             assert_eq!(Hist::from_slug(h.slug()), Some(h));
         }
         assert_eq!(Hist::from_slug("no-such-hist"), None);
         assert!(Hist::DivisionChainLen.is_deterministic());
         assert!(!Hist::SimBatchUs.is_deterministic());
+        assert!(!Hist::QueueLatencyUs.is_deterministic());
     }
 
     #[test]

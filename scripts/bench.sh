@@ -11,6 +11,10 @@
 #               table, single-threaded, chosen so every row's verdict and
 #               work counters are deterministic (no engine runs anywhere
 #               near its wall budget) and the whole sweep stays fast
+#   --batch     additionally runs the batch-engine cache sweep: a fixed
+#               manifest through `gfab batch --repeat 2`, collecting the
+#               cold and warm per-pass summaries (work units, cache
+#               hit/miss/eviction counters) into BENCH_batch.json
 #
 # Any other arguments are forwarded verbatim to every table binary.
 set -euo pipefail
@@ -19,13 +23,21 @@ cd "$(dirname "$0")/.."
 OUT_DIR="${BENCH_DIR:-.}"
 
 PINNED=0
+BATCH=0
 ARGS=()
 for a in "$@"; do
-    if [ "$a" = "--pinned" ]; then PINNED=1; else ARGS+=("$a"); fi
+    case "$a" in
+        --pinned) PINNED=1 ;;
+        --batch) BATCH=1 ;;
+        *) ARGS+=("$a") ;;
+    esac
 done
 
 echo "== build (release) =="
 cargo build --release --offline -p gfab-bench
+if [ "$BATCH" = 1 ]; then
+    cargo build --release --offline -p gfab
+fi
 
 # Per-table pinned k subsets. table3 runs four engines per k and the
 # SAT/full-GB baselines approach their wall budgets already at k=8, which
@@ -52,5 +64,28 @@ for t in table1 table2 table3 table4; do
     echo "== $t → $out =="
     "$BIN/$t" --json ${extra[@]+"${extra[@]}"} ${ARGS[@]+"${ARGS[@]}"} | tee "$out"
 done
+
+if [ "$BATCH" = 1 ]; then
+    out="$OUT_DIR/BENCH_batch.json"
+    echo "== batch cache sweep → $out =="
+    TMP_MANIFEST=$(mktemp)
+    trap 'rm -f "$TMP_MANIFEST"' EXIT
+    cat > "$TMP_MANIFEST" <<'MANIFEST'
+{
+  "field": {"k": 32},
+  "queries": [
+    {"name": "mont-eq",  "op": "equiv",
+     "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+    {"name": "mont-dup", "op": "equiv",
+     "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+    {"name": "squarer",  "op": "extract", "circuit": {"gen": "squarer"}},
+    {"name": "mont16",   "op": "extract", "circuit": {"gen": "montgomery"},
+     "field": {"k": 16}}
+  ]
+}
+MANIFEST
+    "$BIN/gfab" batch "$TMP_MANIFEST" --threads 1 --repeat 2 \
+        | grep '"batch-summary"' | tee "$out"
+fi
 
 echo "bench sweep done: BENCH_table{1,2,3,4}.json in $OUT_DIR"

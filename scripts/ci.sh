@@ -45,6 +45,38 @@ fi
     --trace-json "$TRACE_DIR/trace2.jsonl" > /dev/null
 "$GFAB" trace-diff "$TRACE_DIR/trace.jsonl" "$TRACE_DIR/trace2.jsonl" --threshold 0
 
+echo "== batch smoke: manifest run, per-query verdicts, warm cache =="
+# A small manifest with a duplicate query and shared Montgomery
+# sub-blocks: the batch must exit 0, answer duplicates from the artifact
+# cache (nonzero hits), and a second in-process pass (--repeat 2) must
+# compute zero new work units.
+cat > "$TRACE_DIR/batch.json" <<'MANIFEST'
+{
+  "field": {"k": 8},
+  "queries": [
+    {"name": "mont-eq",   "op": "equiv",
+     "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+    {"name": "mont-dup",  "op": "equiv",
+     "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+    {"name": "squarer",   "op": "extract", "circuit": {"gen": "squarer"}},
+    {"name": "from-file", "op": "extract", "circuit": "spec.nl", "field": {"k": 16}}
+  ]
+}
+MANIFEST
+"$GFAB" batch "$TRACE_DIR/batch.json" --threads 2 --repeat 2 > "$TRACE_DIR/batch.out"
+grep -q '"query":"mont-dup".*"verdict":"equivalent"' "$TRACE_DIR/batch.out"
+hits=$(grep -o '"hits":[0-9]*' "$TRACE_DIR/batch.out" | head -1 | tr -dc 0-9)
+if [ "${hits:-0}" -eq 0 ]; then
+    echo "batch smoke: expected nonzero artifact-cache hits" >&2
+    cat "$TRACE_DIR/batch.out" >&2
+    exit 1
+fi
+warm=$(grep '"pass":1' "$TRACE_DIR/batch.out" | grep -o '"work_units":[0-9]*' | tr -dc 0-9)
+if [ "${warm:-1}" -ne 0 ]; then
+    echo "batch smoke: warm pass computed $warm work units, expected 0" >&2
+    exit 1
+fi
+
 echo "== differential + mutation-kill battery (release, wall-budgeted) =="
 # Three independent engines (word-level Verifier, SAT miter, exhaustive
 # simulation) must agree on every seeded circuit, and every injected bug

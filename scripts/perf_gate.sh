@@ -27,6 +27,39 @@ echo "== run pinned workload =="
 BENCH_DIR="$TMP" scripts/bench.sh --pinned >/dev/null
 
 GFAB=target/release/gfab
+
+echo "== batch cache gate: warm repeat must do strictly less work =="
+# Run a fixed batch manifest twice in-process (--repeat 2) and compare
+# the per-pass *work-unit* counters (reduction steps + gates modelled on
+# cache misses — deterministic, machine-independent). The warm pass must
+# come out strictly below the cold pass; anything else means the artifact
+# cache stopped answering repeats.
+cat > "$TMP/gate_batch.json" <<'MANIFEST'
+{
+  "field": {"k": 16},
+  "queries": [
+    {"name": "mont-eq",  "op": "equiv",
+     "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+    {"name": "mont-dup", "op": "equiv",
+     "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+    {"name": "squarer",  "op": "extract", "circuit": {"gen": "squarer"}}
+  ]
+}
+MANIFEST
+"$GFAB" batch "$TMP/gate_batch.json" --threads 2 --repeat 2 > "$TMP/gate_batch.out"
+cold=$(grep '"pass":0' "$TMP/gate_batch.out" | grep -o '"work_units":[0-9]*' | tr -dc 0-9)
+warm=$(grep '"pass":1' "$TMP/gate_batch.out" | grep -o '"work_units":[0-9]*' | tr -dc 0-9)
+if [ -z "${cold:-}" ] || [ -z "${warm:-}" ]; then
+    echo "perf-gate: batch summaries missing work_units" >&2
+    cat "$TMP/gate_batch.out" >&2
+    exit 2
+fi
+if [ "$warm" -ge "$cold" ]; then
+    echo "perf-gate: warm batch pass did $warm work units vs $cold cold — cache regression" >&2
+    exit 1
+fi
+echo "batch cache gate OK (cold $cold -> warm $warm work units)"
+
 status=0
 for t in table1 table2 table3 table4; do
     base="BENCH_${t}.json"
@@ -42,4 +75,5 @@ if [ "$status" -ne 0 ]; then
     echo "perf-gate: REGRESSION (see bench-diff output above)" >&2
     exit 1
 fi
+
 echo "perf-gate OK"

@@ -1,0 +1,330 @@
+//! The cross-query artifact cache behind [`crate::Engine`].
+//!
+//! A batch of verification queries re-derives the same expensive
+//! artifacts over and over: the same spec netlist extracted once per
+//! query it appears in, structurally identical hierarchical sub-blocks
+//! extracted once per instance, the same field context Rabin-tested per
+//! query. [`ArtifactCache`] is the shared store that collapses that
+//! repetition, and [`CachingExtract`] is the [`ExtractProvider`] that
+//! plugs it into every extraction site of `gfab-core`.
+//!
+//! # Keying and poisoning safety
+//!
+//! Entries are keyed by *content*: the modulus polynomial's limbs
+//! concatenated with the netlist's canonical encoding
+//! ([`gfab_netlist::canon::canonical_bytes`]), bucketed by the 64-bit
+//! FNV-1a digest of those bytes. A 64-bit digest can collide, so the
+//! digest is only a bucket index — every entry keeps its full key bytes
+//! and a lookup compares them byte-for-byte before returning a value.
+//! A collision therefore costs one memcmp and a recomputation, never a
+//! wrong answer.
+//!
+//! # Eviction
+//!
+//! Capacity is bounded in entries; over capacity, the least-recently
+//! used entry goes first. Eviction only ever removes memoized values —
+//! a re-miss recomputes the same deterministic result — so verdicts are
+//! sound at any capacity, including zero-effective-capacity thrashing.
+//!
+//! # Determinism
+//!
+//! Only *completed* extractions are stored: results that timed out or
+//! carry a budget-exhaustion note are returned to the caller but never
+//! inserted, because they depend on wall clocks, not content. Stored
+//! results are exactly what [`DirectExtract`] would recompute (the
+//! pipeline is deterministic absent budget trips), so a cache hit is
+//! observationally identical to a fresh extraction.
+
+use crate::core::{CoreError, DirectExtract, ExtractOptions, ExtractProvider, ExtractionResult};
+use crate::field::budget::Budget;
+use crate::field::GfContext;
+use crate::netlist::canon::{canonical_bytes, fnv1a};
+use crate::netlist::Netlist;
+use crate::telemetry::{Counter, Phase};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counters describing a cache's behaviour so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (full key bytes verified).
+    pub hits: u64,
+    /// Lookups that fell through to a fresh computation.
+    pub misses: u64,
+    /// Entries evicted under capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry<V> {
+    key: Arc<[u8]>,
+    value: V,
+    used: u64,
+}
+
+struct Store<V> {
+    buckets: HashMap<u64, Vec<Entry<V>>>,
+    len: usize,
+    stamp: u64,
+}
+
+/// A concurrent, size-bounded, byte-verified content-addressed cache
+/// (see module docs).
+pub struct ArtifactCache<V> {
+    store: Mutex<Store<V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ArtifactCache<V> {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ArtifactCache<V> {
+        ArtifactCache {
+            store: Mutex::new(Store {
+                buckets: HashMap::new(),
+                len: 0,
+                stamp: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the value stored under (`hash`, `key`). The hash picks
+    /// the bucket; the key bytes must match in full — a colliding hash
+    /// with different bytes is a miss, never a wrong value.
+    pub fn lookup(&self, hash: u64, key: &[u8]) -> Option<V> {
+        let mut s = self.store.lock().expect("artifact cache lock");
+        s.stamp += 1;
+        let stamp = s.stamp;
+        if let Some(bucket) = s.buckets.get_mut(&hash) {
+            if let Some(e) = bucket.iter_mut().find(|e| *e.key == *key) {
+                e.used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(e.value.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts a value, evicting least-recently-used entries while over
+    /// capacity. Re-inserting an existing key replaces its value.
+    pub fn insert(&self, hash: u64, key: Arc<[u8]>, value: V) {
+        let mut s = self.store.lock().expect("artifact cache lock");
+        s.stamp += 1;
+        let stamp = s.stamp;
+        let bucket = s.buckets.entry(hash).or_default();
+        if let Some(e) = bucket.iter_mut().find(|e| e.key == key) {
+            e.value = value;
+            e.used = stamp;
+            return;
+        }
+        bucket.push(Entry {
+            key,
+            value,
+            used: stamp,
+        });
+        s.len += 1;
+        while s.len > self.capacity {
+            // LRU over all buckets. O(entries), but capacity pressure is
+            // the rare path and capacities are small (hundreds).
+            let (&h, _) = s
+                .buckets
+                .iter()
+                .min_by_key(|(_, b)| b.iter().map(|e| e.used).min().unwrap_or(u64::MAX))
+                .expect("over-capacity store is non-empty");
+            let bucket = s.buckets.get_mut(&h).expect("bucket exists");
+            let i = bucket
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(i, _)| i)
+                .expect("non-empty bucket");
+            bucket.remove(i);
+            if bucket.is_empty() {
+                s.buckets.remove(&h);
+            }
+            s.len -= 1;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.store.lock().expect("artifact cache lock").len,
+        }
+    }
+}
+
+/// The cache key of one flat extraction: modulus limbs + canonical
+/// netlist bytes, plus its FNV-1a digest.
+#[must_use]
+pub fn extraction_key(nl: &Netlist, ctx: &GfContext) -> (u64, Vec<u8>) {
+    let limbs = ctx.modulus().limbs();
+    let mut key = Vec::with_capacity(8 + limbs.len() * 8 + 16 + nl.num_gates() * 13);
+    key.extend_from_slice(&(limbs.len() as u32).to_le_bytes());
+    for l in limbs {
+        key.extend_from_slice(&l.to_le_bytes());
+    }
+    key.extend_from_slice(&canonical_bytes(nl));
+    let hash = fnv1a(&key);
+    (hash, key)
+}
+
+/// An [`ExtractProvider`] that memoizes completed flat extractions in an
+/// [`ArtifactCache`] — the provider `gfab::Engine` threads through every
+/// per-side and per-block extraction of a batch.
+pub struct CachingExtract {
+    cache: ArtifactCache<ExtractionResult>,
+    /// Work units (reduction steps + gates modelled) actually computed
+    /// by cache misses — what a warm run must strictly undercut.
+    computed_work: AtomicU64,
+}
+
+impl CachingExtract {
+    /// A caching provider over a fresh cache of the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> CachingExtract {
+        CachingExtract {
+            cache: ArtifactCache::new(capacity),
+            computed_work: AtomicU64::new(0),
+        }
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Total extraction work units computed so far (cache hits add
+    /// nothing — that is the point).
+    pub fn computed_work(&self) -> u64 {
+        self.computed_work.load(Ordering::Relaxed)
+    }
+
+    fn cacheable(result: &ExtractionResult) -> bool {
+        // Timed-out and budget-marked results reflect a wall clock, not
+        // the circuit; caching them would let one query's deadline decide
+        // another's verdict.
+        !matches!(result.outcome, crate::core::Extraction::TimedOut { .. })
+            && result.stats.budget_exhausted.is_none()
+    }
+}
+
+impl ExtractProvider for CachingExtract {
+    fn extract(
+        &self,
+        nl: &Netlist,
+        ctx: &Arc<GfContext>,
+        options: &ExtractOptions,
+        budget: &Budget,
+    ) -> Result<ExtractionResult, CoreError> {
+        let (hash, key) = extraction_key(nl, ctx);
+        let mut probe = options.telemetry.span(Phase::CacheLookup);
+        if let Some(hit) = self.cache.lookup(hash, &key) {
+            probe.counter(Counter::CacheHits, 1);
+            let _ = probe.finish();
+            return Ok(hit);
+        }
+        probe.counter(Counter::CacheMisses, 1);
+        let _ = probe.finish();
+        let result = DirectExtract.extract(nl, ctx, options, budget)?;
+        self.computed_work.fetch_add(
+            result.stats.reduction_steps + result.stats.gates as u64,
+            Ordering::Relaxed,
+        );
+        if Self::cacheable(&result) {
+            self.cache.insert(hash, key.into(), result.clone());
+        }
+        Ok(result)
+    }
+}
+
+impl std::fmt::Debug for CachingExtract {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingExtract")
+            .field("stats", &self.stats())
+            .field("computed_work", &self.computed_work())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_verifies_full_key_bytes_not_just_the_hash() {
+        // Two distinct keys filed under the SAME hash (a forced
+        // collision): the second lookup must miss, not return the first
+        // value — the cache-poisoning guard.
+        let cache: ArtifactCache<u32> = ArtifactCache::new(8);
+        let ka: Arc<[u8]> = Arc::from(&b"netlist-a"[..]);
+        let kb: Arc<[u8]> = Arc::from(&b"netlist-b"[..]);
+        cache.insert(42, Arc::clone(&ka), 1);
+        assert_eq!(cache.lookup(42, &ka), Some(1));
+        assert_eq!(cache.lookup(42, &kb), None);
+        cache.insert(42, Arc::clone(&kb), 2);
+        assert_eq!(cache.lookup(42, &ka), Some(1));
+        assert_eq!(cache.lookup(42, &kb), Some(2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (3, 1, 2));
+    }
+
+    #[test]
+    fn eviction_is_lru_and_counted() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(2);
+        let k = |s: &str| -> Arc<[u8]> { Arc::from(s.as_bytes()) };
+        cache.insert(1, k("a"), 10);
+        cache.insert(2, k("b"), 20);
+        assert_eq!(cache.lookup(1, b"a"), Some(10)); // refresh "a"
+        cache.insert(3, k("c"), 30); // evicts "b"
+        assert_eq!(cache.lookup(2, b"b"), None);
+        assert_eq!(cache.lookup(1, b"a"), Some(10));
+        assert_eq!(cache.lookup(3, b"c"), Some(30));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new(2);
+        let key: Arc<[u8]> = Arc::from(&b"k"[..]);
+        cache.insert(7, Arc::clone(&key), 1);
+        cache.insert(7, Arc::clone(&key), 2);
+        assert_eq!(cache.lookup(7, b"k"), Some(2));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn extraction_keys_separate_fields_and_structures() {
+        use crate::circuits::mastrovito_multiplier;
+        use crate::field::nist::irreducible_polynomial;
+        let c4 = GfContext::shared(irreducible_polynomial(4).unwrap()).unwrap();
+        let c8 = GfContext::shared(irreducible_polynomial(8).unwrap()).unwrap();
+        let m4 = mastrovito_multiplier(&c4);
+        let m8 = mastrovito_multiplier(&c8);
+        let (h44, k44) = extraction_key(&m4, &c4);
+        let (h48, k48) = extraction_key(&m4, &c8);
+        let (h88, k88) = extraction_key(&m8, &c8);
+        assert_ne!(k44, k48, "same netlist, different modulus");
+        assert_ne!(k48, k88, "different netlist, same modulus");
+        assert_ne!(h44, h48);
+        assert_ne!(h48, h88);
+        // Stable across calls.
+        assert_eq!(extraction_key(&m4, &c4), (h44, k44));
+    }
+}

@@ -49,7 +49,15 @@ pub use gfab_poly as poly;
 pub use gfab_sat as sat;
 pub use gfab_telemetry as telemetry;
 
+pub mod cache;
+pub mod engine;
+pub mod manifest;
+pub mod prelude;
 pub mod verifier;
+pub use cache::{ArtifactCache, CacheStats, CachingExtract};
+pub use engine::{
+    BatchOp, BatchQuery, BatchReport, Engine, EngineConfig, OwnedCircuit, QueryOutcome,
+};
 pub use verifier::{Circuit, ExtractOutcome, ExtractReport, Verifier};
 
 use gfab_core::equiv::EquivReport;

@@ -55,11 +55,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "verify-spec" => cmd_verify_spec(rest),
         "equiv" => cmd_equiv(rest),
         "sat-equiv" => cmd_sat_equiv(rest),
+        "batch" => cmd_batch(rest),
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
         "trace-check" => cmd_trace_check(rest),
         "trace-diff" => cmd_trace_diff(rest),
         "bench-diff" => cmd_bench_diff(rest),
+        "--version" | "-V" | "version" => {
+            println!("gfab {}", env!("CARGO_PKG_VERSION"));
+            Ok(ExitCode::SUCCESS)
+        }
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -81,6 +86,8 @@ USAGE:
                  [--timeout D] [--trace] [--stats] [--mem-stats]
                  [--trace-json FILE]
   gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N] [--timeout D]
+  gfab batch     <manifest.json> [--threads N] [--timeout D] [--cache-cap N]
+                 [--repeat N] [--stats]
   gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
   gfab info      <circuit.nl>
   gfab trace-check <trace.jsonl>
@@ -99,6 +106,18 @@ bit-identical regardless of N.
 a bare number means seconds). `equiv` degrades gracefully: when the
 word-level pipeline runs out of time it falls back to the SAT miter
 check with the remaining budget, so the verdict is always sound.
+
+`batch` runs a whole manifest of queries over a work-stealing worker
+pool, sharing an artifact cache (canonical-netlist → extraction) and a
+field-context cache across all of them; duplicate circuits and
+structurally identical sub-blocks extract once per batch. One JSONL
+result line per query on stdout, plus one batch-summary line per pass
+with cache hit/miss/eviction counters and work units; --repeat N runs
+the batch N times in-process (pass 2+ is warm), --cache-cap bounds the
+artifact cache in entries, --timeout is the shared budget of each whole
+pass, split fairly across its queries. Results are bit-identical to
+running the queries sequentially, at any --threads value. With batch,
+--stats prints a human-readable summary of each pass to stderr.
 
 --stats prints a per-phase table (span count, total and self time, %
 of wall clock); --trace prints the full span tree with counters;
@@ -506,6 +525,171 @@ fn cmd_sat_equiv(rest: &[String]) -> Result<ExitCode, String> {
         SatVerdict::Unknown(interrupt) => {
             println!("UNKNOWN: {interrupt} ({elapsed:?})");
             Ok(ExitCode::from(3))
+        }
+    }
+}
+
+/// Runs a manifest of queries through the batch [`Engine`], emitting one
+/// JSONL result line per query plus a per-pass `batch-summary` line.
+/// Overall exit: any usage/internal failure → 2, else any unknown → 3,
+/// else any refutation → 1, else 0.
+fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
+    use gfab::engine::EngineConfig;
+    use gfab::telemetry::json::write_json_string;
+
+    let pos = positional(rest, 1);
+    let [manifest_path] = pos.as_slice() else {
+        return Err("batch needs a manifest path".into());
+    };
+    let queries = gfab::manifest::load_manifest(manifest_path)?;
+    let repeat: usize = match flag_value(rest, "--repeat")? {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("bad repeat count: {v}"))?,
+        None => 1,
+    };
+    let cache_cap: usize = match flag_value(rest, "--cache-cap")? {
+        Some(v) => v.parse().map_err(|_| format!("bad cache capacity: {v}"))?,
+        None => EngineConfig::default().cache_capacity,
+    };
+    let stats = has_flag(rest, "--stats");
+    let engine = gfab::Engine::new(EngineConfig {
+        threads: parse_threads(rest)?,
+        cache_capacity: cache_cap,
+        deadline: parse_timeout(rest)?,
+        ..EngineConfig::default()
+    });
+
+    let mut seen = [false; 4]; // seen[e] = some query exited with e
+    for pass in 0..repeat {
+        let report = engine.run_batch(&queries);
+        for r in &report.results {
+            let (exit, fields) = render_query_result(&r.outcome);
+            seen[exit as usize] = true;
+            let mut line = String::from("{\"query\":");
+            write_json_string(&mut line, &r.name);
+            line.push_str(&format!(
+                ",{fields},\"exit\":{exit},\"queue_us\":{},\"wall_us\":{}}}",
+                r.queue_us,
+                r.duration.as_micros()
+            ));
+            println!("{line}");
+        }
+        let c = &report.cache;
+        println!(
+            "{{\"batch-summary\":{{\"pass\":{pass},\"queries\":{},\"work_units\":{},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}},\
+             \"context\":{{\"hits\":{},\"misses\":{}}},\
+             \"queue_latency_us\":{{\"count\":{},\"mean\":{},\"max\":{}}},\"wall_us\":{}}}}}",
+            report.results.len(),
+            report.work_units,
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.entries,
+            report.context_hits,
+            report.context_misses,
+            report.queue_latency.count,
+            report.queue_latency.mean() as u64,
+            report.queue_latency.max,
+            report.wall.as_micros()
+        );
+        if stats {
+            eprintln!(
+                "pass {pass}: {} queries in {:?}; {} work units; artifact cache \
+                 {} hits / {} misses / {} evictions ({} resident); context cache \
+                 {} hits / {} misses",
+                report.results.len(),
+                report.wall,
+                report.work_units,
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.entries,
+                report.context_hits,
+                report.context_misses
+            );
+        }
+    }
+    // 2 (error) dominates, then 3 (unknown), then 1 (refuted).
+    let overall = if seen[2] {
+        2
+    } else if seen[3] {
+        3
+    } else if seen[1] {
+        1
+    } else {
+        0
+    };
+    Ok(ExitCode::from(overall))
+}
+
+/// One query outcome → (exit severity, the JSON fields after `"query"`).
+fn render_query_result(outcome: &gfab::engine::QueryOutcome) -> (u8, String) {
+    use gfab::engine::QueryOutcome;
+    use gfab::telemetry::json::write_json_string;
+    let mut s = String::new();
+    match outcome {
+        QueryOutcome::Failed(msg) => {
+            s.push_str("\"op\":\"failed\",\"error\":");
+            write_json_string(&mut s, msg);
+            (2, s)
+        }
+        QueryOutcome::TimedOut(reason) => {
+            s.push_str("\"op\":\"timeout\",\"reason\":");
+            write_json_string(&mut s, reason);
+            (3, s)
+        }
+        QueryOutcome::Extracted(report) => {
+            s.push_str("\"op\":\"extract\",");
+            let exit = match report.as_flat().map(|r| &r.outcome) {
+                None | Some(Extraction::Canonical(_)) => {
+                    let f = report.function().expect("canonical outcome has a function");
+                    s.push_str("\"outcome\":\"canonical\",\"function\":");
+                    write_json_string(&mut s, &format!("{}", f.display()));
+                    0
+                }
+                Some(Extraction::Residual { remainder, note }) => {
+                    s.push_str(&format!(
+                        "\"outcome\":\"residual\",\"terms\":{},\"note\":",
+                        remainder.num_terms()
+                    ));
+                    write_json_string(&mut s, note);
+                    0
+                }
+                Some(Extraction::TimedOut { phase, reason }) => {
+                    s.push_str("\"outcome\":\"timeout\",\"reason\":");
+                    write_json_string(&mut s, &format!("{phase}: {reason}"));
+                    3
+                }
+            };
+            (exit, s)
+        }
+        QueryOutcome::Checked(report) => {
+            s.push_str("\"op\":\"equiv\",");
+            let (verdict, method, exit) = match report.verdict() {
+                Verdict::Equivalent { .. } => ("equivalent", "word", 0),
+                Verdict::Inequivalent { .. } => ("inequivalent", "word", 1),
+                Verdict::InequivalentBySimulation { .. } => ("inequivalent", "simulation", 1),
+                Verdict::EquivalentBySat { .. } => ("equivalent", "sat", 0),
+                Verdict::InequivalentBySat { .. } => ("inequivalent", "sat", 1),
+                Verdict::Unknown { .. } => ("unknown", "none", 3),
+            };
+            s.push_str(&format!(
+                "\"verdict\":\"{verdict}\",\"method\":\"{method}\""
+            ));
+            if let Verdict::Unknown { reason } = report.verdict() {
+                s.push_str(",\"reason\":");
+                write_json_string(&mut s, reason);
+            }
+            if let Some(cex) = report.verdict().counterexample() {
+                let pretty: Vec<String> = cex.iter().map(|g| g.to_string()).collect();
+                s.push_str(",\"counterexample\":");
+                write_json_string(&mut s, &pretty.join(", "));
+            }
+            (exit, s)
         }
     }
 }

@@ -1,0 +1,256 @@
+//! Batch manifest loading for `gfab batch`.
+//!
+//! A manifest is one JSON document (parsed by the in-repo strict parser,
+//! [`gfab_telemetry::json::parse_document`]) describing a default field
+//! and a list of queries:
+//!
+//! ```json
+//! {
+//!   "field": {"k": 4},
+//!   "queries": [
+//!     {"name": "mont-vs-mastrovito", "op": "equiv",
+//!      "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+//!     {"name": "squarer-8", "op": "extract",
+//!      "circuit": "squarer8.nl", "field": {"modulus": [8, 4, 3, 1, 0]}}
+//!   ]
+//! }
+//! ```
+//!
+//! * `field` — `{"k": n}` (NIST / low-weight irreducible for degree `n`)
+//!   or `{"modulus": [e0, e1, …]}` (explicit exponent list). The
+//!   top-level entry is the default; each query may override it.
+//! * `op` — `"equiv"` (needs `spec` and `impl`) or `"extract"` (needs
+//!   `circuit`).
+//! * A circuit is either a netlist file path (resolved relative to the
+//!   manifest's directory) or `{"gen": "mastrovito" | "montgomery" |
+//!   "squarer" | "adder"}`. `montgomery` generates the hierarchical
+//!   four-block design (flattened where a flat spec is required).
+//!
+//! Unknown keys are rejected — a typo should fail loudly, not silently
+//! change what gets verified.
+
+use crate::engine::{BatchOp, BatchQuery, OwnedCircuit};
+use crate::field::nist::irreducible_polynomial;
+use crate::field::{ContextCache, Gf2Poly};
+use crate::netlist::format as nlformat;
+use crate::netlist::Netlist;
+use crate::telemetry::json::{parse_document, Json, Obj};
+use std::path::Path;
+
+/// Reads and parses a manifest file. Relative circuit paths inside the
+/// manifest resolve against the manifest's own directory.
+///
+/// # Errors
+///
+/// I/O failure, JSON syntax errors, or any schema violation — all as a
+/// human-readable message naming the offending query.
+pub fn load_manifest(path: &str) -> Result<Vec<BatchQuery>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let base = Path::new(path).parent().unwrap_or(Path::new("."));
+    parse_manifest(&text, base).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses manifest text; `base_dir` anchors relative circuit paths.
+///
+/// # Errors
+///
+/// As [`load_manifest`], minus the I/O.
+pub fn parse_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchQuery>, String> {
+    let doc = parse_document(text)?;
+    for (key, _) in &doc.0 {
+        if !matches!(key.as_str(), "field" | "queries") {
+            return Err(format!("unknown top-level key {key:?}"));
+        }
+    }
+    let default_field = doc.get("field").map(parse_field).transpose()?;
+    let Some(Json::Arr(entries)) = doc.get("queries") else {
+        return Err("manifest needs a \"queries\" array".into());
+    };
+    // Generator circuits need a constructed context; share construction
+    // across queries of the same field while loading.
+    let contexts = ContextCache::new(16);
+    let mut queries = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let Json::Obj(pairs) = entry else {
+            return Err(format!("query #{i} is not an object"));
+        };
+        let q = Obj(pairs.clone());
+        let name = match q.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            None => format!("q{i}"),
+            Some(_) => return Err(format!("query #{i}: \"name\" must be a string")),
+        };
+        parse_query(&q, &name, default_field.as_ref(), base_dir, &contexts)
+            .map(|bq| queries.push(bq))
+            .map_err(|e| format!("query {name:?}: {e}"))?;
+    }
+    if queries.is_empty() {
+        return Err("manifest has no queries".into());
+    }
+    Ok(queries)
+}
+
+fn parse_query(
+    q: &Obj,
+    name: &str,
+    default_field: Option<&Gf2Poly>,
+    base_dir: &Path,
+    contexts: &ContextCache,
+) -> Result<BatchQuery, String> {
+    let Some(Json::Str(op)) = q.get("op") else {
+        return Err("needs an \"op\" of \"equiv\" or \"extract\"".into());
+    };
+    let modulus = match q.get("field") {
+        Some(f) => parse_field(f)?,
+        None => default_field
+            .cloned()
+            .ok_or("no \"field\" here and no top-level default")?,
+    };
+    let allowed: &[&str] = match op.as_str() {
+        "equiv" => &["name", "op", "field", "spec", "impl"],
+        "extract" => &["name", "op", "field", "circuit"],
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    for (key, _) in &q.0 {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown key {key:?} for op {op:?}"));
+        }
+    }
+    let circuit = |key: &str| -> Result<OwnedCircuit, String> {
+        let spec = q.get(key).ok_or(format!("op {op:?} needs {key:?}"))?;
+        parse_circuit(spec, &modulus, base_dir, contexts).map_err(|e| format!("{key}: {e}"))
+    };
+    let op = match op.as_str() {
+        "extract" => BatchOp::Extract(circuit("circuit")?),
+        _ => BatchOp::Equiv {
+            spec: match circuit("spec")? {
+                OwnedCircuit::Flat(nl) => nl,
+                // The checker's spec side is flat by construction.
+                OwnedCircuit::Hier(d) => d.flatten(),
+            },
+            impl_: circuit("impl")?,
+        },
+    };
+    Ok(BatchQuery {
+        name: name.to_string(),
+        modulus,
+        op,
+    })
+}
+
+/// `{"k": n}` or `{"modulus": [e0, e1, …]}` → the field's modulus.
+fn parse_field(value: &Json) -> Result<Gf2Poly, String> {
+    let Json::Obj(pairs) = value else {
+        return Err("\"field\" must be an object".into());
+    };
+    let f = Obj(pairs.clone());
+    match (f.get("k"), f.get("modulus"), pairs.len()) {
+        (Some(Json::Num(k)), None, 1) => {
+            let k = usize::try_from(*k).map_err(|_| format!("k={k} out of range"))?;
+            irreducible_polynomial(k).ok_or(format!("no irreducible polynomial for k={k}"))
+        }
+        (None, Some(Json::Arr(exps)), 1) => {
+            let exps: Result<Vec<usize>, String> = exps
+                .iter()
+                .map(|e| match e {
+                    Json::Num(n) => usize::try_from(*n).map_err(|_| format!("exponent {n}")),
+                    other => Err(format!("non-integer exponent {other:?}")),
+                })
+                .collect();
+            Ok(Gf2Poly::from_exponents(&exps?))
+        }
+        _ => Err("\"field\" must be exactly {\"k\": n} or {\"modulus\": [e0, e1, ...]}".into()),
+    }
+}
+
+fn parse_circuit(
+    value: &Json,
+    modulus: &Gf2Poly,
+    base_dir: &Path,
+    contexts: &ContextCache,
+) -> Result<OwnedCircuit, String> {
+    match value {
+        Json::Str(path) => {
+            let full = base_dir.join(path);
+            let text = std::fs::read_to_string(&full)
+                .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+            let nl: Netlist = nlformat::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(OwnedCircuit::Flat(nl))
+        }
+        Json::Obj(pairs) => {
+            let o = Obj(pairs.clone());
+            let (Some(Json::Str(gen)), 1) = (o.get("gen"), pairs.len()) else {
+                return Err("a generated circuit is exactly {\"gen\": \"<arch>\"}".into());
+            };
+            let ctx = contexts.get(modulus).map_err(|e| e.to_string())?;
+            match gen.as_str() {
+                "mastrovito" => Ok(OwnedCircuit::Flat(crate::circuits::mastrovito_multiplier(
+                    &ctx,
+                ))),
+                "montgomery" => Ok(OwnedCircuit::Hier(
+                    crate::circuits::montgomery_multiplier_hier(&ctx),
+                )),
+                "squarer" => Ok(OwnedCircuit::Flat(crate::circuits::squarer(&ctx))),
+                "adder" => Ok(OwnedCircuit::Flat(crate::circuits::gf_adder(&ctx))),
+                other => Err(format!("unknown generator {other:?}")),
+            }
+        }
+        other => Err(format!(
+            "a circuit is a netlist path or {{\"gen\": …}}, got {other:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BatchOp, OwnedCircuit};
+
+    #[test]
+    fn generated_manifest_round_trips() {
+        let text = r#"{
+            "field": {"k": 4},
+            "queries": [
+                {"name": "eq", "op": "equiv",
+                 "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+                {"op": "extract", "circuit": {"gen": "squarer"},
+                 "field": {"modulus": [8, 4, 3, 1, 0]}}
+            ]
+        }"#;
+        let qs = parse_manifest(text, Path::new(".")).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].name, "eq");
+        assert!(matches!(
+            qs[0].op,
+            BatchOp::Equiv {
+                impl_: OwnedCircuit::Hier(_),
+                ..
+            }
+        ));
+        assert_eq!(qs[1].name, "q1");
+        assert_eq!(qs[1].modulus.degree(), Some(8));
+    }
+
+    #[test]
+    fn typos_fail_loudly() {
+        let base = Path::new(".");
+        let no_field = r#"{"queries": [{"op": "extract", "circuit": {"gen": "adder"}}]}"#;
+        assert!(parse_manifest(no_field, base)
+            .unwrap_err()
+            .contains("no top-level default"));
+        let bad_key = r#"{"field": {"k": 4},
+            "queries": [{"op": "extract", "circut": {"gen": "adder"}}]}"#;
+        assert!(parse_manifest(bad_key, base)
+            .unwrap_err()
+            .contains("circut"));
+        let bad_gen = r#"{"field": {"k": 4},
+            "queries": [{"op": "extract", "circuit": {"gen": "karatsuba"}}]}"#;
+        assert!(parse_manifest(bad_gen, base)
+            .unwrap_err()
+            .contains("karatsuba"));
+        let empty = r#"{"field": {"k": 4}, "queries": []}"#;
+        assert!(parse_manifest(empty, base)
+            .unwrap_err()
+            .contains("no queries"));
+    }
+}

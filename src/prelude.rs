@@ -1,0 +1,28 @@
+//! The one-line import for typical GFAB use:
+//!
+//! ```
+//! use gfab::prelude::*;
+//!
+//! let ctx = GfContext::shared(Gf2Poly::from_exponents(&[4, 1, 0])).unwrap();
+//! let mult = gfab::circuits::mastrovito_multiplier(&ctx);
+//! let report = Verifier::new(&ctx).extract(&mult).unwrap();
+//! assert_eq!(format!("{}", report.function().unwrap().display()), "A*B");
+//! ```
+//!
+//! Re-exports the session API ([`Verifier`]), the batch engine
+//! ([`Engine`] and its query/report types), the circuit views, the
+//! report types with their verdicts, and the two field primitives
+//! everything starts from ([`GfContext`], [`Gf2Poly`]).
+
+pub use crate::core::equiv::{EquivReport, Verdict};
+pub use crate::core::hier::HierExtraction;
+pub use crate::core::{
+    ExtractOptions, Extraction, ExtractionResult, ExtractionStats, WordFunction,
+};
+pub use crate::engine::{
+    BatchOp, BatchQuery, BatchReport, Engine, EngineConfig, OwnedCircuit, QueryOutcome, QueryResult,
+};
+pub use crate::field::{Gf, Gf2Poly, GfContext};
+pub use crate::netlist::hierarchy::HierDesign;
+pub use crate::netlist::Netlist;
+pub use crate::verifier::{Circuit, ExtractOutcome, ExtractReport, Verifier};

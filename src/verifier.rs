@@ -35,11 +35,11 @@
 
 use crate::core::equiv::SatStats;
 use crate::core::equiv::{
-    check_equivalence_budgeted, check_equivalence_hier_budgeted, EquivReport, Verdict,
+    check_equivalence_budgeted_with, check_equivalence_hier_budgeted_with, EquivReport, Verdict,
 };
-use crate::core::hier::{extract_hierarchical, HierExtraction};
+use crate::core::hier::{extract_hierarchical_budgeted_with, HierExtraction};
 use crate::core::{
-    extract_word_polynomial_with, CoreError, ExtractOptions, ExtractionResult, ExtractionStats,
+    CoreError, DirectExtract, ExtractOptions, ExtractProvider, ExtractionResult, ExtractionStats,
     WordFunction,
 };
 use crate::field::budget::BudgetSpec;
@@ -149,18 +149,39 @@ impl ExtractReport {
             ExtractOutcome::Hier(h) => Some(h),
         }
     }
+
+    /// The query's telemetry span tree (`None` unless the session has
+    /// [`Verifier::trace`] enabled) — the accessor twin of the `trace`
+    /// field, uniform with [`EquivReport::trace`].
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
 }
 
 /// A verification session: a field context plus extraction configuration,
 /// built in fluent style and reused across any number of
 /// [`extract`](Verifier::extract) / [`check`](Verifier::check) calls.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Verifier {
     ctx: Arc<GfContext>,
     options: ExtractOptions,
     sat_conflicts: u64,
     trace: bool,
     mem_stats: bool,
+    provider: Option<Arc<dyn ExtractProvider>>,
+}
+
+impl std::fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Verifier")
+            .field("ctx", &self.ctx)
+            .field("options", &self.options)
+            .field("sat_conflicts", &self.sat_conflicts)
+            .field("trace", &self.trace)
+            .field("mem_stats", &self.mem_stats)
+            .field("provider", &self.provider.as_ref().map(|_| "<custom>"))
+            .finish()
+    }
 }
 
 impl Verifier {
@@ -174,6 +195,7 @@ impl Verifier {
             sat_conflicts: 1_000_000,
             trace: false,
             mem_stats: false,
+            provider: None,
         }
     }
 
@@ -255,6 +277,17 @@ impl Verifier {
         self
     }
 
+    /// Routes every flat extraction (per side, per hierarchical block)
+    /// through the given [`ExtractProvider`] — the hook `gfab::Engine`
+    /// uses to share an artifact cache across a whole batch. Providers
+    /// must honour the determinism contract documented on the trait;
+    /// `None` (the default) extracts directly.
+    #[must_use]
+    pub fn extract_provider(mut self, provider: Arc<dyn ExtractProvider>) -> Self {
+        self.provider = Some(provider);
+        self
+    }
+
     /// The session's field context.
     pub fn ctx(&self) -> &Arc<GfContext> {
         &self.ctx
@@ -305,11 +338,15 @@ impl Verifier {
         };
         let root = options.telemetry.span_labeled(Phase::Extract, &name);
         options.telemetry = root.telemetry();
+        let provider = self.provider.as_deref().unwrap_or(&DirectExtract);
+        let budget = options.budget.start();
         let outcome = match circuit {
-            Circuit::Flat(nl) => extract_word_polynomial_with(nl, &self.ctx, &options)
+            Circuit::Flat(nl) => provider
+                .extract(nl, &self.ctx, &options, &budget)
                 .map(|r| ExtractOutcome::Flat(Box::new(r))),
             Circuit::Hier(design) => {
-                extract_hierarchical(design, &self.ctx, &options).map(ExtractOutcome::Hier)
+                extract_hierarchical_budgeted_with(provider, design, &self.ctx, &options, &budget)
+                    .map(ExtractOutcome::Hier)
             }
         };
         let _ = root.finish();
@@ -370,13 +407,24 @@ impl Verifier {
             .start(),
             None => spec_budget.start(),
         };
+        let provider = self.provider.as_deref().unwrap_or(&DirectExtract);
         let word = match impl_ {
-            Circuit::Flat(nl) => {
-                check_equivalence_budgeted(spec, nl, &self.ctx, &options, &word_budget)
-            }
-            Circuit::Hier(design) => {
-                check_equivalence_hier_budgeted(spec, design, &self.ctx, &options, &word_budget)
-            }
+            Circuit::Flat(nl) => check_equivalence_budgeted_with(
+                provider,
+                spec,
+                nl,
+                &self.ctx,
+                &options,
+                &word_budget,
+            ),
+            Circuit::Hier(design) => check_equivalence_hier_budgeted_with(
+                provider,
+                spec,
+                design,
+                &self.ctx,
+                &options,
+                &word_budget,
+            ),
         };
         let (word_report, reason) = match word {
             Ok(mut r) => match &r.verdict {

@@ -167,6 +167,141 @@ fn sat_equiv_conflict_budget_exits_three() {
 }
 
 #[test]
+fn version_prints_cargo_package_version() {
+    for flag in ["--version", "-V", "version"] {
+        let out = run(&[flag]);
+        assert_eq!(code(&out), 0);
+        assert_eq!(
+            stdout(&out).trim(),
+            format!("gfab {}", env!("CARGO_PKG_VERSION"))
+        );
+    }
+}
+
+/// Writes a batch manifest into the per-process temp dir.
+fn manifest_fixture(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gfab-cli-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write manifest");
+    path
+}
+
+#[test]
+fn batch_reports_per_query_verdicts_and_caches_duplicates() {
+    // Two identical equiv queries plus one refuted one: overall exit 1,
+    // one JSONL line per query, and the duplicate must hit the cache.
+    let path = manifest_fixture(
+        "batch_mixed.json",
+        r#"{
+            "field": {"k": 4},
+            "queries": [
+                {"name": "good", "op": "equiv",
+                 "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+                {"name": "good-again", "op": "equiv",
+                 "spec": {"gen": "mastrovito"}, "impl": {"gen": "montgomery"}},
+                {"name": "bad", "op": "equiv",
+                 "spec": {"gen": "mastrovito"}, "impl": {"gen": "adder"}}
+            ]
+        }"#,
+    );
+    let out = run(&["batch", path.to_str().unwrap(), "--threads", "2"]);
+    assert_eq!(code(&out), 1, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "3 queries + 1 summary: {text}");
+    assert!(lines[0].contains("\"query\":\"good\"") && lines[0].contains("\"exit\":0"));
+    assert!(lines[1].contains("\"query\":\"good-again\"") && lines[1].contains("\"exit\":0"));
+    assert!(lines[2].contains("\"verdict\":\"inequivalent\"") && lines[2].contains("\"exit\":1"));
+    let summary = lines[3];
+    assert!(summary.contains("\"batch-summary\""), "{summary}");
+    let hits: u64 = summary
+        .split("\"hits\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .expect("summary carries cache hits");
+    assert!(hits > 0, "duplicate queries must hit the cache: {summary}");
+}
+
+#[test]
+fn batch_budget_exhaustion_exits_three() {
+    // A 1 ms budget on a k=64 extraction dies in model construction,
+    // before any verdict-bearing report exists. That is a timeout
+    // (exit 3) under the uniform contract — not a usage error (exit 2)
+    // — and the spent result must never be cached.
+    let path = manifest_fixture(
+        "batch_deadline.json",
+        r#"{
+            "field": {"k": 64},
+            "queries": [{"name": "slow", "op": "extract",
+                         "circuit": {"gen": "mastrovito"}}]
+        }"#,
+    );
+    let out = run(&["batch", path.to_str().unwrap(), "--timeout", "1ms"]);
+    assert_eq!(
+        code(&out),
+        3,
+        "stdout: {}\nstderr: {}",
+        stdout(&out),
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains(r#""op":"timeout""#) && text.contains("budget"),
+        "stdout: {text}"
+    );
+    assert!(text.contains(r#""entries":0"#), "stdout: {text}");
+}
+
+#[test]
+fn batch_usage_errors_exit_two() {
+    let out = run(&["batch"]);
+    assert_eq!(code(&out), 2);
+    let out = run(&["batch", "/definitely/not/a/manifest.json"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("error:"), "stderr: {}", stderr(&out));
+    let path = manifest_fixture(
+        "batch_bad_key.json",
+        r#"{"field": {"k": 4}, "queries": [{"op": "extract", "circut": {"gen": "adder"}}]}"#,
+    );
+    let out = run(&["batch", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("circut"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn batch_warm_repeat_does_no_new_work() {
+    let path = manifest_fixture(
+        "batch_repeat.json",
+        r#"{
+            "field": {"k": 4},
+            "queries": [
+                {"name": "sq", "op": "extract", "circuit": {"gen": "squarer"}},
+                {"name": "mont", "op": "extract", "circuit": {"gen": "montgomery"}}
+            ]
+        }"#,
+    );
+    let out = run(&["batch", path.to_str().unwrap(), "--repeat", "2"]);
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let work: Vec<u64> = text
+        .lines()
+        .filter(|l| l.contains("\"batch-summary\""))
+        .map(|l| {
+            l.split("\"work_units\":")
+                .nth(1)
+                .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+                .and_then(|s| s.parse().ok())
+                .expect("summary carries work_units")
+        })
+        .collect();
+    assert_eq!(work.len(), 2, "one summary per pass: {text}");
+    assert!(work[0] > 0, "cold pass computes: {text}");
+    assert_eq!(work[1], 0, "warm pass recomputes nothing: {text}");
+}
+
+#[test]
 fn extract_succeeds_and_times_out() {
     let nl = fixture("mastrovito", 4);
     let out = run(&["extract", nl.to_str().unwrap(), "--k", "4"]);
