@@ -1,0 +1,22 @@
+//! Embeds a git-describe-style revision into the binary so `gfab
+//! --version`, trace JSONL headers and fuzz-corpus files can all record
+//! the exact build that produced an artifact. Falls back to "unknown"
+//! outside a git checkout (e.g. a source tarball) — the package version
+//! from Cargo is always available separately.
+
+use std::process::Command;
+
+fn main() {
+    // Re-run when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=.git/HEAD");
+    println!("cargo:rerun-if-changed=.git/refs");
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=GFAB_GIT_DESCRIBE={describe}");
+}

@@ -45,6 +45,7 @@ mod linearmaps;
 mod mastrovito;
 mod montgomery;
 mod reduction;
+pub mod registry;
 mod squarer;
 
 pub use adder::{constant_multiplier, gf_adder};
@@ -52,4 +53,5 @@ pub use linearmaps::{sqrt_circuit, trace_circuit};
 pub use mastrovito::mastrovito_multiplier;
 pub use montgomery::{monpro, montgomery_multiplier_hier, MonproOperand};
 pub use reduction::reduction_matrix;
+pub use registry::{build_pair, choose_arch, Arch, ALL_ARCHES};
 pub use squarer::squarer;

@@ -1,0 +1,249 @@
+//! A registry of circuit architectures for adversarial workload
+//! generation.
+//!
+//! Each [`Arch`] names one way to build a *(spec, impl)* pair over a
+//! field context: the spec is a reference circuit, the impl is an
+//! independently constructed (or cloned) circuit with the same input
+//! signature that must compute the same word function. Fuzzing draws
+//! architectures from this pool by weight, builds the pair, and injects
+//! faults into the impl side.
+//!
+//! The pool mixes the paper's benchmark architectures (Mastrovito,
+//! flattened Montgomery) with the smaller arithmetic generators and
+//! structurally random netlists, so the differential oracle exercises
+//! both the polynomial-structured circuits the abstraction is designed
+//! for and arbitrary combinational logic.
+
+use crate::{
+    constant_multiplier, gf_adder, mastrovito_multiplier, montgomery_multiplier_hier, squarer,
+};
+use gfab_field::{GfContext, Rng};
+use gfab_netlist::random::{random_circuit, RandomCircuitSpec};
+use gfab_netlist::Netlist;
+
+/// One architecture in the generator pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Arch {
+    /// Mastrovito multiplier vs. a structural clone of itself.
+    Mastrovito,
+    /// Mastrovito multiplier (spec) vs. flattened Montgomery multiplier
+    /// (impl) — the paper's headline cross-architecture pair.
+    Montgomery,
+    /// Squarer vs. a clone.
+    Squarer,
+    /// GF adder (bitwise XOR) vs. a clone.
+    Adder,
+    /// Constant multiplier by a seed-chosen non-zero element, vs. a clone.
+    ConstantMult,
+    /// Seeded random combinational DAG vs. a clone. Only offered at small
+    /// `k` (see [`Arch::supports_k`]): random logic is rarely a polynomial
+    /// word function, so deciding it at larger `k` needs the Case-2
+    /// completion, which is only routinely affordable on small fields.
+    Random,
+}
+
+/// Every architecture, in registry order.
+pub const ALL_ARCHES: [Arch; 6] = [
+    Arch::Mastrovito,
+    Arch::Montgomery,
+    Arch::Squarer,
+    Arch::Adder,
+    Arch::ConstantMult,
+    Arch::Random,
+];
+
+impl Arch {
+    /// Stable kebab-case name (corpus files, coverage tables, CLI).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::Mastrovito => "mastrovito",
+            Arch::Montgomery => "montgomery",
+            Arch::Squarer => "squarer",
+            Arch::Adder => "adder",
+            Arch::ConstantMult => "constant-mult",
+            Arch::Random => "random",
+        }
+    }
+
+    /// Inverse of [`Arch::name`]; `None` for unknown names.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Arch> {
+        ALL_ARCHES.into_iter().find(|a| a.name() == s)
+    }
+
+    /// Relative selection weight in the fuzz pool. Multipliers dominate
+    /// (they are what the paper verifies, and they have the richest
+    /// reduction structure to break); the linear circuits and random DAGs
+    /// keep breadth.
+    #[must_use]
+    pub fn weight(self) -> u32 {
+        match self {
+            Arch::Mastrovito => 4,
+            Arch::Montgomery => 3,
+            Arch::Squarer => 2,
+            Arch::Adder => 1,
+            Arch::ConstantMult => 2,
+            Arch::Random => 2,
+        }
+    }
+
+    /// Whether this architecture is generated at field degree `k`.
+    #[must_use]
+    pub fn supports_k(self, k: usize) -> bool {
+        match self {
+            Arch::Random => (2..=5).contains(&k),
+            _ => k >= 2,
+        }
+    }
+
+    /// Whether the circuit's function depends on the irreducible modulus
+    /// (and a wrong-modulus fault is therefore meaningful).
+    #[must_use]
+    pub fn modulus_sensitive(self) -> bool {
+        !matches!(self, Arch::Adder | Arch::Random)
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Draws an architecture from the weighted pool, restricted to those
+/// supported at degree `k`. Deterministic in the RNG state.
+///
+/// # Panics
+///
+/// Panics if no architecture supports `k` (never happens for `k >= 2`).
+pub fn choose_arch(rng: &mut Rng, k: usize) -> Arch {
+    let pool: Vec<Arch> = ALL_ARCHES.into_iter().filter(|a| a.supports_k(k)).collect();
+    let total: u32 = pool.iter().map(|a| a.weight()).sum();
+    assert!(total > 0, "no architecture supports k={k}");
+    let mut pick = rng.random_range(0..total as usize) as u32;
+    for a in &pool {
+        if pick < a.weight() {
+            return *a;
+        }
+        pick -= a.weight();
+    }
+    unreachable!("weighted choice within total")
+}
+
+/// Builds the *(spec, impl)* pair of `arch` over `ctx`. Both sides share
+/// one input signature; the impl must compute the same word function as
+/// the spec. `seed` only matters for seed-parameterised architectures
+/// (constant choice, random DAG shape) — structured generators are
+/// deterministic in `ctx` alone.
+pub fn build_pair(arch: Arch, ctx: &GfContext, seed: u64) -> (Netlist, Netlist) {
+    match arch {
+        Arch::Mastrovito => {
+            let nl = mastrovito_multiplier(ctx);
+            (nl.clone(), nl)
+        }
+        Arch::Montgomery => (
+            mastrovito_multiplier(ctx),
+            montgomery_multiplier_hier(ctx).flatten(),
+        ),
+        Arch::Squarer => {
+            let nl = squarer(ctx);
+            (nl.clone(), nl)
+        }
+        Arch::Adder => {
+            let nl = gf_adder(ctx);
+            (nl.clone(), nl)
+        }
+        Arch::ConstantMult => {
+            let mut rng = Rng::seed_from_u64(seed);
+            // A non-zero constant: 1..2^k (bounded draw keeps this exact
+            // for any k up to the word size).
+            let max = 1u64 << ctx.k().min(63);
+            let c = ctx.from_u64(rng.random_range(1..max as usize) as u64);
+            let nl = constant_multiplier(ctx, &c);
+            (nl.clone(), nl)
+        }
+        Arch::Random => {
+            let nl = random_circuit(&RandomCircuitSpec {
+                num_input_words: 2,
+                width: ctx.k(),
+                num_gates: 8 * ctx.k(),
+                seed,
+            });
+            (nl.clone(), nl)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_netlist::format::emit;
+    use gfab_netlist::sim::{exhaustive_check, simulate_word};
+
+    fn field(k: usize) -> std::sync::Arc<GfContext> {
+        GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for a in ALL_ARCHES {
+            assert_eq!(Arch::from_name(a.name()), Some(a));
+        }
+        assert_eq!(Arch::from_name("quantum"), None);
+    }
+
+    #[test]
+    fn pairs_validate_and_match_signatures() {
+        let ctx = field(4);
+        for arch in ALL_ARCHES {
+            for seed in [0u64, 7] {
+                let (spec, impl_) = build_pair(arch, &ctx, seed);
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{arch} spec: {e}"));
+                impl_
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{arch} impl: {e}"));
+                let spec_sig: Vec<usize> = spec.input_words().iter().map(|w| w.width()).collect();
+                let impl_sig: Vec<usize> = impl_.input_words().iter().map(|w| w.width()).collect();
+                assert_eq!(spec_sig, impl_sig, "{arch}: signature mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn unfaulted_pairs_are_equivalent() {
+        let ctx = field(4);
+        for arch in ALL_ARCHES {
+            let (spec, impl_) = build_pair(arch, &ctx, 3);
+            exhaustive_check(&impl_, &ctx, |w| simulate_word(&spec, &ctx, w))
+                .unwrap_or_else(|cex| panic!("{arch}: pair differs at {cex:?}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let ctx = field(5);
+        for arch in ALL_ARCHES {
+            let (s1, i1) = build_pair(arch, &ctx, 42);
+            let (s2, i2) = build_pair(arch, &ctx, 42);
+            assert_eq!(emit(&s1), emit(&s2), "{arch}");
+            assert_eq!(emit(&i1), emit(&i2), "{arch}");
+        }
+    }
+
+    #[test]
+    fn weighted_choice_covers_the_pool() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..256 {
+            seen.insert(choose_arch(&mut rng, 4));
+        }
+        assert!(seen.len() >= 5, "only drew {seen:?}");
+        // Random DAGs are withheld at larger k.
+        for _ in 0..64 {
+            assert_ne!(choose_arch(&mut rng, 8), Arch::Random);
+        }
+    }
+}

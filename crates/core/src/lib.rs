@@ -59,6 +59,7 @@ pub mod hier;
 pub mod ideal_membership;
 pub mod interpolate;
 pub mod model;
+pub mod pool;
 mod provider;
 mod wordfn;
 

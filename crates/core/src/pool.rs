@@ -1,0 +1,117 @@
+//! A minimal work-stealing pool for index-addressed task sets.
+//!
+//! Both the batch verification engine and the fuzz campaign runner
+//! process a fixed list of independent tasks (`0..n`) on a bounded set
+//! of workers and want results back in submission order. This module is
+//! that shared scheduler: tasks are dealt round-robin onto per-worker
+//! deques, an idle worker pops its own queue front-first and then steals
+//! from the back of its neighbours' queues, and every result lands in
+//! the slot of its task index.
+//!
+//! The scheduler decides *when* a task runs, never *what* it computes:
+//! as long as `f(w, i)` depends only on `i` (not on the worker index or
+//! on timing), the returned vector is bit-identical at any worker count.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `f(worker, index)` for every `index` in `0..n` over `workers`
+/// work-stealing workers and returns the results in index order.
+///
+/// `workers` is clamped to `1..=n`; with one worker everything runs on
+/// the calling thread (no threads are spawned). `f` receives the index
+/// of the worker executing it, for callers that keep per-worker state.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (a panicking worker aborts the pool).
+pub fn run_indexed<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    // Deal tasks round-robin onto per-worker deques.
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..n {
+        deques[i % workers]
+            .lock()
+            .expect("pool deque lock")
+            .push_back(i);
+    }
+
+    let run_worker = |w: usize| -> Vec<(usize, T)> {
+        let mut mine = Vec::new();
+        loop {
+            // Own queue front first; then steal from the back of the
+            // other workers' queues.
+            let mut next = deques[w].lock().expect("pool deque lock").pop_front();
+            if next.is_none() {
+                for v in (0..workers).filter(|&v| v != w) {
+                    next = deques[v].lock().expect("pool deque lock").pop_back();
+                    if next.is_some() {
+                        break;
+                    }
+                }
+            }
+            let Some(i) = next else { break };
+            mine.push((i, f(w, i)));
+        }
+        mine
+    };
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if workers <= 1 {
+        for (i, r) in run_worker(0) {
+            slots[i] = Some(r);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || run_worker(w)))
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("pool worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every task was dequeued exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed(workers, 37, |_w, i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = run_indexed(4, 100, |_w, i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn degenerate_sizes_work() {
+        assert!(run_indexed::<usize, _>(4, 0, |_w, i| i).is_empty());
+        assert_eq!(run_indexed(0, 3, |_w, i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed(16, 1, |_w, i| i), vec![0]);
+    }
+}

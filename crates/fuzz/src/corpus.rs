@@ -1,0 +1,281 @@
+//! The replayable failure corpus.
+//!
+//! Every caught fault and every cross-engine finding is persisted as one
+//! strict-JSON document (`case-NNNNN.json`) containing everything needed
+//! to re-run the oracle offline: the producing build's version string,
+//! the campaign seed and case index, the field (degree + modulus
+//! exponents), the architecture and fault that created the specimen, the
+//! classification, the shrunk spec/impl netlists in the text format of
+//! [`gfab_netlist::format`], and the distinguishing witness.
+//!
+//! The schema uses only the JSON subset of [`gfab_telemetry::json`]
+//! (objects, arrays, strings, unsigned integers, `null`): the witness is
+//! a `"0"`/`"1"` string, never booleans. Files parse with
+//! [`parse_document`] and round-trip byte-exactly, which is what the
+//! determinism suite compares across thread counts.
+
+use crate::fault::FaultKind;
+use gfab_telemetry::json::{parse_document, write_json_string, Json, Obj};
+
+/// One persisted failing specimen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusCase {
+    /// Version string of the build that wrote the case.
+    pub producer: String,
+    /// Campaign seed the case was found under.
+    pub campaign_seed: u64,
+    /// Case index within the campaign.
+    pub case_index: u64,
+    /// Field degree.
+    pub k: u64,
+    /// Exponents of the (correct) irreducible modulus, ascending.
+    pub modulus: Vec<u64>,
+    /// Architecture name (see `gfab_circuits::Arch::name`).
+    pub arch: String,
+    /// Injected fault kind name, when the specimen was faulted.
+    pub fault_kind: Option<String>,
+    /// Human-readable fault locus.
+    pub fault_detail: Option<String>,
+    /// `"caught"` (injected fault detected) or `"finding"` (cross-engine
+    /// disagreement).
+    pub classification: String,
+    /// Finding descriptions (empty for plain catches).
+    pub findings: Vec<String>,
+    /// Distinguishing input bits of the *shrunk* pair as a `0`/`1`
+    /// string, LSB-first in `Netlist::input_bits` order. Empty when no
+    /// bit witness exists (word-only counterexamples).
+    pub witness: String,
+    /// Gate total of the original pair.
+    pub original_gates: u64,
+    /// Gate total of the shrunk pair.
+    pub shrunk_gates: u64,
+    /// Shrink candidates evaluated.
+    pub shrink_steps: u64,
+    /// Shrunk spec netlist, text format.
+    pub spec: String,
+    /// Shrunk impl netlist, text format.
+    pub impl_: String,
+}
+
+impl CorpusCase {
+    /// The canonical file name for this case.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("case-{:05}.json", self.case_index)
+    }
+
+    /// The fault kind, parsed back from its name.
+    #[must_use]
+    pub fn fault(&self) -> Option<FaultKind> {
+        self.fault_kind.as_deref().and_then(FaultKind::from_name)
+    }
+
+    /// The witness as bits.
+    #[must_use]
+    pub fn witness_bits(&self) -> Vec<bool> {
+        self.witness.chars().map(|c| c == '1').collect()
+    }
+
+    /// Serialises to the strict-JSON document format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let mut field = |key: &str, value: &str, raw: bool| {
+            out.push_str("  ");
+            write_json_string(&mut out, key);
+            out.push_str(": ");
+            if raw {
+                out.push_str(value);
+            } else {
+                write_json_string(&mut out, value);
+            }
+            out.push_str(",\n");
+        };
+        field("type", "gfab-fuzz-case", false);
+        field("producer", &self.producer, false);
+        field("campaign_seed", &self.campaign_seed.to_string(), true);
+        field("case_index", &self.case_index.to_string(), true);
+        field("k", &self.k.to_string(), true);
+        let exps: Vec<String> = self.modulus.iter().map(u64::to_string).collect();
+        field("modulus", &format!("[{}]", exps.join(", ")), true);
+        field("arch", &self.arch, false);
+        match &self.fault_kind {
+            Some(kind) => field("fault_kind", kind, false),
+            None => field("fault_kind", "null", true),
+        }
+        match &self.fault_detail {
+            Some(d) => field("fault_detail", d, false),
+            None => field("fault_detail", "null", true),
+        }
+        field("classification", &self.classification, false);
+        let mut findings = String::from("[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                findings.push_str(", ");
+            }
+            write_json_string(&mut findings, f);
+        }
+        findings.push(']');
+        field("findings", &findings, true);
+        field("witness", &self.witness, false);
+        field("original_gates", &self.original_gates.to_string(), true);
+        field("shrunk_gates", &self.shrunk_gates.to_string(), true);
+        field("shrink_steps", &self.shrink_steps.to_string(), true);
+        field("spec", &self.spec, false);
+        field("impl", &self.impl_, false);
+        // Trim the trailing comma of the last field.
+        let len = out.len();
+        out.truncate(len - 2);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a corpus case document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for syntax errors, missing or mistyped
+    /// fields, or a wrong `type` tag.
+    pub fn from_json(text: &str) -> Result<CorpusCase, String> {
+        let obj = parse_document(text)?;
+        if get_str(&obj, "type")? != "gfab-fuzz-case" {
+            return Err("not a gfab-fuzz-case document".to_string());
+        }
+        let witness = get_str(&obj, "witness")?;
+        if witness.chars().any(|c| c != '0' && c != '1') {
+            return Err("witness must be a string of 0/1".to_string());
+        }
+        Ok(CorpusCase {
+            producer: get_str(&obj, "producer")?,
+            campaign_seed: get_u64(&obj, "campaign_seed")?,
+            case_index: get_u64(&obj, "case_index")?,
+            k: get_u64(&obj, "k")?,
+            modulus: get_u64_array(&obj, "modulus")?,
+            arch: get_str(&obj, "arch")?,
+            fault_kind: get_opt_str(&obj, "fault_kind")?,
+            fault_detail: get_opt_str(&obj, "fault_detail")?,
+            classification: get_str(&obj, "classification")?,
+            findings: get_str_array(&obj, "findings")?,
+            witness,
+            original_gates: get_u64(&obj, "original_gates")?,
+            shrunk_gates: get_u64(&obj, "shrunk_gates")?,
+            shrink_steps: get_u64(&obj, "shrink_steps")?,
+            spec: get_str(&obj, "spec")?,
+            impl_: get_str(&obj, "impl")?,
+        })
+    }
+}
+
+fn get<'a>(obj: &'a Obj, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_str(obj: &Obj, key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn get_opt_str(obj: &Obj, key: &str) -> Result<Option<String>, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(Some(s.clone())),
+        Json::Null => Ok(None),
+        _ => Err(format!("field {key:?} is not a string or null")),
+    }
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => Ok(*n),
+        _ => Err(format!("field {key:?} is not an integer")),
+    }
+}
+
+fn get_u64_array(obj: &Obj, key: &str) -> Result<Vec<u64>, String> {
+    match get(obj, key)? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|j| match j {
+                Json::Num(n) => Ok(*n),
+                _ => Err(format!("field {key:?} has a non-integer element")),
+            })
+            .collect(),
+        _ => Err(format!("field {key:?} is not an array")),
+    }
+}
+
+fn get_str_array(obj: &Obj, key: &str) -> Result<Vec<String>, String> {
+    match get(obj, key)? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|j| match j {
+                Json::Str(s) => Ok(s.clone()),
+                _ => Err(format!("field {key:?} has a non-string element")),
+            })
+            .collect(),
+        _ => Err(format!("field {key:?} is not an array")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CorpusCase {
+        CorpusCase {
+            producer: "gfab 0.3.0+abc123".to_string(),
+            campaign_seed: 42,
+            case_index: 17,
+            k: 8,
+            modulus: vec![0, 2, 3, 4, 8],
+            arch: "mastrovito".to_string(),
+            fault_kind: Some("wire-swap".to_string()),
+            fault_detail: Some("gate g3 input #1 n7 -> n2".to_string()),
+            classification: "caught".to_string(),
+            findings: Vec::new(),
+            witness: "0110".to_string(),
+            original_gates: 128,
+            shrunk_gates: 5,
+            shrink_steps: 211,
+            spec: "design spec\ninput A 2\n".to_string(),
+            impl_: "design impl\ninput A 2\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let case = sample();
+        let text = case.to_json();
+        let back = CorpusCase::from_json(&text).unwrap();
+        assert_eq!(back, case);
+        // And byte-stable: serialising the parse reproduces the text.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn null_fault_round_trips() {
+        let mut case = sample();
+        case.fault_kind = None;
+        case.fault_detail = None;
+        case.classification = "finding".to_string();
+        case.findings = vec!["[escape] sat: claims equivalent".to_string()];
+        let back = CorpusCase::from_json(&case.to_json()).unwrap();
+        assert_eq!(back.fault_kind, None);
+        assert_eq!(back.findings.len(), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_type_and_bad_witness() {
+        assert!(CorpusCase::from_json("{\"type\": \"other\"}").is_err());
+        let mut case = sample();
+        case.witness = "01x".to_string();
+        assert!(CorpusCase::from_json(&case.to_json()).is_err());
+    }
+
+    #[test]
+    fn file_name_is_zero_padded() {
+        assert_eq!(sample().file_name(), "case-00017.json");
+    }
+}

@@ -1,0 +1,252 @@
+//! The typed fault model.
+//!
+//! Each [`FaultKind`] names one class of realistic hardware bug; injection
+//! is deterministic in the RNG state and built on the structural mutators
+//! of [`gfab_netlist::mutate`]. Four kinds are *structural* (they edit one
+//! gate of the impl netlist); [`FaultKind::WrongModulus`] is a
+//! *generation-level* fault — the impl is rebuilt over a different
+//! irreducible polynomial of the same degree, modelling a multiplier wired
+//! with the wrong reduction matrix.
+
+use gfab_field::nist::irreducible_polynomial;
+use gfab_field::{Gf2Poly, Rng};
+use gfab_netlist::{mutate, GateId, GateKind, Netlist};
+use std::fmt;
+
+/// One class of injected bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A 2-input gate's function replaced by a different 2-input function
+    /// (AND → OR, XOR → XNOR, …).
+    GateFlip,
+    /// One input of a 2-input gate rewired to a different primary input —
+    /// the paper's Example 5.1 bug.
+    WireSwap,
+    /// A gate's output tied to a constant (stuck-at-0 / stuck-at-1).
+    StuckConst,
+    /// One operand of an XOR/XNOR dropped — a missing reduction term in a
+    /// modular multiplier's XOR tree.
+    DropTerm,
+    /// The impl built over a different irreducible polynomial of the same
+    /// degree — a wrong reduction matrix throughout the datapath.
+    WrongModulus,
+}
+
+/// Every fault kind, in declaration order.
+pub const ALL_FAULTS: [FaultKind; 5] = [
+    FaultKind::GateFlip,
+    FaultKind::WireSwap,
+    FaultKind::StuckConst,
+    FaultKind::DropTerm,
+    FaultKind::WrongModulus,
+];
+
+impl FaultKind {
+    /// Stable kebab-case name (corpus files, coverage tables, CLI).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::GateFlip => "gate-flip",
+            FaultKind::WireSwap => "wire-swap",
+            FaultKind::StuckConst => "stuck-const",
+            FaultKind::DropTerm => "drop-term",
+            FaultKind::WrongModulus => "wrong-modulus",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`]; `None` for unknown names.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<FaultKind> {
+        ALL_FAULTS.into_iter().find(|f| f.name() == s)
+    }
+
+    /// Whether this kind edits the netlist (vs. regenerating it over a
+    /// different modulus).
+    #[must_use]
+    pub fn is_structural(self) -> bool {
+        !matches!(self, FaultKind::WrongModulus)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete injected fault: its kind plus a human-readable locus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// What exactly was broken (gate id, nets, or moduli).
+    pub detail: String,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// 2-input gate functions eligible for a [`FaultKind::GateFlip`].
+const FLIPPABLE: [GateKind; 6] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Xor,
+    GateKind::Xnor,
+    GateKind::Nand,
+    GateKind::Nor,
+];
+
+/// Injects a structural fault of `kind` into a copy of `nl`.
+///
+/// Returns `None` when the netlist has no eligible site (e.g. no XOR gate
+/// for a [`FaultKind::DropTerm`]); the caller then tries another kind.
+/// Deterministic in the RNG state.
+///
+/// # Panics
+///
+/// Panics if `kind` is [`FaultKind::WrongModulus`], which is not a
+/// netlist edit — see [`alternate_modulus`].
+pub fn inject_structural(nl: &Netlist, kind: FaultKind, rng: &mut Rng) -> Option<(Netlist, Fault)> {
+    assert!(kind.is_structural(), "wrong-modulus is not a netlist edit");
+    let mut out = nl.clone();
+    let mutation = match kind {
+        FaultKind::GateFlip => {
+            let sites: Vec<GateId> = eligible(nl, |k| FLIPPABLE.contains(&k));
+            let g = *rng.choose(&sites)?;
+            let from = nl.gate(g).kind;
+            let alts: Vec<GateKind> = FLIPPABLE.iter().copied().filter(|&k| k != from).collect();
+            let to = *rng.choose(&alts)?;
+            mutate::swap_gate_kind(&mut out, g, to)
+        }
+        FaultKind::WireSwap => {
+            let sites: Vec<GateId> = eligible(nl, |k| k.arity() == 2);
+            let g = *rng.choose(&sites)?;
+            let position = rng.random_range(0..2);
+            let current = nl.gate(g).inputs[position];
+            // Rewire to a different primary input: always acyclic.
+            let pis: Vec<_> = nl
+                .input_bits()
+                .into_iter()
+                .filter(|&n| n != current)
+                .collect();
+            let to = *rng.choose(&pis)?;
+            mutate::swap_wire(&mut out, g, position, to)
+        }
+        FaultKind::StuckConst => {
+            let n = nl.num_gates();
+            if n == 0 {
+                return None;
+            }
+            let g = GateId(rng.random_range(0..n) as u32);
+            let value = rng.random_range(0..2) == 1;
+            mutate::stuck_at(&mut out, g, value)
+        }
+        FaultKind::DropTerm => {
+            let sites: Vec<GateId> = eligible(nl, |k| matches!(k, GateKind::Xor | GateKind::Xnor));
+            let g = *rng.choose(&sites)?;
+            let keep = rng.random_range(0..2);
+            mutate::drop_xor_term(&mut out, g, keep)
+        }
+        FaultKind::WrongModulus => unreachable!(),
+    };
+    let fault = Fault {
+        kind,
+        detail: mutation.to_string(),
+    };
+    Some((out, fault))
+}
+
+fn eligible(nl: &Netlist, pred: impl Fn(GateKind) -> bool) -> Vec<GateId> {
+    (0..nl.num_gates())
+        .map(|i| GateId(i as u32))
+        .filter(|&g| pred(nl.gate(g).kind))
+        .collect()
+}
+
+/// The smallest irreducible degree-`k` polynomial that differs from the
+/// canonical [`irreducible_polynomial`] for `k` — the wrong modulus a
+/// [`FaultKind::WrongModulus`] impl is rebuilt over.
+///
+/// Deterministic. `None` when the degree admits only one irreducible
+/// polynomial (k = 2) or `k < 2`.
+#[must_use]
+pub fn alternate_modulus(k: usize) -> Option<Gf2Poly> {
+    if !(2..=62).contains(&k) {
+        return None;
+    }
+    let canonical = irreducible_polynomial(k)?;
+    // Any irreducible polynomial of degree >= 1 has a nonzero constant
+    // term, so only odd tails need testing.
+    for tail in (1..1u64 << k).step_by(2) {
+        let mut p = Gf2Poly::from_u64(tail);
+        p.set_coeff(k, true);
+        if p != canonical && p.is_irreducible() {
+            return Some(p);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_circuits::mastrovito_multiplier;
+    use gfab_field::GfContext;
+    use gfab_netlist::format::emit;
+
+    fn mastrovito(k: usize) -> Netlist {
+        let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+        mastrovito_multiplier(&ctx)
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for f in ALL_FAULTS {
+            assert_eq!(FaultKind::from_name(f.name()), Some(f));
+        }
+        assert_eq!(FaultKind::from_name("cosmic-ray"), None);
+    }
+
+    #[test]
+    fn every_structural_kind_injects_into_a_multiplier() {
+        let nl = mastrovito(4);
+        for kind in ALL_FAULTS.into_iter().filter(|f| f.is_structural()) {
+            let mut rng = Rng::seed_from_u64(1);
+            let (mutated, fault) =
+                inject_structural(&nl, kind, &mut rng).unwrap_or_else(|| panic!("{kind}"));
+            assert_eq!(fault.kind, kind);
+            mutated.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_ne!(
+                emit(&mutated),
+                emit(&nl),
+                "{kind} left the netlist unchanged"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_rng_seed() {
+        let nl = mastrovito(5);
+        for kind in ALL_FAULTS.into_iter().filter(|f| f.is_structural()) {
+            let (a, fa) = inject_structural(&nl, kind, &mut Rng::seed_from_u64(7)).unwrap();
+            let (b, fb) = inject_structural(&nl, kind, &mut Rng::seed_from_u64(7)).unwrap();
+            assert_eq!(emit(&a), emit(&b));
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn alternate_modulus_is_irreducible_and_distinct() {
+        for k in 3..=12 {
+            let alt = alternate_modulus(k).unwrap_or_else(|| panic!("k={k}"));
+            assert!(alt.is_irreducible());
+            assert_eq!(alt.degree(), Some(k));
+            assert_ne!(alt, irreducible_polynomial(k).unwrap());
+        }
+        // F_4 has exactly one irreducible quadratic: x^2 + x + 1.
+        assert_eq!(alternate_modulus(2), None);
+    }
+}

@@ -1,0 +1,359 @@
+//! Deterministic delta-debugging of failing specimens.
+//!
+//! Given a *(spec, impl)* pair and a concrete witness input on which the
+//! two differ, the shrinker greedily minimises the pair while preserving
+//! the property *"the outputs differ on the (projected) witness"* — a
+//! pure bit-level predicate, so the same shrink runs identically for
+//! every fault kind, including wrong-modulus pairs where the two sides
+//! were built over different fields.
+//!
+//! Three reductions run to fixpoint under one candidate-evaluation
+//! budget:
+//!
+//! 1. **Output restriction** (once, up front): both output words are
+//!    restricted to the first output bit that differs under the witness,
+//!    so dead logic behind the agreeing bits can be eliminated.
+//! 2. **Input-bit fixing**: each input bit is tentatively frozen to its
+//!    witness value (the bit leaves the input word and becomes a constant
+//!    driver), keeping at least one bit per word so the pair remains a
+//!    word-level problem.
+//! 3. **Gate bypass**: each gate is tentatively replaced by a buffer of
+//!    one of its inputs or by the constant it evaluates to under the
+//!    witness; a candidate is kept only when the optimized netlist has
+//!    strictly fewer gates.
+//!
+//! Every acceptance strictly decreases (input bits, total gates)
+//! lexicographically, so the loop is monotone and terminates; the budget
+//! bounds the number of candidate evaluations regardless.
+
+use gfab_netlist::opt::optimize;
+use gfab_netlist::sim::simulate_bits;
+use gfab_netlist::{GateId, GateKind, NetId, Netlist};
+
+/// Shrinking resource limits.
+#[derive(Debug, Clone)]
+pub struct ShrinkConfig {
+    /// Maximum candidate reductions to evaluate (each costs two
+    /// simulations and an optimize pass).
+    pub max_candidates: u64,
+}
+
+impl Default for ShrinkConfig {
+    fn default() -> Self {
+        ShrinkConfig {
+            max_candidates: 3000,
+        }
+    }
+}
+
+/// The minimised pair and the effort spent reaching it.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// Minimised spec side.
+    pub spec: Netlist,
+    /// Minimised impl side.
+    pub impl_: Netlist,
+    /// The projected witness: the surviving input bits, in
+    /// `Netlist::input_bits` order, on which the two sides still differ.
+    pub witness: Vec<bool>,
+    /// Candidate reductions evaluated.
+    pub candidates: u64,
+    /// Candidate reductions accepted.
+    pub accepted: u64,
+}
+
+impl ShrinkResult {
+    /// Total gates across both sides.
+    #[must_use]
+    pub fn total_gates(&self) -> usize {
+        self.spec.num_gates() + self.impl_.num_gates()
+    }
+}
+
+/// Whether the two sides' output words differ on `bits`.
+fn differs(spec: &Netlist, impl_: &Netlist, bits: &[bool]) -> bool {
+    let sv = simulate_bits(spec, bits);
+    let iv = simulate_bits(impl_, bits);
+    spec.output_word()
+        .bits
+        .iter()
+        .zip(&impl_.output_word().bits)
+        .any(|(s, i)| sv[s.index()] != iv[i.index()])
+}
+
+/// Clone of `nl` with the output word restricted to bit `bit`.
+fn restrict_output(nl: &Netlist, bit: usize) -> Netlist {
+    let mut out = nl.clone();
+    let word = nl.output_word();
+    out.set_output_word(word.name.clone(), vec![word.bits[bit]]);
+    out
+}
+
+/// Rebuild of `nl` with input bit `bit_idx` of word `word_idx` removed
+/// from the word and driven by a constant `value` instead. Net ids are
+/// preserved, so gates copy over verbatim.
+fn fix_input_bit(nl: &Netlist, word_idx: usize, bit_idx: usize, value: bool) -> Netlist {
+    let mut out = Netlist::new(nl.name());
+    for _ in 0..nl.num_nets() {
+        out.add_net();
+    }
+    for (wi, w) in nl.input_words().iter().enumerate() {
+        let bits: Vec<NetId> = w
+            .bits
+            .iter()
+            .enumerate()
+            .filter(|&(bi, _)| !(wi == word_idx && bi == bit_idx))
+            .map(|(_, &n)| n)
+            .collect();
+        out.add_input_word_from_nets(w.name.clone(), bits);
+    }
+    let fixed = nl.input_words()[word_idx].bits[bit_idx];
+    let kind = if value {
+        GateKind::Const1
+    } else {
+        GateKind::Const0
+    };
+    out.push_gate(kind, Vec::new(), fixed);
+    for g in nl.gates() {
+        out.push_gate(g.kind, g.inputs.clone(), g.output);
+    }
+    let ow = nl.output_word();
+    out.set_output_word(ow.name.clone(), ow.bits.clone());
+    out
+}
+
+/// Flat position of bit `bit_idx` of word `word_idx` in
+/// `Netlist::input_bits` order.
+fn flat_position(nl: &Netlist, word_idx: usize, bit_idx: usize) -> usize {
+    nl.input_words()[..word_idx]
+        .iter()
+        .map(|w| w.width())
+        .sum::<usize>()
+        + bit_idx
+}
+
+/// Minimises a failing pair while preserving "outputs differ on the
+/// witness". Deterministic; monotone in gate count; terminates within
+/// `cfg.max_candidates` candidate evaluations.
+///
+/// # Panics
+///
+/// Panics if `witness` does not distinguish the pair to begin with.
+pub fn shrink_pair(
+    spec0: &Netlist,
+    impl0: &Netlist,
+    witness: &[bool],
+    cfg: &ShrinkConfig,
+) -> ShrinkResult {
+    assert!(
+        differs(spec0, impl0, witness),
+        "witness does not distinguish the pair"
+    );
+    let mut candidates = 0u64;
+    let mut accepted = 0u64;
+
+    // Output restriction: keep only the first differing output bit.
+    let sv = simulate_bits(spec0, witness);
+    let iv = simulate_bits(impl0, witness);
+    let diff_bit = spec0
+        .output_word()
+        .bits
+        .iter()
+        .zip(&impl0.output_word().bits)
+        .position(|(s, i)| sv[s.index()] != iv[i.index()])
+        .expect("a differing output bit exists");
+    let mut spec = optimize(&restrict_output(spec0, diff_bit)).0;
+    let mut impl_ = optimize(&restrict_output(impl0, diff_bit)).0;
+    let mut wit = witness.to_vec();
+    debug_assert!(differs(&spec, &impl_, &wit));
+
+    loop {
+        let mut progress = false;
+
+        // Input-bit fixing: freeze bits to their witness values, high
+        // bits first, keeping every word at least one bit wide. Restart
+        // the scan after each acceptance (positions shift).
+        'fixing: loop {
+            let widths: Vec<usize> = spec.input_words().iter().map(|w| w.width()).collect();
+            for (wi, &width) in widths.iter().enumerate() {
+                if width <= 1 {
+                    continue;
+                }
+                for bi in (0..width).rev() {
+                    if candidates >= cfg.max_candidates {
+                        break 'fixing;
+                    }
+                    candidates += 1;
+                    let pos = flat_position(&spec, wi, bi);
+                    let value = wit[pos];
+                    let s2 = optimize(&fix_input_bit(&spec, wi, bi, value)).0;
+                    let i2 = optimize(&fix_input_bit(&impl_, wi, bi, value)).0;
+                    let mut w2 = wit.clone();
+                    w2.remove(pos);
+                    if differs(&s2, &i2, &w2) {
+                        spec = s2;
+                        impl_ = i2;
+                        wit = w2;
+                        accepted += 1;
+                        progress = true;
+                        continue 'fixing;
+                    }
+                }
+            }
+            break;
+        }
+
+        // Gate bypass, each side independently.
+        for side in 0..2 {
+            'bypass: loop {
+                let nl = if side == 0 { &spec } else { &impl_ };
+                let vals = simulate_bits(nl, &wit);
+                let mut replacement: Option<Netlist> = None;
+                'scan: for gi in (0..nl.num_gates()).rev() {
+                    let g = nl.gate(GateId(gi as u32));
+                    let out_val = vals[g.output.index()];
+                    let const_kind = if out_val {
+                        GateKind::Const1
+                    } else {
+                        GateKind::Const0
+                    };
+                    let mut cands: Vec<(GateKind, Vec<NetId>)> = Vec::new();
+                    if g.kind != const_kind {
+                        cands.push((const_kind, Vec::new()));
+                    }
+                    if g.kind.arity() == 2 {
+                        cands.push((GateKind::Buf, vec![g.inputs[0]]));
+                        cands.push((GateKind::Buf, vec![g.inputs[1]]));
+                    }
+                    for (kind, ins) in cands {
+                        if candidates >= cfg.max_candidates {
+                            break 'scan;
+                        }
+                        candidates += 1;
+                        let mut trial = nl.clone();
+                        trial.replace_gate(GateId(gi as u32), kind, ins);
+                        let (t, _) = optimize(&trial);
+                        if t.num_gates() >= nl.num_gates() {
+                            continue;
+                        }
+                        let ok = if side == 0 {
+                            differs(&t, &impl_, &wit)
+                        } else {
+                            differs(&spec, &t, &wit)
+                        };
+                        if ok {
+                            replacement = Some(t);
+                            break 'scan;
+                        }
+                    }
+                }
+                match replacement {
+                    Some(t) => {
+                        if side == 0 {
+                            spec = t;
+                        } else {
+                            impl_ = t;
+                        }
+                        accepted += 1;
+                        progress = true;
+                    }
+                    None => break 'bypass,
+                }
+            }
+        }
+
+        if !progress || candidates >= cfg.max_candidates {
+            break;
+        }
+    }
+
+    debug_assert!(differs(&spec, &impl_, &wit));
+    ShrinkResult {
+        spec,
+        impl_,
+        witness: wit,
+        candidates,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfab_circuits::mastrovito_multiplier;
+    use gfab_field::nist::irreducible_polynomial;
+    use gfab_field::GfContext;
+    use gfab_netlist::mutate;
+    use gfab_netlist::sim::simulate_wide;
+
+    fn failing_pair(k: usize, seed: u64) -> (Netlist, Netlist, Vec<bool>) {
+        let ctx = GfContext::new(irreducible_polynomial(k).unwrap()).unwrap();
+        let spec = mastrovito_multiplier(&ctx);
+        let (bad, _) = mutate::inject_random_bug(&spec, seed);
+        // Find a witness by a deterministic wide sweep.
+        let n = spec.input_bits().len();
+        let mut rng = gfab_field::Rng::seed_from_u64(99);
+        loop {
+            let inputs: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let sv = simulate_wide(&spec, &inputs);
+            let iv = simulate_wide(&bad, &inputs);
+            let mut diff = 0u64;
+            for (s, i) in spec.output_word().bits.iter().zip(&bad.output_word().bits) {
+                diff |= sv[s.index()] ^ iv[i.index()];
+            }
+            if diff != 0 {
+                let lane = diff.trailing_zeros();
+                let w = inputs.iter().map(|m| (m >> lane) & 1 == 1).collect();
+                return (spec, bad, w);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_the_disagreement_and_reduces_gates() {
+        let (spec, bad, w) = failing_pair(6, 42);
+        let before = spec.num_gates() + bad.num_gates();
+        let r = shrink_pair(&spec, &bad, &w, &ShrinkConfig::default());
+        assert!(differs(&r.spec, &r.impl_, &r.witness));
+        assert!(r.total_gates() < before);
+        assert!(r.total_gates() <= 25, "shrunk to {} gates", r.total_gates());
+        r.spec.validate().unwrap();
+        r.impl_.validate().unwrap();
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let (spec, bad, w) = failing_pair(5, 7);
+        let a = shrink_pair(&spec, &bad, &w, &ShrinkConfig::default());
+        let b = shrink_pair(&spec, &bad, &w, &ShrinkConfig::default());
+        assert_eq!(
+            gfab_netlist::format::emit(&a.spec),
+            gfab_netlist::format::emit(&b.spec)
+        );
+        assert_eq!(a.witness, b.witness);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn words_keep_at_least_one_bit() {
+        let (spec, bad, w) = failing_pair(4, 3);
+        let r = shrink_pair(&spec, &bad, &w, &ShrinkConfig::default());
+        for word in r.spec.input_words() {
+            assert!(word.width() >= 1);
+        }
+        assert_eq!(
+            r.witness.len(),
+            r.spec.input_bits().len(),
+            "witness tracks the surviving input bits"
+        );
+    }
+
+    #[test]
+    fn candidate_budget_is_respected() {
+        let (spec, bad, w) = failing_pair(8, 21);
+        let tight = ShrinkConfig { max_candidates: 40 };
+        let r = shrink_pair(&spec, &bad, &w, &tight);
+        assert!(r.candidates <= 40);
+        assert!(differs(&r.spec, &r.impl_, &r.witness));
+    }
+}

@@ -30,6 +30,30 @@ pub enum Mutation {
         /// New net.
         to: NetId,
     },
+    /// Gate `gate` replaced by a constant driver (stuck-at fault): the
+    /// gate's output net is tied to `value` and its inputs are dropped.
+    StuckAt {
+        /// The mutated gate.
+        gate: GateId,
+        /// Original kind.
+        from: GateKind,
+        /// The stuck value driven onto the gate's output net.
+        value: bool,
+    },
+    /// One operand of an XOR/XNOR `gate` dropped — the classic "missing
+    /// reduction term" bug in modular multipliers, where one summand of a
+    /// reduction XOR tree is forgotten. The gate degenerates to a buffer
+    /// (XOR) or inverter (XNOR) of the surviving operand.
+    DropTerm {
+        /// The mutated gate.
+        gate: GateId,
+        /// Original kind (`Xor` or `Xnor`).
+        from: GateKind,
+        /// The operand that survives.
+        kept: NetId,
+        /// The operand that was dropped.
+        dropped: NetId,
+    },
 }
 
 impl fmt::Display for Mutation {
@@ -44,6 +68,19 @@ impl fmt::Display for Mutation {
                 from,
                 to,
             } => write!(f, "gate g{} input #{position} {from} -> {to}", gate.0),
+            Mutation::StuckAt { gate, from, value } => {
+                write!(f, "gate g{} ({from}) stuck-at-{}", gate.0, u8::from(*value))
+            }
+            Mutation::DropTerm {
+                gate,
+                from,
+                kept,
+                dropped,
+            } => write!(
+                f,
+                "gate g{} ({from}) dropped term {dropped} (kept {kept})",
+                gate.0
+            ),
         }
     }
 }
@@ -89,6 +126,54 @@ pub fn swap_wire(nl: &mut Netlist, g: GateId, position: usize, to: NetId) -> Mut
         position,
         from,
         to,
+    }
+}
+
+/// Replaces gate `g` by a constant driver of `value` (a stuck-at fault on
+/// the gate's output net). The gate's former inputs are disconnected; any
+/// logic they fed only through `g` becomes dead.
+pub fn stuck_at(nl: &mut Netlist, g: GateId, value: bool) -> Mutation {
+    let from = nl.gate(g).kind;
+    let kind = if value {
+        GateKind::Const1
+    } else {
+        GateKind::Const0
+    };
+    nl.replace_gate(g, kind, Vec::new());
+    Mutation::StuckAt {
+        gate: g,
+        from,
+        value,
+    }
+}
+
+/// Drops one operand of the XOR/XNOR gate `g`, keeping input `keep`
+/// (0 or 1): XOR degenerates to a buffer of the kept operand, XNOR to an
+/// inverter. This models a forgotten summand in a reduction XOR tree.
+///
+/// # Panics
+///
+/// Panics if `g` is not a 2-input XOR or XNOR, or `keep > 1`.
+pub fn drop_xor_term(nl: &mut Netlist, g: GateId, keep: usize) -> Mutation {
+    let gate = nl.gate(g).clone();
+    assert!(
+        matches!(gate.kind, GateKind::Xor | GateKind::Xnor) && gate.inputs.len() == 2,
+        "drop_xor_term needs a 2-input XOR/XNOR gate"
+    );
+    assert!(keep <= 1, "keep must select one of the two operands");
+    let kept = gate.inputs[keep];
+    let dropped = gate.inputs[1 - keep];
+    let kind = if gate.kind == GateKind::Xor {
+        GateKind::Buf
+    } else {
+        GateKind::Not
+    };
+    nl.replace_gate(g, kind, vec![kept]);
+    Mutation::DropTerm {
+        gate: g,
+        from: gate.kind,
+        kept,
+        dropped,
     }
 }
 
@@ -212,5 +297,55 @@ mod tests {
         let mut nl = fig2();
         let m = swap_gate_kind(&mut nl, GateId(0), GateKind::Or);
         assert_eq!(m.to_string(), "gate g0 kind and -> or");
+    }
+
+    #[test]
+    fn stuck_at_replaces_gate_with_constant() {
+        for value in [false, true] {
+            let mut nl = fig2();
+            let m = stuck_at(&mut nl, GateId(4), value);
+            assert_eq!(
+                m,
+                Mutation::StuckAt {
+                    gate: GateId(4),
+                    from: GateKind::Xor,
+                    value,
+                }
+            );
+            nl.validate().unwrap();
+            let g = nl.gate(GateId(4));
+            assert!(g.inputs.is_empty());
+            assert_eq!(
+                g.kind,
+                if value {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                }
+            );
+            // The stuck net now simulates to the constant for every input.
+            let vals = crate::sim::simulate_bits(&nl, &[true, false, true, true]);
+            assert_eq!(vals[g.output.index()], value);
+        }
+    }
+
+    #[test]
+    fn drop_term_degenerates_xor_to_buffer() {
+        let mut nl = fig2();
+        let before = nl.gate(GateId(4)).clone();
+        let m = drop_xor_term(&mut nl, GateId(4), 1);
+        assert_eq!(
+            m,
+            Mutation::DropTerm {
+                gate: GateId(4),
+                from: GateKind::Xor,
+                kept: before.inputs[1],
+                dropped: before.inputs[0],
+            }
+        );
+        nl.validate().unwrap();
+        assert_eq!(nl.gate(GateId(4)).kind, GateKind::Buf);
+        assert_eq!(nl.gate(GateId(4)).inputs, vec![before.inputs[1]]);
+        assert!(m.to_string().contains("dropped term"));
     }
 }

@@ -4,7 +4,7 @@
 //! Just enough JSON for GFAB's own file formats: objects, arrays,
 //! strings, unsigned integers and `null` — no floats, no booleans, no
 //! comments. In-repo so the workspace stays dependency-free (DESIGN.md
-//! §9). The [`jsonl`](crate::Trace::from_jsonl) trace codec parses one
+//! §10). The [`jsonl`](crate::Trace::from_jsonl) trace codec parses one
 //! object per *line* with a shallow nesting cap; the batch manifest
 //! loader parses one object per *file* (whitespace including newlines
 //! is insignificant) with a deeper cap.

@@ -7,7 +7,11 @@
 //! * **Header line** (first line):
 //!   `{"type":"trace","version":2,"spans":N}` — `N` is the number of
 //!   span lines that follow. `version` may be 1 or 2; it fixes the exact
-//!   field set of every span line.
+//!   field set of every span line. The header may additionally carry an
+//!   optional `"producer"` string (the emitting tool's version, e.g.
+//!   `gfab 0.3.0+abc1234` — what `gfab --version` prints), written by
+//!   [`Trace::to_jsonl_tagged`] so traces and the fuzz corpus record the
+//!   build that produced them.
 //! * **Span lines** (exactly `N`), each with exactly these fields:
 //!   - `"type"`: the string `"span"`;
 //!   - `"id"`: integer ≥ 1, unique within the file;
@@ -99,13 +103,30 @@ impl Trace {
     /// Serializes the trace to the documented JSONL schema (version 2).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
+        self.emit_jsonl(None)
+    }
+
+    /// [`Trace::to_jsonl`] with the optional `"producer"` header field
+    /// set to `producer` — the emitting tool's version string, recorded
+    /// so a trace file names the build that wrote it.
+    #[must_use]
+    pub fn to_jsonl_tagged(&self, producer: &str) -> String {
+        self.emit_jsonl(Some(producer))
+    }
+
+    fn emit_jsonl(&self, producer: Option<&str>) -> String {
         let mut out = String::new();
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{{\"type\":\"trace\",\"version\":{},\"spans\":{}}}",
+            "{{\"type\":\"trace\",\"version\":{},\"spans\":{}",
             JSONL_VERSION,
             self.spans().len()
         );
+        if let Some(p) = producer {
+            out.push_str(",\"producer\":");
+            write_json_string(&mut out, p);
+        }
+        out.push_str("}\n");
         for s in self.spans() {
             let _ = write!(out, "{{\"type\":\"span\",\"id\":{},\"parent\":", s.id);
             match s.parent {
@@ -182,7 +203,13 @@ impl Trace {
 
         let (hline, header) = lines.next().ok_or_else(|| err(0, "empty trace file"))?;
         let header = parse_object(header).map_err(|m| err(hline, m))?;
-        expect_keys(&header, &["type", "version", "spans"]).map_err(|e| e.on_line(hline))?;
+        expect_keys_opt(&header, &["type", "version", "spans"], &["producer"])
+            .map_err(|e| e.on_line(hline))?;
+        if header.get("producer").is_some() {
+            // Optional, but when present it must be the producing tool's
+            // version string.
+            get_str(&header, "producer").map_err(|e| e.on_line(hline))?;
+        }
         if header.get("type") != Some(&Json::Str("trace".into())) {
             return Err(err_at(hline, "type", "header \"type\" must be \"trace\""));
         }
@@ -409,13 +436,17 @@ fn field_err(path: impl Into<String>, message: impl Into<String>) -> FieldError 
 }
 
 fn expect_keys(obj: &Obj, keys: &[&str]) -> Result<(), FieldError> {
+    expect_keys_opt(obj, keys, &[])
+}
+
+fn expect_keys_opt(obj: &Obj, keys: &[&str], optional: &[&str]) -> Result<(), FieldError> {
     for k in keys {
         if obj.get(k).is_none() {
             return Err(field_err(*k, format!("missing required field {k:?}")));
         }
     }
     for (k, _) in &obj.0 {
-        if !keys.contains(&k.as_str()) {
+        if !keys.contains(&k.as_str()) && !optional.contains(&k.as_str()) {
             return Err(field_err(k.clone(), format!("unexpected field {k:?}")));
         }
     }
@@ -504,6 +535,24 @@ mod tests {
         for line in sample().to_jsonl().lines() {
             parse_object(line).expect("each line parses standalone");
         }
+    }
+
+    #[test]
+    fn tagged_producer_round_trips_and_stays_optional() {
+        let t = sample();
+        let tagged = t.to_jsonl_tagged("gfab 0.3.0+abc1234");
+        assert!(tagged
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"producer\":\"gfab 0.3.0+abc1234\""));
+        assert_eq!(Trace::from_jsonl(&tagged).expect("tagged parses"), t);
+        // Untagged output is unchanged and still parses.
+        assert!(!t.to_jsonl().contains("producer"));
+        // A non-string producer is rejected with the field named.
+        let bad = tagged.replace("\"gfab 0.3.0+abc1234\"", "3");
+        let e = Trace::from_jsonl(&bad).unwrap_err();
+        assert_eq!(e.path, "producer");
     }
 
     #[test]

@@ -102,6 +102,11 @@ pub enum Phase {
     Algebra,
     /// An artifact-cache probe by the batch engine (hit or miss).
     CacheLookup,
+    /// One fuzz-campaign case: generate, fault, run the differential
+    /// oracle (label = `arch/k/fault`).
+    FuzzCase,
+    /// Delta-debugging shrink of one failing fuzz specimen.
+    Shrink,
 }
 
 impl Phase {
@@ -125,6 +130,8 @@ impl Phase {
             Phase::SatSolve => "sat-solve",
             Phase::Algebra => "algebra",
             Phase::CacheLookup => "cache-lookup",
+            Phase::FuzzCase => "fuzz-case",
+            Phase::Shrink => "shrink",
         }
     }
 
@@ -148,6 +155,8 @@ impl Phase {
             "sat-solve" => Phase::SatSolve,
             "algebra" => Phase::Algebra,
             "cache-lookup" => Phase::CacheLookup,
+            "fuzz-case" => Phase::FuzzCase,
+            "shrink" => Phase::Shrink,
             _ => return None,
         })
     }
@@ -172,6 +181,8 @@ impl std::fmt::Display for Phase {
             Phase::SatSolve => "SAT search",
             Phase::Algebra => "polynomial algebra",
             Phase::CacheLookup => "artifact-cache lookup",
+            Phase::FuzzCase => "fuzz case",
+            Phase::Shrink => "counterexample shrinking",
         })
     }
 }
@@ -225,6 +236,17 @@ pub enum Counter {
     CacheMisses,
     /// Artifact-cache entries evicted under capacity pressure.
     CacheEvictions,
+    /// Fuzz cases executed by a campaign.
+    FuzzCases,
+    /// Faults injected into fuzz specimens.
+    FaultsInjected,
+    /// Faulted specimens the differential oracle refuted (caught bugs).
+    FuzzCaught,
+    /// Oracle findings (engine disagreements, escapes, bogus
+    /// counterexamples, unexpected Unknowns).
+    FuzzFindings,
+    /// Shrink candidates evaluated by the delta-debugging loop.
+    ShrinkSteps,
 }
 
 impl Counter {
@@ -253,6 +275,11 @@ impl Counter {
             Counter::CacheHits => "cache-hits",
             Counter::CacheMisses => "cache-misses",
             Counter::CacheEvictions => "cache-evictions",
+            Counter::FuzzCases => "fuzz-cases",
+            Counter::FaultsInjected => "faults-injected",
+            Counter::FuzzCaught => "fuzz-caught",
+            Counter::FuzzFindings => "fuzz-findings",
+            Counter::ShrinkSteps => "shrink-steps",
         }
     }
 
@@ -270,6 +297,7 @@ impl Counter {
                 | Counter::SPolynomials
                 | Counter::SimVectors
                 | Counter::Conflicts
+                | Counter::ShrinkSteps
         )
     }
 
@@ -298,6 +326,11 @@ impl Counter {
             "cache-hits" => Counter::CacheHits,
             "cache-misses" => Counter::CacheMisses,
             "cache-evictions" => Counter::CacheEvictions,
+            "fuzz-cases" => Counter::FuzzCases,
+            "faults-injected" => Counter::FaultsInjected,
+            "fuzz-caught" => Counter::FuzzCaught,
+            "fuzz-findings" => Counter::FuzzFindings,
+            "shrink-steps" => Counter::ShrinkSteps,
             _ => return None,
         })
     }
@@ -313,7 +346,7 @@ impl std::fmt::Display for Counter {
 mod tests {
     use super::*;
 
-    const ALL_PHASES: [Phase; 16] = [
+    const ALL_PHASES: [Phase; 18] = [
         Phase::Check,
         Phase::Extract,
         Phase::Block,
@@ -330,6 +363,8 @@ mod tests {
         Phase::SatSolve,
         Phase::Algebra,
         Phase::CacheLookup,
+        Phase::FuzzCase,
+        Phase::Shrink,
     ];
 
     #[test]
@@ -343,7 +378,7 @@ mod tests {
 
     #[test]
     fn counter_slugs_round_trip() {
-        const ALL: [Counter; 21] = [
+        const ALL: [Counter; 26] = [
             Counter::Gates,
             Counter::ReductionSteps,
             Counter::PeakTerms,
@@ -365,6 +400,11 @@ mod tests {
             Counter::CacheHits,
             Counter::CacheMisses,
             Counter::CacheEvictions,
+            Counter::FuzzCases,
+            Counter::FaultsInjected,
+            Counter::FuzzCaught,
+            Counter::FuzzFindings,
+            Counter::ShrinkSteps,
         ];
         for c in ALL {
             assert_eq!(Counter::from_slug(c.slug()), Some(c));

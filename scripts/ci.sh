@@ -86,6 +86,32 @@ echo "== differential + mutation-kill battery (release, wall-budgeted) =="
 timeout 600 cargo test -q --offline --release \
     --test differential_engines --test mutation_kill --test budgeted_verification
 
+echo "== fuzz smoke: seeded differential campaign, ~30s =="
+# Two seeded campaigns through the real binary. The clean sweep
+# (--fault-rate 0) runs every architecture, including the structurally
+# random pool, and must produce zero catches and zero cross-engine
+# findings; the faulted sweep must catch at least one injected fault
+# (still with zero findings — a finding means two engines disagree,
+# which is a bug in an engine, not in the specimen). One shrunk corpus
+# case is then replayed from its JSON file and must still reproduce.
+"$GFAB" fuzz --seed 1001 --cases 30 --k-min 4 --k-max 8 --fault-rate 0 \
+    --threads 2 > "$TRACE_DIR/fuzz_clean.json"
+grep -q '"caught":0,"benign":0,"clean":30,"findings":0' "$TRACE_DIR/fuzz_clean.json" || {
+    echo "fuzz smoke: clean campaign not clean:" >&2
+    cat "$TRACE_DIR/fuzz_clean.json" >&2
+    exit 1
+}
+"$GFAB" fuzz --seed 1002 --cases 24 --k-min 6 --k-max 8 --fault-rate 100 \
+    --threads 2 --corpus "$TRACE_DIR/fuzz_corpus" > "$TRACE_DIR/fuzz_bad.json"
+caught=$(grep -o '"caught":[0-9]*' "$TRACE_DIR/fuzz_bad.json" | head -1 | tr -dc 0-9)
+findings=$(grep -o '"findings":[0-9]*' "$TRACE_DIR/fuzz_bad.json" | head -1 | tr -dc 0-9)
+if [ "${caught:-0}" -eq 0 ] || [ "${findings:-1}" -ne 0 ]; then
+    echo "fuzz smoke: faulted campaign caught=$caught findings=$findings (want >0 / 0)" >&2
+    exit 1
+fi
+first_case=$(ls "$TRACE_DIR"/fuzz_corpus/case-*.json | head -1)
+"$GFAB" fuzz --replay "$first_case" > /dev/null
+
 echo "== perf gate: pinned workload vs committed baselines =="
 # Work-unit thresholds only — bench-diff never gates on wall time or
 # memory, so this step is stable on any CI machine.

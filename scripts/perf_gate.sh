@@ -60,6 +60,28 @@ if [ "$warm" -ge "$cold" ]; then
 fi
 echo "batch cache gate OK (cold $cold -> warm $warm work units)"
 
+echo "== fuzz work gate: pinned campaign vs committed baseline =="
+# A pinned fuzz campaign's deterministic work-unit total (simulation
+# rounds + Gröbner reduction steps + modelled gates + SAT conflicts) is
+# asserted *exactly* against scripts/fuzz_work_baseline.txt: the
+# campaign is a pure function of (seed, config), so any drift means an
+# engine's work profile changed and the baseline must be consciously
+# re-committed alongside the change that moved it.
+"$GFAB" fuzz --seed 2024 --cases 24 --k-min 6 --k-max 8 --fault-rate 50 \
+    --threads 2 > "$TMP/fuzz_gate.json"
+fuzz_work=$(grep -o '"work_units":[0-9]*' "$TMP/fuzz_gate.json" | head -1 | tr -dc 0-9)
+fuzz_base=$(tr -dc 0-9 < scripts/fuzz_work_baseline.txt)
+if [ -z "${fuzz_work:-}" ] || [ -z "${fuzz_base:-}" ]; then
+    echo "perf-gate: fuzz campaign or baseline missing work_units" >&2
+    exit 2
+fi
+if [ "$fuzz_work" -ne "$fuzz_base" ]; then
+    echo "perf-gate: fuzz work units drifted: $fuzz_base (baseline) -> $fuzz_work" >&2
+    echo "  (if intentional, re-commit scripts/fuzz_work_baseline.txt)" >&2
+    exit 1
+fi
+echo "fuzz work gate OK ($fuzz_work work units)"
+
 status=0
 for t in table1 table2 table3 table4; do
     base="BENCH_${t}.json"

@@ -25,24 +25,24 @@
 //!
 //! # Scheduling
 //!
-//! Queries are dealt round-robin onto per-worker deques; an idle worker
-//! steals from the back of its neighbours' deques. When a batch-wide
-//! deadline is configured, each dequeue grants the query its fair share
-//! of the *remaining* wall clock (`remaining_wall / unstarted_queries`),
-//! so early finishers donate their slack to later queries instead of
-//! stranding it.
+//! Queries run over the shared work-stealing scheduler in
+//! [`gfab_core::pool`] (round-robin deal onto per-worker deques, idle
+//! workers steal from the back of their neighbours' deques). When a
+//! batch-wide deadline is configured, each dequeue grants the query its
+//! fair share of the *remaining* wall clock
+//! (`remaining_wall / unstarted_queries`), so early finishers donate
+//! their slack to later queries instead of stranding it.
 
 use crate::cache::{CacheStats, CachingExtract};
 use crate::core::equiv::EquivReport;
-use crate::core::{CoreError, ExtractProvider};
+use crate::core::{pool, CoreError, ExtractProvider};
 use crate::field::{ContextCache, Gf2Poly};
 use crate::netlist::hierarchy::HierDesign;
 use crate::netlist::Netlist;
 use crate::telemetry::HistData;
 use crate::verifier::{Circuit, ExtractReport, Verifier};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of an [`Engine`].
@@ -218,73 +218,22 @@ impl Engine {
         let inner_threads = if workers > 1 { 1 } else { self.config.threads };
         let unstarted = AtomicUsize::new(n);
 
-        // Deal queries round-robin onto per-worker deques.
-        let deques: Vec<Mutex<VecDeque<usize>>> =
-            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for i in 0..n {
-            deques[i % workers]
-                .lock()
-                .expect("engine deque lock")
-                .push_back(i);
-        }
-
-        let run_worker = |w: usize| -> Vec<(usize, QueryResult)> {
-            let mut mine = Vec::new();
-            loop {
-                // Own queue front first; then steal from the back of the
-                // other workers' queues.
-                let mut next = deques[w].lock().expect("engine deque lock").pop_front();
-                if next.is_none() {
-                    for v in (0..workers).filter(|&v| v != w) {
-                        next = deques[v].lock().expect("engine deque lock").pop_back();
-                        if next.is_some() {
-                            break;
-                        }
-                    }
-                }
-                let Some(i) = next else { break };
-                let queue_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                let left = unstarted.fetch_sub(1, Ordering::Relaxed).max(1);
-                let deadline = self
-                    .config
-                    .deadline
-                    .map(|d| d.saturating_sub(start.elapsed()) / left as u32);
-                let q_start = Instant::now();
-                let outcome = self.run_query(&queries[i], deadline, inner_threads);
-                mine.push((
-                    i,
-                    QueryResult {
-                        name: queries[i].name.clone(),
-                        outcome,
-                        queue_us,
-                        duration: q_start.elapsed(),
-                    },
-                ));
+        let results: Vec<QueryResult> = pool::run_indexed(workers, n, |_w, i| {
+            let queue_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            let left = unstarted.fetch_sub(1, Ordering::Relaxed).max(1);
+            let deadline = self
+                .config
+                .deadline
+                .map(|d| d.saturating_sub(start.elapsed()) / left as u32);
+            let q_start = Instant::now();
+            let outcome = self.run_query(&queries[i], deadline, inner_threads);
+            QueryResult {
+                name: queries[i].name.clone(),
+                outcome,
+                queue_us,
+                duration: q_start.elapsed(),
             }
-            mine
-        };
-
-        let mut slots: Vec<Option<QueryResult>> = (0..n).map(|_| None).collect();
-        if workers <= 1 {
-            for (i, r) in run_worker(0) {
-                slots[i] = Some(r);
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| scope.spawn(move || run_worker(w)))
-                    .collect();
-                for h in handles {
-                    for (i, r) in h.join().expect("engine worker panicked") {
-                        slots[i] = Some(r);
-                    }
-                }
-            });
-        }
-        let results: Vec<QueryResult> = slots
-            .into_iter()
-            .map(|r| r.expect("every query was dequeued exactly once"))
-            .collect();
+        });
 
         let mut queue_latency = HistData::new();
         for r in &results {

@@ -18,6 +18,9 @@
 //!   ([`gfab_telemetry`])
 //! * [`bench`] — paper-table harness utilities and benchmark result
 //!   diffing ([`gfab_bench`])
+//! * [`fuzz`] — deterministic fuzzing, fault injection, the
+//!   cross-engine differential oracle and counterexample shrinking
+//!   ([`gfab_fuzz`])
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use gfab_bench as bench;
 pub use gfab_circuits as circuits;
 pub use gfab_core as core;
 pub use gfab_field as field;
+pub use gfab_fuzz as fuzz;
 pub use gfab_netlist as netlist;
 pub use gfab_poly as poly;
 pub use gfab_sat as sat;
@@ -54,6 +58,7 @@ pub mod engine;
 pub mod manifest;
 pub mod prelude;
 pub mod verifier;
+pub mod version;
 pub use cache::{ArtifactCache, CacheStats, CachingExtract};
 pub use engine::{
     BatchOp, BatchQuery, BatchReport, Engine, EngineConfig, OwnedCircuit, QueryOutcome,

@@ -61,8 +61,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "trace-check" => cmd_trace_check(rest),
         "trace-diff" => cmd_trace_diff(rest),
         "bench-diff" => cmd_bench_diff(rest),
+        "fuzz" => cmd_fuzz(rest),
         "--version" | "-V" | "version" => {
-            println!("gfab {}", env!("CARGO_PKG_VERSION"));
+            println!("{}", gfab::version::version_string());
             Ok(ExitCode::SUCCESS)
         }
         "--help" | "-h" | "help" => {
@@ -93,6 +94,11 @@ USAGE:
   gfab trace-check <trace.jsonl>
   gfab trace-diff  <baseline.jsonl> <current.jsonl> [--threshold PCT]
   gfab bench-diff  <baseline.json> <current.json> [--threshold PCT]
+  gfab fuzz      [--seed N] [--cases N] [--threads N] [--k-min K] [--k-max K]
+                 [--fault-rate PCT] [--faults a,b,...] [--corpus DIR]
+                 [--timeout D] [--sat-conflicts N] [--shrink-budget N]
+                 [--stats]
+  gfab fuzz      --replay <case.json>
 
 The field F_2^k is constructed with the NIST polynomial when k is a NIST
 ECC degree, a low-weight irreducible otherwise, or an explicit
@@ -133,11 +139,29 @@ machines) grew more than PCT percent over baseline; wall time and
 memory are informational, never gated. bench-diff does the same for
 two `--json` result files from the paper-table benchmarks.
 
+`fuzz` runs a deterministic seeded campaign: specimens drawn from a
+weighted architecture pool over F_2^k (k-min..k-max), a typed fault
+injected into --fault-rate percent of impl sides (kinds: gate-flip,
+wire-swap, stuck-const, drop-term, wrong-modulus; restrict with
+--faults), every specimen judged by a three-way differential oracle
+(simulation ground truth vs word-level abstraction vs SAT miter).
+Failing specimens are shrunk by delta debugging and written to
+--corpus as replayable JSON; `gfab fuzz --replay case.json` re-runs
+one. The same seed gives byte-identical summaries and corpora at any
+--threads value; --timeout only skips whole trailing cases. The
+campaign summary is one canonical JSON line on stdout; --stats adds
+human-readable coverage tables on stderr.
+
 EXIT CODES:
   0  equivalent / extraction or generation succeeded
+     (fuzz: campaign clean — catches only, no cross-engine findings;
+      replay: the recorded classification reproduced)
   1  not equivalent / property refuted (a counterexample was found)
+     (fuzz: at least one cross-engine finding; replay: no longer
+      reproduces)
   2  usage error or malformed input
-  3  verdict unknown (resource budget exhausted before a decision)"
+  3  verdict unknown (resource budget exhausted before a decision)
+     (fuzz: the campaign deadline skipped at least one case)"
     );
 }
 
@@ -291,8 +315,13 @@ impl<'a> TraceArgs<'a> {
             println!("{}", trace.render_tree());
         }
         if let Some(path) = self.json {
-            std::fs::write(path, trace.to_jsonl())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            // Stamp the producing build into the header so a trace file can
+            // always be matched back to the binary that wrote it.
+            std::fs::write(
+                path,
+                trace.to_jsonl_tagged(&gfab::version::version_string()),
+            )
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("wrote {} spans to {path}", trace.spans().len());
         }
         Ok(())
@@ -842,5 +871,169 @@ fn cmd_bench_diff(rest: &[String]) -> Result<ExitCode, String> {
             println!("REGRESSION {r}");
         }
         Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Parses the fuzz flags shared by campaigns and replays.
+fn parse_fuzz_config(rest: &[String]) -> Result<gfab::fuzz::FuzzConfig, String> {
+    use gfab::fuzz::FaultKind;
+    let mut cfg = gfab::fuzz::FuzzConfig {
+        producer: gfab::version::version_string(),
+        threads: parse_threads(rest)?,
+        deadline: parse_timeout(rest)?,
+        ..gfab::fuzz::FuzzConfig::default()
+    };
+    let num = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(rest, name)? {
+            Some(v) => v.parse().map_err(|_| format!("bad {name} value: {v}")),
+            None => Ok(default),
+        }
+    };
+    cfg.seed = num("--seed", cfg.seed)?;
+    cfg.cases = num("--cases", cfg.cases as u64)? as usize;
+    cfg.k_min = num("--k-min", cfg.k_min as u64)? as usize;
+    cfg.k_max = num("--k-max", cfg.k_max as u64)? as usize;
+    let rate = num("--fault-rate", u64::from(cfg.fault_rate_pct))?;
+    if rate > 100 {
+        return Err(format!("--fault-rate must be 0..=100, got {rate}"));
+    }
+    cfg.fault_rate_pct = rate as u32;
+    cfg.sat_conflicts = num("--sat-conflicts", cfg.sat_conflicts)?;
+    cfg.shrink_budget = num("--shrink-budget", cfg.shrink_budget)?;
+    if let Some(v) = flag_value(rest, "--word-work-cap")? {
+        let cap: u64 = v
+            .parse()
+            .map_err(|_| format!("bad --word-work-cap value: {v}"))?;
+        cfg.word_work_cap = if cap == 0 { None } else { Some(cap) };
+    }
+    if let Some(list) = flag_value(rest, "--faults")? {
+        let mut kinds = Vec::new();
+        for name in list.split(',') {
+            let kind = FaultKind::from_name(name.trim())
+                .ok_or_else(|| format!("unknown fault kind `{name}` (see `gfab help`)"))?;
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+        cfg.fault_kinds = kinds;
+    }
+    if cfg.k_min < 2 || cfg.k_max < cfg.k_min || cfg.k_max > 62 {
+        return Err(format!(
+            "bad degree range {}..={} (need 2 <= k-min <= k-max <= 62)",
+            cfg.k_min, cfg.k_max
+        ));
+    }
+    Ok(cfg)
+}
+
+fn cmd_fuzz(rest: &[String]) -> Result<ExitCode, String> {
+    use gfab::fuzz::{replay_case, run_campaign, write_corpus, CorpusCase, ReplayVerdict};
+    use gfab::telemetry::{Collector, Telemetry};
+
+    let mut cfg = parse_fuzz_config(rest)?;
+
+    // Replay mode: re-run one persisted corpus case under the oracle.
+    if let Some(path) = flag_value(rest, "--replay")? {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let case = CorpusCase::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "replaying {} (seed {} case {}, {} over k={}, fault {})",
+            path,
+            case.campaign_seed,
+            case.case_index,
+            case.arch,
+            case.k,
+            case.fault_kind.as_deref().unwrap_or("none"),
+        );
+        return match replay_case(&case, &cfg)? {
+            ReplayVerdict::Reproduced => {
+                println!("REPRODUCED: {} still {}", path, case.classification);
+                Ok(ExitCode::SUCCESS)
+            }
+            ReplayVerdict::NotReproduced(why) => {
+                println!("NOT REPRODUCED: {why}");
+                Ok(ExitCode::FAILURE)
+            }
+        };
+    }
+
+    let tracing = TraceArgs::parse(rest)?;
+    let collector = Collector::new();
+    if tracing.json.is_some() || tracing.tree {
+        cfg.telemetry = Telemetry::attached(&collector);
+    }
+    let report = run_campaign(&cfg);
+
+    // The canonical summary line is the *only* stdout output: scripts
+    // diff it byte-for-byte across thread counts.
+    println!("{}", report.summary.canonical_json(&cfg.producer));
+
+    if let Some(dir) = flag_value(rest, "--corpus")? {
+        let names = write_corpus(std::path::Path::new(dir), &report)?;
+        eprintln!("wrote {} corpus case(s) to {dir}", names.len());
+    }
+    if tracing.json.is_some() || tracing.tree {
+        let trace = collector.snapshot();
+        if tracing.tree {
+            eprintln!("{}", trace.render_tree());
+        }
+        if let Some(path) = tracing.json {
+            std::fs::write(path, trace.to_jsonl_tagged(&cfg.producer))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} spans to {path}", trace.spans().len());
+        }
+    }
+    if tracing.stats {
+        let s = &report.summary;
+        eprintln!(
+            "campaign: {}/{} cases in {:.1}s ({} skipped), {} faulted, \
+             {} caught, {} benign, {} clean, {} finding(s)",
+            s.completed,
+            s.cases,
+            report.wall.as_secs_f64(),
+            s.skipped,
+            s.faulted,
+            s.caught,
+            s.benign,
+            s.clean,
+            s.findings,
+        );
+        eprintln!(
+            "oracle: {} work units, {} word unknown(s), {} SAT cap-out(s); \
+             shrink: {} candidate(s), largest shrunk pair {} gate(s)",
+            s.work_units, s.word_unknown, s.sat_unknown, s.shrink_steps, s.max_shrunk_gates,
+        );
+        eprintln!(
+            "{:<14} {:>6} {:>8} {:>7} {:>9}",
+            "arch", "cases", "faulted", "caught", "findings"
+        );
+        for (name, row) in &s.per_arch {
+            eprintln!(
+                "{:<14} {:>6} {:>8} {:>7} {:>9}",
+                name, row[0], row[1], row[2], row[3]
+            );
+        }
+        eprintln!(
+            "{:<14} {:>8} {:>7} {:>7} {:>9}",
+            "fault", "injected", "caught", "benign", "findings"
+        );
+        for (name, row) in &s.per_fault {
+            eprintln!(
+                "{:<14} {:>8} {:>7} {:>7} {:>9}",
+                name, row[0], row[1], row[2], row[3]
+            );
+        }
+        for case in &report.cases {
+            for f in &case.findings {
+                eprintln!("finding case {}: {f}", case.index);
+            }
+        }
+    }
+    if report.summary.findings > 0 {
+        Ok(ExitCode::FAILURE)
+    } else if report.summary.skipped > 0 {
+        Ok(ExitCode::from(3))
+    } else {
+        Ok(ExitCode::SUCCESS)
     }
 }

@@ -168,12 +168,17 @@ fn sat_equiv_conflict_budget_exits_three() {
 
 #[test]
 fn version_prints_cargo_package_version() {
+    // The version string leads with the Cargo package version and may
+    // carry a `+<git-describe>` build suffix (see src/version.rs).
     for flag in ["--version", "-V", "version"] {
         let out = run(&[flag]);
         assert_eq!(code(&out), 0);
-        assert_eq!(
-            stdout(&out).trim(),
-            format!("gfab {}", env!("CARGO_PKG_VERSION"))
+        let text = stdout(&out);
+        let text = text.trim();
+        let prefix = format!("gfab {}", env!("CARGO_PKG_VERSION"));
+        assert!(
+            text == prefix || text.starts_with(&format!("{prefix}+")),
+            "unexpected version line: {text}"
         );
     }
 }

@@ -1,0 +1,136 @@
+//! Acceptance tests of the typed fault model: every fault kind, injected
+//! into a known-correct k = 8 Mastrovito multiplier, must be *caught* by
+//! the differential oracle — demonstrated inequivalent with no
+//! cross-engine findings (in particular no engine may claim equivalence
+//! on the faulted pair, i.e. no escapes) — and the shrunk specimen must
+//! still reproduce the original disagreement on its recorded witness.
+
+use gfab::circuits::mastrovito_multiplier;
+use gfab::field::nist::irreducible_polynomial;
+use gfab::field::{GfContext, Rng};
+use gfab::fuzz::fault::{alternate_modulus, inject_structural};
+use gfab::fuzz::oracle::{run_oracle, word_must_decide, OracleConfig};
+use gfab::fuzz::shrink::{shrink_pair, ShrinkConfig};
+use gfab::fuzz::{FaultKind, ALL_FAULTS};
+use gfab::netlist::sim::simulate_bits;
+use gfab::netlist::Netlist;
+use std::sync::Arc;
+
+const K: usize = 8;
+
+fn ctx8() -> Arc<GfContext> {
+    GfContext::shared(irreducible_polynomial(K).unwrap()).unwrap()
+}
+
+fn distinguishes(spec: &Netlist, impl_: &Netlist, bits: &[bool]) -> bool {
+    let sv = simulate_bits(spec, bits);
+    let iv = simulate_bits(impl_, bits);
+    spec.output_word()
+        .bits
+        .iter()
+        .zip(&impl_.output_word().bits)
+        .any(|(s, i)| sv[s.index()] != iv[i.index()])
+}
+
+/// Builds a faulted impl of the given kind that actually changes the
+/// function (some random injection sites are benign; we scan seeds until
+/// the fault is observable, which the oracle itself confirms).
+fn faulted_impl(spec: &Netlist, kind: FaultKind) -> Netlist {
+    if kind == FaultKind::WrongModulus {
+        let alt = alternate_modulus(K).expect("k=8 has an alternate irreducible");
+        let alt_ctx = GfContext::shared(alt).unwrap();
+        return mastrovito_multiplier(&alt_ctx);
+    }
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xFA17 ^ seed);
+        if let Some((nl, fault)) = inject_structural(spec, kind, &mut rng) {
+            assert_eq!(fault.kind, kind);
+            // Keep only observable faults; benign sites don't exercise
+            // the catch path.
+            let differs = (0..1u32 << 16).any(|p| {
+                let bits: Vec<bool> = (0..16).map(|i| (p >> i) & 1 == 1).collect();
+                distinguishes(spec, &nl, &bits)
+            });
+            if differs {
+                return nl;
+            }
+        }
+    }
+    panic!("no observable {kind:?} fault found in 64 seeds");
+}
+
+#[test]
+fn every_fault_kind_is_caught_with_no_escapes() {
+    let ctx = ctx8();
+    let spec = mastrovito_multiplier(&ctx);
+    // The campaign's default deterministic work cap, so a debug-build run
+    // of this suite stays quick even when a fault sends the Gröbner
+    // engine into its worst case.
+    let cfg = OracleConfig {
+        word_work_cap: Some(20_000),
+        ..OracleConfig::default()
+    };
+    for &kind in &ALL_FAULTS {
+        let bad = faulted_impl(&spec, kind);
+        let expect = word_must_decide(true, true, K, cfg.word_work_cap);
+        let out = run_oracle(&spec, &bad, &ctx, expect, &cfg);
+        assert!(
+            out.truth_differs,
+            "{kind:?}: oracle failed to catch an observable fault"
+        );
+        assert!(
+            out.findings.is_empty(),
+            "{kind:?}: unexpected findings (escape?): {:?}",
+            out.findings
+        );
+        let w = out
+            .witness
+            .as_ref()
+            .unwrap_or_else(|| panic!("{kind:?}: caught without a witness"));
+        assert!(distinguishes(&spec, &bad, w), "{kind:?}: bogus witness");
+    }
+}
+
+#[test]
+fn shrunk_specimens_still_reproduce_the_disagreement() {
+    let ctx = ctx8();
+    let spec = mastrovito_multiplier(&ctx);
+    let cfg = OracleConfig {
+        word_work_cap: Some(20_000),
+        ..OracleConfig::default()
+    };
+    for &kind in &ALL_FAULTS {
+        let bad = faulted_impl(&spec, kind);
+        let out = run_oracle(&spec, &bad, &ctx, false, &cfg);
+        let witness = out.witness.expect("caught fault has a witness");
+        let shrunk = shrink_pair(&spec, &bad, &witness, &ShrinkConfig::default());
+        // The shrinker's contract: the projected witness still
+        // distinguishes the minimised pair...
+        assert!(
+            distinguishes(&shrunk.spec, &shrunk.impl_, &shrunk.witness),
+            "{kind:?}: shrunk witness no longer distinguishes"
+        );
+        // ...and the oracle reaches the same verdict on the minimised
+        // specimen as on the original: inequivalent, no findings.
+        let re = run_oracle(
+            &shrunk.spec,
+            &shrunk.impl_,
+            &ctx,
+            false,
+            &OracleConfig::default(),
+        );
+        assert!(
+            re.truth_differs,
+            "{kind:?}: shrunk pair lost the disagreement"
+        );
+        assert!(
+            re.findings.is_empty(),
+            "{kind:?}: shrinking introduced findings: {:?}",
+            re.findings
+        );
+        assert!(
+            shrunk.total_gates() <= spec.num_gates() + bad.num_gates(),
+            "{kind:?}: shrinking grew the pair"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The fuzz subsystem's headline guarantee: a campaign is a pure
+//! function of `(seed, config)`. Same seed ⇒ byte-identical summary and
+//! corpus; the worker-thread count changes only the wall clock, never a
+//! single byte of any result. The same contract is asserted through the
+//! real binary, whose canonical summary line is what CI diffs.
+
+use gfab::fuzz::{run_campaign, FuzzConfig};
+use std::collections::BTreeMap;
+use std::process::{Command, Output};
+
+/// A small, fast campaign: generator-only degrees (no structurally
+//  random pool member), high fault rate so the corpus is non-trivial.
+fn config(seed: u64, threads: usize) -> FuzzConfig {
+    FuzzConfig {
+        seed,
+        cases: 12,
+        threads,
+        k_min: 6,
+        k_max: 8,
+        fault_rate_pct: 75,
+        ..FuzzConfig::default()
+    }
+}
+
+/// The corpus as a map of file name to file bytes.
+fn corpus_bytes(cfg: &FuzzConfig) -> BTreeMap<String, String> {
+    run_campaign(cfg)
+        .corpus_entries()
+        .into_iter()
+        .map(|c| (c.file_name(), c.to_json()))
+        .collect()
+}
+
+#[test]
+fn same_seed_same_threads_is_byte_identical() {
+    let cfg = config(0xD00D, 4);
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(
+        a.summary.canonical_json("p"),
+        b.summary.canonical_json("p"),
+        "summary must be reproducible"
+    );
+    let corpus_a: Vec<String> = a.corpus_entries().iter().map(|c| c.to_json()).collect();
+    let corpus_b: Vec<String> = b.corpus_entries().iter().map(|c| c.to_json()).collect();
+    assert_eq!(corpus_a, corpus_b, "corpus must be reproducible");
+    assert!(
+        !corpus_a.is_empty(),
+        "campaign at 75% fault rate should catch something"
+    );
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let base = config(0xBEEF, 1);
+    let summary1 = run_campaign(&base).summary.canonical_json("p");
+    let corpus1 = corpus_bytes(&base);
+    for threads in [2, 8] {
+        let cfg = config(0xBEEF, threads);
+        assert_eq!(
+            run_campaign(&cfg).summary.canonical_json("p"),
+            summary1,
+            "summary must not depend on --threads {threads}"
+        );
+        assert_eq!(
+            corpus_bytes(&cfg),
+            corpus1,
+            "failing specimen set must not depend on --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_draw_different_campaigns() {
+    let a = run_campaign(&config(1, 4));
+    let b = run_campaign(&config(2, 4));
+    assert_ne!(
+        a.summary.canonical_json("p"),
+        b.summary.canonical_json("p"),
+        "distinct seeds should explore distinct specimens"
+    );
+}
+
+fn run_bin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gfab"))
+        .args(args)
+        .output()
+        .expect("gfab binary spawns")
+}
+
+#[test]
+fn binary_summary_is_identical_across_thread_counts() {
+    let args = |threads: &'static str| {
+        vec![
+            "fuzz",
+            "--seed",
+            "77",
+            "--cases",
+            "8",
+            "--k-min",
+            "6",
+            "--k-max",
+            "7",
+            "--fault-rate",
+            "75",
+            "--threads",
+            threads,
+        ]
+    };
+    let one = run_bin(&args("1"));
+    let eight = run_bin(&args("8"));
+    assert_eq!(one.status.code(), eight.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&eight.stdout),
+        "stdout summary line must be byte-identical at any thread count"
+    );
+    let line = String::from_utf8_lossy(&one.stdout);
+    assert!(line.contains("\"type\":\"gfab-fuzz-summary\""));
+    assert!(line.contains("\"producer\":\"gfab "));
+}

@@ -34,6 +34,9 @@ fn all_mutations_killed_with_unlimited_budget() {
         match what {
             Mutation::GateTypeSwap { .. } => kind_swaps += 1,
             Mutation::WireSwap { .. } => wire_swaps += 1,
+            Mutation::StuckAt { .. } | Mutation::DropTerm { .. } => {
+                unreachable!("inject_random_bug draws only swap mutations")
+            }
         }
         let truly_equal = exhaustive_check(&bad, &ctx, |w| simulate_word(&golden, &ctx, w)).is_ok();
         let report = verifier.check(&golden, &bad).unwrap();

@@ -1,0 +1,163 @@
+//! Invariants of the counterexample shrinker and the replay pipeline:
+//!
+//! * shrinking is monotone — the minimised pair never has more gates
+//!   than the input pair, and the witness keeps distinguishing;
+//! * the candidate budget is a hard ceiling — shrinking terminates
+//!   within it even when set absurdly low;
+//! * a corpus case written by a real `gfab fuzz` campaign replays
+//!   through `gfab fuzz --replay` with the documented exit codes
+//!   (0 = reproduced, 2 = malformed input).
+
+use gfab::circuits::mastrovito_multiplier;
+use gfab::field::nist::irreducible_polynomial;
+use gfab::field::GfContext;
+use gfab::fuzz::shrink::{shrink_pair, ShrinkConfig};
+use gfab::netlist::mutate::inject_random_bug;
+use gfab::netlist::sim::simulate_bits;
+use gfab::netlist::Netlist;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+fn ctx_for(k: usize) -> Arc<GfContext> {
+    GfContext::shared(irreducible_polynomial(k).unwrap()).unwrap()
+}
+
+fn distinguishes(spec: &Netlist, impl_: &Netlist, bits: &[bool]) -> bool {
+    let sv = simulate_bits(spec, bits);
+    let iv = simulate_bits(impl_, bits);
+    spec.output_word()
+        .bits
+        .iter()
+        .zip(&impl_.output_word().bits)
+        .any(|(s, i)| sv[s.index()] != iv[i.index()])
+}
+
+/// A faulted pair plus a witness found by brute force.
+fn bugged_pair(k: usize, seed: u64) -> Option<(Netlist, Netlist, Vec<bool>)> {
+    let ctx = ctx_for(k);
+    let spec = mastrovito_multiplier(&ctx);
+    let (bad, _) = inject_random_bug(&spec, seed);
+    let n = spec.input_bits().len();
+    (0..1u32 << n)
+        .map(|p| (0..n).map(|i| (p >> i) & 1 == 1).collect::<Vec<bool>>())
+        .find(|bits| distinguishes(&spec, &bad, bits))
+        .map(|w| (spec, bad, w))
+}
+
+#[test]
+fn shrinking_is_monotone_and_keeps_the_witness() {
+    let mut checked = 0;
+    for seed in 0..6u64 {
+        let Some((spec, bad, witness)) = bugged_pair(5, seed) else {
+            continue; // benign mutation
+        };
+        let before = spec.num_gates() + bad.num_gates();
+        let r = shrink_pair(&spec, &bad, &witness, &ShrinkConfig::default());
+        assert!(
+            r.total_gates() <= before,
+            "seed {seed}: shrink grew the pair ({} -> {})",
+            before,
+            r.total_gates()
+        );
+        assert!(
+            distinguishes(&r.spec, &r.impl_, &r.witness),
+            "seed {seed}: projected witness lost the disagreement"
+        );
+        assert!(r.accepted <= r.candidates);
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "too few observable mutations to be meaningful"
+    );
+}
+
+#[test]
+fn candidate_budget_is_a_hard_ceiling() {
+    let (spec, bad, witness) = bugged_pair(5, 1).or_else(|| bugged_pair(5, 2)).unwrap();
+    for budget in [1, 7, 40] {
+        let cfg = ShrinkConfig {
+            max_candidates: budget,
+        };
+        let r = shrink_pair(&spec, &bad, &witness, &cfg);
+        assert!(
+            r.candidates <= budget,
+            "budget {budget}: evaluated {} candidates",
+            r.candidates
+        );
+        // Even a starved shrink must return a valid reproducing pair.
+        assert!(distinguishes(&r.spec, &r.impl_, &r.witness));
+    }
+}
+
+fn run_bin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gfab"))
+        .args(args)
+        .output()
+        .expect("gfab binary spawns")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exits normally")
+}
+
+#[test]
+fn corpus_cases_replay_with_documented_exit_codes() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("gfab-shrink-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = run_bin(&[
+        "fuzz",
+        "--seed",
+        "1234",
+        "--cases",
+        "10",
+        "--k-min",
+        "6",
+        "--k-max",
+        "7",
+        "--fault-rate",
+        "100",
+        "--threads",
+        "2",
+        "--corpus",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "campaign: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("corpus dir written")
+        .map(|e| e.unwrap().path())
+        .collect();
+    cases.sort();
+    assert!(!cases.is_empty(), "100% fault rate produced no corpus");
+
+    // Every persisted case reproduces (exit 0).
+    for case in &cases {
+        let replay = run_bin(&["fuzz", "--replay", case.to_str().unwrap()]);
+        assert_eq!(
+            code(&replay),
+            0,
+            "{}: {}{}",
+            case.display(),
+            String::from_utf8_lossy(&replay.stdout),
+            String::from_utf8_lossy(&replay.stderr)
+        );
+        assert!(String::from_utf8_lossy(&replay.stdout).contains("REPRODUCED"));
+    }
+
+    // Malformed input is a usage error (exit 2).
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, "{\"type\": \"gfab-fuzz-case\"").unwrap();
+    let bad = run_bin(&["fuzz", "--replay", junk.to_str().unwrap()]);
+    assert_eq!(code(&bad), 2);
+    let missing = run_bin(&["fuzz", "--replay", "/nonexistent/case.json"]);
+    assert_eq!(code(&missing), 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
