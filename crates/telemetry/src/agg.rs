@@ -1,0 +1,644 @@
+//! Cross-run trace aggregation (`gfab trace-agg`): many JSONL traces
+//! stream into mergeable per-group summaries.
+//!
+//! # Grouping
+//!
+//! Spans are bucketed by a [`GroupBy`] key:
+//!
+//! * [`GroupBy::Phase`] — the label-free phase path used by trace-diff
+//!   (`check/extract/guided-reduction`), so aggregation and diffing
+//!   align on identical keys.
+//! * [`GroupBy::K`] / [`GroupBy::Arch`] — derived from the *root* span's
+//!   label and inherited by every descendant. Generator circuit names
+//!   (`mastrovito_163`) split at the trailing `_<digits>`; fuzz-case
+//!   labels (`arch/k/fault`) split at `/`. Spans whose root carries no
+//!   parseable label land in the `"unknown"` group rather than being
+//!   dropped, so group totals always cover every span.
+//!
+//! # Exact merge
+//!
+//! Every per-group statistic — span count, summed counters, and the
+//! wall-time [`HistData`] the percentiles are computed from — merges
+//! exactly: aggregating N shard traces one by one equals aggregating
+//! their concatenation, byte for byte in both the rendered table and
+//! the JSONL document. That is what makes sharded sweeps (one trace per
+//! worker, per host, per CI job) trustworthy to combine after the fact.
+//!
+//! # The v3 `agg` document
+//!
+//! [`TraceAgg::to_jsonl`] writes a line-oriented strict-JSON document in
+//! the schema-v3 family (see the [`crate::Trace::to_jsonl`] version
+//! history): a header line
+//! `{"type":"agg","version":3,"group_by":G,"groups":N}` (plus an
+//! optional `"producer"`), then exactly `N` `"group"` lines sorted by
+//! key, each carrying the span count, recomputable work units, the
+//! counter map, the wall-µs histogram and its p50/p90/p99. The parser
+//! in [`TraceAgg::from_jsonl`] is as strict as the trace parser —
+//! unknown fields, unknown counter slugs, unsorted or duplicate keys,
+//! malformed histograms, and `work_units`/percentile fields that do not
+//! match recomputation are all errors — which is what lets
+//! `gfab trace-check` validate `agg` documents too.
+
+use crate::json::{parse_object, write_json_string, Json};
+use crate::jsonl::{
+    err, err_at, expect_keys, expect_keys_opt, get_str, get_u64, parse_hist, write_hist_json,
+};
+use crate::trace::fmt_duration;
+use crate::{Counter, HistData, ParseError, Trace, JSONL_VERSION};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// How [`TraceAgg`] buckets spans into groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupBy {
+    /// Label-free phase path from the root down (trace-diff's key).
+    Phase,
+    /// Field degree parsed from the root span's label (`k163`).
+    K,
+    /// Architecture name parsed from the root span's label
+    /// (`mastrovito`, `montgomery`, …).
+    Arch,
+}
+
+impl GroupBy {
+    /// Stable identifier used on the CLI and in the `agg` header.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            GroupBy::Phase => "phase",
+            GroupBy::K => "k",
+            GroupBy::Arch => "arch",
+        }
+    }
+
+    /// Inverse of [`GroupBy::slug`]; `None` for unknown identifiers.
+    #[must_use]
+    pub fn from_slug(s: &str) -> Option<GroupBy> {
+        Some(match s {
+            "phase" => GroupBy::Phase,
+            "k" => GroupBy::K,
+            "arch" => GroupBy::Arch,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything aggregated under one group key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AggGroup {
+    /// Number of spans merged into this group.
+    pub spans: u64,
+    /// Summed counters, kept sorted by slug (canonical order, so shard
+    /// merges serialize identically regardless of arrival order).
+    pub counters: Vec<(Counter, u64)>,
+    /// Distribution of span durations in microseconds.
+    pub wall_us: HistData,
+}
+
+impl AggGroup {
+    /// Sum of the deterministic work-unit counters
+    /// (see [`Counter::is_work`]).
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(c, _)| c.is_work())
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    fn add_counter(&mut self, counter: Counter, value: u64) {
+        match self
+            .counters
+            .binary_search_by(|(c, _)| c.slug().cmp(counter.slug()))
+        {
+            Ok(i) => self.counters[i].1 += value,
+            Err(i) => self.counters.insert(i, (counter, value)),
+        }
+    }
+
+    fn merge(&mut self, other: &AggGroup) {
+        self.spans += other.spans;
+        for (c, v) in &other.counters {
+            self.add_counter(*c, *v);
+        }
+        self.wall_us.merge(&other.wall_us);
+    }
+}
+
+/// A mergeable multi-trace aggregation (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAgg {
+    group_by: GroupBy,
+    /// Per-key aggregates, sorted by key (BTreeMap order).
+    pub groups: BTreeMap<String, AggGroup>,
+}
+
+/// Derives the K/Arch group key from a root span's label. Fuzz-case
+/// labels are `arch/k/fault`; generator circuit names are
+/// `<arch>_<digits>`. Anything else is `"unknown"` (for K) or the label
+/// itself (for Arch — a bare name is still an architecture).
+fn root_key(label: Option<&str>, group_by: GroupBy) -> String {
+    let unknown = || "unknown".to_string();
+    let Some(label) = label else {
+        return unknown();
+    };
+    if let Some((arch, rest)) = label.split_once('/') {
+        let k = rest.split('/').next().unwrap_or("");
+        return match group_by {
+            GroupBy::Arch if !arch.is_empty() => arch.to_string(),
+            GroupBy::K if !k.is_empty() && k.bytes().all(|b| b.is_ascii_digit()) => {
+                format!("k{k}")
+            }
+            _ => unknown(),
+        };
+    }
+    if let Some((arch, k)) = label.rsplit_once('_') {
+        if !arch.is_empty() && !k.is_empty() && k.bytes().all(|b| b.is_ascii_digit()) {
+            return match group_by {
+                GroupBy::Arch => arch.to_string(),
+                _ => format!("k{k}"),
+            };
+        }
+    }
+    match group_by {
+        GroupBy::Arch => label.to_string(),
+        _ => unknown(),
+    }
+}
+
+impl TraceAgg {
+    /// An empty aggregation over the given grouping.
+    #[must_use]
+    pub fn new(group_by: GroupBy) -> TraceAgg {
+        TraceAgg {
+            group_by,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// The grouping this aggregation was built with.
+    #[must_use]
+    pub fn group_by(&self) -> GroupBy {
+        self.group_by
+    }
+
+    /// Folds one trace in: every span lands in exactly one group.
+    pub fn add_trace(&mut self, trace: &Trace) {
+        // Spans are sorted by id and parents precede children, so one
+        // forward pass with an id → key memo resolves both the phase
+        // path and the inherited root label.
+        let mut memo: BTreeMap<u64, String> = BTreeMap::new();
+        for s in trace.spans() {
+            let key = match self.group_by {
+                GroupBy::Phase => match s.parent.and_then(|p| memo.get(&p)) {
+                    Some(parent_path) => format!("{parent_path}/{}", s.phase.slug()),
+                    None => s.phase.slug().to_string(),
+                },
+                GroupBy::K | GroupBy::Arch => match s.parent.and_then(|p| memo.get(&p)) {
+                    Some(inherited) => inherited.clone(),
+                    None => root_key(s.label.as_deref(), self.group_by),
+                },
+            };
+            memo.insert(s.id, key.clone());
+            let g = self.groups.entry(key).or_default();
+            g.spans += 1;
+            g.wall_us
+                .record(s.duration.as_micros().min(u128::from(u64::MAX)) as u64);
+            for (c, v) in &s.counters {
+                g.add_counter(*c, *v);
+            }
+        }
+    }
+
+    /// Merges another aggregation in (shard recombination).
+    ///
+    /// # Errors
+    ///
+    /// When the two sides were grouped differently — their keys would
+    /// not be comparable.
+    pub fn merge(&mut self, other: &TraceAgg) -> Result<(), String> {
+        if self.group_by != other.group_by {
+            return Err(format!(
+                "cannot merge a --group-by {} aggregation into a --group-by {} one",
+                other.group_by.slug(),
+                self.group_by.slug()
+            ));
+        }
+        for (key, g) in &other.groups {
+            self.groups.entry(key.clone()).or_default().merge(g);
+        }
+        Ok(())
+    }
+
+    /// Total deterministic work units over all groups.
+    #[must_use]
+    pub fn work_units(&self) -> u64 {
+        self.groups.values().map(AggGroup::work).sum()
+    }
+
+    /// Total span count over all groups.
+    #[must_use]
+    pub fn total_spans(&self) -> u64 {
+        self.groups.values().map(|g| g.spans).sum()
+    }
+
+    /// Serializes to the v3 `agg` JSONL document (see the module docs).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        self.emit_jsonl(None)
+    }
+
+    /// [`TraceAgg::to_jsonl`] with the optional `"producer"` header
+    /// field set (the emitting tool's version string).
+    #[must_use]
+    pub fn to_jsonl_tagged(&self, producer: &str) -> String {
+        self.emit_jsonl(Some(producer))
+    }
+
+    fn emit_jsonl(&self, producer: Option<&str>) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"type\":\"agg\",\"version\":{JSONL_VERSION},\"group_by\":\"{}\",\"groups\":{}",
+            self.group_by.slug(),
+            self.groups.len()
+        );
+        if let Some(p) = producer {
+            out.push_str(",\"producer\":");
+            write_json_string(&mut out, p);
+        }
+        out.push_str("}\n");
+        for (key, g) in &self.groups {
+            out.push_str("{\"type\":\"group\",\"key\":");
+            write_json_string(&mut out, key);
+            let _ = write!(
+                out,
+                ",\"spans\":{},\"work_units\":{},\"counters\":{{",
+                g.spans,
+                g.work()
+            );
+            for (i, (c, v)) in g.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", c.slug(), v);
+            }
+            out.push_str("},\"wall_us\":");
+            write_hist_json(&mut out, &g.wall_us);
+            let _ = write!(
+                out,
+                ",\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+                g.wall_us.percentile(50.0),
+                g.wall_us.percentile(90.0),
+                g.wall_us.percentile(99.0)
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses and validates a v3 `agg` document (strictly — see the
+    /// module docs for what is rejected).
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseError`] naming the offending line and field path.
+    pub fn from_jsonl(text: &str) -> Result<TraceAgg, ParseError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty());
+
+        let (hline, header) = lines.next().ok_or_else(|| err(0, "empty agg file"))?;
+        let header = parse_object(header).map_err(|m| err(hline, m))?;
+        expect_keys_opt(
+            &header,
+            &["type", "version", "group_by", "groups"],
+            &["producer"],
+        )
+        .map_err(|e| e.on_line(hline))?;
+        if header.get("type") != Some(&Json::Str("agg".into())) {
+            return Err(err_at(hline, "type", "header \"type\" must be \"agg\""));
+        }
+        let version = get_u64(&header, "version").map_err(|e| e.on_line(hline))?;
+        if !(3..=JSONL_VERSION).contains(&version) {
+            return Err(err_at(
+                hline,
+                "version",
+                format!("unsupported agg version {version} (want 3..={JSONL_VERSION})"),
+            ));
+        }
+        if header.get("producer").is_some() {
+            get_str(&header, "producer").map_err(|e| e.on_line(hline))?;
+        }
+        let group_by_slug = get_str(&header, "group_by").map_err(|e| e.on_line(hline))?;
+        let group_by = GroupBy::from_slug(&group_by_slug).ok_or_else(|| {
+            err_at(
+                hline,
+                "group_by",
+                format!("unknown group_by {group_by_slug:?} (want phase|k|arch)"),
+            )
+        })?;
+        let declared = get_u64(&header, "groups").map_err(|e| e.on_line(hline))?;
+
+        let mut groups: BTreeMap<String, AggGroup> = BTreeMap::new();
+        let mut last_key: Option<String> = None;
+        for (lineno, line) in lines {
+            let obj = parse_object(line).map_err(|m| err(lineno, m))?;
+            expect_keys(
+                &obj,
+                &[
+                    "type",
+                    "key",
+                    "spans",
+                    "work_units",
+                    "counters",
+                    "wall_us",
+                    "p50_us",
+                    "p90_us",
+                    "p99_us",
+                ],
+            )
+            .map_err(|e| e.on_line(lineno))?;
+            if obj.get("type") != Some(&Json::Str("group".into())) {
+                return Err(err_at(lineno, "type", "group \"type\" must be \"group\""));
+            }
+            let key = get_str(&obj, "key").map_err(|e| e.on_line(lineno))?;
+            if key.is_empty() {
+                return Err(err_at(lineno, "key", "group key must be non-empty"));
+            }
+            // Canonical form: keys strictly ascending (also rules out
+            // duplicates), so a valid document has exactly one byte
+            // representation per aggregation.
+            if let Some(prev) = &last_key {
+                if *prev >= key {
+                    return Err(err_at(
+                        lineno,
+                        "key",
+                        format!("group keys must be strictly ascending ({prev:?} >= {key:?})"),
+                    ));
+                }
+            }
+            last_key = Some(key.clone());
+
+            let mut g = AggGroup {
+                spans: get_u64(&obj, "spans").map_err(|e| e.on_line(lineno))?,
+                ..AggGroup::default()
+            };
+            let Some(Json::Obj(pairs)) = obj.get("counters") else {
+                return Err(err_at(lineno, "counters", "\"counters\" must be an object"));
+            };
+            for (slug, value) in pairs {
+                let path = format!("counters.{slug}");
+                let counter = Counter::from_slug(slug).ok_or_else(|| {
+                    err_at(lineno, &path, format!("unknown counter slug {slug:?}"))
+                })?;
+                let Json::Num(v) = value else {
+                    return Err(err_at(lineno, &path, "counter values must be integers"));
+                };
+                g.add_counter(counter, *v);
+            }
+            let Some(Json::Obj(pairs)) = obj.get("wall_us") else {
+                return Err(err_at(lineno, "wall_us", "\"wall_us\" must be an object"));
+            };
+            g.wall_us = parse_hist(&crate::json::Obj(pairs.clone()))
+                .map_err(|e| err_at(lineno, format!("wall_us.{}", e.0), e.1))?;
+            if g.wall_us.count != g.spans {
+                return Err(err_at(
+                    lineno,
+                    "wall_us.count",
+                    format!(
+                        "wall histogram has {} samples but the group declares {} spans",
+                        g.wall_us.count, g.spans
+                    ),
+                ));
+            }
+            // Derived fields must match recomputation — they are
+            // conveniences for `jq`-style consumers, not trusted input.
+            let declared_work = get_u64(&obj, "work_units").map_err(|e| e.on_line(lineno))?;
+            if declared_work != g.work() {
+                return Err(err_at(
+                    lineno,
+                    "work_units",
+                    format!(
+                        "declares {declared_work} work units, counters sum to {}",
+                        g.work()
+                    ),
+                ));
+            }
+            for (field, p) in [("p50_us", 50.0), ("p90_us", 90.0), ("p99_us", 99.0)] {
+                let declared_p = get_u64(&obj, field).map_err(|e| e.on_line(lineno))?;
+                let computed = g.wall_us.percentile(p);
+                if declared_p != computed {
+                    return Err(err_at(
+                        lineno,
+                        field,
+                        format!("declares {declared_p}, histogram computes {computed}"),
+                    ));
+                }
+            }
+            groups.insert(key, g);
+        }
+
+        if groups.len() as u64 != declared {
+            return Err(err_at(
+                0,
+                "groups",
+                format!("header declares {declared} groups, found {}", groups.len()),
+            ));
+        }
+        Ok(TraceAgg { group_by, groups })
+    }
+
+    /// Renders the human-readable summary table: one row per group with
+    /// span count, work units and wall-time percentiles.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            self.group_by.slug(),
+            "spans",
+            "work",
+            "p50 wall",
+            "p90 wall",
+            "p99 wall",
+            "max wall"
+        );
+        let us = |v: u64| fmt_duration(Duration::from_micros(v));
+        for (key, g) in &self.groups {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                key,
+                g.spans,
+                g.work(),
+                us(g.wall_us.percentile(50.0)),
+                us(g.wall_us.percentile(90.0)),
+                us(g.wall_us.percentile(99.0)),
+                us(g.wall_us.max)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} group(s), {} span(s), {} work unit(s)",
+            self.groups.len(),
+            self.total_spans(),
+            self.work_units()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, SpanRecord};
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        phase: Phase,
+        label: Option<&str>,
+        dur_us: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            phase,
+            label: label.map(str::to_owned),
+            thread: 0,
+            start: Duration::ZERO,
+            duration: Duration::from_micros(dur_us),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    fn sample() -> Trace {
+        let mut root = span(1, None, Phase::Check, Some("mastrovito_16"), 900);
+        root.counters = vec![(Counter::SimVectors, 64)];
+        let mut ext = span(2, Some(1), Phase::Extract, Some("spec"), 500);
+        ext.counters = vec![(Counter::ReductionSteps, 100), (Counter::Gates, 7)];
+        let ext2 = span(3, Some(1), Phase::Extract, Some("impl"), 300);
+        Trace::from_spans(vec![root, ext, ext2])
+    }
+
+    #[test]
+    fn phase_grouping_matches_diff_paths() {
+        let mut agg = TraceAgg::new(GroupBy::Phase);
+        agg.add_trace(&sample());
+        let keys: Vec<&String> = agg.groups.keys().collect();
+        assert_eq!(keys, ["check", "check/extract"]);
+        assert_eq!(agg.groups["check/extract"].spans, 2);
+        assert_eq!(agg.groups["check/extract"].work(), 107);
+        assert_eq!(agg.work_units(), 171);
+        assert_eq!(agg.groups["check/extract"].wall_us.count, 2);
+    }
+
+    #[test]
+    fn root_labels_drive_k_and_arch_keys() {
+        assert_eq!(
+            root_key(Some("mastrovito_163"), GroupBy::Arch),
+            "mastrovito"
+        );
+        assert_eq!(root_key(Some("mastrovito_163"), GroupBy::K), "k163");
+        assert_eq!(
+            root_key(Some("montgomery/8/gate-flip"), GroupBy::Arch),
+            "montgomery"
+        );
+        assert_eq!(root_key(Some("montgomery/8/gate-flip"), GroupBy::K), "k8");
+        assert_eq!(root_key(Some("spec"), GroupBy::Arch), "spec");
+        assert_eq!(root_key(Some("spec"), GroupBy::K), "unknown");
+        assert_eq!(root_key(None, GroupBy::Arch), "unknown");
+
+        // Children inherit the root's key, labels of their own ignored.
+        let mut agg = TraceAgg::new(GroupBy::Arch);
+        agg.add_trace(&sample());
+        assert_eq!(agg.groups.len(), 1);
+        assert_eq!(agg.groups["mastrovito"].spans, 3);
+    }
+
+    #[test]
+    fn shard_merge_equals_whole_aggregation() {
+        let a = sample();
+        let b = {
+            let mut root = span(1, None, Phase::Check, Some("montgomery_16"), 2000);
+            root.counters = vec![(Counter::Conflicts, 9)];
+            Trace::from_spans(vec![root])
+        };
+        let whole = Trace::merged([(&a, Duration::ZERO), (&b, Duration::from_micros(1000))]);
+
+        for group_by in [GroupBy::Phase, GroupBy::K, GroupBy::Arch] {
+            let mut sharded = TraceAgg::new(group_by);
+            sharded.add_trace(&a);
+            sharded.add_trace(&b);
+            let mut unsharded = TraceAgg::new(group_by);
+            unsharded.add_trace(&whole);
+            assert_eq!(sharded, unsharded, "group_by {}", group_by.slug());
+            assert_eq!(sharded.to_jsonl(), unsharded.to_jsonl());
+
+            // And TraceAgg::merge of per-shard aggregations agrees too.
+            let mut left = TraceAgg::new(group_by);
+            left.add_trace(&a);
+            let mut right = TraceAgg::new(group_by);
+            right.add_trace(&b);
+            left.merge(&right).unwrap();
+            assert_eq!(left, sharded);
+        }
+
+        let mut phase = TraceAgg::new(GroupBy::Phase);
+        let mut arch = TraceAgg::new(GroupBy::Arch);
+        phase.add_trace(&a);
+        arch.add_trace(&b);
+        assert!(phase.merge(&arch).is_err(), "mismatched group_by");
+    }
+
+    #[test]
+    fn agg_document_round_trips_and_is_strict() {
+        let mut agg = TraceAgg::new(GroupBy::Phase);
+        agg.add_trace(&sample());
+        let text = agg.to_jsonl_tagged("gfab test");
+        assert!(text.starts_with("{\"type\":\"agg\",\"version\":3,"));
+        let parsed = TraceAgg::from_jsonl(&text).expect("round trip");
+        assert_eq!(parsed, agg);
+        assert_eq!(parsed.to_jsonl(), agg.to_jsonl());
+
+        // Tampered derived fields are rejected with the field named.
+        let bad = text.replace("\"work_units\":107", "\"work_units\":999");
+        let e = TraceAgg::from_jsonl(&bad).unwrap_err();
+        assert_eq!(e.path, "work_units");
+        let bad = text.replacen("\"p50_us\":", "\"p50_us\":1", 1);
+        assert!(TraceAgg::from_jsonl(&bad).is_err());
+        // Wrong group count, unknown slugs, bad ordering.
+        let bad = text.replace("\"groups\":2", "\"groups\":5");
+        assert!(TraceAgg::from_jsonl(&bad)
+            .unwrap_err()
+            .message
+            .contains("declares 5"));
+        let bad = text.replace("\"reduction-steps\"", "\"warp-steps\"");
+        assert!(TraceAgg::from_jsonl(&bad)
+            .unwrap_err()
+            .path
+            .contains("counters."));
+        assert!(TraceAgg::from_jsonl("").is_err());
+        let lines: Vec<&str> = text.lines().collect();
+        let swapped = format!("{}\n{}\n{}\n", lines[0], lines[2], lines[1]);
+        let e = TraceAgg::from_jsonl(&swapped).unwrap_err();
+        assert!(e.message.contains("ascending"), "{e}");
+    }
+
+    #[test]
+    fn render_lists_every_group() {
+        let mut agg = TraceAgg::new(GroupBy::Phase);
+        agg.add_trace(&sample());
+        let out = agg.render();
+        assert!(out.contains("check/extract"));
+        assert!(out.contains("total: 2 group(s), 3 span(s), 171 work unit(s)"));
+    }
+}

@@ -233,12 +233,25 @@ impl TraceDiff {
     /// indented per-counter / per-histogram deltas where they differ.
     #[must_use]
     pub fn render(&self) -> String {
+        self.render_opts(false)
+    }
+
+    /// [`TraceDiff::render`] with options. `wall_delta` adds a Δwall%
+    /// column — **informational only** (wall time varies with machine
+    /// load and thread count and never gates; see the module docs), and
+    /// the column header says so.
+    #[must_use]
+    pub fn render_opts(&self, wall_delta: bool) -> String {
         let mut out = String::new();
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{:<44} {:>7} {:>12} {:>12} {:>9} {:>10} {:>10}",
             "phase path", "spans", "work A", "work B", "Δwork", "wall A", "wall B"
         );
+        if wall_delta {
+            let _ = write!(out, " {:>12}", "Δwall%(info)");
+        }
+        out.push('\n');
         for r in &self.rows {
             let spans = format!(
                 "{}/{}",
@@ -252,7 +265,7 @@ impl TraceDiff {
             } else {
                 format!("{delta:+}")
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:<44} {:>7} {:>12} {:>12} {:>9} {:>10} {:>10}",
                 r.path,
@@ -263,6 +276,10 @@ impl TraceDiff {
                 fmt_wall(r.a.as_ref()),
                 fmt_wall(r.b.as_ref()),
             );
+            if wall_delta {
+                let _ = write!(out, " {:>12}", fmt_wall_delta(r));
+            }
+            out.push('\n');
             self.render_details(r, &mut out);
         }
         out
@@ -312,6 +329,19 @@ impl TraceDiff {
             }
         }
     }
+}
+
+/// Signed percent change in wall time, B vs A; `-` when either side is
+/// absent or the baseline wall is zero (no meaningful ratio).
+fn fmt_wall_delta(r: &DiffRow) -> String {
+    let (Some(a), Some(b)) = (r.a.as_ref(), r.b.as_ref()) else {
+        return "-".to_string();
+    };
+    let (wa, wb) = (a.wall.as_secs_f64(), b.wall.as_secs_f64());
+    if wa <= 0.0 {
+        return "-".to_string();
+    }
+    format!("{:+.1}%", 100.0 * (wb - wa) / wa)
 }
 
 fn fmt_wall(agg: Option<&PhaseAgg>) -> String {
@@ -440,6 +470,26 @@ mod tests {
         assert!(d.work_identical());
         assert_eq!(d.rows[0].work_a(), 0);
         assert!(d.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn wall_delta_column_is_opt_in_and_labeled_informational() {
+        let d = TraceDiff::compute(&simple(100), &simple(100));
+        assert!(!d.render().contains("Δwall%"));
+        let out = d.render_opts(true);
+        assert!(out.contains("Δwall%(info)"), "{out}");
+        // Identical 10ms spans: +0.0% on every aligned row.
+        assert!(out.contains("+0.0%"), "{out}");
+        // The column never feeds gating: regressions only see work.
+        assert!(d.regressions(0.0).is_empty());
+        // One-sided rows render "-" rather than a bogus ratio.
+        let b = Trace::from_spans(vec![span(1, None, Phase::Check, None)]);
+        let out = TraceDiff::compute(&simple(100), &b).render_opts(true);
+        let row = out
+            .lines()
+            .find(|l| l.starts_with("check/extract "))
+            .unwrap();
+        assert!(row.trim_end().ends_with('-'), "{row:?}");
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! Line-delimited JSON codec for [`Trace`] (the `--trace-json` sink).
 //!
-//! # Schema (version 2; version 1 still parses)
+//! # Schema (version 3; versions 1 and 2 still parse)
 //!
 //! The file is UTF-8, one JSON object per line.
 //!
 //! * **Header line** (first line):
-//!   `{"type":"trace","version":2,"spans":N}` — `N` is the number of
-//!   span lines that follow. `version` may be 1 or 2; it fixes the exact
-//!   field set of every span line. The header may additionally carry an
-//!   optional `"producer"` string (the emitting tool's version, e.g.
-//!   `gfab 0.3.0+abc1234` — what `gfab --version` prints), written by
-//!   [`Trace::to_jsonl_tagged`] so traces and the fuzz corpus record the
-//!   build that produced them.
+//!   `{"type":"trace","version":3,"spans":N}` — `N` is the number of
+//!   span lines that follow. `version` may be 1, 2 or 3; it fixes the
+//!   exact field set of every span line. The header may additionally
+//!   carry an optional `"producer"` string (the emitting tool's version,
+//!   e.g. `gfab 0.4.0+abc1234` — what `gfab --version` prints), written
+//!   by [`Trace::to_jsonl_tagged`] so traces and the fuzz corpus record
+//!   the build that produced them.
 //! * **Span lines** (exactly `N`), each with exactly these fields:
 //!   - `"type"`: the string `"span"`;
 //!   - `"id"`: integer ≥ 1, unique within the file;
@@ -30,14 +30,26 @@
 //!     `"buckets":[b0,…,b15]}` with exactly
 //!     [`HIST_BUCKETS`](crate::HIST_BUCKETS) buckets summing to `C`.
 //!
-//! A version-1 file must *not* carry `gauges`/`hists`; a version-2 file
-//! must carry both (possibly empty objects). The parser is strict —
-//! unknown fields, unknown slugs, duplicate ids, dangling parents, a
-//! wrong span count and malformed histograms are all errors, and every
-//! error names the offending line *and field path* (what `gfab
-//! trace-check` prints). Version-1 files parse into spans with empty
-//! gauge/histogram sets, so every downstream consumer (trace-diff
+//! A version-1 file must *not* carry `gauges`/`hists`; version-2 and
+//! version-3 files must carry both (possibly empty objects). The parser
+//! is strict — unknown fields, unknown slugs, duplicate ids, dangling
+//! parents, a wrong span count and malformed histograms are all errors,
+//! and every error names the offending line *and field path* (what
+//! `gfab trace-check` prints). Version-1 files parse into spans with
+//! empty gauge/histogram sets, so every downstream consumer (trace-diff
 //! included) treats old traces uniformly.
+//!
+//! # Version history
+//!
+//! * **v1** — header + span lines with counters only.
+//! * **v2** — adds the `gauges`/`hists` span fields (PR 3).
+//! * **v3** — span lines are *byte-identical to v2*. The bump marks the
+//!   introduction of two sibling line-oriented documents that share this
+//!   file's conventions and strict parser discipline: the `agg` summary
+//!   document written by `gfab trace-agg` (see [`crate::TraceAgg`]) and
+//!   the run-ledger `run` rows appended by `--ledger` (see
+//!   [`crate::ledger`]). A v2 consumer reading a v3 *trace* file loses
+//!   nothing; it only needs to accept the higher header number.
 
 use crate::json::{parse_object, write_json_string, Json, Obj};
 use crate::{Counter, Gauge, Hist, HistData, Phase, SpanRecord, Trace, HIST_BUCKETS};
@@ -46,8 +58,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Schema version written by this codec. [`Trace::from_jsonl`] accepts
-/// this version and version 1.
-pub const JSONL_VERSION: u64 = 2;
+/// every version from [`JSONL_MIN_VERSION`] up to this one.
+pub const JSONL_VERSION: u64 = 3;
 
 /// Oldest schema version [`Trace::from_jsonl`] still accepts.
 pub const JSONL_MIN_VERSION: u64 = 1;
@@ -83,7 +95,7 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
+pub(crate) fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
         path: String::new(),
@@ -91,7 +103,11 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
-fn err_at(line: usize, path: impl Into<String>, message: impl Into<String>) -> ParseError {
+pub(crate) fn err_at(
+    line: usize,
+    path: impl Into<String>,
+    message: impl Into<String>,
+) -> ParseError {
     ParseError {
         line,
         path: path.into(),
@@ -100,7 +116,8 @@ fn err_at(line: usize, path: impl Into<String>, message: impl Into<String>) -> P
 }
 
 impl Trace {
-    /// Serializes the trace to the documented JSONL schema (version 2).
+    /// Serializes the trace to the documented JSONL schema (version 3;
+    /// span lines are byte-identical to version 2).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         self.emit_jsonl(None)
@@ -165,22 +182,8 @@ impl Trace {
                 if i > 0 {
                     out.push(',');
                 }
-                let _ = write!(
-                    out,
-                    "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
-                    h.slug(),
-                    d.count,
-                    d.sum,
-                    d.min,
-                    d.max
-                );
-                for (j, b) in d.buckets.iter().enumerate() {
-                    if j > 0 {
-                        out.push(',');
-                    }
-                    let _ = write!(out, "{b}");
-                }
-                out.push_str("]}");
+                let _ = write!(out, "\"{}\":", h.slug());
+                write_hist_json(&mut out, d);
             }
             out.push_str("}}\n");
         }
@@ -188,7 +191,7 @@ impl Trace {
     }
 
     /// Parses and validates a trace from the documented JSONL schema
-    /// (versions 1 and 2).
+    /// (versions 1 through 3).
     ///
     /// # Errors
     ///
@@ -360,9 +363,27 @@ impl Trace {
     }
 }
 
+/// Appends the canonical JSON form of a histogram — the object shape
+/// [`parse_hist`] accepts. Shared by the span emitter and the `agg`
+/// document emitter so both serialize histograms byte-identically.
+pub(crate) fn write_hist_json(out: &mut String, d: &HistData) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        d.count, d.sum, d.min, d.max
+    );
+    for (j, b) in d.buckets.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("]}");
+}
+
 /// Validates one histogram object; the error carries the sub-path
 /// (relative to the histogram) and message.
-fn parse_hist(obj: &Obj) -> Result<HistData, (String, String)> {
+pub(crate) fn parse_hist(obj: &Obj) -> Result<HistData, (String, String)> {
     expect_keys(obj, &["count", "sum", "min", "max", "buckets"])
         .map_err(|e| (e.path, e.message))?;
     let field = |key: &str| -> Result<u64, (String, String)> {
@@ -413,13 +434,13 @@ fn parse_hist(obj: &Obj) -> Result<HistData, (String, String)> {
 }
 
 /// A field-scoped validation failure before a line number is known.
-struct FieldError {
-    path: String,
-    message: String,
+pub(crate) struct FieldError {
+    pub(crate) path: String,
+    pub(crate) message: String,
 }
 
 impl FieldError {
-    fn on_line(self, line: usize) -> ParseError {
+    pub(crate) fn on_line(self, line: usize) -> ParseError {
         ParseError {
             line,
             path: self.path,
@@ -428,18 +449,22 @@ impl FieldError {
     }
 }
 
-fn field_err(path: impl Into<String>, message: impl Into<String>) -> FieldError {
+pub(crate) fn field_err(path: impl Into<String>, message: impl Into<String>) -> FieldError {
     FieldError {
         path: path.into(),
         message: message.into(),
     }
 }
 
-fn expect_keys(obj: &Obj, keys: &[&str]) -> Result<(), FieldError> {
+pub(crate) fn expect_keys(obj: &Obj, keys: &[&str]) -> Result<(), FieldError> {
     expect_keys_opt(obj, keys, &[])
 }
 
-fn expect_keys_opt(obj: &Obj, keys: &[&str], optional: &[&str]) -> Result<(), FieldError> {
+pub(crate) fn expect_keys_opt(
+    obj: &Obj,
+    keys: &[&str],
+    optional: &[&str],
+) -> Result<(), FieldError> {
     for k in keys {
         if obj.get(k).is_none() {
             return Err(field_err(*k, format!("missing required field {k:?}")));
@@ -453,7 +478,7 @@ fn expect_keys_opt(obj: &Obj, keys: &[&str], optional: &[&str]) -> Result<(), Fi
     Ok(())
 }
 
-fn get_u64(obj: &Obj, key: &str) -> Result<u64, FieldError> {
+pub(crate) fn get_u64(obj: &Obj, key: &str) -> Result<u64, FieldError> {
     match obj.get(key) {
         Some(Json::Num(n)) => Ok(*n),
         _ => Err(field_err(
@@ -463,14 +488,14 @@ fn get_u64(obj: &Obj, key: &str) -> Result<u64, FieldError> {
     }
 }
 
-fn get_str(obj: &Obj, key: &str) -> Result<String, FieldError> {
+pub(crate) fn get_str(obj: &Obj, key: &str) -> Result<String, FieldError> {
     match obj.get(key) {
         Some(Json::Str(s)) => Ok(s.clone()),
         _ => Err(field_err(key, format!("{key:?} must be a string"))),
     }
 }
 
-fn get_obj<'a>(obj: &'a Obj, key: &str) -> Result<&'a Vec<(String, Json)>, FieldError> {
+pub(crate) fn get_obj<'a>(obj: &'a Obj, key: &str) -> Result<&'a Vec<(String, Json)>, FieldError> {
     match obj.get(key) {
         Some(Json::Obj(pairs)) => Ok(pairs),
         _ => Err(field_err(key, format!("{key:?} must be an object"))),

@@ -1,0 +1,550 @@
+//! Persistent run ledger (`--ledger PATH`, `gfab report`).
+//!
+//! A ledger is an append-only JSONL file that accumulates one row per
+//! verification query across *runs* of the tool — the durable memory
+//! that individual `--trace-json` files lack. `extract`, `equiv`,
+//! `batch` and `fuzz` append to it when `--ledger PATH` is given;
+//! `gfab report LEDGER` renders the accumulated history as a dashboard
+//! (plain text or `--md` markdown).
+//!
+//! # Row format
+//!
+//! One strict-JSON object per line:
+//!
+//! ```text
+//! {"type":"run","version":3,"ts_ms":..,"run":"<ts_ms>-<pid>",
+//!  "producer":"gfab x.y.z","cmd":"equiv","fp":"<16 hex>",
+//!  "query":"<name>","k":16,"verdict":"equivalent","exit":0,
+//!  "work_units":..,"wall_us":..[,"mem_peak_bytes":..]}
+//! ```
+//!
+//! * `run` identifies one process invocation: every row a single run
+//!   appends carries the same id, so multi-query `batch` runs group.
+//! * `fp` is a [FNV-1a] fingerprint of the command line *excluding* the
+//!   `--ledger PATH` pair, so "the same command logged to a different
+//!   ledger" still fingerprints identically. `gfab report` uses it to
+//!   pair up repeat runs of the same command and report work-unit
+//!   drift.
+//! * `k` is the field width `GF(2^k)` when the row concerns a single
+//!   modulus, and `0` for mixed/aggregate rows (a fuzz campaign).
+//! * `mem_peak_bytes` is present only when the run measured it
+//!   (`--mem-stats`).
+//!
+//! [FNV-1a]: https://en.wikipedia.org/wiki/Fowler%E2%80%93Noll%E2%80%93Vo_hash_function
+//!
+//! # Crash safety
+//!
+//! Writers open the file in append mode and write each row as a single
+//! `write` of one line; concurrent appenders therefore interleave at
+//! line granularity on POSIX. The reader tolerates exactly one torn
+//! line — an unparsable *final* line, the signature of a crash mid-
+//! append — and reports it; garbage anywhere else is an error.
+
+use crate::json::{parse_object, write_json_string, Json};
+use crate::jsonl::JSONL_VERSION;
+use crate::metrics::HistData;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One ledger row: the durable record of one verification query (or
+/// one whole fuzz campaign) in one run. See the module docs for the
+/// field semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerRow {
+    /// Wall-clock timestamp of the append, in milliseconds since the
+    /// Unix epoch.
+    pub ts_ms: u64,
+    /// Run id shared by all rows of one process invocation.
+    pub run: String,
+    /// Producing tool and version, e.g. `gfab 0.4.0`.
+    pub producer: String,
+    /// Subcommand that produced the row (`extract`, `equiv`, `batch`,
+    /// `fuzz`).
+    pub cmd: String,
+    /// Command-line fingerprint (16 lowercase hex digits); see
+    /// [`fingerprint`].
+    pub fp: String,
+    /// Query name: a file stem, a batch query name, or a campaign tag.
+    pub query: String,
+    /// Field width `k` of `GF(2^k)`; `0` when mixed or unknown.
+    pub k: u64,
+    /// Outcome verdict (`equivalent`, `inequivalent`, `extracted`,
+    /// `timeout`, `failed`, …).
+    pub verdict: String,
+    /// Process-level exit code the outcome maps to (0/1/2/3).
+    pub exit: u64,
+    /// Deterministic work units spent on the query.
+    pub work_units: u64,
+    /// Wall-clock time spent on the query, microseconds.
+    pub wall_us: u64,
+    /// Peak heap in bytes when measured (`--mem-stats`), else `None`.
+    pub mem_peak_bytes: Option<u64>,
+}
+
+impl LedgerRow {
+    /// Serializes the row as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"type\":\"run\",\"version\":{JSONL_VERSION},\"ts_ms\":{},\"run\":",
+            self.ts_ms
+        );
+        write_json_string(&mut out, &self.run);
+        out.push_str(",\"producer\":");
+        write_json_string(&mut out, &self.producer);
+        out.push_str(",\"cmd\":");
+        write_json_string(&mut out, &self.cmd);
+        out.push_str(",\"fp\":");
+        write_json_string(&mut out, &self.fp);
+        out.push_str(",\"query\":");
+        write_json_string(&mut out, &self.query);
+        let _ = write!(out, ",\"k\":{},\"verdict\":", self.k);
+        write_json_string(&mut out, &self.verdict);
+        let _ = write!(
+            out,
+            ",\"exit\":{},\"work_units\":{},\"wall_us\":{}",
+            self.exit, self.work_units, self.wall_us
+        );
+        if let Some(m) = self.mem_peak_bytes {
+            let _ = write!(out, ",\"mem_peak_bytes\":{m}");
+        }
+        out.push('}');
+        out
+    }
+
+    fn from_json_line(line: &str) -> Result<LedgerRow, String> {
+        let obj = parse_object(line)?;
+        const KEYS: [&str; 13] = [
+            "type",
+            "version",
+            "ts_ms",
+            "run",
+            "producer",
+            "cmd",
+            "fp",
+            "query",
+            "k",
+            "verdict",
+            "exit",
+            "work_units",
+            "wall_us",
+        ];
+        for (key, _) in &obj.0 {
+            if !KEYS.contains(&key.as_str()) && key != "mem_peak_bytes" {
+                return Err(format!("unexpected key {key:?}"));
+            }
+        }
+        let get_num = |key: &str| -> Result<u64, String> {
+            match obj.get(key) {
+                Some(Json::Num(n)) => Ok(*n),
+                _ => Err(format!("missing or non-numeric {key:?}")),
+            }
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            match obj.get(key) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("missing or non-string {key:?}")),
+            }
+        };
+        if get_str("type")? != "run" {
+            return Err("\"type\" is not \"run\"".into());
+        }
+        let version = get_num("version")?;
+        if !(3..=JSONL_VERSION).contains(&version) {
+            return Err(format!("unsupported ledger row version {version}"));
+        }
+        let mem_peak_bytes = match obj.get("mem_peak_bytes") {
+            None => None,
+            Some(Json::Num(n)) => Some(*n),
+            Some(_) => return Err("non-numeric \"mem_peak_bytes\"".into()),
+        };
+        Ok(LedgerRow {
+            ts_ms: get_num("ts_ms")?,
+            run: get_str("run")?,
+            producer: get_str("producer")?,
+            cmd: get_str("cmd")?,
+            fp: get_str("fp")?,
+            query: get_str("query")?,
+            k: get_num("k")?,
+            verdict: get_str("verdict")?,
+            exit: get_num("exit")?,
+            work_units: get_num("work_units")?,
+            wall_us: get_num("wall_us")?,
+            mem_peak_bytes,
+        })
+    }
+
+    /// Appends the row to the ledger at `path` (created if absent) as
+    /// one atomic-at-line-granularity write.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening or writing the file.
+    pub fn append(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut line = self.to_json_line();
+        line.push('\n');
+        f.write_all(line.as_bytes())
+    }
+}
+
+/// Fingerprint of a command line: FNV-1a 64-bit over the subcommand and
+/// arguments with the `--ledger PATH` pair removed, rendered as 16
+/// lowercase hex digits. Stable across runs and platforms.
+#[must_use]
+pub fn fingerprint(cmd: &str, args: &[String]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut feed = |s: &str| {
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+        // Separator so ["ab","c"] and ["a","bc"] hash differently.
+        h ^= 0xff;
+        h = h.wrapping_mul(PRIME);
+    };
+    feed(cmd);
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--ledger" {
+            i += 2; // skip the flag and its PATH operand
+            continue;
+        }
+        feed(&args[i]);
+        i += 1;
+    }
+    format!("{h:016x}")
+}
+
+/// A parsed ledger: all intact rows in file order, plus whether the
+/// final line was torn (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Intact rows, oldest first.
+    pub rows: Vec<LedgerRow>,
+    /// Whether the final line failed to parse (crash mid-append).
+    pub torn_tail: bool,
+}
+
+impl Ledger {
+    /// Parses ledger text. Tolerates exactly one torn *final* line;
+    /// any other unparsable line is an error naming its line number.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the 1-based line for garbage anywhere but the
+    /// final line.
+    pub fn parse(text: &str) -> Result<Ledger, String> {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut rows = Vec::new();
+        let mut torn_tail = false;
+        for (i, line) in lines.iter().enumerate() {
+            match LedgerRow::from_json_line(line) {
+                Ok(row) => rows.push(row),
+                Err(e) if i + 1 == lines.len() => {
+                    // A torn tail is a crash artifact only if the line
+                    // is not even valid JSON; a *well-formed* line with
+                    // bad fields is a real error anywhere.
+                    if parse_object(line).is_ok() {
+                        return Err(format!("ledger line {}: {e}", i + 1));
+                    }
+                    torn_tail = true;
+                }
+                Err(e) => return Err(format!("ledger line {}: {e}", i + 1)),
+            }
+        }
+        Ok(Ledger { rows, torn_tail })
+    }
+
+    /// Renders the report dashboard: verdict mix, per-`k` latency
+    /// percentiles, and the work-unit delta between the two most recent
+    /// runs of each repeated command fingerprint. Markdown tables when
+    /// `md`, aligned plain text otherwise.
+    #[must_use]
+    pub fn render_report(&self, md: bool) -> String {
+        let mut out = String::new();
+        let runs: std::collections::BTreeSet<&str> =
+            self.rows.iter().map(|r| r.run.as_str()).collect();
+        let _ = writeln!(
+            out,
+            "{}ledger: {} row(s) across {} run(s){}",
+            if md { "# Run ledger\n\n" } else { "" },
+            self.rows.len(),
+            runs.len(),
+            if self.torn_tail {
+                " (torn final line ignored)"
+            } else {
+                ""
+            }
+        );
+        if self.rows.is_empty() {
+            return out;
+        }
+
+        // Verdict mix.
+        let mut verdicts: BTreeMap<&str, u64> = BTreeMap::new();
+        for r in &self.rows {
+            *verdicts.entry(r.verdict.as_str()).or_insert(0) += 1;
+        }
+        section(&mut out, md, "Verdicts");
+        let rows: Vec<Vec<String>> = verdicts
+            .iter()
+            .map(|(v, n)| vec![(*v).to_string(), n.to_string()])
+            .collect();
+        table(&mut out, md, &["verdict", "rows"], &rows);
+
+        // Per-k latency percentiles from mergeable histograms.
+        let mut by_k: BTreeMap<u64, HistData> = BTreeMap::new();
+        for r in &self.rows {
+            by_k.entry(r.k).or_default().record(r.wall_us);
+        }
+        section(&mut out, md, "Latency by field width");
+        let rows: Vec<Vec<String>> = by_k
+            .iter()
+            .map(|(k, h)| {
+                vec![
+                    if *k == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("k{k}")
+                    },
+                    h.count.to_string(),
+                    format!("{}us", h.percentile(50.0)),
+                    format!("{}us", h.percentile(90.0)),
+                    format!("{}us", h.percentile(99.0)),
+                    format!("{}us", h.max),
+                ]
+            })
+            .collect();
+        table(
+            &mut out,
+            md,
+            &["k", "rows", "p50", "p90", "p99", "max"],
+            &rows,
+        );
+
+        // Work-unit drift: latest vs previous run per fingerprint.
+        // (run first-seen order within a fingerprint == append order.)
+        type RunTotals<'a> = Vec<(&'a str, u64)>;
+        let mut per_fp: BTreeMap<&str, (&str, RunTotals)> = BTreeMap::new();
+        for r in &self.rows {
+            let (_, runs) = per_fp
+                .entry(r.fp.as_str())
+                .or_insert((r.cmd.as_str(), Vec::new()));
+            match runs.last_mut() {
+                Some((run, work)) if *run == r.run => *work += r.work_units,
+                _ => runs.push((r.run.as_str(), r.work_units)),
+            }
+        }
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (fp, (cmd, runs)) in &per_fp {
+            if runs.len() < 2 {
+                continue;
+            }
+            let (_, prev) = runs[runs.len() - 2];
+            let (_, last) = runs[runs.len() - 1];
+            let delta = if last >= prev {
+                format!("+{}", last - prev)
+            } else {
+                format!("-{}", prev - last)
+            };
+            rows.push(vec![
+                (*fp).to_string(),
+                (*cmd).to_string(),
+                runs.len().to_string(),
+                prev.to_string(),
+                last.to_string(),
+                delta,
+            ]);
+        }
+        if !rows.is_empty() {
+            section(&mut out, md, "Work-unit drift (latest vs previous run)");
+            table(
+                &mut out,
+                md,
+                &["fingerprint", "cmd", "runs", "prev", "latest", "delta"],
+                &rows,
+            );
+        }
+        out
+    }
+}
+
+fn section(out: &mut String, md: bool, title: &str) {
+    if md {
+        let _ = writeln!(out, "\n## {title}\n");
+    } else {
+        let _ = writeln!(out, "\n{title}:");
+    }
+}
+
+/// Renders a small table either as markdown (`| a | b |`) or as
+/// space-aligned plain text.
+fn table(out: &mut String, md: bool, headers: &[&str], rows: &[Vec<String>]) {
+    if md {
+        let _ = writeln!(out, "| {} |", headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}",
+            headers.iter().map(|_| " --- |").collect::<String>()
+        );
+        for row in rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        return;
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let emit = |out: &mut String, cells: &[String]| {
+        let mut line = String::from(" ");
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(line, " {cell:>w$}", w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    };
+    emit(
+        out,
+        &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        emit(out, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(run: &str, fp: &str, k: u64, verdict: &str, work: u64, wall: u64) -> LedgerRow {
+        LedgerRow {
+            ts_ms: 1_700_000_000_000,
+            run: run.into(),
+            producer: "gfab 0.4.0".into(),
+            cmd: "equiv".into(),
+            fp: fp.into(),
+            query: "q".into(),
+            k,
+            verdict: verdict.into(),
+            exit: 0,
+            work_units: work,
+            wall_us: wall,
+            mem_peak_bytes: None,
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_with_and_without_mem() {
+        let mut r = row("1-2", "00ff", 16, "equivalent", 120, 900);
+        let line = r.to_json_line();
+        assert_eq!(LedgerRow::from_json_line(&line).unwrap(), r);
+        r.mem_peak_bytes = Some(4096);
+        let line = r.to_json_line();
+        assert!(line.contains("\"mem_peak_bytes\":4096"));
+        assert_eq!(LedgerRow::from_json_line(&line).unwrap(), r);
+        // Strictness: unknown keys and wrong types are rejected.
+        assert!(
+            LedgerRow::from_json_line(&line.replace("\"k\":16", "\"k\":16,\"extra\":1"))
+                .unwrap_err()
+                .contains("unexpected key")
+        );
+        assert!(
+            LedgerRow::from_json_line(&line.replace("\"version\":3", "\"version\":99"))
+                .unwrap_err()
+                .contains("version")
+        );
+    }
+
+    #[test]
+    fn parse_tolerates_only_a_torn_final_line() {
+        let good = row("1-2", "00ff", 16, "equivalent", 1, 2).to_json_line();
+        let text = format!("{good}\n{good}\n{{\"type\":\"run\",\"vers");
+        let ledger = Ledger::parse(&text).expect("torn tail tolerated");
+        assert_eq!(ledger.rows.len(), 2);
+        assert!(ledger.torn_tail);
+        // Torn line in the middle is an error.
+        let text = format!("{good}\n{{\"type\":\"run\",\"vers\n{good}");
+        assert!(Ledger::parse(&text).unwrap_err().contains("line 2"));
+        // A well-formed final line with bad fields is an error too.
+        let bad = good.replace("\"type\":\"run\"", "\"type\":\"walk\"");
+        let text = format!("{good}\n{bad}");
+        assert!(Ledger::parse(&text).unwrap_err().contains("line 2"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_ledger_path_and_separates_args() {
+        let a = fingerprint("equiv", &["x.blif".into(), "y.blif".into()]);
+        let b = fingerprint(
+            "equiv",
+            &[
+                "x.blif".into(),
+                "--ledger".into(),
+                "/tmp/one.jsonl".into(),
+                "y.blif".into(),
+            ],
+        );
+        assert_eq!(a, b, "--ledger PATH must not perturb the fingerprint");
+        assert_ne!(
+            fingerprint("equiv", &["ab".into(), "c".into()]),
+            fingerprint("equiv", &["a".into(), "bc".into()])
+        );
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn report_groups_runs_by_fingerprint_and_computes_drift() {
+        let rows = vec![
+            row("1-1", "aa", 8, "equivalent", 100, 500),
+            row("1-1", "aa", 8, "equivalent", 50, 400),
+            row("2-1", "aa", 8, "equivalent", 120, 450),
+            row("3-1", "bb", 16, "inequivalent", 10, 900),
+        ];
+        let ledger = Ledger {
+            rows,
+            torn_tail: false,
+        };
+        let text = ledger.render_report(false);
+        assert!(text.contains("4 row(s) across 3 run(s)"), "{text}");
+        assert!(text.contains("equivalent"), "{text}");
+        assert!(text.contains("k8"), "{text}");
+        assert!(text.contains("k16"), "{text}");
+        // fp "aa": run 1-1 totals 150, run 2-1 totals 120 → delta -30.
+        assert!(text.contains("-30"), "{text}");
+        // fp "bb" has one run: no drift row.
+        assert!(!text.contains("bb equiv"), "{text}");
+        let md = ledger.render_report(true);
+        assert!(md.starts_with("# Run ledger"), "{md}");
+        assert!(md.contains("| verdict | rows |"), "{md}");
+        assert!(md.contains("| --- |"), "{md}");
+    }
+
+    #[test]
+    fn append_creates_and_appends() {
+        let dir = std::env::temp_dir().join(format!("gfab-ledger-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let r = row("1-2", "00ff", 16, "equivalent", 1, 2);
+        r.append(&path).unwrap();
+        r.append(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ledger = Ledger::parse(&text).unwrap();
+        assert_eq!(ledger.rows.len(), 2);
+        assert!(!ledger.torn_tail);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -45,16 +45,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod agg;
 mod diff;
+pub mod flame;
 pub mod json;
 mod jsonl;
+pub mod ledger;
 pub mod mem;
 mod metrics;
 mod span;
 mod trace;
 
+pub use agg::{AggGroup, GroupBy, TraceAgg};
 pub use diff::{DiffRow, PhaseAgg, Regression, TraceDiff};
+pub use flame::{critical_path, folded, parse_folded, speedscope, CriticalPath};
 pub use jsonl::{ParseError, JSONL_VERSION};
+pub use ledger::{fingerprint, Ledger, LedgerRow};
 pub use metrics::{Gauge, Hist, HistData, HIST_BUCKETS};
 pub use span::{Collector, Span, SpanRecord, Telemetry};
 pub use trace::Trace;

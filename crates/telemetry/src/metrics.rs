@@ -200,6 +200,17 @@ impl HistData {
         }
     }
 
+    /// Inclusive upper bound of bucket `i` (the last bucket is
+    /// open-ended, so its bound is `u64::MAX`).
+    #[must_use]
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i + 1 < HIST_BUCKETS {
+            (1u64 << (i + 1)) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.min = if self.count == 0 {
@@ -239,6 +250,40 @@ impl HistData {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`), estimated from the bucket
+    /// layout by deterministic integer interpolation; 0 when empty.
+    ///
+    /// The estimate depends only on `count`, `min`, `max` and the bucket
+    /// array — all of which [`HistData::merge`] combines exactly — so
+    /// percentiles computed from merged shards equal percentiles of the
+    /// concatenated sample stream's histogram. That is the exact-merge
+    /// property `gfab trace-agg` is built on.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // 1-based rank of the sample the percentile falls on
+        // (nearest-rank definition, so p=100 is always `max`).
+        let rank = (((self.count as f64) * p / 100.0).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b > 0 && cum + b >= rank {
+                let lo = Self::bucket_lo(i).max(self.min);
+                let hi = Self::bucket_hi(i).min(self.max).max(lo);
+                // Interpolate at integer resolution within the bucket:
+                // position `pos` of `b` samples maps linearly onto
+                // [lo, hi]. u128 keeps (hi-lo)*pos from overflowing.
+                let pos = rank - cum; // 1..=b
+                let est = lo + ((hi - lo) as u128 * pos as u128 / b as u128) as u64;
+                return est.clamp(self.min, self.max);
+            }
+            cum += b;
+        }
+        self.max
     }
 }
 
@@ -305,6 +350,57 @@ mod tests {
         assert_eq!(all.min, 0);
         assert_eq!(all.max, 70_000);
         assert!((all.mean() - (115 + 70_003) as f64 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_bounded_and_merge_exact() {
+        let mut h = HistData::new();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.percentile(50.0), h.percentile(90.0), h.percentile(99.0));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((h.min..=h.max).contains(&p50));
+        assert_eq!(h.percentile(0.0), h.min);
+        assert_eq!(h.percentile(100.0), h.max);
+        // Bucketed estimate of the true median (500) stays in the
+        // median's bucket [512, 1023] ∩ samples or the one below.
+        assert!((256..=1023).contains(&p50), "{p50}");
+
+        // Percentiles of merged shards == percentiles of the whole.
+        let mut a = HistData::new();
+        let mut b = HistData::new();
+        let mut whole = HistData::new();
+        for v in [3, 9, 9, 40, 1000, 0, 7] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [5, 80, 80, 81, 2] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_that_sample() {
+        let mut h = HistData::new();
+        h.record(37);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 37);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_axis() {
+        for i in 0..HIST_BUCKETS - 1 {
+            assert_eq!(HistData::bucket_hi(i) + 1, HistData::bucket_lo(i + 1));
+        }
+        assert_eq!(HistData::bucket_hi(HIST_BUCKETS - 1), u64::MAX);
     }
 
     #[test]

@@ -15,8 +15,47 @@ pub struct Trace {
 }
 
 impl Trace {
-    pub(crate) fn from_spans(spans: Vec<SpanRecord>) -> Trace {
+    /// Builds a trace directly from span records (sorted by id on the
+    /// way in). Collectors and the JSONL parser are the usual sources;
+    /// this is public so trace *tools* — aggregation tests, hand-built
+    /// fixtures, merge utilities — can assemble span trees too. Parent
+    /// links are not validated here; [`Trace::from_jsonl`] is the strict
+    /// gate for untrusted input.
+    #[must_use]
+    pub fn from_spans(mut spans: Vec<SpanRecord>) -> Trace {
+        spans.sort_by_key(|s| s.id);
         Trace { spans }
+    }
+
+    /// Stitches several traces into one: span ids (and parent links) of
+    /// each part are renumbered above the ids already taken, and every
+    /// span's start offset is shifted by the part's `shift` — so a batch
+    /// run can merge its per-query traces onto the pass timeline (shift
+    /// = the query's queue delay) and shard runs can be recombined for
+    /// aggregation. Durations, counters, gauges and histograms are
+    /// untouched.
+    #[must_use]
+    pub fn merged<'a, I>(parts: I) -> Trace
+    where
+        I: IntoIterator<Item = (&'a Trace, Duration)>,
+    {
+        let mut spans = Vec::new();
+        let mut offset = 0u64;
+        for (t, shift) in parts {
+            let mut hi = offset;
+            for s in t.spans() {
+                let mut s = s.clone();
+                s.id += offset;
+                if let Some(p) = &mut s.parent {
+                    *p += offset;
+                }
+                s.start += shift;
+                hi = hi.max(s.id);
+                spans.push(s);
+            }
+            offset = hi;
+        }
+        Trace::from_spans(spans)
     }
 
     /// All spans, sorted by id (= creation order).
@@ -193,6 +232,39 @@ impl Trace {
             out.push('\n');
         }
         let _ = writeln!(out, "wall clock: {}", fmt_duration(wall));
+        // Distribution summaries: every histogram kind recorded anywhere
+        // in the trace, merged over all spans, as percentiles rather
+        // than raw bucket arrays.
+        let mut kinds: Vec<Hist> = Vec::new();
+        for s in &self.spans {
+            for (h, _) in &s.hists {
+                if !kinds.contains(h) {
+                    kinds.push(*h);
+                }
+            }
+        }
+        kinds.sort_by_key(|h| h.slug());
+        if !kinds.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                "histogram", "n", "mean", "p50", "p90", "p99", "max"
+            );
+            for h in kinds {
+                let d = self.hist_total(h);
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>8} {:>10.1} {:>8} {:>8} {:>8} {:>8}",
+                    h.to_string(),
+                    d.count,
+                    d.mean(),
+                    d.percentile(50.0),
+                    d.percentile(90.0),
+                    d.percentile(99.0),
+                    d.max
+                );
+            }
+        }
         out
     }
 
@@ -236,9 +308,11 @@ impl Trace {
         for (h, d) in &s.hists {
             let _ = write!(
                 out,
-                "  {h}[n={} mean={:.1} max={}]",
+                "  {h}[n={} mean={:.1} p50={} p99={} max={}]",
                 d.count,
                 d.mean(),
+                d.percentile(50.0),
+                d.percentile(99.0),
                 d.max
             );
         }
@@ -267,7 +341,7 @@ pub(crate) fn fmt_bytes(b: u64) -> String {
 
 /// Compact human duration: microseconds under 1 ms, milliseconds under
 /// 1 s, else seconds.
-fn fmt_duration(d: Duration) -> String {
+pub(crate) fn fmt_duration(d: Duration) -> String {
     if d < Duration::from_millis(1) {
         format!("{}µs", d.as_micros())
     } else if d < Duration::from_secs(1) {

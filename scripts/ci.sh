@@ -112,6 +112,32 @@ fi
 first_case=$(ls "$TRACE_DIR"/fuzz_corpus/case-*.json | head -1)
 "$GFAB" fuzz --replay "$first_case" > /dev/null
 
+echo "== cross-run observability smoke: trace-agg, flame, ledger =="
+# A batch run and a small clean fuzz sweep, both writing merged traces
+# and appending to one shared ledger; then the three cross-run views
+# must all work: trace-agg emits a v3 agg document that trace-check
+# accepts, flame reports a critical path (and exports folded stacks),
+# and report renders the accumulated ledger dashboard.
+"$GFAB" batch "$TRACE_DIR/batch.json" --threads 2 \
+    --trace-json "$TRACE_DIR/batch_trace.jsonl" \
+    --ledger "$TRACE_DIR/ledger.jsonl" > /dev/null
+"$GFAB" fuzz --seed 1003 --cases 6 --k-min 4 --k-max 6 --fault-rate 0 \
+    --threads 2 --trace-json "$TRACE_DIR/fuzz_trace.jsonl" \
+    --ledger "$TRACE_DIR/ledger.jsonl" > /dev/null
+"$GFAB" trace-agg "$TRACE_DIR/batch_trace.jsonl" "$TRACE_DIR/fuzz_trace.jsonl" \
+    --group-by k --json "$TRACE_DIR/agg.jsonl" > /dev/null
+"$GFAB" trace-check "$TRACE_DIR/agg.jsonl"
+"$GFAB" flame "$TRACE_DIR/batch_trace.jsonl" --critical-path \
+    | grep -q 'critical path:'
+"$GFAB" flame "$TRACE_DIR/batch_trace.jsonl" --out folded \
+    | grep -q '[a-z] [0-9]'
+"$GFAB" report "$TRACE_DIR/ledger.jsonl" > "$TRACE_DIR/report.txt"
+# The verdict mix must show both producers: batch's equivalence verdicts
+# and the fuzz campaign's clean-sweep row.
+grep -q 'row(s) across' "$TRACE_DIR/report.txt"
+grep -q 'equivalent' "$TRACE_DIR/report.txt"
+grep -q 'clean' "$TRACE_DIR/report.txt"
+
 echo "== perf gate: pinned workload vs committed baselines =="
 # Work-unit thresholds only — bench-diff never gates on wall time or
 # memory, so this step is stable on any CI machine.

@@ -60,6 +60,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "info" => cmd_info(rest),
         "trace-check" => cmd_trace_check(rest),
         "trace-diff" => cmd_trace_diff(rest),
+        "trace-agg" => cmd_trace_agg(rest),
+        "flame" => cmd_flame(rest),
+        "report" => cmd_report(rest),
         "bench-diff" => cmd_bench_diff(rest),
         "fuzz" => cmd_fuzz(rest),
         "--version" | "-V" | "version" => {
@@ -78,26 +81,45 @@ fn print_usage() {
     eprintln!(
         "gfab — word-level abstraction & equivalence checking over F_2^k
 
+COMMANDS:
+  extract      word-level extraction of one netlist
+  verify-spec  ideal-membership check against a spec polynomial
+  equiv        word-level equivalence of two netlists (with SAT fallback)
+  sat-equiv    SAT-only miter equivalence check
+  batch        run a manifest of queries over a shared-cache worker pool
+  gen          emit a generator netlist
+  info         print netlist facts
+  trace-check  validate a JSONL trace or aggregation document
+  trace-diff   align two traces by phase path and diff work units
+  trace-agg    aggregate many traces into mergeable per-group summaries
+  flame        export a trace as a flamegraph / critical-path analysis
+  report       render a run-ledger dashboard
+  bench-diff   diff two benchmark --json result files
+  fuzz         deterministic differential fuzzing campaign
+
 USAGE:
   gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...] [--threads N]
                  [--timeout D] [--trace] [--stats] [--mem-stats]
-                 [--trace-json FILE]
+                 [--trace-json FILE] [--ledger FILE]
   gfab verify-spec <circuit.nl> --spec 'A*B' --k <k> [--modulus ...]
   gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus ...] [--threads N]
                  [--timeout D] [--trace] [--stats] [--mem-stats]
-                 [--trace-json FILE]
+                 [--trace-json FILE] [--ledger FILE]
   gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N] [--timeout D]
   gfab batch     <manifest.json> [--threads N] [--timeout D] [--cache-cap N]
-                 [--repeat N] [--stats]
+                 [--repeat N] [--stats] [--trace-json FILE] [--ledger FILE]
   gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
   gfab info      <circuit.nl>
-  gfab trace-check <trace.jsonl>
-  gfab trace-diff  <baseline.jsonl> <current.jsonl> [--threshold PCT]
+  gfab trace-check <trace.jsonl | agg.jsonl>
+  gfab trace-diff  <baseline.jsonl> <current.jsonl> [--threshold PCT] [--wall]
+  gfab trace-agg   <trace.jsonl>... [--group-by phase|k|arch] [--json FILE]
+  gfab flame       <trace.jsonl> [--out folded|speedscope] [--critical-path]
+  gfab report      <ledger.jsonl> [--md]
   gfab bench-diff  <baseline.json> <current.json> [--threshold PCT]
   gfab fuzz      [--seed N] [--cases N] [--threads N] [--k-min K] [--k-max K]
                  [--fault-rate PCT] [--faults a,b,...] [--corpus DIR]
                  [--timeout D] [--sat-conflicts N] [--shrink-budget N]
-                 [--stats]
+                 [--stats] [--ledger FILE]
   gfab fuzz      --replay <case.json>
 
 The field F_2^k is constructed with the NIST polynomial when k is a NIST
@@ -136,8 +158,35 @@ trace-diff aligns two JSONL traces by phase path and reports per-phase
 deltas. With --threshold PCT it exits 1 when any phase's *work units*
 (deterministic effort counters, identical across thread counts and
 machines) grew more than PCT percent over baseline; wall time and
-memory are informational, never gated. bench-diff does the same for
-two `--json` result files from the paper-table benchmarks.
+memory are informational, never gated (--wall adds an informational
+Δwall column). bench-diff does the same for two `--json` result files
+from the paper-table benchmarks.
+
+trace-agg streams any number of JSONL traces into per-group summaries
+(span counts, work units, wall-time p50/p90/p99/max from mergeable
+histograms), grouped by phase path (default), field width k, or
+generator architecture. Aggregating shards separately and merging
+yields byte-identical output to aggregating their concatenation.
+--json FILE writes the summary as a strict v3 `agg` JSONL document
+that `gfab trace-check` validates.
+
+flame folds one trace into flamegraph input on stdout: --out folded
+(default) emits Brendan-Gregg collapsed stacks weighted by self time;
+--out speedscope emits a speedscope.app JSON profile, one timeline per
+thread. --critical-path instead reports the longest chain of
+non-overlapping spans — the serial dependency bound on the run; it is
+always >= the longest single span and <= the wall clock, and the gap
+to the wall clock is the available parallel slack.
+
+--ledger FILE appends one JSONL row per query (build, command
+fingerprint, k, verdict, exit code, work units, wall time, peak memory
+under --mem-stats) to a persistent append-only run ledger; extract,
+equiv, batch and fuzz all accept it, and the same file can accumulate
+rows from all of them across runs. `gfab report LEDGER` renders the
+accumulated history as a dashboard — verdict mix, per-k latency
+percentiles, and the work-unit drift between the two most recent runs
+of each repeated command line (--md for markdown). Writes are crash-
+safe at line granularity; the reader tolerates one torn final line.
 
 `fuzz` runs a deterministic seeded campaign: specimens drawn from a
 weighted architecture pool over F_2^k (k-min..k-max), a typed fault
@@ -250,7 +299,16 @@ fn positional(rest: &[String], n: usize) -> Vec<&String> {
         }
         if a.starts_with("--") || a == "-o" {
             // All our flags take one value except the boolean switches.
-            skip_next = !matches!(a.as_str(), "--full" | "--trace" | "--stats" | "--mem-stats");
+            skip_next = !matches!(
+                a.as_str(),
+                "--full"
+                    | "--trace"
+                    | "--stats"
+                    | "--mem-stats"
+                    | "--critical-path"
+                    | "--md"
+                    | "--wall"
+            );
             continue;
         }
         out.push(a);
@@ -328,6 +386,83 @@ impl<'a> TraceArgs<'a> {
     }
 }
 
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+}
+
+/// One query's contribution to a ledger row; the invocation-level
+/// fields (run id, fingerprint, producer) come from [`LedgerArgs`].
+struct QueryRecord<'a> {
+    query: &'a str,
+    k: u64,
+    verdict: &'a str,
+    exit: u8,
+    work_units: u64,
+    wall: std::time::Duration,
+    mem_peak_bytes: Option<u64>,
+}
+
+/// `--ledger PATH` handling shared by `extract`, `equiv`, `batch` and
+/// `fuzz`: one run id and command fingerprint per process invocation,
+/// one appended row per query.
+struct LedgerArgs {
+    cmd: &'static str,
+    path: Option<std::path::PathBuf>,
+    run: String,
+    fp: String,
+}
+
+impl LedgerArgs {
+    fn parse(cmd: &'static str, rest: &[String]) -> Result<Self, String> {
+        Ok(LedgerArgs {
+            cmd,
+            path: flag_value(rest, "--ledger")?.map(std::path::PathBuf::from),
+            run: format!("{}-{}", now_ms(), std::process::id()),
+            fp: gfab::telemetry::fingerprint(cmd, rest),
+        })
+    }
+
+    /// Whether rows will be appended (and hence whether the query needs
+    /// a telemetry collector for work-unit accounting).
+    fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Appends one row; a no-op without `--ledger`.
+    fn append(&self, rec: &QueryRecord) -> Result<(), String> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let row = gfab::telemetry::LedgerRow {
+            ts_ms: now_ms(),
+            run: self.run.clone(),
+            producer: gfab::version::version_string(),
+            cmd: self.cmd.to_string(),
+            fp: self.fp.clone(),
+            query: rec.query.to_string(),
+            k: rec.k,
+            verdict: rec.verdict.to_string(),
+            exit: u64::from(rec.exit),
+            work_units: rec.work_units,
+            wall_us: rec.wall.as_micros().min(u128::from(u64::MAX)) as u64,
+            mem_peak_bytes: rec.mem_peak_bytes,
+        };
+        row.append(path)
+            .map_err(|e| format!("cannot append to ledger {}: {e}", path.display()))
+    }
+}
+
+/// The file stem of a netlist path, for ledger query names.
+fn stem(path: &str) -> &str {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+}
+
 fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     let pos = positional(rest, 1);
     let [path] = pos.as_slice() else {
@@ -337,11 +472,12 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     let threads = parse_threads(rest)?;
     let timeout = parse_timeout(rest)?;
     let tracing = TraceArgs::parse(rest)?;
+    let ledger = LedgerArgs::parse("extract", rest)?;
     let nl = load(path)?;
     let t = Instant::now();
     let mut v = Verifier::new(&ctx)
         .threads(threads)
-        .trace(tracing.enabled())
+        .trace(tracing.enabled() || ledger.enabled())
         .mem_stats(tracing.mem);
     if let Some(w) = timeout {
         v = v.deadline(w);
@@ -359,6 +495,15 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
                 Some(b) => println!("TIMED OUT during {phase} (block {b}): {reason}"),
                 None => println!("TIMED OUT during {phase}: {reason}"),
             }
+            ledger.append(&QueryRecord {
+                query: stem(path),
+                k: ctx.k() as u64,
+                verdict: "timeout",
+                exit: 3,
+                work_units: 0,
+                wall: t.elapsed(),
+                mem_peak_bytes: None,
+            })?;
             return Ok(ExitCode::from(3));
         }
         Err(e) => return Err(e.to_string()),
@@ -367,18 +512,18 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     let result = report.as_flat().expect("flat netlist gives flat report");
     println!("circuit : {} ({} gates)", nl.name(), nl.num_gates());
     println!("field   : F_2^{}, P(x) = {}", ctx.k(), ctx.modulus());
-    let code = match &result.outcome {
+    let (exit, verdict) = match &result.outcome {
         Extraction::Canonical(f) => {
             println!("function: Z = {}", f.display());
-            ExitCode::SUCCESS
+            (0u8, "extracted")
         }
         Extraction::Residual { remainder, note } => {
             println!("residual: {} terms ({note})", remainder.num_terms());
-            ExitCode::SUCCESS
+            (0, "residual")
         }
         Extraction::TimedOut { phase, reason } => {
             println!("TIMED OUT during {phase}: {reason}");
-            ExitCode::from(3)
+            (3, "timeout")
         }
     };
     println!(
@@ -390,7 +535,19 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
         result.stats.model_time, result.stats.reduce_time, result.stats.case2_time
     );
     tracing.emit(report.trace.as_ref())?;
-    Ok(code)
+    ledger.append(&QueryRecord {
+        query: stem(path),
+        k: ctx.k() as u64,
+        verdict,
+        exit,
+        work_units: report.trace.as_ref().map_or(0, |t| t.work_units()),
+        wall: elapsed,
+        mem_peak_bytes: report
+            .trace
+            .as_ref()
+            .and_then(|t| t.gauge_total(gfab::telemetry::Gauge::MemPeakBytes)),
+    })?;
+    Ok(ExitCode::from(exit))
 }
 
 /// Verifies a circuit against a textual specification polynomial via the
@@ -443,12 +600,13 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
     let threads = parse_threads(rest)?;
     let timeout = parse_timeout(rest)?;
     let tracing = TraceArgs::parse(rest)?;
+    let ledger = LedgerArgs::parse("equiv", rest)?;
     let spec = load(spec_path)?;
     let impl_ = load(impl_path)?;
     let t = Instant::now();
     let mut v = Verifier::new(&ctx)
         .threads(threads)
-        .trace(tracing.enabled())
+        .trace(tracing.enabled() || ledger.enabled())
         .mem_stats(tracing.mem);
     if let Some(w) = timeout {
         v = v.deadline(w);
@@ -465,14 +623,14 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
         );
     }
     tracing.emit(report.trace.as_ref())?;
-    match &report.verdict {
+    let (exit, verdict) = match &report.verdict {
         Verdict::Equivalent { function } => {
             println!(
                 "EQUIVALENT: both circuits implement Z = {}",
                 function.display()
             );
             println!("({elapsed:?})");
-            Ok(ExitCode::SUCCESS)
+            (0u8, "equivalent")
         }
         Verdict::Inequivalent {
             spec,
@@ -487,19 +645,19 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
                 println!("  counterexample: ({})", pretty.join(", "));
             }
             println!("({elapsed:?})");
-            Ok(ExitCode::FAILURE)
+            (1, "inequivalent")
         }
         Verdict::InequivalentBySimulation { counterexample } => {
             println!("INEQUIVALENT (simulation witness)");
             let pretty: Vec<String> = counterexample.iter().map(|g| g.to_string()).collect();
             println!("  counterexample: ({})", pretty.join(", "));
             println!("({elapsed:?})");
-            Ok(ExitCode::FAILURE)
+            (1, "inequivalent")
         }
         Verdict::EquivalentBySat { conflicts } => {
             println!("EQUIVALENT (SAT fallback: miter UNSAT after {conflicts} conflicts)");
             println!("({elapsed:?})");
-            Ok(ExitCode::SUCCESS)
+            (0, "equivalent")
         }
         Verdict::InequivalentBySat {
             counterexample,
@@ -509,14 +667,27 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
             let pretty: Vec<String> = counterexample.iter().map(|g| g.to_string()).collect();
             println!("  counterexample: ({})", pretty.join(", "));
             println!("({elapsed:?})");
-            Ok(ExitCode::FAILURE)
+            (1, "inequivalent")
         }
         Verdict::Unknown { reason } => {
             println!("UNKNOWN: {reason}");
             println!("({elapsed:?})");
-            Ok(ExitCode::from(3))
+            (3, "unknown")
         }
-    }
+    };
+    ledger.append(&QueryRecord {
+        query: &format!("{}~{}", stem(spec_path), stem(impl_path)),
+        k: ctx.k() as u64,
+        verdict,
+        exit,
+        work_units: report.trace.as_ref().map_or(0, |t| t.work_units()),
+        wall: elapsed,
+        mem_peak_bytes: report
+            .trace
+            .as_ref()
+            .and_then(|t| t.gauge_total(gfab::telemetry::Gauge::MemPeakBytes)),
+    })?;
+    Ok(ExitCode::from(exit))
 }
 
 fn cmd_sat_equiv(rest: &[String]) -> Result<ExitCode, String> {
@@ -584,14 +755,27 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         None => EngineConfig::default().cache_capacity,
     };
     let stats = has_flag(rest, "--stats");
+    let trace_json = flag_value(rest, "--trace-json")?;
+    let ledger = LedgerArgs::parse("batch", rest)?;
     let engine = gfab::Engine::new(EngineConfig {
         threads: parse_threads(rest)?,
         cache_capacity: cache_cap,
         deadline: parse_timeout(rest)?,
+        trace: trace_json.is_some() || ledger.enabled(),
         ..EngineConfig::default()
     });
+    let k_of: std::collections::BTreeMap<&str, u64> = queries
+        .iter()
+        .map(|q| (q.name.as_str(), q.modulus.degree().unwrap_or(0) as u64))
+        .collect();
 
     let mut seen = [false; 4]; // seen[e] = some query exited with e
+                               // Per-query traces are merged into one batch-wide trace for
+                               // --trace-json: each query's spans are shifted by its pass offset
+                               // plus its queue latency, so the merged timeline approximates the
+                               // real concurrent schedule (what `gfab flame` visualizes).
+    let mut merged_parts: Vec<(gfab::telemetry::Trace, std::time::Duration)> = Vec::new();
+    let mut pass_offset = std::time::Duration::ZERO;
     for pass in 0..repeat {
         let report = engine.run_batch(&queries);
         for r in &report.results {
@@ -605,7 +789,25 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
                 r.duration.as_micros()
             ));
             println!("{line}");
+            if trace_json.is_some() {
+                if let Some(tr) = outcome_trace(&r.outcome) {
+                    merged_parts.push((
+                        tr.clone(),
+                        pass_offset + std::time::Duration::from_micros(r.queue_us),
+                    ));
+                }
+            }
+            ledger.append(&QueryRecord {
+                query: &r.name,
+                k: k_of.get(r.name.as_str()).copied().unwrap_or(0),
+                verdict: outcome_verdict(&r.outcome),
+                exit,
+                work_units: outcome_trace(&r.outcome).map_or(0, |t| t.work_units()),
+                wall: r.duration,
+                mem_peak_bytes: None,
+            })?;
         }
+        pass_offset += report.wall;
         let c = &report.cache;
         println!(
             "{{\"batch-summary\":{{\"pass\":{pass},\"queries\":{},\"work_units\":{},\
@@ -642,6 +844,16 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
             );
         }
     }
+    if let Some(path) = trace_json {
+        let merged =
+            gfab::telemetry::Trace::merged(merged_parts.iter().map(|(t, shift)| (t, *shift)));
+        std::fs::write(
+            path,
+            merged.to_jsonl_tagged(&gfab::version::version_string()),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} spans to {path}", merged.spans().len());
+    }
     // 2 (error) dominates, then 3 (unknown), then 1 (refuted).
     let overall = if seen[2] {
         2
@@ -653,6 +865,38 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         0
     };
     Ok(ExitCode::from(overall))
+}
+
+/// The ledger verdict word for one batch query outcome.
+fn outcome_verdict(outcome: &gfab::engine::QueryOutcome) -> &'static str {
+    use gfab::engine::QueryOutcome;
+    match outcome {
+        QueryOutcome::Failed(_) => "failed",
+        QueryOutcome::TimedOut(_) => "timeout",
+        QueryOutcome::Extracted(report) => match report.as_flat().map(|r| &r.outcome) {
+            None | Some(Extraction::Canonical(_)) => "extracted",
+            Some(Extraction::Residual { .. }) => "residual",
+            Some(Extraction::TimedOut { .. }) => "timeout",
+        },
+        QueryOutcome::Checked(report) => match report.verdict() {
+            Verdict::Equivalent { .. } | Verdict::EquivalentBySat { .. } => "equivalent",
+            Verdict::Inequivalent { .. }
+            | Verdict::InequivalentBySimulation { .. }
+            | Verdict::InequivalentBySat { .. } => "inequivalent",
+            Verdict::Unknown { .. } => "unknown",
+        },
+    }
+}
+
+/// The telemetry trace captured for one batch query, when the engine
+/// ran with tracing enabled.
+fn outcome_trace(outcome: &gfab::engine::QueryOutcome) -> Option<&gfab::telemetry::Trace> {
+    use gfab::engine::QueryOutcome;
+    match outcome {
+        QueryOutcome::Extracted(report) => report.trace(),
+        QueryOutcome::Checked(report) => report.trace(),
+        QueryOutcome::TimedOut(_) | QueryOutcome::Failed(_) => None,
+    }
 }
 
 /// One query outcome → (exit severity, the JSON fields after `"query"`).
@@ -774,16 +1018,35 @@ fn cmd_info(rest: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Validates a `--trace-json` file against the JSONL trace schema: every
+/// Validates a `--trace-json` file against the JSONL trace schema (every
 /// line must parse, carry exactly the documented fields, and the span ids
-/// must form a well-parented tree. Exit 0 on a valid trace, 2 otherwise.
+/// must form a well-parented tree), or a `trace-agg --json` aggregation
+/// document against the agg schema — the header line's `"type"` field
+/// decides which. Exit 0 on a valid file, 2 otherwise.
 fn cmd_trace_check(rest: &[String]) -> Result<ExitCode, String> {
+    use gfab::telemetry::json::{parse_object, Json};
     let pos = positional(rest, 1);
     let [path] = pos.as_slice() else {
         return Err("trace-check needs a trace file path".into());
     };
     let text =
         std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let is_agg = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| parse_object(l).ok())
+        .is_some_and(|o| o.get("type") == Some(&Json::Str("agg".into())));
+    if is_agg {
+        let agg = gfab::telemetry::TraceAgg::from_jsonl(&text).map_err(|e| e.to_string())?;
+        println!(
+            "valid agg: {} group(s) by {}, {} span(s), {} work unit(s)",
+            agg.groups.len(),
+            agg.group_by().slug(),
+            agg.total_spans(),
+            agg.work_units()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     let trace = gfab::telemetry::Trace::from_jsonl(&text).map_err(|e| e.to_string())?;
     println!(
         "valid trace: {} spans, {} roots, wall {:?}",
@@ -826,7 +1089,7 @@ fn cmd_trace_diff(rest: &[String]) -> Result<ExitCode, String> {
     let a = load_trace(a_path)?;
     let b = load_trace(b_path)?;
     let diff = gfab::telemetry::TraceDiff::compute(&a, &b);
-    print!("{}", diff.render());
+    print!("{}", diff.render_opts(has_flag(rest, "--wall")));
     let Some(pct) = threshold else {
         return Ok(ExitCode::SUCCESS);
     };
@@ -840,6 +1103,70 @@ fn cmd_trace_diff(rest: &[String]) -> Result<ExitCode, String> {
         }
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// Aggregates any number of JSONL traces into per-group summaries with
+/// mergeable wall-time histograms; see the usage text for the grouping
+/// modes and the shards-vs-whole identity.
+fn cmd_trace_agg(rest: &[String]) -> Result<ExitCode, String> {
+    use gfab::telemetry::{GroupBy, TraceAgg};
+    let paths = positional(rest, usize::MAX);
+    if paths.is_empty() {
+        return Err("trace-agg needs at least one trace file".into());
+    }
+    let group_by = match flag_value(rest, "--group-by")? {
+        None => GroupBy::Phase,
+        Some(v) => GroupBy::from_slug(v)
+            .ok_or_else(|| format!("bad --group-by `{v}` (use phase, k or arch)"))?,
+    };
+    let mut agg = TraceAgg::new(group_by);
+    for path in &paths {
+        agg.add_trace(&load_trace(path)?);
+    }
+    print!("{}", agg.render());
+    if let Some(out) = flag_value(rest, "--json")? {
+        std::fs::write(out, agg.to_jsonl_tagged(&gfab::version::version_string()))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {} group(s) to {out}", agg.groups.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Exports one JSONL trace as flamegraph input (folded stacks or a
+/// speedscope profile) on stdout, or reports the critical path.
+fn cmd_flame(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 1);
+    let [path] = pos.as_slice() else {
+        return Err("flame needs a trace file path".into());
+    };
+    let trace = load_trace(path)?;
+    if has_flag(rest, "--critical-path") {
+        let cp = gfab::telemetry::critical_path(&trace);
+        print!(
+            "{}",
+            gfab::telemetry::flame::render_critical_path(&trace, &cp)
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    match flag_value(rest, "--out")?.map(String::as_str) {
+        None | Some("folded") => print!("{}", gfab::telemetry::folded(&trace)),
+        Some("speedscope") => println!("{}", gfab::telemetry::speedscope(&trace, path)),
+        Some(other) => return Err(format!("bad --out `{other}` (use folded or speedscope)")),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders a run-ledger dashboard; see the usage text for the sections.
+fn cmd_report(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(rest, 1);
+    let [path] = pos.as_slice() else {
+        return Err("report needs a ledger file path".into());
+    };
+    let text =
+        std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ledger = gfab::telemetry::Ledger::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", ledger.render_report(has_flag(rest, "--md")));
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Aligns two benchmark `--json` result files by row identity and reports
@@ -958,6 +1285,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<ExitCode, String> {
     }
 
     let tracing = TraceArgs::parse(rest)?;
+    let ledger = LedgerArgs::parse("fuzz", rest)?;
     let collector = Collector::new();
     if tracing.json.is_some() || tracing.tree {
         cfg.telemetry = Telemetry::attached(&collector);
@@ -1029,11 +1357,23 @@ fn cmd_fuzz(rest: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
-    if report.summary.findings > 0 {
-        Ok(ExitCode::FAILURE)
+    let (exit, verdict) = if report.summary.findings > 0 {
+        (1u8, "findings")
     } else if report.summary.skipped > 0 {
-        Ok(ExitCode::from(3))
+        (3, "skipped")
     } else {
-        Ok(ExitCode::SUCCESS)
-    }
+        (0, "clean")
+    };
+    // One row for the whole campaign: k is mixed across cases (0), and
+    // the work units are the campaign's deterministic oracle total.
+    ledger.append(&QueryRecord {
+        query: &format!("campaign-seed{}", cfg.seed),
+        k: 0,
+        verdict,
+        exit,
+        work_units: report.summary.work_units,
+        wall: report.wall,
+        mem_peak_bytes: None,
+    })?;
+    Ok(ExitCode::from(exit))
 }

@@ -183,6 +183,40 @@ fn version_prints_cargo_package_version() {
     }
 }
 
+#[test]
+fn help_exits_zero_and_names_every_subcommand() {
+    // The usage text is the discovery surface for the whole CLI: every
+    // dispatched subcommand must appear in it. (print_usage writes to
+    // stderr so stdout stays clean for piped output.)
+    const SUBCOMMANDS: [&str; 14] = [
+        "extract",
+        "verify-spec",
+        "equiv",
+        "sat-equiv",
+        "batch",
+        "gen",
+        "info",
+        "trace-check",
+        "trace-diff",
+        "trace-agg",
+        "flame",
+        "report",
+        "bench-diff",
+        "fuzz",
+    ];
+    for flag in ["--help", "-h", "help"] {
+        let out = run(&[flag]);
+        assert_eq!(code(&out), 0, "`gfab {flag}` must exit 0");
+        let text = stderr(&out);
+        for cmd in SUBCOMMANDS {
+            assert!(
+                text.contains(cmd),
+                "`gfab {flag}` does not mention `{cmd}`:\n{text}"
+            );
+        }
+    }
+}
+
 /// Writes a batch manifest into the per-process temp dir.
 fn manifest_fixture(name: &str, content: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("gfab-cli-tests-{}", std::process::id()));
