@@ -86,12 +86,43 @@ fn code_reason(code: u8) -> Option<ExhaustedReason> {
     }
 }
 
+/// Observer notified from [`Budget::tick`] at a work-unit cadence.
+///
+/// This is the budget's side of live progress telemetry: the verifier
+/// installs an observer that forwards "budget drained this far" ticks to
+/// the event stream. Callbacks are *informational only* — they receive
+/// already-computed totals and their return is ignored, so they cannot
+/// perturb the deterministic accounting. Implementations must be cheap
+/// and must never block (the caller is a hot polling loop).
+pub trait BudgetObserver: Send + Sync {
+    /// Called when cumulative charged work first crosses a multiple of
+    /// the observer's stride. `work_done` is the total at the crossing;
+    /// `remaining` is the wall clock left (`None` when unlimited).
+    fn budget_tick(&self, work_done: u64, remaining: Option<Duration>);
+}
+
+struct ObserverHook {
+    observer: Arc<dyn BudgetObserver>,
+    stride: u64,
+    next: AtomicU64,
+}
+
+impl std::fmt::Debug for ObserverHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverHook")
+            .field("stride", &self.stride)
+            .field("next", &self.next)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     deadline: Option<Instant>,
     work_cap: Option<u64>,
     work: AtomicU64,
     stopped: AtomicU8,
+    observer: Option<ObserverHook>,
 }
 
 /// A shared wall-clock / work-unit budget with cooperative cancellation.
@@ -117,6 +148,31 @@ impl Budget {
                 work_cap,
                 work: AtomicU64::new(0),
                 stopped: AtomicU8::new(RUNNING),
+                observer: None,
+            }),
+        }
+    }
+
+    /// Returns this budget with `observer` installed, notified each time
+    /// cumulative work crosses a multiple of `stride` (minimum 1) units.
+    ///
+    /// Rebuilds the shared state (charged work and any stop reason carry
+    /// over), so install the observer *before* handing clones to
+    /// workers — pre-existing clones keep the un-observed state.
+    #[must_use]
+    pub fn with_observer(self, observer: Arc<dyn BudgetObserver>, stride: u64) -> Self {
+        let stride = stride.max(1);
+        Budget {
+            inner: Arc::new(Inner {
+                deadline: self.inner.deadline,
+                work_cap: self.inner.work_cap,
+                work: AtomicU64::new(self.inner.work.load(Ordering::Relaxed)),
+                stopped: AtomicU8::new(self.inner.stopped.load(Ordering::Relaxed)),
+                observer: Some(ObserverHook {
+                    observer,
+                    stride,
+                    next: AtomicU64::new(stride),
+                }),
             }),
         }
     }
@@ -198,11 +254,22 @@ impl Budget {
     /// only on the cumulative total, so it is deterministic across thread
     /// counts and interleavings.
     pub fn tick(&self, units: u64) -> Result<(), BudgetExceeded> {
+        let done = self.inner.work.fetch_add(units, Ordering::Relaxed) + units;
+        if let Some(hook) = &self.inner.observer {
+            // The crossing check races between threads; at worst a
+            // stride mark is announced twice or skipped. Notifications
+            // are informational only, so that is acceptable — the
+            // charged totals themselves stay exact.
+            if done >= hook.next.load(Ordering::Relaxed) {
+                hook.next
+                    .store((done / hook.stride + 1) * hook.stride, Ordering::Relaxed);
+                hook.observer.budget_tick(done, self.remaining());
+            }
+        }
         if let Some(cap) = self.inner.work_cap {
-            let done = self.inner.work.fetch_add(units, Ordering::Relaxed) + units;
             if done > cap {
-                // Record the overrun before reporting so `work_done` is
-                // accurate, then fail (unless something else stopped first).
+                // The overrun is already recorded so `work_done` is
+                // accurate; fail (unless something else stopped first).
                 if let Some(reason) = code_reason(self.inner.stopped.load(Ordering::Relaxed)) {
                     return Err(BudgetExceeded { reason });
                 }
@@ -210,8 +277,6 @@ impl Budget {
                     reason: self.stop(ExhaustedReason::WorkCap),
                 });
             }
-        } else {
-            self.inner.work.fetch_add(units, Ordering::Relaxed);
         }
         self.check()
     }
@@ -331,6 +396,39 @@ mod tests {
         b.cancel();
         // WorkCap was recorded first; cancel does not overwrite it.
         assert_eq!(b.check().unwrap_err().reason, ExhaustedReason::WorkCap);
+    }
+
+    #[test]
+    fn observer_fires_once_per_stride_crossing() {
+        struct Ticks(std::sync::Mutex<Vec<u64>>);
+        impl BudgetObserver for Ticks {
+            fn budget_tick(&self, work_done: u64, remaining: Option<Duration>) {
+                assert!(remaining.is_none(), "unlimited budget has no deadline");
+                self.0.lock().unwrap().push(work_done);
+            }
+        }
+        let ticks = Arc::new(Ticks(std::sync::Mutex::new(Vec::new())));
+        let b = Budget::unlimited().with_observer(Arc::clone(&ticks) as _, 100);
+        assert!(b.tick(99).is_ok()); // below the first mark: silent
+        assert!(b.tick(1).is_ok()); // crosses 100
+        assert!(b.tick(50).is_ok()); // below 200: silent
+        assert!(b.tick(260).is_ok()); // jumps past 200 and 300 in one charge
+        assert_eq!(*ticks.0.lock().unwrap(), vec![100, 410]);
+        assert_eq!(b.work_done(), 410);
+    }
+
+    #[test]
+    fn observer_carryover_preserves_work_and_limits() {
+        struct Noop;
+        impl BudgetObserver for Noop {
+            fn budget_tick(&self, _: u64, _: Option<Duration>) {}
+        }
+        let b = Budget::with_work_cap(100);
+        assert!(b.tick(60).is_ok());
+        let b = b.with_observer(Arc::new(Noop), 1000);
+        assert_eq!(b.work_done(), 60);
+        // The cap carried over: 60 + 50 > 100 still trips.
+        assert_eq!(b.tick(50).unwrap_err().reason, ExhaustedReason::WorkCap);
     }
 
     #[test]

@@ -52,7 +52,7 @@ use gfab_netlist::format::emit;
 use gfab_netlist::sim::resolve_threads;
 use gfab_netlist::Netlist;
 use gfab_telemetry::json::write_json_string;
-use gfab_telemetry::{Counter, Phase, Telemetry};
+use gfab_telemetry::{Counter, EventKind, Phase, Telemetry};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -562,8 +562,24 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
     };
     let cache = ContextCache::new(64);
     let workers = resolve_threads(cfg.threads);
-    let cases = pool::run_indexed(workers, cfg.cases, |_worker, i| {
-        run_case(cfg, &cache, &budget, i)
+    let cases = pool::run_indexed(workers, cfg.cases, |worker, i| {
+        // Live per-case lifecycle, mirroring the batch engine's
+        // query-start/query-done events (no-ops on a disabled bus).
+        let events = cfg.telemetry.events();
+        events.publish(EventKind::QueryStart {
+            query: format!("case-{i}"),
+            worker: worker as u64,
+        });
+        let case_start = Instant::now();
+        let result = run_case(cfg, &cache, &budget, i);
+        events.publish(EventKind::QueryDone {
+            query: format!("case-{i}"),
+            verdict: result.class.name().to_string(),
+            exit: u64::from(result.class == CaseClass::Finding),
+            wall_us: case_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            worker: worker as u64,
+        });
+        result
     });
     let summary = Summary::from_results(cfg, &cases);
     CampaignReport {

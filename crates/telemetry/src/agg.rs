@@ -29,7 +29,7 @@
 //! [`TraceAgg::to_jsonl`] writes a line-oriented strict-JSON document in
 //! the schema-v3 family (see the [`crate::Trace::to_jsonl`] version
 //! history): a header line
-//! `{"type":"agg","version":3,"group_by":G,"groups":N}` (plus an
+//! `{"type":"agg","version":4,"group_by":G,"groups":N}` (plus an
 //! optional `"producer"`), then exactly `N` `"group"` lines sorted by
 //! key, each carrying the span count, recomputable work units, the
 //! counter map, the wall-µs histogram and its p50/p90/p99. The parser
@@ -604,7 +604,7 @@ mod tests {
         let mut agg = TraceAgg::new(GroupBy::Phase);
         agg.add_trace(&sample());
         let text = agg.to_jsonl_tagged("gfab test");
-        assert!(text.starts_with("{\"type\":\"agg\",\"version\":3,"));
+        assert!(text.starts_with("{\"type\":\"agg\",\"version\":4,"));
         let parsed = TraceAgg::from_jsonl(&text).expect("round trip");
         assert_eq!(parsed, agg);
         assert_eq!(parsed.to_jsonl(), agg.to_jsonl());

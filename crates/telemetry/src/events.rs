@@ -1,0 +1,852 @@
+//! Live event streaming: the bounded, non-blocking channel behind
+//! `--progress`, `--events FILE|-` and the reporter thread.
+//!
+//! Every observability surface before this one (span traces, metrics,
+//! the run ledger) is *post-hoc*: nothing is visible until the query
+//! exits. This module adds the in-flight view. Instrumented code —
+//! span open/close in [`crate::Telemetry`], the budget poller, the
+//! batch/fuzz worker loops — publishes typed [`Event`]s into an
+//! [`EventBus`]; a dedicated reporter thread drains the matching
+//! [`EventReceiver`] and feeds the sinks (live TTY renderer, NDJSON
+//! file, …).
+//!
+//! # The hot path never blocks
+//!
+//! The bus wraps a bounded [`std::sync::mpsc::sync_channel`] and
+//! publishes with `try_send`: when the reporter falls behind and the
+//! channel fills, events are *dropped and counted* — never queued
+//! unboundedly, never waited on. The drop counter is surfaced both as
+//! a queryable metric ([`EventBus::dropped`]) and in the event stream
+//! itself (the `events-end` footer line). A disabled bus (the
+//! default) is a `None` inside an `Option`, so instrumented code pays
+//! one branch when events are off — the same contract as disabled
+//! tracing.
+//!
+//! Events carry wall-clock timestamps for display, but publishing
+//! never feeds back into any computation: work-unit counters and
+//! verdicts are bit-identical with events on or off, at any thread
+//! count.
+//!
+//! # NDJSON schema (v4 `events` documents)
+//!
+//! One JSON object per line, validated by `gfab trace-check`:
+//!
+//! * **Header** (first line): `{"type":"events","version":4}` plus an
+//!   optional `"producer"` string (the emitting tool's version).
+//! * **Event lines**: `{"type":"event","seq":N,"ts_us":N,"thread":N,`
+//!   `"event":"<kind>",...}` with kind-specific fields (see
+//!   [`EventKind`]). `seq` values are unique but — because publishers
+//!   race on a shared counter and drops leave gaps — not necessarily
+//!   contiguous or sorted in file order.
+//! * **Footer** (optional last line, written when the run completes):
+//!   `{"type":"events-end","events":N,"dropped":D}` — `N` must equal
+//!   the number of event lines, `D` is the backpressure drop counter.
+//!   A file being tailed mid-run simply has no footer yet
+//!   ([`EventStream::complete`] is `false`).
+
+use crate::json::{parse_object, write_json_string, Json};
+use crate::jsonl::{
+    err, err_at, expect_keys, expect_keys_opt, get_str, get_u64, ParseError, JSONL_VERSION,
+};
+use crate::{Counter, Phase};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Work-unit cadence of in-flight [`EventKind::Progress`] snapshots: a
+/// span publishes one snapshot each time its cumulative work-unit
+/// total crosses a multiple of this stride. The cadence is defined in
+/// *work units* — deterministic effort — so which totals get announced
+/// depends only on the computation, never on wall clock or thread
+/// count (only the announcements' timestamps are wall-clock).
+pub const PROGRESS_STRIDE: u64 = 4096;
+
+/// What happened, with the kind-specific payload. The `event` field of
+/// the NDJSON line is the kind's slug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A phase span opened (`"phase-enter"`).
+    PhaseEnter {
+        /// The phase that started.
+        phase: Phase,
+        /// The span's free-form label, if any.
+        label: Option<String>,
+    },
+    /// A phase span closed (`"phase-exit"`).
+    PhaseExit {
+        /// The phase that finished.
+        phase: Phase,
+        /// The span's free-form label, if any.
+        label: Option<String>,
+        /// Wall-clock duration of the span, microseconds.
+        dur_us: u64,
+        /// Work units attributed to the span while it was open.
+        work_units: u64,
+    },
+    /// Periodic in-flight work snapshot of one open span, published at
+    /// the deterministic [`PROGRESS_STRIDE`] cadence (`"progress"`).
+    Progress {
+        /// The phase doing the work.
+        phase: Phase,
+        /// Cumulative work units attributed to the span so far.
+        work_units: u64,
+    },
+    /// A budget-poller tick (`"budget"`): how much work the query has
+    /// charged and how much wall clock remains.
+    BudgetTick {
+        /// Cumulative work units charged to the query's budget.
+        work_done: u64,
+        /// Time left until the deadline (`None` when unlimited).
+        remaining_us: Option<u64>,
+    },
+    /// A worker dequeued a batch/fuzz query (`"query-start"`).
+    QueryStart {
+        /// The query's name.
+        query: String,
+        /// Worker index that picked it up.
+        worker: u64,
+    },
+    /// A batch/fuzz query finished (`"query-done"`).
+    QueryDone {
+        /// The query's name.
+        query: String,
+        /// Its verdict word (`equivalent`, `caught`, `timeout`, …).
+        verdict: String,
+        /// The exit severity the outcome maps to (0/1/2/3).
+        exit: u64,
+        /// Wall-clock time of the query, microseconds.
+        wall_us: u64,
+        /// Worker index that ran it.
+        worker: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable kebab-case identifier used in the NDJSON schema.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            EventKind::PhaseEnter { .. } => "phase-enter",
+            EventKind::PhaseExit { .. } => "phase-exit",
+            EventKind::Progress { .. } => "progress",
+            EventKind::BudgetTick { .. } => "budget",
+            EventKind::QueryStart { .. } => "query-start",
+            EventKind::QueryDone { .. } => "query-done",
+        }
+    }
+
+    /// The work-unit total this event reports, if it reports one.
+    #[must_use]
+    pub fn work_units(&self) -> Option<u64> {
+        match self {
+            EventKind::PhaseExit { work_units, .. } | EventKind::Progress { work_units, .. } => {
+                Some(*work_units)
+            }
+            EventKind::BudgetTick { work_done, .. } => Some(*work_done),
+            _ => None,
+        }
+    }
+}
+
+/// One published event: a unique sequence number, a wall-clock offset
+/// from the bus epoch, the publishing thread's display index, and the
+/// kind-specific payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Unique (but not necessarily file-ordered) sequence number.
+    pub seq: u64,
+    /// Microseconds since the bus was created. Informational only.
+    pub ts_us: u64,
+    /// Display index of the publishing thread (same assignment as span
+    /// records).
+    pub thread: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[derive(Debug)]
+struct BusInner {
+    tx: SyncSender<Event>,
+    seq: AtomicU64,
+    dropped: Arc<AtomicU64>,
+    epoch: Instant,
+}
+
+/// The publishing side of the live event channel.
+///
+/// Cheap to clone (an `Arc` bump) and cheap to carry disabled (a
+/// `None`): [`EventBus::default`] publishes nothing at the cost of one
+/// branch. Publishing never blocks — see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct EventBus {
+    inner: Option<Arc<BusInner>>,
+}
+
+impl EventBus {
+    /// A bus that publishes nothing. Equivalent to `EventBus::default()`.
+    #[must_use]
+    pub fn disabled() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Creates a live channel bounded at `capacity` queued events
+    /// (minimum 1) and returns the publishing and draining halves.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> (EventBus, EventReceiver) {
+        let (tx, rx) = sync_channel(capacity.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let bus = EventBus {
+            inner: Some(Arc::new(BusInner {
+                tx,
+                seq: AtomicU64::new(0),
+                dropped: Arc::clone(&dropped),
+                epoch: Instant::now(),
+            })),
+        };
+        (bus, EventReceiver { rx, dropped })
+    }
+
+    /// Whether publishes go anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Publishes one event. Non-blocking: on a full (or closed)
+    /// channel the event is dropped and counted instead. No-op on a
+    /// disabled bus.
+    pub fn publish(&self, kind: EventKind) {
+        // The single enabled/disabled branch.
+        let Some(inner) = &self.inner else { return };
+        let event = Event {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            ts_us: inner.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            thread: crate::span::thread_index(),
+            kind,
+        };
+        if inner.tx.try_send(event).is_err() {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events dropped under backpressure so far (0 on a disabled bus).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.dropped.load(Ordering::Relaxed))
+    }
+}
+
+/// The outcome of one [`EventReceiver::recv_timeout`] poll.
+#[derive(Debug)]
+pub enum Recv {
+    /// An event arrived.
+    Event(Event),
+    /// Nothing arrived within the timeout; the channel is still open.
+    Timeout,
+    /// Every [`EventBus`] clone was dropped; no more events will come.
+    Closed,
+}
+
+/// The draining side of the live event channel, owned by the reporter
+/// thread.
+#[derive(Debug)]
+pub struct EventReceiver {
+    rx: Receiver<Event>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl EventReceiver {
+    /// Waits up to `timeout` for the next event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Recv {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => Recv::Event(ev),
+            Err(RecvTimeoutError::Timeout) => Recv::Timeout,
+            Err(RecvTimeoutError::Disconnected) => Recv::Closed,
+        }
+    }
+
+    /// Events dropped under backpressure so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// The NDJSON header line (no trailing newline); see the module docs.
+#[must_use]
+pub fn events_header(producer: Option<&str>) -> String {
+    let mut out = format!("{{\"type\":\"events\",\"version\":{JSONL_VERSION}");
+    if let Some(p) = producer {
+        out.push_str(",\"producer\":");
+        write_json_string(&mut out, p);
+    }
+    out.push('}');
+    out
+}
+
+/// The NDJSON footer line (no trailing newline); see the module docs.
+#[must_use]
+pub fn events_footer(events: u64, dropped: u64) -> String {
+    format!("{{\"type\":\"events-end\",\"events\":{events},\"dropped\":{dropped}}}")
+}
+
+impl Event {
+    /// Serializes the event as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"type\":\"event\",\"seq\":{},\"ts_us\":{},\"thread\":{},\"event\":\"{}\"",
+            self.seq,
+            self.ts_us,
+            self.thread,
+            self.kind.slug()
+        );
+        let label_field = |out: &mut String, label: &Option<String>| {
+            out.push_str(",\"label\":");
+            match label {
+                Some(l) => write_json_string(out, l),
+                None => out.push_str("null"),
+            }
+        };
+        match &self.kind {
+            EventKind::PhaseEnter { phase, label } => {
+                let _ = write!(out, ",\"phase\":\"{}\"", phase.slug());
+                label_field(&mut out, label);
+            }
+            EventKind::PhaseExit {
+                phase,
+                label,
+                dur_us,
+                work_units,
+            } => {
+                let _ = write!(out, ",\"phase\":\"{}\"", phase.slug());
+                label_field(&mut out, label);
+                let _ = write!(out, ",\"dur_us\":{dur_us},\"work_units\":{work_units}");
+            }
+            EventKind::Progress { phase, work_units } => {
+                let _ = write!(
+                    out,
+                    ",\"phase\":\"{}\",\"work_units\":{work_units}",
+                    phase.slug()
+                );
+            }
+            EventKind::BudgetTick {
+                work_done,
+                remaining_us,
+            } => {
+                let _ = write!(out, ",\"work_done\":{work_done},\"remaining_us\":");
+                match remaining_us {
+                    Some(r) => {
+                        let _ = write!(out, "{r}");
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+            EventKind::QueryStart { query, worker } => {
+                out.push_str(",\"query\":");
+                write_json_string(&mut out, query);
+                let _ = write!(out, ",\"worker\":{worker}");
+            }
+            EventKind::QueryDone {
+                query,
+                verdict,
+                exit,
+                wall_us,
+                worker,
+            } => {
+                out.push_str(",\"query\":");
+                write_json_string(&mut out, query);
+                out.push_str(",\"verdict\":");
+                write_json_string(&mut out, verdict);
+                let _ = write!(
+                    out,
+                    ",\"exit\":{exit},\"wall_us\":{wall_us},\"worker\":{worker}"
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A parsed (and strictly validated) `--events` NDJSON stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventStream {
+    /// Every event line, in file order.
+    pub events: Vec<Event>,
+    /// The producing tool's version string, when the header carried one.
+    pub producer: Option<String>,
+    /// The footer's backpressure drop counter; `None` while the stream
+    /// is still being written (no footer yet).
+    pub dropped: Option<u64>,
+    /// Whether the `events-end` footer was present — `false` for a
+    /// file captured mid-run.
+    pub complete: bool,
+}
+
+impl EventStream {
+    /// Parses and validates an `--events` NDJSON stream (see the
+    /// module docs for the schema).
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseError`] naming the offending line and field path for
+    /// any syntax or schema violation.
+    pub fn from_jsonl(text: &str) -> Result<EventStream, ParseError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty());
+
+        let (hline, header) = lines.next().ok_or_else(|| err(0, "empty events file"))?;
+        let header = parse_object(header).map_err(|m| err(hline, m))?;
+        expect_keys_opt(&header, &["type", "version"], &["producer"])
+            .map_err(|e| e.on_line(hline))?;
+        if header.get("type") != Some(&Json::Str("events".into())) {
+            return Err(err_at(hline, "type", "header \"type\" must be \"events\""));
+        }
+        let version = get_u64(&header, "version").map_err(|e| e.on_line(hline))?;
+        if !(4..=JSONL_VERSION).contains(&version) {
+            return Err(err_at(
+                hline,
+                "version",
+                format!("unsupported events version {version} (want 4..={JSONL_VERSION})"),
+            ));
+        }
+        let producer = match header.get("producer") {
+            None => None,
+            Some(_) => Some(get_str(&header, "producer").map_err(|e| e.on_line(hline))?),
+        };
+
+        let mut events = Vec::new();
+        let mut seqs = BTreeSet::new();
+        let mut footer: Option<(u64, u64)> = None;
+        for (lineno, line) in lines {
+            if footer.is_some() {
+                return Err(err(lineno, "content after the events-end footer"));
+            }
+            let obj = parse_object(line).map_err(|m| err(lineno, m))?;
+            match obj.get("type") {
+                Some(Json::Str(t)) if t == "events-end" => {
+                    expect_keys(&obj, &["type", "events", "dropped"])
+                        .map_err(|e| e.on_line(lineno))?;
+                    let declared = get_u64(&obj, "events").map_err(|e| e.on_line(lineno))?;
+                    if declared != events.len() as u64 {
+                        return Err(err_at(
+                            lineno,
+                            "events",
+                            format!(
+                                "footer declares {declared} event(s), found {}",
+                                events.len()
+                            ),
+                        ));
+                    }
+                    let dropped = get_u64(&obj, "dropped").map_err(|e| e.on_line(lineno))?;
+                    footer = Some((declared, dropped));
+                }
+                Some(Json::Str(t)) if t == "event" => {
+                    let ev = parse_event_line(&obj, lineno)?;
+                    if !seqs.insert(ev.seq) {
+                        return Err(err_at(
+                            lineno,
+                            "seq",
+                            format!("duplicate event seq {}", ev.seq),
+                        ));
+                    }
+                    events.push(ev);
+                }
+                _ => {
+                    return Err(err_at(
+                        lineno,
+                        "type",
+                        "line \"type\" must be \"event\" or \"events-end\"",
+                    ))
+                }
+            }
+        }
+        Ok(EventStream {
+            events,
+            producer,
+            dropped: footer.map(|(_, d)| d),
+            complete: footer.is_some(),
+        })
+    }
+
+    /// Per-kind event counts, for summaries (slug → count, sorted).
+    #[must_use]
+    pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        for ev in &self.events {
+            *counts.entry(ev.kind.slug()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+const COMMON_KEYS: [&str; 5] = ["type", "seq", "ts_us", "thread", "event"];
+
+fn parse_event_line(obj: &crate::json::Obj, lineno: usize) -> Result<Event, ParseError> {
+    let slug = get_str(obj, "event").map_err(|e| e.on_line(lineno))?;
+    let kind_keys: &[&str] = match slug.as_str() {
+        "phase-enter" => &["phase", "label"],
+        "phase-exit" => &["phase", "label", "dur_us", "work_units"],
+        "progress" => &["phase", "work_units"],
+        "budget" => &["work_done", "remaining_us"],
+        "query-start" => &["query", "worker"],
+        "query-done" => &["query", "verdict", "exit", "wall_us", "worker"],
+        other => {
+            return Err(err_at(
+                lineno,
+                "event",
+                format!("unknown event kind {other:?}"),
+            ))
+        }
+    };
+    let mut keys: Vec<&str> = COMMON_KEYS.to_vec();
+    keys.extend_from_slice(kind_keys);
+    expect_keys(obj, &keys).map_err(|e| e.on_line(lineno))?;
+
+    let phase = |key: &str| -> Result<Phase, ParseError> {
+        let s = get_str(obj, key).map_err(|e| e.on_line(lineno))?;
+        Phase::from_slug(&s).ok_or_else(|| err_at(lineno, key, format!("unknown phase slug {s:?}")))
+    };
+    let label = || -> Result<Option<String>, ParseError> {
+        match obj.get("label") {
+            Some(Json::Null) => Ok(None),
+            Some(Json::Str(s)) => Ok(Some(s.clone())),
+            _ => Err(err_at(
+                lineno,
+                "label",
+                "\"label\" must be a string or null",
+            )),
+        }
+    };
+    let num = |key: &str| get_u64(obj, key).map_err(|e| e.on_line(lineno));
+    let string = |key: &str| get_str(obj, key).map_err(|e| e.on_line(lineno));
+
+    let kind = match slug.as_str() {
+        "phase-enter" => EventKind::PhaseEnter {
+            phase: phase("phase")?,
+            label: label()?,
+        },
+        "phase-exit" => EventKind::PhaseExit {
+            phase: phase("phase")?,
+            label: label()?,
+            dur_us: num("dur_us")?,
+            work_units: num("work_units")?,
+        },
+        "progress" => EventKind::Progress {
+            phase: phase("phase")?,
+            work_units: num("work_units")?,
+        },
+        "budget" => EventKind::BudgetTick {
+            work_done: num("work_done")?,
+            remaining_us: match obj.get("remaining_us") {
+                Some(Json::Null) => None,
+                Some(Json::Num(n)) => Some(*n),
+                _ => {
+                    return Err(err_at(
+                        lineno,
+                        "remaining_us",
+                        "\"remaining_us\" must be an integer or null",
+                    ))
+                }
+            },
+        },
+        "query-start" => EventKind::QueryStart {
+            query: string("query")?,
+            worker: num("worker")?,
+        },
+        "query-done" => EventKind::QueryDone {
+            query: string("query")?,
+            verdict: string("verdict")?,
+            exit: num("exit")?,
+            wall_us: num("wall_us")?,
+            worker: num("worker")?,
+        },
+        _ => unreachable!("slug matched above"),
+    };
+    Ok(Event {
+        seq: num("seq")?,
+        ts_us: num("ts_us")?,
+        thread: num("thread")?,
+        kind,
+    })
+}
+
+/// The per-span progress tracker behind [`PROGRESS_STRIDE`]: spans feed
+/// their work-unit counter increments through it and it publishes one
+/// [`EventKind::Progress`] snapshot per stride crossing.
+#[derive(Debug)]
+pub(crate) struct ProgressMeter {
+    work: u64,
+    next_mark: u64,
+}
+
+impl ProgressMeter {
+    pub(crate) fn new() -> ProgressMeter {
+        ProgressMeter {
+            work: 0,
+            next_mark: PROGRESS_STRIDE,
+        }
+    }
+
+    /// Total work units fed through so far.
+    pub(crate) fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Accumulates `value` units of work counter `counter`; publishes a
+    /// progress snapshot on `bus` when the total crosses a stride mark.
+    pub(crate) fn note(&mut self, bus: &EventBus, phase: Phase, counter: Counter, value: u64) {
+        if !counter.is_work() {
+            return;
+        }
+        self.work += value;
+        if self.work >= self.next_mark {
+            self.next_mark = (self.work / PROGRESS_STRIDE + 1) * PROGRESS_STRIDE;
+            bus.publish(EventKind::Progress {
+                phase,
+                work_units: self.work,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                seq: 0,
+                ts_us: 10,
+                thread: 0,
+                kind: EventKind::PhaseEnter {
+                    phase: Phase::Extract,
+                    label: Some("spec \"q\"\\".into()),
+                },
+            },
+            Event {
+                seq: 1,
+                ts_us: 20,
+                thread: 1,
+                kind: EventKind::Progress {
+                    phase: Phase::GuidedReduction,
+                    work_units: 4096,
+                },
+            },
+            Event {
+                seq: 2,
+                ts_us: 30,
+                thread: 0,
+                kind: EventKind::BudgetTick {
+                    work_done: 5000,
+                    remaining_us: Some(120_000),
+                },
+            },
+            Event {
+                seq: 3,
+                ts_us: 31,
+                thread: 0,
+                kind: EventKind::BudgetTick {
+                    work_done: 6000,
+                    remaining_us: None,
+                },
+            },
+            Event {
+                seq: 4,
+                ts_us: 40,
+                thread: 2,
+                kind: EventKind::QueryStart {
+                    query: "mont-eq".into(),
+                    worker: 2,
+                },
+            },
+            Event {
+                seq: 5,
+                ts_us: 90,
+                thread: 2,
+                kind: EventKind::QueryDone {
+                    query: "mont-eq".into(),
+                    verdict: "equivalent".into(),
+                    exit: 0,
+                    wall_us: 50,
+                    worker: 2,
+                },
+            },
+            Event {
+                seq: 6,
+                ts_us: 95,
+                thread: 0,
+                kind: EventKind::PhaseExit {
+                    phase: Phase::Extract,
+                    label: None,
+                    dur_us: 85,
+                    work_units: 6100,
+                },
+            },
+        ]
+    }
+
+    fn render(events: &[Event], footer: bool) -> String {
+        let mut text = events_header(Some("gfab 0.5.0"));
+        text.push('\n');
+        for ev in events {
+            text.push_str(&ev.to_json_line());
+            text.push('\n');
+        }
+        if footer {
+            text.push_str(&events_footer(events.len() as u64, 3));
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn round_trip_preserves_every_kind() {
+        let events = sample_events();
+        let text = render(&events, true);
+        let stream = EventStream::from_jsonl(&text).expect("round trip");
+        assert_eq!(stream.events, events);
+        assert_eq!(stream.producer.as_deref(), Some("gfab 0.5.0"));
+        assert_eq!(stream.dropped, Some(3));
+        assert!(stream.complete);
+        for line in text.lines() {
+            parse_object(line).expect("each line parses standalone");
+        }
+    }
+
+    #[test]
+    fn footerless_stream_parses_as_incomplete() {
+        let stream = EventStream::from_jsonl(&render(&sample_events(), false)).unwrap();
+        assert!(!stream.complete);
+        assert_eq!(stream.dropped, None);
+        assert_eq!(stream.events.len(), 7);
+    }
+
+    #[test]
+    fn strict_parser_names_line_and_field() {
+        let good = render(&sample_events(), true);
+
+        let e =
+            EventStream::from_jsonl(&good.replace("\"version\":4", "\"version\":1")).unwrap_err();
+        assert_eq!(e.path, "version");
+
+        let e =
+            EventStream::from_jsonl(&good.replace("\"event\":\"progress\"", "\"event\":\"warp\""))
+                .unwrap_err();
+        assert_eq!(e.path, "event");
+        assert!(e.message.contains("unknown event kind"));
+
+        let e = EventStream::from_jsonl(&good.replace("\"work_units\":4096", "\"bogus\":1"))
+            .unwrap_err();
+        assert!(e.message.contains("missing required field") || e.message.contains("unexpected"));
+
+        let e = EventStream::from_jsonl(&good.replace("\"events\":7", "\"events\":9")).unwrap_err();
+        assert_eq!(e.path, "events");
+        assert!(e.message.contains("declares 9"));
+
+        let e = EventStream::from_jsonl(&good.replace("\"seq\":5", "\"seq\":0")).unwrap_err();
+        assert_eq!(e.path, "seq");
+        assert!(e.message.contains("duplicate"));
+
+        let mut after_footer = good.clone();
+        after_footer.push_str("{\"type\":\"event\"}\n");
+        assert!(EventStream::from_jsonl(&after_footer)
+            .unwrap_err()
+            .message
+            .contains("after the events-end footer"));
+
+        assert!(EventStream::from_jsonl("").is_err());
+    }
+
+    #[test]
+    fn disabled_bus_is_inert() {
+        let bus = EventBus::disabled();
+        assert!(!bus.is_enabled());
+        bus.publish(EventKind::Progress {
+            phase: Phase::Extract,
+            work_units: 1,
+        });
+        assert_eq!(bus.dropped(), 0);
+    }
+
+    #[test]
+    fn full_channel_drops_with_counter_without_blocking() {
+        let (bus, rx) = EventBus::bounded(2);
+        for i in 0..10 {
+            bus.publish(EventKind::Progress {
+                phase: Phase::Extract,
+                work_units: i,
+            });
+        }
+        // Capacity 2: exactly 2 queued, 8 dropped — and no publish blocked.
+        assert_eq!(bus.dropped(), 8);
+        assert_eq!(rx.dropped(), 8);
+        let mut received = 0;
+        while let Recv::Event(_) = rx.recv_timeout(Duration::from_millis(10)) {
+            received += 1;
+        }
+        assert_eq!(received, 2);
+    }
+
+    #[test]
+    fn receiver_sees_closed_after_all_buses_drop() {
+        let (bus, rx) = EventBus::bounded(4);
+        let clone = bus.clone();
+        clone.publish(EventKind::Progress {
+            phase: Phase::Extract,
+            work_units: 7,
+        });
+        drop(bus);
+        drop(clone);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Recv::Event(_)
+        ));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Recv::Closed
+        ));
+    }
+
+    #[test]
+    fn progress_meter_publishes_on_stride_crossings_only() {
+        let (bus, rx) = EventBus::bounded(64);
+        let mut meter = ProgressMeter::new();
+        // Non-work counters never count.
+        meter.note(&bus, Phase::GuidedReduction, Counter::PeakTerms, 1 << 20);
+        assert_eq!(meter.work(), 0);
+        // Work accumulates; one snapshot per stride crossing, even when a
+        // single increment jumps several strides.
+        meter.note(
+            &bus,
+            Phase::GuidedReduction,
+            Counter::ReductionSteps,
+            PROGRESS_STRIDE - 1,
+        );
+        meter.note(&bus, Phase::GuidedReduction, Counter::ReductionSteps, 1);
+        meter.note(
+            &bus,
+            Phase::GuidedReduction,
+            Counter::ReductionSteps,
+            3 * PROGRESS_STRIDE,
+        );
+        drop(bus);
+        let mut marks = Vec::new();
+        while let Recv::Event(ev) = rx.recv_timeout(Duration::from_millis(10)) {
+            marks.push(ev.kind.work_units().unwrap());
+        }
+        assert_eq!(marks, vec![PROGRESS_STRIDE, 4 * PROGRESS_STRIDE]);
+    }
+}

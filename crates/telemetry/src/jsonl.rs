@@ -1,12 +1,12 @@
 //! Line-delimited JSON codec for [`Trace`] (the `--trace-json` sink).
 //!
-//! # Schema (version 3; versions 1 and 2 still parse)
+//! # Schema (version 4; versions 1 through 3 still parse)
 //!
 //! The file is UTF-8, one JSON object per line.
 //!
 //! * **Header line** (first line):
-//!   `{"type":"trace","version":3,"spans":N}` — `N` is the number of
-//!   span lines that follow. `version` may be 1, 2 or 3; it fixes the
+//!   `{"type":"trace","version":4,"spans":N}` — `N` is the number of
+//!   span lines that follow. `version` may be 1 through 4; it fixes the
 //!   exact field set of every span line. The header may additionally
 //!   carry an optional `"producer"` string (the emitting tool's version,
 //!   e.g. `gfab 0.4.0+abc1234` — what `gfab --version` prints), written
@@ -30,8 +30,8 @@
 //!     `"buckets":[b0,…,b15]}` with exactly
 //!     [`HIST_BUCKETS`](crate::HIST_BUCKETS) buckets summing to `C`.
 //!
-//! A version-1 file must *not* carry `gauges`/`hists`; version-2 and
-//! version-3 files must carry both (possibly empty objects). The parser
+//! A version-1 file must *not* carry `gauges`/`hists`; version-2 files
+//! and later must carry both (possibly empty objects). The parser
 //! is strict — unknown fields, unknown slugs, duplicate ids, dangling
 //! parents, a wrong span count and malformed histograms are all errors,
 //! and every error names the offending line *and field path* (what
@@ -50,6 +50,11 @@
 //!   the run-ledger `run` rows appended by `--ledger` (see
 //!   [`crate::ledger`]). A v2 consumer reading a v3 *trace* file loses
 //!   nothing; it only needs to accept the higher header number.
+//! * **v4** — span lines are still byte-identical to v2. The bump marks
+//!   the live-event stream documents written by `--events` (see
+//!   [`crate::events`]): an `events` header line followed by `event`
+//!   lines and an optional `events-end` footer. Purely additive, same
+//!   one-object-per-line conventions and strict parsing.
 
 use crate::json::{parse_object, write_json_string, Json, Obj};
 use crate::{Counter, Gauge, Hist, HistData, Phase, SpanRecord, Trace, HIST_BUCKETS};
@@ -59,7 +64,7 @@ use std::time::Duration;
 
 /// Schema version written by this codec. [`Trace::from_jsonl`] accepts
 /// every version from [`JSONL_MIN_VERSION`] up to this one.
-pub const JSONL_VERSION: u64 = 3;
+pub const JSONL_VERSION: u64 = 4;
 
 /// Oldest schema version [`Trace::from_jsonl`] still accepts.
 pub const JSONL_MIN_VERSION: u64 = 1;
@@ -116,7 +121,7 @@ pub(crate) fn err_at(
 }
 
 impl Trace {
-    /// Serializes the trace to the documented JSONL schema (version 3;
+    /// Serializes the trace to the documented JSONL schema (version 4;
     /// span lines are byte-identical to version 2).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
@@ -191,7 +196,7 @@ impl Trace {
     }
 
     /// Parses and validates a trace from the documented JSONL schema
-    /// (versions 1 through 3).
+    /// (versions 1 through 4).
     ///
     /// # Errors
     ///

@@ -12,7 +12,7 @@
 //! One strict-JSON object per line:
 //!
 //! ```text
-//! {"type":"run","version":3,"ts_ms":..,"run":"<ts_ms>-<pid>",
+//! {"type":"run","version":4,"ts_ms":..,"run":"<ts_ms>-<pid>",
 //!  "producer":"gfab x.y.z","cmd":"equiv","fp":"<16 hex>",
 //!  "query":"<name>","k":16,"verdict":"equivalent","exit":0,
 //!  "work_units":..,"wall_us":..[,"mem_peak_bytes":..]}
@@ -265,6 +265,30 @@ impl Ledger {
         Ok(Ledger { rows, torn_tail })
     }
 
+    /// Parses ledger text that a writer may still be appending to:
+    /// every unparsable line is *skipped* and counted instead of being
+    /// fatal. This is what `gfab watch` (and `gfab report`) use — a
+    /// follower that reads mid-append can observe a torn line anywhere,
+    /// not just at the tail. A non-JSON *final* line still sets
+    /// [`Ledger::torn_tail`] (it is the expected mid-append artifact and
+    /// will usually heal on the next poll); every other bad line bumps
+    /// the returned skip counter.
+    #[must_use]
+    pub fn parse_lenient(text: &str) -> (Ledger, usize) {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut rows = Vec::new();
+        let mut skipped = 0usize;
+        let mut torn_tail = false;
+        for (i, line) in lines.iter().enumerate() {
+            match LedgerRow::from_json_line(line) {
+                Ok(row) => rows.push(row),
+                Err(_) if i + 1 == lines.len() && parse_object(line).is_err() => torn_tail = true,
+                Err(_) => skipped += 1,
+            }
+        }
+        (Ledger { rows, torn_tail }, skipped)
+    }
+
     /// Renders the report dashboard: verdict mix, per-`k` latency
     /// percentiles, and the work-unit delta between the two most recent
     /// runs of each repeated command fingerprint. Markdown tables when
@@ -461,7 +485,7 @@ mod tests {
                 .contains("unexpected key")
         );
         assert!(
-            LedgerRow::from_json_line(&line.replace("\"version\":3", "\"version\":99"))
+            LedgerRow::from_json_line(&line.replace("\"version\":4", "\"version\":99"))
                 .unwrap_err()
                 .contains("version")
         );
@@ -481,6 +505,26 @@ mod tests {
         let bad = good.replace("\"type\":\"run\"", "\"type\":\"walk\"");
         let text = format!("{good}\n{bad}");
         assert!(Ledger::parse(&text).unwrap_err().contains("line 2"));
+    }
+
+    #[test]
+    fn parse_lenient_skips_mid_file_garbage_with_a_counter() {
+        let good = row("1-2", "00ff", 16, "equivalent", 1, 2).to_json_line();
+        // Mid-file garbage (torn line healed over by later appends) plus
+        // a genuinely torn tail.
+        let text = format!("{good}\n{{\"type\":\"run\",\"vers\n{good}\n{{\"type\":\"run\",\"ve");
+        let (ledger, skipped) = Ledger::parse_lenient(&text);
+        assert_eq!(ledger.rows.len(), 2);
+        assert_eq!(skipped, 1);
+        assert!(ledger.torn_tail);
+        // A well-formed line with bad fields is skipped, not fatal.
+        let bad = good.replace("\"type\":\"run\"", "\"type\":\"walk\"");
+        let (ledger, skipped) = Ledger::parse_lenient(&format!("{bad}\n{good}"));
+        assert_eq!(ledger.rows.len(), 1);
+        assert_eq!(skipped, 1);
+        assert!(!ledger.torn_tail);
+        // Strict parse still rejects the same inputs.
+        assert!(Ledger::parse(&text).is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 mod agg;
 mod diff;
+pub mod events;
 pub mod flame;
 pub mod json;
 mod jsonl;
@@ -58,6 +59,7 @@ mod trace;
 
 pub use agg::{AggGroup, GroupBy, TraceAgg};
 pub use diff::{DiffRow, PhaseAgg, Regression, TraceDiff};
+pub use events::{Event, EventBus, EventKind, EventReceiver, EventStream, Recv, PROGRESS_STRIDE};
 pub use flame::{critical_path, folded, parse_folded, speedscope, CriticalPath};
 pub use jsonl::{ParseError, JSONL_VERSION};
 pub use ledger::{fingerprint, Ledger, LedgerRow};

@@ -1,6 +1,7 @@
 //! The recording side: [`Telemetry`] handles, [`Span`] guards and the
 //! in-memory [`Collector`].
 
+use crate::events::{EventBus, EventKind, ProgressMeter};
 use crate::mem::{self, MemSnapshot};
 use crate::{Counter, Gauge, Hist, HistData, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -9,10 +10,11 @@ use std::time::{Duration, Instant};
 
 /// Process-wide assignment of small display indices to OS threads.
 ///
-/// Purely presentational: the index is recorded on spans so a trace can
-/// show which work ran concurrently. It never feeds back into any
-/// computation, so it cannot perturb deterministic results.
-fn thread_index() -> u64 {
+/// Purely presentational: the index is recorded on spans (and live
+/// events) so a trace can show which work ran concurrently. It never
+/// feeds back into any computation, so it cannot perturb deterministic
+/// results.
+pub(crate) fn thread_index() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     thread_local! {
         static INDEX: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
@@ -93,6 +95,7 @@ impl Collector {
 pub struct Telemetry {
     collector: Option<Arc<Collector>>,
     parent: Option<u64>,
+    events: EventBus,
 }
 
 impl Telemetry {
@@ -108,7 +111,25 @@ impl Telemetry {
         Telemetry {
             collector: Some(Arc::clone(collector)),
             parent: None,
+            events: EventBus::default(),
         }
+    }
+
+    /// The same handle, additionally publishing live span events
+    /// (phase enter/exit, periodic work-unit progress) into `bus`.
+    /// Publishing is display-only and never blocks — see
+    /// [`crate::events`].
+    #[must_use]
+    pub fn with_events(mut self, bus: &EventBus) -> Telemetry {
+        self.events = bus.clone();
+        self
+    }
+
+    /// The live event bus this handle publishes into (disabled by
+    /// default).
+    #[must_use]
+    pub fn events(&self) -> &EventBus {
+        &self.events
     }
 
     /// Whether spans opened through this handle are recorded.
@@ -143,8 +164,23 @@ impl Telemetry {
             label: label.map(str::to_owned),
             mem: mem::span_enter(),
         });
+        // Same contract for live events: one branch when the bus is
+        // disabled, nothing allocated.
+        let events = self.events.is_enabled().then(|| {
+            let label = label.map(str::to_owned);
+            self.events.publish(EventKind::PhaseEnter {
+                phase,
+                label: label.clone(),
+            });
+            Box::new(SpanEvents {
+                bus: self.events.clone(),
+                label,
+                meter: ProgressMeter::new(),
+            })
+        });
         Span {
             state,
+            events,
             phase,
             start: Instant::now(),
             counters: Vec::new(),
@@ -163,6 +199,16 @@ struct EnabledSpan {
     mem: Option<MemSnapshot>,
 }
 
+/// Live-event state of an open span: the bus to publish into and the
+/// stride meter that turns work-counter increments into periodic
+/// progress snapshots. Boxed so an events-off [`Span`] stays small.
+#[derive(Debug)]
+struct SpanEvents {
+    bus: EventBus,
+    label: Option<String>,
+    meter: ProgressMeter,
+}
+
 /// An open span; finishing (or dropping) it records one [`SpanRecord`].
 ///
 /// The guard owns the phase's clock: [`Span::finish`] returns the
@@ -172,6 +218,7 @@ struct EnabledSpan {
 #[derive(Debug)]
 pub struct Span {
     state: Option<EnabledSpan>,
+    events: Option<Box<SpanEvents>>,
     phase: Phase,
     start: Instant,
     counters: Vec<(Counter, u64)>,
@@ -192,6 +239,9 @@ impl Span {
     /// Values for the same counter accumulate. No-op (a single branch)
     /// when tracing is disabled.
     pub fn counter(&mut self, counter: Counter, value: u64) {
+        if let Some(ev) = &mut self.events {
+            ev.meter.note(&ev.bus, self.phase, counter, value);
+        }
         if self.state.is_none() {
             return;
         }
@@ -245,12 +295,21 @@ impl Span {
     /// A [`Telemetry`] handle whose spans will nest under this span.
     #[must_use]
     pub fn telemetry(&self) -> Telemetry {
+        let events = self
+            .events
+            .as_ref()
+            .map_or_else(EventBus::default, |e| e.bus.clone());
         match &self.state {
             Some(s) => Telemetry {
                 collector: Some(Arc::clone(&s.collector)),
                 parent: Some(s.id),
+                events,
             },
-            None => Telemetry::disabled(),
+            None => Telemetry {
+                collector: None,
+                parent: None,
+                events,
+            },
         }
     }
 
@@ -262,6 +321,14 @@ impl Span {
 
     fn close(&mut self) -> Duration {
         let duration = self.start.elapsed();
+        if let Some(ev) = self.events.take() {
+            ev.bus.publish(EventKind::PhaseExit {
+                phase: self.phase,
+                label: ev.label,
+                dur_us: duration.as_micros().min(u128::from(u64::MAX)) as u64,
+                work_units: ev.meter.work(),
+            });
+        }
         if let Some(s) = self.state.take() {
             if let Some(snap) = s.mem {
                 let d = mem::span_exit(snap);
@@ -289,7 +356,7 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if self.state.is_some() {
+        if self.state.is_some() || self.events.is_some() {
             let _ = self.close();
         }
     }
@@ -371,6 +438,35 @@ mod tests {
             let _span = tele.span(Phase::SatSolve);
         }
         assert_eq!(collector.snapshot().spans().len(), 1);
+    }
+
+    #[test]
+    fn spans_publish_live_events_even_without_a_collector() {
+        use crate::events::{EventBus, Recv, PROGRESS_STRIDE};
+        let (bus, rx) = EventBus::bounded(32);
+        let tele = Telemetry::disabled().with_events(&bus);
+        let mut root = tele.span_labeled(Phase::Extract, "spec");
+        root.counter(Counter::ReductionSteps, PROGRESS_STRIDE);
+        let child = root.telemetry().span(Phase::ModelBuild);
+        let _ = child.finish();
+        let _ = root.finish();
+        drop(tele);
+        drop(bus);
+
+        let mut kinds = Vec::new();
+        while let Recv::Event(ev) = rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            kinds.push(ev.kind.slug());
+        }
+        assert_eq!(
+            kinds,
+            [
+                "phase-enter",
+                "progress",
+                "phase-enter",
+                "phase-exit",
+                "phase-exit"
+            ]
+        );
     }
 
     #[test]

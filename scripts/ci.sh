@@ -138,6 +138,23 @@ grep -q 'row(s) across' "$TRACE_DIR/report.txt"
 grep -q 'equivalent' "$TRACE_DIR/report.txt"
 grep -q 'clean' "$TRACE_DIR/report.txt"
 
+echo "== live events smoke: --events stream, piped --progress, watch =="
+# A batch run with both live sinks on, stdout/stderr piped (so the
+# binary sees no terminal): the event stream must validate as a strict
+# v4 NDJSON document, and nothing written anywhere may contain an ANSI
+# escape byte. Then the ledger follower renders one board and exits.
+"$GFAB" batch "$TRACE_DIR/batch.json" --threads 2 --progress \
+    --events "$TRACE_DIR/events.jsonl" --ledger "$TRACE_DIR/watch_ledger.jsonl" \
+    > "$TRACE_DIR/live_out.txt" 2> "$TRACE_DIR/live_err.txt"
+"$GFAB" trace-check "$TRACE_DIR/events.jsonl" | grep -q 'valid events'
+if grep -q $'\x1b' "$TRACE_DIR/live_out.txt" "$TRACE_DIR/live_err.txt"; then
+    echo "live smoke: piped --progress leaked an ANSI escape" >&2
+    exit 1
+fi
+grep -q '^progress:' "$TRACE_DIR/live_err.txt"
+"$GFAB" watch "$TRACE_DIR/watch_ledger.jsonl" --iterations 1 \
+    | grep -q 'row(s) across'
+
 echo "== perf gate: pinned workload vs committed baselines =="
 # Work-unit thresholds only — bench-diff never gates on wall time or
 # memory, so this step is stable on any CI machine.

@@ -82,6 +82,30 @@ if [ "$fuzz_work" -ne "$fuzz_base" ]; then
 fi
 echo "fuzz work gate OK ($fuzz_work work units)"
 
+echo "== live events gate: --events must not perturb work units or verdicts =="
+# The same equivalence query traced with and without the live event
+# stream (and an in-flight --progress board) must produce identical
+# per-phase work units in both directions and the same verdict line.
+# Publishing rides a bounded non-blocking channel, so any drift here
+# means an event tap leaked into the deterministic computation.
+"$GFAB" gen mastrovito --k 16 -o "$TMP/gate_spec.nl"
+"$GFAB" gen montgomery --k 16 -o "$TMP/gate_impl.nl"
+"$GFAB" equiv "$TMP/gate_spec.nl" "$TMP/gate_impl.nl" --k 16 --threads 2 \
+    --trace-json "$TMP/gate_off.jsonl" | grep '^EQUIVALENT' > "$TMP/gate_off.verdict"
+"$GFAB" equiv "$TMP/gate_spec.nl" "$TMP/gate_impl.nl" --k 16 --threads 2 \
+    --trace-json "$TMP/gate_on.jsonl" --progress \
+    --events "$TMP/gate_events.jsonl" 2>/dev/null \
+    | grep '^EQUIVALENT' > "$TMP/gate_on.verdict"
+"$GFAB" trace-check "$TMP/gate_events.jsonl" | grep -q 'valid events'
+if ! cmp -s "$TMP/gate_off.verdict" "$TMP/gate_on.verdict"; then
+    echo "perf-gate: --events changed the verdict line" >&2
+    diff "$TMP/gate_off.verdict" "$TMP/gate_on.verdict" >&2 || true
+    exit 1
+fi
+"$GFAB" trace-diff "$TMP/gate_off.jsonl" "$TMP/gate_on.jsonl" --threshold 0 >/dev/null
+"$GFAB" trace-diff "$TMP/gate_on.jsonl" "$TMP/gate_off.jsonl" --threshold 0 >/dev/null
+echo "live events gate OK (work units identical with events on/off)"
+
 status=0
 for t in table1 table2 table3 table4; do
     base="BENCH_${t}.json"

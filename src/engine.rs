@@ -34,12 +34,12 @@
 //! their slack to later queries instead of stranding it.
 
 use crate::cache::{CacheStats, CachingExtract};
-use crate::core::equiv::EquivReport;
-use crate::core::{pool, CoreError, ExtractProvider};
+use crate::core::equiv::{EquivReport, Verdict};
+use crate::core::{pool, CoreError, ExtractProvider, Extraction};
 use crate::field::{ContextCache, Gf2Poly};
 use crate::netlist::hierarchy::HierDesign;
 use crate::netlist::Netlist;
-use crate::telemetry::HistData;
+use crate::telemetry::{EventBus, EventKind, HistData};
 use crate::verifier::{Circuit, ExtractReport, Verifier};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -61,6 +61,11 @@ pub struct EngineConfig {
     pub sat_conflicts: u64,
     /// Record a per-query telemetry span tree on each result.
     pub trace: bool,
+    /// Live event bus the batch publishes into: per-query lifecycle
+    /// (which worker picked up which query, how each ended) plus every
+    /// in-flight phase/progress/budget event of the queries themselves.
+    /// Disabled by default; publishing never blocks workers.
+    pub events: EventBus,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +76,7 @@ impl Default for EngineConfig {
             deadline: None,
             sat_conflicts: 1_000_000,
             trace: false,
+            events: EventBus::default(),
         }
     }
 }
@@ -136,6 +142,44 @@ pub enum QueryOutcome {
     /// The query failed outright (bad field, malformed design, internal
     /// error). Failure of one query never aborts the rest of the batch.
     Failed(String),
+}
+
+impl QueryOutcome {
+    /// The one-word verdict used on result lines, in ledger rows and in
+    /// live `query-done` events: `extracted`, `residual`, `equivalent`,
+    /// `inequivalent`, `unknown`, `timeout` or `failed`.
+    #[must_use]
+    pub fn verdict_word(&self) -> &'static str {
+        match self {
+            QueryOutcome::Failed(_) => "failed",
+            QueryOutcome::TimedOut(_) => "timeout",
+            QueryOutcome::Extracted(report) => match report.as_flat().map(|r| &r.outcome) {
+                None | Some(Extraction::Canonical(_)) => "extracted",
+                Some(Extraction::Residual { .. }) => "residual",
+                Some(Extraction::TimedOut { .. }) => "timeout",
+            },
+            QueryOutcome::Checked(report) => match report.verdict() {
+                Verdict::Equivalent { .. } | Verdict::EquivalentBySat { .. } => "equivalent",
+                Verdict::Inequivalent { .. }
+                | Verdict::InequivalentBySimulation { .. }
+                | Verdict::InequivalentBySat { .. } => "inequivalent",
+                Verdict::Unknown { .. } => "unknown",
+            },
+        }
+    }
+
+    /// The process-exit severity the outcome maps to under the CLI's
+    /// batch aggregation contract (0 ok / 1 inequivalent / 2 failure /
+    /// 3 resource-exhausted).
+    #[must_use]
+    pub fn exit_severity(&self) -> u8 {
+        match self.verdict_word() {
+            "failed" => 2,
+            "timeout" | "unknown" => 3,
+            "inequivalent" => 1,
+            _ => 0,
+        }
+    }
 }
 
 /// One query's result within a [`BatchReport`].
@@ -218,20 +262,32 @@ impl Engine {
         let inner_threads = if workers > 1 { 1 } else { self.config.threads };
         let unstarted = AtomicUsize::new(n);
 
-        let results: Vec<QueryResult> = pool::run_indexed(workers, n, |_w, i| {
+        let results: Vec<QueryResult> = pool::run_indexed(workers, n, |w, i| {
             let queue_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
             let left = unstarted.fetch_sub(1, Ordering::Relaxed).max(1);
             let deadline = self
                 .config
                 .deadline
                 .map(|d| d.saturating_sub(start.elapsed()) / left as u32);
+            self.config.events.publish(EventKind::QueryStart {
+                query: queries[i].name.clone(),
+                worker: w as u64,
+            });
             let q_start = Instant::now();
             let outcome = self.run_query(&queries[i], deadline, inner_threads);
+            let duration = q_start.elapsed();
+            self.config.events.publish(EventKind::QueryDone {
+                query: queries[i].name.clone(),
+                verdict: outcome.verdict_word().to_string(),
+                exit: u64::from(outcome.exit_severity()),
+                wall_us: duration.as_micros().min(u128::from(u64::MAX)) as u64,
+                worker: w as u64,
+            });
             QueryResult {
                 name: queries[i].name.clone(),
                 outcome,
                 queue_us,
-                duration: q_start.elapsed(),
+                duration,
             }
         });
 
@@ -278,6 +334,7 @@ impl Engine {
             .threads(inner_threads)
             .sat_conflicts(self.config.sat_conflicts)
             .trace(self.config.trace)
+            .events(&self.config.events)
             .extract_provider(Arc::clone(&self.provider) as Arc<dyn ExtractProvider>);
         if let Some(d) = deadline {
             v = v.deadline(d);

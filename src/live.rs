@@ -1,0 +1,476 @@
+//! Live event streaming for the CLI: the `--progress` board, the
+//! `--events` NDJSON tap, and the `gfab watch` ledger follower.
+//!
+//! The hot path publishes into a bounded [`EventBus`] and never blocks;
+//! everything here runs on a dedicated reporter thread that drains the
+//! receiving half. Rendering cadence is pure wall clock — events carry
+//! deterministic work-unit totals, but *when* the board repaints has no
+//! effect on any counter or verdict.
+
+use gfab::telemetry::events::{events_footer, events_header};
+use gfab::telemetry::{EventBus, EventKind, EventReceiver, Recv};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default bound on the in-flight event queue. Deep enough that a
+/// healthy reporter never drops, small enough that a wedged one cannot
+/// buffer unbounded memory; override with `--events-cap`.
+const DEFAULT_EVENT_CAP: usize = 4096;
+
+/// How often the reporter repaints, and the drain-poll granularity.
+const RENDER_EVERY_ANSI: Duration = Duration::from_millis(100);
+const RENDER_EVERY_PLAIN: Duration = Duration::from_millis(250);
+const POLL: Duration = Duration::from_millis(50);
+
+/// The live-output selection shared by `extract`, `equiv`, `batch` and
+/// `fuzz`: `--progress`, `--events FILE|-`, `--events-cap N`.
+pub struct LiveArgs {
+    progress: bool,
+    events: Option<String>,
+    cap: usize,
+}
+
+impl LiveArgs {
+    pub fn parse(rest: &[String]) -> Result<LiveArgs, String> {
+        let cap = match crate::flag_value(rest, "--events-cap")? {
+            Some(v) => v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("bad --events-cap value: {v}"))?,
+            None => DEFAULT_EVENT_CAP,
+        };
+        Ok(LiveArgs {
+            progress: crate::has_flag(rest, "--progress"),
+            events: crate::flag_value(rest, "--events")?.cloned(),
+            cap,
+        })
+    }
+
+    /// Whether any live sink was requested.
+    pub fn enabled(&self) -> bool {
+        self.progress || self.events.is_some()
+    }
+
+    /// Builds the event channel and starts the reporter thread; with
+    /// neither flag the reporter is an inert no-op carrying a disabled
+    /// bus (the hot path pays one `Option` branch).
+    pub fn start(&self) -> Result<LiveReporter, String> {
+        if !self.enabled() {
+            return Ok(LiveReporter {
+                bus: EventBus::disabled(),
+                state: None,
+            });
+        }
+        let sink = match self.events.as_deref() {
+            None => None,
+            Some("-") => Some(EventSink::stdout()),
+            Some(path) => Some(EventSink::file(path)?),
+        };
+        let board = self.progress.then(Board::new);
+        let (bus, rx) = EventBus::bounded(self.cap);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gfab-live".into())
+            .spawn(move || report_loop(&rx, sink, board, &thread_stop))
+            .map_err(|e| format!("cannot spawn reporter thread: {e}"))?;
+        Ok(LiveReporter {
+            bus,
+            state: Some(ReporterState { stop, handle }),
+        })
+    }
+}
+
+struct ReporterState {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<Result<u64, String>>,
+}
+
+/// Owns the reporter thread for one query/command lifetime. Callers
+/// clone [`LiveReporter::bus`] into the library layer, run the work,
+/// then call [`LiveReporter::finish`] to drain and shut down.
+pub struct LiveReporter {
+    bus: EventBus,
+    state: Option<ReporterState>,
+}
+
+impl LiveReporter {
+    /// The publishing half to hand to the library layer (disabled when
+    /// no live sink was requested).
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Stops the reporter after it drains everything already published.
+    /// Reports the backpressure drop count on stderr when non-zero —
+    /// the stream's footer records the same number.
+    pub fn finish(self) -> Result<(), String> {
+        let Some(st) = self.state else {
+            return Ok(());
+        };
+        // Shutdown is flag-based, not disconnect-based: library structs
+        // (Verifier, EngineConfig, FuzzConfig) hold bus clones that
+        // outlive the query, so the channel never disconnects here.
+        st.stop.store(true, Ordering::Relaxed);
+        st.handle
+            .join()
+            .map_err(|_| "event reporter thread panicked".to_string())??;
+        let dropped = self.bus.dropped();
+        if dropped > 0 {
+            eprintln!("events: {dropped} event(s) dropped under backpressure (raise --events-cap)");
+        }
+        Ok(())
+    }
+}
+
+/// The reporter thread: drain events into the NDJSON sink and/or the
+/// progress board until the stop flag is raised and the queue is dry.
+/// Returns the number of event lines written.
+fn report_loop(
+    rx: &EventReceiver,
+    mut sink: Option<EventSink>,
+    mut board: Option<Board>,
+    stop: &AtomicBool,
+) -> Result<u64, String> {
+    if let Some(s) = &mut sink {
+        s.line(&events_header(Some(&gfab::version::version_string())))?;
+    }
+    let mut written = 0u64;
+    loop {
+        match rx.recv_timeout(POLL) {
+            Recv::Event(ev) => {
+                if let Some(s) = &mut sink {
+                    s.line(&ev.to_json_line())?;
+                    written += 1;
+                }
+                if let Some(b) = &mut board {
+                    b.update(&ev);
+                    b.maybe_render();
+                }
+            }
+            // A full poll interval of silence after the stop flag went
+            // up means the publisher is done and the queue is drained.
+            Recv::Timeout => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(b) = &mut board {
+                    b.maybe_render();
+                }
+            }
+            Recv::Closed => break,
+        }
+    }
+    if let Some(s) = &mut sink {
+        s.line(&events_footer(written, rx.dropped()))?;
+        s.flush()?;
+    }
+    if let Some(b) = &mut board {
+        b.close();
+    }
+    Ok(written)
+}
+
+/// Where `--events` lines go: a buffered file or stdout.
+enum EventSink {
+    File(std::io::BufWriter<std::fs::File>),
+    Stdout,
+}
+
+impl EventSink {
+    fn file(path: &str) -> Result<EventSink, String> {
+        let f = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        Ok(EventSink::File(std::io::BufWriter::new(f)))
+    }
+
+    fn stdout() -> EventSink {
+        EventSink::Stdout
+    }
+
+    fn line(&mut self, s: &str) -> Result<(), String> {
+        let io = |e: std::io::Error| format!("cannot write event stream: {e}");
+        match self {
+            EventSink::File(w) => writeln!(w, "{s}").map_err(io),
+            // One writeln per line under the lock keeps event lines
+            // whole even when results interleave on the same stream.
+            EventSink::Stdout => writeln!(std::io::stdout().lock(), "{s}").map_err(io),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        let io = |e: std::io::Error| format!("cannot write event stream: {e}");
+        match self {
+            EventSink::File(w) => w.flush().map_err(io),
+            EventSink::Stdout => std::io::stdout().lock().flush().map_err(io),
+        }
+    }
+}
+
+/// Whether the progress board may use ANSI escapes: both stdio streams
+/// must be real terminals, `NO_COLOR` must be unset (or empty), and
+/// `TERM` must not be `dumb`. Anything else degrades to plain text.
+fn ansi_allowed() -> bool {
+    use std::io::IsTerminal;
+    if !std::io::stdout().is_terminal() || !std::io::stderr().is_terminal() {
+        return false;
+    }
+    if std::env::var_os("NO_COLOR").is_some_and(|v| !v.is_empty()) {
+        return false;
+    }
+    if std::env::var_os("TERM").is_some_and(|v| v == "dumb") {
+        return false;
+    }
+    true
+}
+
+const SPINNER: [char; 4] = ['|', '/', '-', '\\'];
+
+/// The `--progress` renderer: one status line on stderr, rewritten in
+/// place at ~10 Hz on a terminal, or appended as periodic plain-text
+/// lines (never an escape byte) when piped / `NO_COLOR` / `TERM=dumb`.
+struct Board {
+    ansi: bool,
+    started: Instant,
+    last_render: Option<Instant>,
+    spin: usize,
+    dirty: bool,
+    /// Innermost open phase label per publishing thread.
+    stack: BTreeMap<u64, Vec<String>>,
+    /// Work units banked by closed spans.
+    done_work: u64,
+    /// Last in-flight progress snapshot per (thread, phase slug).
+    live_work: BTreeMap<(u64, &'static str), u64>,
+    budget_remaining_us: Option<u64>,
+    /// Current query per worker, and finished-query tally.
+    running: BTreeMap<u64, String>,
+    queries_done: u64,
+    /// Which thread updated a phase most recently (display pick).
+    last_thread: u64,
+}
+
+impl Board {
+    fn new() -> Board {
+        Board {
+            ansi: ansi_allowed(),
+            started: Instant::now(),
+            last_render: None,
+            spin: 0,
+            dirty: false,
+            stack: BTreeMap::new(),
+            done_work: 0,
+            live_work: BTreeMap::new(),
+            budget_remaining_us: None,
+            running: BTreeMap::new(),
+            queries_done: 0,
+            last_thread: 0,
+        }
+    }
+
+    fn update(&mut self, ev: &gfab::telemetry::Event) {
+        self.dirty = true;
+        let t = ev.thread;
+        // The board never writes back into the computation: everything
+        // below is display state.
+        match &ev.kind {
+            EventKind::PhaseEnter { phase, label } => {
+                let name = match label {
+                    Some(l) => format!("{} [{l}]", phase.slug()),
+                    None => phase.slug().to_string(),
+                };
+                self.stack.entry(t).or_default().push(name);
+                self.last_thread = t;
+            }
+            EventKind::PhaseExit {
+                phase, work_units, ..
+            } => {
+                if let Some(stack) = self.stack.get_mut(&t) {
+                    stack.pop();
+                }
+                self.live_work.remove(&(t, phase.slug()));
+                self.done_work += work_units;
+            }
+            EventKind::Progress { phase, work_units } => {
+                self.live_work.insert((t, phase.slug()), *work_units);
+                self.last_thread = t;
+            }
+            EventKind::BudgetTick { remaining_us, .. } => {
+                self.budget_remaining_us = *remaining_us;
+            }
+            EventKind::QueryStart { query, worker } => {
+                self.running.insert(*worker, query.clone());
+            }
+            EventKind::QueryDone { worker, .. } => {
+                self.running.remove(worker);
+                self.queries_done += 1;
+            }
+        }
+    }
+
+    fn maybe_render(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let every = if self.ansi {
+            RENDER_EVERY_ANSI
+        } else {
+            RENDER_EVERY_PLAIN
+        };
+        if self.last_render.is_some_and(|t| t.elapsed() < every) {
+            return;
+        }
+        self.last_render = Some(Instant::now());
+        self.dirty = false;
+        let line = self.status_line();
+        if self.ansi {
+            self.spin = (self.spin + 1) % SPINNER.len();
+            let clipped: String = line.chars().take(118).collect();
+            eprint!("\r\x1b[2K{} {clipped}", SPINNER[self.spin]);
+            let _ = std::io::stderr().flush();
+        } else {
+            eprintln!("progress: {line}");
+        }
+    }
+
+    /// The current status, without any cursor control.
+    fn status_line(&self) -> String {
+        let work: u64 = self.done_work + self.live_work.values().sum::<u64>();
+        let secs = self.started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { work as f64 / secs } else { 0.0 };
+        let phase = self
+            .stack
+            .get(&self.last_thread)
+            .and_then(|s| s.last())
+            .or_else(|| self.stack.values().find_map(|s| s.last()))
+            .map_or("idle", String::as_str);
+        let mut out = format!("{phase} | work {work} ({rate:.0}/s)");
+        if let Some(us) = self.budget_remaining_us {
+            out.push_str(&format!(" | budget {:.1}s left", us as f64 / 1e6));
+        }
+        if self.queries_done > 0 || !self.running.is_empty() {
+            out.push_str(&format!(" | {} done", self.queries_done));
+            for (w, q) in self.running.iter().take(4) {
+                out.push_str(&format!(" w{w}:{q}"));
+            }
+            if self.running.len() > 4 {
+                out.push_str(&format!(" (+{})", self.running.len() - 4));
+            }
+        }
+        out
+    }
+
+    /// Final repaint: leave the terminal on a fresh line (ANSI) or emit
+    /// one closing plain line, so the next writer starts clean.
+    fn close(&mut self) {
+        if self.ansi {
+            eprint!("\r\x1b[2K");
+        }
+        eprintln!(
+            "progress: {} (done in {:.1?})",
+            self.status_line(),
+            self.started.elapsed()
+        );
+        let _ = std::io::stderr().flush();
+    }
+}
+
+/// `gfab watch LEDGER [--interval D] [--iterations N]`: tail-follow a
+/// run ledger, re-rendering a rolling verdict/latency board whenever
+/// the file grows. Torn or garbled lines from a concurrently appending
+/// writer are skipped (and counted), never fatal.
+pub fn cmd_watch(rest: &[String]) -> Result<ExitCode, String> {
+    let pos = crate::positional(rest, 1);
+    let [path] = pos.as_slice() else {
+        return Err("watch needs a ledger file path".into());
+    };
+    let interval = match crate::flag_value(rest, "--interval")? {
+        Some(v) => crate::parse_duration(v)?,
+        None => Duration::from_millis(500),
+    };
+    let iterations: Option<u64> = match crate::flag_value(rest, "--iterations")? {
+        Some(v) => Some(
+            v.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("bad --iterations value: {v}"))?,
+        ),
+        None => None,
+    };
+    let mut last_sig: Option<(usize, usize)> = None;
+    let mut round = 0u64;
+    loop {
+        // A missing file is an empty ledger: watch can start before the
+        // writer does.
+        let text = std::fs::read_to_string(path.as_str()).unwrap_or_default();
+        let (ledger, skipped) = gfab::telemetry::Ledger::parse_lenient(&text);
+        let sig = (ledger.rows.len(), skipped);
+        if last_sig != Some(sig) {
+            last_sig = Some(sig);
+            print!("{}", render_watch_board(path, &ledger, skipped));
+            let _ = std::io::stdout().flush();
+        }
+        round += 1;
+        if iterations.is_some_and(|n| round >= n) {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One watch repaint: row/run totals, verdict mix, wall-time
+/// percentiles, and the most recent rows.
+fn render_watch_board(path: &str, ledger: &gfab::telemetry::Ledger, skipped: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let runs: std::collections::BTreeSet<&str> =
+        ledger.rows.iter().map(|r| r.run.as_str()).collect();
+    let _ = write!(
+        out,
+        "watch {path}: {} row(s) across {} run(s)",
+        ledger.rows.len(),
+        runs.len()
+    );
+    if skipped > 0 {
+        let _ = write!(out, ", {skipped} torn line(s) skipped");
+    }
+    if ledger.torn_tail {
+        out.push_str(", torn tail");
+    }
+    out.push('\n');
+    if ledger.rows.is_empty() {
+        out.push_str("  (empty — waiting for rows)\n");
+        return out;
+    }
+    let mut verdicts: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in &ledger.rows {
+        *verdicts.entry(r.verdict.as_str()).or_default() += 1;
+    }
+    out.push_str("  verdicts:");
+    for (v, n) in &verdicts {
+        let _ = write!(out, " {v}={n}");
+    }
+    out.push('\n');
+    let mut walls: Vec<u64> = ledger.rows.iter().map(|r| r.wall_us).collect();
+    walls.sort_unstable();
+    let pct = |p: usize| walls[(walls.len() - 1) * p / 100];
+    let _ = writeln!(
+        out,
+        "  wall us : p50={} p90={} max={}",
+        pct(50),
+        pct(90),
+        pct(100)
+    );
+    let tail = ledger.rows.len().saturating_sub(5);
+    for r in &ledger.rows[tail..] {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:<12} exit={} work={} wall={}us",
+            r.query, r.verdict, r.exit, r.work_units, r.wall_us
+        );
+    }
+    out
+}

@@ -13,6 +13,7 @@
 //! [`gfab::netlist::format`]; `gfab gen` produces them.
 
 mod alloc;
+mod live;
 
 use gfab::circuits::{gf_adder, mastrovito_multiplier, montgomery_multiplier_hier, squarer};
 use gfab::core::equiv::Verdict;
@@ -63,6 +64,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "trace-agg" => cmd_trace_agg(rest),
         "flame" => cmd_flame(rest),
         "report" => cmd_report(rest),
+        "watch" => live::cmd_watch(rest),
         "bench-diff" => cmd_bench_diff(rest),
         "fuzz" => cmd_fuzz(rest),
         "--version" | "-V" | "version" => {
@@ -94,6 +96,7 @@ COMMANDS:
   trace-agg    aggregate many traces into mergeable per-group summaries
   flame        export a trace as a flamegraph / critical-path analysis
   report       render a run-ledger dashboard
+  watch        tail-follow a run ledger as a live verdict/latency board
   bench-diff   diff two benchmark --json result files
   fuzz         deterministic differential fuzzing campaign
 
@@ -101,13 +104,16 @@ USAGE:
   gfab extract   <circuit.nl> --k <k> [--modulus e0,e1,...] [--threads N]
                  [--timeout D] [--trace] [--stats] [--mem-stats]
                  [--trace-json FILE] [--ledger FILE]
+                 [--progress] [--events FILE|-] [--events-cap N]
   gfab verify-spec <circuit.nl> --spec 'A*B' --k <k> [--modulus ...]
   gfab equiv     <spec.nl> <impl.nl> --k <k> [--modulus ...] [--threads N]
                  [--timeout D] [--trace] [--stats] [--mem-stats]
                  [--trace-json FILE] [--ledger FILE]
+                 [--progress] [--events FILE|-] [--events-cap N]
   gfab sat-equiv <spec.nl> <impl.nl> [--conflicts N] [--timeout D]
   gfab batch     <manifest.json> [--threads N] [--timeout D] [--cache-cap N]
                  [--repeat N] [--stats] [--trace-json FILE] [--ledger FILE]
+                 [--progress] [--events FILE|-] [--events-cap N]
   gfab gen       <mastrovito|montgomery|squarer|adder> --k <k> [-o out.nl]
   gfab info      <circuit.nl>
   gfab trace-check <trace.jsonl | agg.jsonl>
@@ -115,11 +121,13 @@ USAGE:
   gfab trace-agg   <trace.jsonl>... [--group-by phase|k|arch] [--json FILE]
   gfab flame       <trace.jsonl> [--out folded|speedscope] [--critical-path]
   gfab report      <ledger.jsonl> [--md]
+  gfab watch       <ledger.jsonl> [--interval D] [--iterations N]
   gfab bench-diff  <baseline.json> <current.json> [--threshold PCT]
   gfab fuzz      [--seed N] [--cases N] [--threads N] [--k-min K] [--k-max K]
                  [--fault-rate PCT] [--faults a,b,...] [--corpus DIR]
                  [--timeout D] [--sat-conflicts N] [--shrink-budget N]
                  [--stats] [--ledger FILE]
+                 [--progress] [--events FILE|-] [--events-cap N]
   gfab fuzz      --replay <case.json>
 
 The field F_2^k is constructed with the NIST polynomial when k is a NIST
@@ -167,7 +175,7 @@ trace-agg streams any number of JSONL traces into per-group summaries
 histograms), grouped by phase path (default), field width k, or
 generator architecture. Aggregating shards separately and merging
 yields byte-identical output to aggregating their concatenation.
---json FILE writes the summary as a strict v3 `agg` JSONL document
+--json FILE writes the summary as a strict v4 `agg` JSONL document
 that `gfab trace-check` validates.
 
 flame folds one trace into flamegraph input on stdout: --out folded
@@ -187,6 +195,22 @@ accumulated history as a dashboard — verdict mix, per-k latency
 percentiles, and the work-unit drift between the two most recent runs
 of each repeated command line (--md for markdown). Writes are crash-
 safe at line granularity; the reader tolerates one torn final line.
+`gfab watch LEDGER` tail-follows the same file while other processes
+append, re-rendering a rolling verdict/latency board on change; torn
+lines from a concurrent writer are skipped and counted, never fatal
+(--interval sets the poll cadence, --iterations bounds the loop).
+
+--progress renders a live status line on stderr while the query runs
+(phase, work units/s, budget remaining, per-worker queries). On a real
+terminal it rewrites one line in place; when piped, or with NO_COLOR
+set or TERM=dumb, it degrades to periodic plain-text lines and never
+emits an ANSI escape. --events FILE (or `-` for stdout) streams every
+live event as strict NDJSON (`gfab trace-check` validates it, even
+mid-run before the footer lands). Events ride a bounded non-blocking
+channel: under backpressure they are dropped and counted (the count
+appears in the stream footer and on stderr), and the computation —
+work units, verdicts, exit codes — is byte-identical with live output
+on or off, at any --threads value. --events-cap N resizes the queue.
 
 `fuzz` runs a deterministic seeded campaign: specimens drawn from a
 weighted architecture pool over F_2^k (k-min..k-max), a typed fault
@@ -308,6 +332,7 @@ fn positional(rest: &[String], n: usize) -> Vec<&String> {
                     | "--critical-path"
                     | "--md"
                     | "--wall"
+                    | "--progress"
             );
             continue;
         }
@@ -473,11 +498,13 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
     let timeout = parse_timeout(rest)?;
     let tracing = TraceArgs::parse(rest)?;
     let ledger = LedgerArgs::parse("extract", rest)?;
+    let reporter = live::LiveArgs::parse(rest)?.start()?;
     let nl = load(path)?;
     let t = Instant::now();
     let mut v = Verifier::new(&ctx)
         .threads(threads)
         .trace(tracing.enabled() || ledger.enabled())
+        .events(reporter.bus())
         .mem_stats(tracing.mem);
     if let Some(w) = timeout {
         v = v.deadline(w);
@@ -491,6 +518,7 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
             block,
             reason,
         }) => {
+            reporter.finish()?;
             match block {
                 Some(b) => println!("TIMED OUT during {phase} (block {b}): {reason}"),
                 None => println!("TIMED OUT during {phase}: {reason}"),
@@ -509,6 +537,7 @@ fn cmd_extract(rest: &[String]) -> Result<ExitCode, String> {
         Err(e) => return Err(e.to_string()),
     };
     let elapsed = t.elapsed();
+    reporter.finish()?;
     let result = report.as_flat().expect("flat netlist gives flat report");
     println!("circuit : {} ({} gates)", nl.name(), nl.num_gates());
     println!("field   : F_2^{}, P(x) = {}", ctx.k(), ctx.modulus());
@@ -601,18 +630,21 @@ fn cmd_equiv(rest: &[String]) -> Result<ExitCode, String> {
     let timeout = parse_timeout(rest)?;
     let tracing = TraceArgs::parse(rest)?;
     let ledger = LedgerArgs::parse("equiv", rest)?;
+    let reporter = live::LiveArgs::parse(rest)?.start()?;
     let spec = load(spec_path)?;
     let impl_ = load(impl_path)?;
     let t = Instant::now();
     let mut v = Verifier::new(&ctx)
         .threads(threads)
         .trace(tracing.enabled() || ledger.enabled())
+        .events(reporter.bus())
         .mem_stats(tracing.mem);
     if let Some(w) = timeout {
         v = v.deadline(w);
     }
     let report = v.check(&spec, &impl_).map_err(|e| e.to_string())?;
     let elapsed = t.elapsed();
+    reporter.finish()?;
     // When the SAT fallback rung ran, surface its full search effort —
     // the word-level stats alone say nothing about where the time went.
     if let Some(s) = &report.sat {
@@ -757,11 +789,13 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
     let stats = has_flag(rest, "--stats");
     let trace_json = flag_value(rest, "--trace-json")?;
     let ledger = LedgerArgs::parse("batch", rest)?;
+    let reporter = live::LiveArgs::parse(rest)?.start()?;
     let engine = gfab::Engine::new(EngineConfig {
         threads: parse_threads(rest)?,
         cache_capacity: cache_cap,
         deadline: parse_timeout(rest)?,
         trace: trace_json.is_some() || ledger.enabled(),
+        events: reporter.bus().clone(),
         ..EngineConfig::default()
     });
     let k_of: std::collections::BTreeMap<&str, u64> = queries
@@ -800,7 +834,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
             ledger.append(&QueryRecord {
                 query: &r.name,
                 k: k_of.get(r.name.as_str()).copied().unwrap_or(0),
-                verdict: outcome_verdict(&r.outcome),
+                verdict: r.outcome.verdict_word(),
                 exit,
                 work_units: outcome_trace(&r.outcome).map_or(0, |t| t.work_units()),
                 wall: r.duration,
@@ -844,6 +878,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
             );
         }
     }
+    reporter.finish()?;
     if let Some(path) = trace_json {
         let merged =
             gfab::telemetry::Trace::merged(merged_parts.iter().map(|(t, shift)| (t, *shift)));
@@ -865,27 +900,6 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         0
     };
     Ok(ExitCode::from(overall))
-}
-
-/// The ledger verdict word for one batch query outcome.
-fn outcome_verdict(outcome: &gfab::engine::QueryOutcome) -> &'static str {
-    use gfab::engine::QueryOutcome;
-    match outcome {
-        QueryOutcome::Failed(_) => "failed",
-        QueryOutcome::TimedOut(_) => "timeout",
-        QueryOutcome::Extracted(report) => match report.as_flat().map(|r| &r.outcome) {
-            None | Some(Extraction::Canonical(_)) => "extracted",
-            Some(Extraction::Residual { .. }) => "residual",
-            Some(Extraction::TimedOut { .. }) => "timeout",
-        },
-        QueryOutcome::Checked(report) => match report.verdict() {
-            Verdict::Equivalent { .. } | Verdict::EquivalentBySat { .. } => "equivalent",
-            Verdict::Inequivalent { .. }
-            | Verdict::InequivalentBySimulation { .. }
-            | Verdict::InequivalentBySat { .. } => "inequivalent",
-            Verdict::Unknown { .. } => "unknown",
-        },
-    }
 }
 
 /// The telemetry trace captured for one batch query, when the engine
@@ -1020,9 +1034,10 @@ fn cmd_info(rest: &[String]) -> Result<ExitCode, String> {
 
 /// Validates a `--trace-json` file against the JSONL trace schema (every
 /// line must parse, carry exactly the documented fields, and the span ids
-/// must form a well-parented tree), or a `trace-agg --json` aggregation
-/// document against the agg schema — the header line's `"type"` field
-/// decides which. Exit 0 on a valid file, 2 otherwise.
+/// must form a well-parented tree), a `trace-agg --json` aggregation
+/// document against the agg schema, or an `--events` live stream against
+/// the event schema — the header line's `"type"` field decides which.
+/// Exit 0 on a valid file, 2 otherwise.
 fn cmd_trace_check(rest: &[String]) -> Result<ExitCode, String> {
     use gfab::telemetry::json::{parse_object, Json};
     let pos = positional(rest, 1);
@@ -1031,12 +1046,15 @@ fn cmd_trace_check(rest: &[String]) -> Result<ExitCode, String> {
     };
     let text =
         std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let is_agg = text
+    let doc_type = text
         .lines()
         .find(|l| !l.trim().is_empty())
         .and_then(|l| parse_object(l).ok())
-        .is_some_and(|o| o.get("type") == Some(&Json::Str("agg".into())));
-    if is_agg {
+        .and_then(|o| match o.get("type") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        });
+    if doc_type.as_deref() == Some("agg") {
         let agg = gfab::telemetry::TraceAgg::from_jsonl(&text).map_err(|e| e.to_string())?;
         println!(
             "valid agg: {} group(s) by {}, {} span(s), {} work unit(s)",
@@ -1044,6 +1062,22 @@ fn cmd_trace_check(rest: &[String]) -> Result<ExitCode, String> {
             agg.group_by().slug(),
             agg.total_spans(),
             agg.work_units()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    if doc_type.as_deref() == Some("events") {
+        let ev = gfab::telemetry::EventStream::from_jsonl(&text).map_err(|e| e.to_string())?;
+        let kinds: Vec<String> = ev
+            .kind_counts()
+            .iter()
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect();
+        println!(
+            "valid events: {} event(s) ({}), {} dropped, {}",
+            ev.events.len(),
+            kinds.join(" "),
+            ev.dropped.unwrap_or(0),
+            if ev.complete { "complete" } else { "in-flight" }
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -1164,7 +1198,12 @@ fn cmd_report(rest: &[String]) -> Result<ExitCode, String> {
     };
     let text =
         std::fs::read_to_string(path.as_str()).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let ledger = gfab::telemetry::Ledger::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Lenient parse: a report over a ledger another process is still
+    // appending to should skip its torn lines, not die on them.
+    let (ledger, skipped) = gfab::telemetry::Ledger::parse_lenient(&text);
+    if skipped > 0 {
+        eprintln!("warning: {path}: skipped {skipped} torn/unparsable line(s)");
+    }
     print!("{}", ledger.render_report(has_flag(rest, "--md")));
     Ok(ExitCode::SUCCESS)
 }
@@ -1286,11 +1325,14 @@ fn cmd_fuzz(rest: &[String]) -> Result<ExitCode, String> {
 
     let tracing = TraceArgs::parse(rest)?;
     let ledger = LedgerArgs::parse("fuzz", rest)?;
+    let reporter = live::LiveArgs::parse(rest)?.start()?;
     let collector = Collector::new();
     if tracing.json.is_some() || tracing.tree {
         cfg.telemetry = Telemetry::attached(&collector);
     }
+    cfg.telemetry = cfg.telemetry.with_events(reporter.bus());
     let report = run_campaign(&cfg);
+    reporter.finish()?;
 
     // The canonical summary line is the *only* stdout output: scripts
     // diff it byte-for-byte across thread counts.

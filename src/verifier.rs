@@ -42,14 +42,34 @@ use crate::core::{
     CoreError, DirectExtract, ExtractOptions, ExtractProvider, ExtractionResult, ExtractionStats,
     WordFunction,
 };
-use crate::field::budget::BudgetSpec;
+use crate::field::budget::{Budget, BudgetObserver, BudgetSpec};
 use crate::field::{Gf, GfContext};
 use crate::netlist::hierarchy::HierDesign;
 use crate::netlist::Netlist;
 use crate::sat::equiv::{check_equivalence_sat_traced, SatVerdict};
-use crate::telemetry::{Collector, Phase, Telemetry, Trace};
+use crate::telemetry::{Collector, EventBus, EventKind, Phase, Telemetry, Trace};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Work-unit cadence of live budget-drain events: one
+/// [`EventKind::BudgetTick`] each time the query's charged work crosses
+/// a multiple of this stride.
+const BUDGET_EVENT_STRIDE: u64 = 2048;
+
+/// The [`BudgetObserver`] → [`EventBus`] adapter. It lives here rather
+/// than in `gfab_field` because both `gfab-field` and `gfab-telemetry`
+/// are deliberately dependency-free leaf crates; the binary layer is
+/// the first place that sees both.
+struct BudgetEvents(EventBus);
+
+impl BudgetObserver for BudgetEvents {
+    fn budget_tick(&self, work_done: u64, remaining: Option<Duration>) {
+        self.0.publish(EventKind::BudgetTick {
+            work_done,
+            remaining_us: remaining.map(|r| r.as_micros().min(u128::from(u64::MAX)) as u64),
+        });
+    }
+}
 
 /// A circuit that can be handed to [`Verifier::extract`] or appear as the
 /// implementation side of [`Verifier::check`]: either a flat gate-level
@@ -168,6 +188,7 @@ pub struct Verifier {
     sat_conflicts: u64,
     trace: bool,
     mem_stats: bool,
+    events: EventBus,
     provider: Option<Arc<dyn ExtractProvider>>,
 }
 
@@ -179,6 +200,7 @@ impl std::fmt::Debug for Verifier {
             .field("sat_conflicts", &self.sat_conflicts)
             .field("trace", &self.trace)
             .field("mem_stats", &self.mem_stats)
+            .field("events", &self.events.is_enabled())
             .field("provider", &self.provider.as_ref().map(|_| "<custom>"))
             .finish()
     }
@@ -195,8 +217,20 @@ impl Verifier {
             sat_conflicts: 1_000_000,
             trace: false,
             mem_stats: false,
+            events: EventBus::default(),
             provider: None,
         }
+    }
+
+    /// Publishes live events (phase enter/exit, periodic work-unit
+    /// progress, budget-drain ticks) into `bus` while queries run — the
+    /// channel behind `--progress` and `--events`. Publishing is
+    /// non-blocking and display-only: it never perturbs deterministic
+    /// work-unit counters or verdicts. Off by default.
+    #[must_use]
+    pub fn events(mut self, bus: &EventBus) -> Self {
+        self.events = bus.clone();
+        self
     }
 
     /// Enables per-query telemetry: every [`extract`](Verifier::extract) /
@@ -314,11 +348,32 @@ impl Verifier {
             let options = self
                 .options
                 .clone()
-                .with_telemetry(Telemetry::attached(&collector));
+                .with_telemetry(Telemetry::attached(&collector).with_events(&self.events));
             let mem = self.mem_stats.then(crate::telemetry::mem::track);
             (Some(collector), options, mem)
+        } else if self.events.is_enabled() {
+            // Events without tracing: spans still open (for live
+            // phase/progress publishing) but record nothing.
+            let options = self
+                .options
+                .clone()
+                .with_telemetry(Telemetry::disabled().with_events(&self.events));
+            (None, options, None)
         } else {
             (None, self.options.clone(), None)
+        }
+    }
+
+    /// Attaches the live budget-drain observer to a freshly started
+    /// query budget when events are on (the identity otherwise).
+    fn observed(&self, budget: Budget) -> Budget {
+        if self.events.is_enabled() {
+            budget.with_observer(
+                Arc::new(BudgetEvents(self.events.clone())),
+                BUDGET_EVENT_STRIDE,
+            )
+        } else {
+            budget
         }
     }
 
@@ -339,7 +394,7 @@ impl Verifier {
         let root = options.telemetry.span_labeled(Phase::Extract, &name);
         options.telemetry = root.telemetry();
         let provider = self.provider.as_deref().unwrap_or(&DirectExtract);
-        let budget = options.budget.start();
+        let budget = self.observed(options.budget.start());
         let outcome = match circuit {
             Circuit::Flat(nl) => provider
                 .extract(nl, &self.ctx, &options, &budget)
@@ -394,19 +449,21 @@ impl Verifier {
         // The SAT rung shares the wall clock but gets its own cancellation
         // flag and no work cap: a tripped word-level cap must not poison
         // the fallback that exists to absorb it.
-        let sat_budget = BudgetSpec {
-            work: None,
-            ..spec_budget
-        }
-        .start();
-        let word_budget = match spec_budget.wall {
+        let sat_budget = self.observed(
+            BudgetSpec {
+                work: None,
+                ..spec_budget
+            }
+            .start(),
+        );
+        let word_budget = self.observed(match spec_budget.wall {
             Some(w) => BudgetSpec {
                 wall: Some(w / 2),
                 ..spec_budget
             }
             .start(),
             None => spec_budget.start(),
-        };
+        });
         let provider = self.provider.as_deref().unwrap_or(&DirectExtract);
         let word = match impl_ {
             Circuit::Flat(nl) => check_equivalence_budgeted_with(

@@ -188,7 +188,7 @@ fn help_exits_zero_and_names_every_subcommand() {
     // The usage text is the discovery surface for the whole CLI: every
     // dispatched subcommand must appear in it. (print_usage writes to
     // stderr so stdout stays clean for piped output.)
-    const SUBCOMMANDS: [&str; 14] = [
+    const SUBCOMMANDS: [&str; 15] = [
         "extract",
         "verify-spec",
         "equiv",
@@ -201,6 +201,7 @@ fn help_exits_zero_and_names_every_subcommand() {
         "trace-agg",
         "flame",
         "report",
+        "watch",
         "bench-diff",
         "fuzz",
     ];
@@ -212,6 +213,13 @@ fn help_exits_zero_and_names_every_subcommand() {
             assert!(
                 text.contains(cmd),
                 "`gfab {flag}` does not mention `{cmd}`:\n{text}"
+            );
+        }
+        // The live-output flags are part of the discovery surface too.
+        for flag_name in ["--progress", "--events", "--events-cap"] {
+            assert!(
+                text.contains(flag_name),
+                "`gfab {flag}` does not mention `{flag_name}`:\n{text}"
             );
         }
     }
