@@ -1,0 +1,295 @@
+//! Coefficient-kernel microbenchmark and differential gate.
+//!
+//! Exercises the zero-allocation GF(2^k) kernels (windowed comb multiply,
+//! spread-table squaring, precomputed modular reduction, batch inversion)
+//! against the bit-serial `gfab_field::reference` oracle.
+//!
+//! Modes:
+//!
+//! * default — timing sweep: per-op latency of the kernel path vs the
+//!   reference path at each k, with the speedup factor and inline-storage
+//!   residency. `--json` emits one JSON object per row.
+//! * `--smoke` — quick differential self-check over every NIST field plus
+//!   small dense moduli; exits 1 on any mismatch (wired into `ci.sh`).
+//! * `--pinned` — a fixed seeded workload whose output (kernel work
+//!   counters + FNV-1a result checksum per field) is a pure function of
+//!   the code, asserted exactly against `scripts/kernel_work_baseline.txt`
+//!   by `perf_gate.sh`. No timings, so the output is machine-independent.
+//!
+//! Run: `cargo run --release -p gfab-bench --bin kernels [--smoke|--pinned] [--json] [k ...]`
+
+use gfab_bench::JsonRow;
+use gfab_field::nist::{irreducible_polynomial, NIST_DEGREES};
+use gfab_field::rng::Rng;
+use gfab_field::{kernel, reference, Gf, Gf2Poly, GfContext};
+use std::time::{Duration, Instant};
+
+/// Small dense (non-NIST) moduli exercised by `--smoke`: degrees chosen to
+/// cross the limb boundaries (63/64/65) and the u64 packing edge.
+const DENSE_SMOKE_DEGREES: [usize; 7] = [2, 8, 63, 64, 65, 128, 129];
+
+fn main() {
+    let mut smoke = false;
+    let mut pinned = false;
+    let mut json = false;
+    let mut ks: Vec<usize> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--pinned" => pinned = true,
+            "--json" => json = true,
+            other => match other.parse::<usize>() {
+                Ok(k) => ks.push(k),
+                Err(_) => {
+                    eprintln!("usage: kernels [--smoke|--pinned] [--json] [k ...]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if smoke {
+        run_smoke();
+    } else if pinned {
+        run_pinned();
+    } else {
+        let sweep = if ks.is_empty() {
+            vec![64, 163, 233, 283, 409, 571]
+        } else {
+            ks
+        };
+        run_timing(&sweep, json);
+    }
+}
+
+/// A random reduced element of the field (dense, degree < k).
+fn random_element(ctx: &GfContext, rng: &mut Rng) -> Gf {
+    ctx.random(rng)
+}
+
+/// FNV-1a over the limb bytes of a polynomial, for pinned checksums.
+fn fnv1a(acc: u64, p: &Gf2Poly) -> u64 {
+    let mut h = acc;
+    for &limb in p.limbs() {
+        for b in limb.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// --smoke: differential self-check (new kernels vs reference oracle)
+// ---------------------------------------------------------------------------
+
+fn smoke_field(ctx: &GfContext, rng: &mut Rng, checks: &mut u64) {
+    let m = ctx.modulus().clone();
+    let pairs = 8usize;
+    let mut batch = Vec::new();
+    for _ in 0..pairs {
+        let a = random_element(ctx, rng);
+        let b = random_element(ctx, rng);
+        let want_mul = reference::field_mul(&m, a.as_poly(), b.as_poly());
+        let got_mul = ctx.mul(&a, &b);
+        assert_differential(ctx.k(), "mul", got_mul.as_poly(), &want_mul);
+        let want_sq = reference::field_square(&m, a.as_poly());
+        let got_sq = ctx.square(&a);
+        assert_differential(ctx.k(), "square", got_sq.as_poly(), &want_sq);
+        if !a.is_zero() {
+            let want_inv = reference::field_inv(&m, a.as_poly()).expect("nonzero inverts");
+            let got_inv = ctx.inv(&a).expect("nonzero inverts");
+            assert_differential(ctx.k(), "inv", got_inv.as_poly(), &want_inv);
+            batch.push(a.clone());
+        }
+        *checks += 3;
+    }
+    // Batch inversion must agree with the element-at-a-time path.
+    let inv = ctx.batch_inv(&batch).expect("no zeros in batch");
+    for (x, xi) in batch.iter().zip(&inv) {
+        assert!(
+            ctx.mul(x, xi).is_one(),
+            "k={}: batch_inv produced a non-inverse",
+            ctx.k()
+        );
+        *checks += 1;
+    }
+    // Edge cases: zero annihilates, one is neutral, alpha matches x.
+    let alpha = ctx.alpha();
+    assert!(ctx.mul(&ctx.zero(), &alpha).is_zero());
+    assert_eq!(ctx.mul(&ctx.one(), &alpha), alpha);
+    assert_eq!(
+        ctx.square(&alpha).as_poly(),
+        &reference::field_square(&m, &Gf2Poly::x())
+    );
+    *checks += 3;
+}
+
+fn assert_differential(k: usize, op: &str, got: &Gf2Poly, want: &Gf2Poly) {
+    if got != want {
+        eprintln!("kernel smoke FAILED: k={k} {op}: kernel={got} reference={want}");
+        std::process::exit(1);
+    }
+}
+
+fn run_smoke() {
+    let mut rng = Rng::seed_from_u64(0x5EED_5EED);
+    let mut checks = 0u64;
+    for k in NIST_DEGREES {
+        let ctx = GfContext::new(irreducible_polynomial(k).expect("NIST k")).expect("irreducible");
+        smoke_field(&ctx, &mut rng, &mut checks);
+    }
+    for k in DENSE_SMOKE_DEGREES {
+        let ctx = GfContext::new(irreducible_polynomial(k).expect("table k")).expect("irreducible");
+        smoke_field(&ctx, &mut rng, &mut checks);
+    }
+    println!("kernel smoke OK ({checks} differential checks)");
+}
+
+// ---------------------------------------------------------------------------
+// --pinned: machine-independent work profile for the perf gate
+// ---------------------------------------------------------------------------
+
+fn run_pinned() {
+    let mut total = kernel::KernelCounts::new();
+    let mut checksum = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+    for k in NIST_DEGREES {
+        let ctx = GfContext::new(irreducible_polynomial(k).expect("NIST k")).expect("irreducible");
+        let mut rng = Rng::seed_from_u64(0xC0FF_EE00 ^ k as u64);
+        let elems: Vec<Gf> = (0..64).map(|_| random_element(&ctx, &mut rng)).collect();
+        let before = kernel::snapshot();
+        let mut field_sum = checksum;
+        for pair in elems.chunks(2) {
+            let p = ctx.mul(&pair[0], &pair[1]);
+            field_sum = fnv1a(field_sum, p.as_poly());
+            let s = ctx.square(&pair[0]);
+            field_sum = fnv1a(field_sum, s.as_poly());
+        }
+        let nonzero: Vec<Gf> = elems.iter().filter(|e| !e.is_zero()).cloned().collect();
+        for inv in ctx.batch_inv(&nonzero).expect("no zeros") {
+            field_sum = fnv1a(field_sum, inv.as_poly());
+        }
+        let delta = kernel::snapshot().delta_since(&before);
+        checksum = field_sum;
+        println!(
+            "k={k} coeff-muls={} coeff-squares={} reduction-folds={} inline={} heap={} checksum={:016x}",
+            delta.coeff_muls,
+            delta.coeff_squares,
+            delta.reduction_folds,
+            delta.inline_results,
+            delta.heap_results,
+            field_sum,
+        );
+        total = total_add(&total, &delta);
+    }
+    println!(
+        "total coeff-muls={} coeff-squares={} reduction-folds={} inline={} heap={} checksum={checksum:016x}",
+        total.coeff_muls,
+        total.coeff_squares,
+        total.reduction_folds,
+        total.inline_results,
+        total.heap_results,
+    );
+}
+
+fn total_add(a: &kernel::KernelCounts, b: &kernel::KernelCounts) -> kernel::KernelCounts {
+    kernel::KernelCounts {
+        coeff_muls: a.coeff_muls + b.coeff_muls,
+        coeff_squares: a.coeff_squares + b.coeff_squares,
+        reduction_folds: a.reduction_folds + b.reduction_folds,
+        inline_results: a.inline_results + b.inline_results,
+        heap_results: a.heap_results + b.heap_results,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// default: timing sweep, kernel vs reference
+// ---------------------------------------------------------------------------
+
+/// Times `f` over repeated passes until ~40 ms has elapsed; returns the
+/// best per-call latency in nanoseconds.
+fn best_ns_per_call(calls_per_pass: usize, mut f: impl FnMut()) -> f64 {
+    let budget = Duration::from_millis(40);
+    let mut best = f64::INFINITY;
+    let mut spent = Duration::ZERO;
+    let mut passes = 0u32;
+    while spent < budget || passes < 3 {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed();
+        spent += dt;
+        passes += 1;
+        best = best.min(dt.as_nanos() as f64 / calls_per_pass as f64);
+    }
+    best
+}
+
+fn run_timing(sweep: &[usize], json: bool) {
+    if !json {
+        println!("Coefficient-kernel timings (kernel path vs bit-serial reference)\n");
+        println!(
+            "{:>5} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>8}",
+            "k", "mul_ns", "ref_mul_ns", "speedup", "sq_ns", "ref_sq_ns", "sq_spdup", "inline%"
+        );
+    }
+    for &k in sweep {
+        let Some(p) = irreducible_polynomial(k) else {
+            eprintln!("{k:>5}  no irreducible polynomial found");
+            continue;
+        };
+        let m = p.clone();
+        let ctx = GfContext::new(p).expect("irreducible");
+        let mut rng = Rng::seed_from_u64(0xBE2C_0000 ^ k as u64);
+        let elems: Vec<Gf> = (0..128).map(|_| random_element(&ctx, &mut rng)).collect();
+        let pairs: Vec<(&Gf, &Gf)> = elems.chunks(2).map(|c| (&c[0], &c[1])).collect();
+
+        let before = kernel::snapshot();
+        let mul_ns = best_ns_per_call(pairs.len(), || {
+            for (a, b) in &pairs {
+                std::hint::black_box(ctx.mul(a, b));
+            }
+        });
+        let sq_ns = best_ns_per_call(elems.len(), || {
+            for a in &elems {
+                std::hint::black_box(ctx.square(a));
+            }
+        });
+        let delta = kernel::snapshot().delta_since(&before);
+        let results = delta.inline_results + delta.heap_results;
+        let inline_pct = if results == 0 {
+            0.0
+        } else {
+            100.0 * delta.inline_results as f64 / results as f64
+        };
+
+        let ref_mul_ns = best_ns_per_call(pairs.len(), || {
+            for (a, b) in &pairs {
+                std::hint::black_box(reference::field_mul(&m, a.as_poly(), b.as_poly()));
+            }
+        });
+        let ref_sq_ns = best_ns_per_call(elems.len(), || {
+            for a in &elems {
+                std::hint::black_box(reference::field_square(&m, a.as_poly()));
+            }
+        });
+
+        let speedup = ref_mul_ns / mul_ns;
+        let sq_speedup = ref_sq_ns / sq_ns;
+        if json {
+            JsonRow::new("kernels")
+                .num("k", k as u64)
+                .num("mul_ns", mul_ns as u64)
+                .num("ref_mul_ns", ref_mul_ns as u64)
+                .str("speedup", &format!("{speedup:.1}"))
+                .num("square_ns", sq_ns as u64)
+                .num("ref_square_ns", ref_sq_ns as u64)
+                .str("square_speedup", &format!("{sq_speedup:.1}"))
+                .str("inline_pct", &format!("{inline_pct:.1}"))
+                .emit();
+        } else {
+            println!(
+                "{:>5} {:>12.0} {:>12.0} {:>8.1}x {:>12.0} {:>12.0} {:>8.1}x {:>7.1}%",
+                k, mul_ns, ref_mul_ns, speedup, sq_ns, ref_sq_ns, sq_speedup, inline_pct
+            );
+        }
+    }
+}

@@ -287,6 +287,11 @@ pub fn extract_word_polynomial_budgeted(
     reduce_span.counter(Counter::Cancellations, rstats.cancellations);
     reduce_span.counter(Counter::BudgetPolls, rstats.polls);
     reduce_span.counter(Counter::RemainderTerms, r.num_terms() as u64);
+    reduce_span.counter(Counter::CoeffMuls, rstats.kernel.coeff_muls);
+    reduce_span.counter(Counter::CoeffSquares, rstats.kernel.coeff_squares);
+    reduce_span.counter(Counter::ReductionFolds, rstats.kernel.reduction_folds);
+    reduce_span.counter(Counter::CoeffsInline, rstats.kernel.inline_results);
+    reduce_span.counter(Counter::CoeffsHeap, rstats.kernel.heap_results);
     reduce_span.observe(Hist::DivisionChainLen, rstats.steps);
     reduce_span.observe_hist(Hist::ReductionPolySize, &rstats.size_hist);
     stats.reduce_time = reduce_span.finish();

@@ -1,7 +1,11 @@
 //! The extension field `F_{2^k}` and its element type.
 
-use crate::gf2poly::Gf2Poly;
+use crate::gf2poly::{mul_comb, square_into, Gf2Poly, STACK_ACC, STACK_TABLE};
+use crate::kernel;
+use crate::limbs::INLINE_LIMBS;
+use crate::reduce_mod::ModReducer;
 use crate::rng::Rng;
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
@@ -43,21 +47,25 @@ pub struct Gf(pub(crate) Gf2Poly);
 
 impl Gf {
     /// Whether this is the additive identity.
+    #[must_use]
     pub fn is_zero(&self) -> bool {
         self.0.is_zero()
     }
 
     /// Whether this is the multiplicative identity.
+    #[must_use]
     pub fn is_one(&self) -> bool {
         self.0.is_one()
     }
 
     /// The underlying polynomial-basis representation.
+    #[must_use]
     pub fn as_poly(&self) -> &Gf2Poly {
         &self.0
     }
 
     /// Bit `i` of the polynomial-basis representation (coefficient of `α^i`).
+    #[must_use]
     pub fn bit(&self, i: usize) -> bool {
         self.0.coeff(i)
     }
@@ -68,6 +76,7 @@ impl Gf {
     /// it is available directly on elements without a [`GfContext`]. The
     /// result equals [`GfContext::add`] for any context both operands
     /// belong to.
+    #[must_use]
     pub fn add(&self, other: &Gf) -> Gf {
         Gf(self.0.add(&other.0))
     }
@@ -102,11 +111,22 @@ impl fmt::Display for Gf {
     }
 }
 
+thread_local! {
+    // Heap scratch for products whose operands exceed the inline limb
+    // capacity (k > 576). Reused across calls so even the big-field path
+    // settles into zero steady-state allocation.
+    static BIG_SCRATCH: RefCell<(Vec<u64>, Vec<u64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// The field `F_{2^k} = F_2[x] / (P(x))` for an irreducible `P` of degree `k`.
 ///
-/// The context owns the modulus and provides all element arithmetic. It is
-/// cheap to share via [`GfContext::shared`] (an `Arc`), which is how the
-/// polynomial ring and the verification engine reference it.
+/// The context owns the modulus, plus a reduction plan precomputed at
+/// construction ([`ModReducer`]): sparse moduli (all NIST polynomials) fold
+/// overflow limbs with shifted XORs, dense moduli use a `x^{64j} mod P`
+/// table — either way [`GfContext::mul`]/[`GfContext::square`] never run
+/// the generic Euclidean division. It is cheap to share via
+/// [`GfContext::shared`] (an `Arc`), which is how the polynomial ring and
+/// the verification engine reference it.
 ///
 /// # Example
 ///
@@ -122,6 +142,7 @@ impl fmt::Display for Gf {
 pub struct GfContext {
     k: usize,
     modulus: Gf2Poly,
+    reducer: ModReducer,
 }
 
 impl GfContext {
@@ -139,7 +160,12 @@ impl GfContext {
         if !modulus.is_irreducible() {
             return Err(FieldError::ReducibleModulus(modulus));
         }
-        Ok(GfContext { k, modulus })
+        let reducer = ModReducer::new(&modulus);
+        Ok(GfContext {
+            k,
+            modulus,
+            reducer,
+        })
     }
 
     /// Constructs the field and wraps it in an `Arc` for sharing.
@@ -148,53 +174,81 @@ impl GfContext {
     }
 
     /// The extension degree `k` (the circuit datapath width).
+    #[must_use]
     pub fn k(&self) -> usize {
         self.k
     }
 
     /// The field size `q = 2^k` if it fits in a `u64` (k ≤ 63).
+    #[must_use]
     pub fn order_u64(&self) -> Option<u64> {
         (self.k <= 63).then(|| 1u64 << self.k)
     }
 
     /// The irreducible construction polynomial `P(x)`.
+    #[must_use]
     pub fn modulus(&self) -> &Gf2Poly {
         &self.modulus
     }
 
     /// The additive identity.
+    #[must_use]
     pub fn zero(&self) -> Gf {
         Gf(Gf2Poly::zero())
     }
 
     /// The multiplicative identity.
+    #[must_use]
     pub fn one(&self) -> Gf {
         Gf(Gf2Poly::one())
     }
 
     /// The generator `α`, a root of `P(x)`.
+    #[must_use]
     pub fn alpha(&self) -> Gf {
         Gf(Gf2Poly::x())
     }
 
     /// `α^e` reduced into the field.
+    #[must_use]
     pub fn alpha_pow(&self, e: u64) -> Gf {
         self.pow_u64(&self.alpha(), e)
     }
 
     /// Builds an element from an arbitrary `F_2[x]` polynomial (reduced
     /// modulo `P`).
+    #[must_use]
     pub fn element(&self, p: Gf2Poly) -> Gf {
+        let kl = self.reducer.element_limbs();
+        let pl = p.limbs();
+        if pl.len() <= 2 * kl {
+            // Word-level reduction: copy into a guarded buffer and fold.
+            let blen = pl.len().max(kl) + 1;
+            if blen <= STACK_ACC {
+                let mut buf = [0u64; STACK_ACC];
+                buf[..pl.len()].copy_from_slice(pl);
+                self.reducer.reduce_in_place(&mut buf[..blen]);
+                return Gf(Gf2Poly::from_limb_slice(&buf[..blen]));
+            }
+            let mut buf = vec![0u64; blen];
+            buf[..pl.len()].copy_from_slice(pl);
+            self.reducer.reduce_in_place(&mut buf);
+            return Gf(Gf2Poly::from_limb_slice(&buf));
+        }
+        // Far-oversized input (degree ≥ 2·64·kl): generic division, the
+        // fold tables don't reach that high. Construction-time only.
         Gf(p.rem(&self.modulus))
     }
 
     /// Builds an element from its low 64 polynomial-basis bits.
+    #[must_use]
     pub fn from_u64(&self, bits: u64) -> Gf {
         self.element(Gf2Poly::from_u64(bits))
     }
 
     /// Builds an element from a bit slice (`bits[i]` is the coefficient of
     /// `α^i`). Slices longer than `k` are reduced modulo `P`.
+    #[must_use]
     pub fn from_bits(&self, bits: &[bool]) -> Gf {
         let mut p = Gf2Poly::zero();
         for (i, &b) in bits.iter().enumerate() {
@@ -206,11 +260,13 @@ impl GfContext {
     }
 
     /// The `k` polynomial-basis bits of an element, LSB first.
+    #[must_use]
     pub fn to_bits(&self, a: &Gf) -> Vec<bool> {
         (0..self.k).map(|i| a.0.coeff(i)).collect()
     }
 
     /// Field addition (coefficient-wise XOR).
+    #[must_use]
     pub fn add(&self, a: &Gf, b: &Gf) -> Gf {
         Gf(a.0.add(&b.0))
     }
@@ -220,40 +276,115 @@ impl GfContext {
         a.0.add_assign(&b.0);
     }
 
-    /// Field multiplication: carry-less product reduced modulo `P`.
+    /// Field multiplication: 4-bit windowed comb product folded by the
+    /// precomputed modular reducer. For k ≤ 576 the entire operation runs
+    /// on stack buffers and the result lands in inline limb storage — no
+    /// heap allocation.
+    #[must_use]
     pub fn mul(&self, a: &Gf, b: &Gf) -> Gf {
-        Gf(a.0.mul(&b.0).rem(&self.modulus))
+        kernel::on_mul();
+        if a.is_zero() || b.is_zero() {
+            return self.zero();
+        }
+        let (al, bl) = (a.0.limbs(), b.0.limbs());
+        let n = al.len() + bl.len();
+        if al.len() <= INLINE_LIMBS && bl.len() <= INLINE_LIMBS {
+            let mut acc = [0u64; STACK_ACC];
+            let mut table = [0u64; STACK_TABLE];
+            mul_comb(al, bl, &mut acc[..n], &mut table);
+            self.reducer.reduce_in_place(&mut acc[..n + 1]);
+            let out = Gf2Poly::from_limb_slice(&acc[..n]);
+            kernel::note_result(out.is_inline());
+            return Gf(out);
+        }
+        BIG_SCRATCH.with(|s| {
+            let (acc, table) = &mut *s.borrow_mut();
+            let tw = al.len().max(bl.len()) + 1;
+            if acc.len() < n + 1 {
+                acc.resize(n + 1, 0);
+            }
+            if table.len() < 16 * tw {
+                table.resize(16 * tw, 0);
+            }
+            acc[n] = 0;
+            mul_comb(al, bl, &mut acc[..n], table);
+            self.reducer.reduce_in_place(&mut acc[..n + 1]);
+            let out = Gf2Poly::from_limb_slice(&acc[..n]);
+            kernel::note_result(out.is_inline());
+            Gf(out)
+        })
     }
 
-    /// Field squaring (linear in characteristic 2; faster than `mul(a, a)`).
+    /// Field squaring (linear in characteristic 2; faster than `mul(a, a)`):
+    /// table-driven bit spread followed by the precomputed reducer.
+    #[must_use]
     pub fn square(&self, a: &Gf) -> Gf {
-        Gf(a.0.square().rem(&self.modulus))
+        kernel::on_square();
+        let al = a.0.limbs();
+        if al.is_empty() {
+            return self.zero();
+        }
+        let n = 2 * al.len();
+        if al.len() <= INLINE_LIMBS {
+            let mut acc = [0u64; STACK_ACC];
+            square_into(al, &mut acc[..n]);
+            self.reducer.reduce_in_place(&mut acc[..n + 1]);
+            let out = Gf2Poly::from_limb_slice(&acc[..n]);
+            kernel::note_result(out.is_inline());
+            return Gf(out);
+        }
+        BIG_SCRATCH.with(|s| {
+            let (acc, _) = &mut *s.borrow_mut();
+            if acc.len() < n + 1 {
+                acc.resize(n + 1, 0);
+            }
+            acc[n] = 0;
+            square_into(al, &mut acc[..n]);
+            self.reducer.reduce_in_place(&mut acc[..n + 1]);
+            let out = Gf2Poly::from_limb_slice(&acc[..n]);
+            kernel::note_result(out.is_inline());
+            Gf(out)
+        })
     }
 
-    /// `a^e` by square-and-multiply.
+    /// `a^e` by square-and-multiply over the fast field kernels.
+    #[must_use]
     pub fn pow_u64(&self, a: &Gf, e: u64) -> Gf {
-        Gf(a.0.pow_mod(e, &self.modulus))
+        let mut base = a.clone();
+        let mut acc = self.one();
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(&acc, &base);
+            }
+            base = self.square(&base);
+            e >>= 1;
+        }
+        acc
     }
 
     /// `a^e` where `e` is given as little-endian 64-bit limbs, allowing
     /// exponents up to `2^(64·n)` (needed for `X^q` with `q = 2^k`, k > 63).
+    #[must_use]
     pub fn pow_limbs(&self, a: &Gf, e_limbs: &[u64]) -> Gf {
-        let mut acc = Gf2Poly::one();
-        let mut base = a.0.rem(&self.modulus);
+        let mut acc = self.one();
+        let mut base = a.clone();
         for &limb in e_limbs {
             let mut l = limb;
             for _ in 0..64 {
                 if l & 1 == 1 {
-                    acc = acc.mul(&base).rem(&self.modulus);
+                    acc = self.mul(&acc, &base);
                 }
-                base = base.square().rem(&self.modulus);
+                base = self.square(&base);
                 l >>= 1;
             }
         }
-        Gf(acc)
+        acc
     }
 
     /// The multiplicative inverse via the extended Euclidean algorithm.
+    /// Inverting many elements at once? Use [`GfContext::batch_inv`] —
+    /// one of these plus ~3 multiplies per element.
     ///
     /// # Errors
     ///
@@ -264,7 +395,43 @@ impl GfContext {
         }
         let (g, s, _) = a.0.ext_gcd(&self.modulus);
         debug_assert!(g.is_one(), "modulus is irreducible, gcd must be 1");
-        Ok(Gf(s.rem(&self.modulus)))
+        Ok(self.element(s))
+    }
+
+    /// Batch inversion by Montgomery's trick: inverts all of `xs` with a
+    /// single extended-GCD inversion plus `3(n-1)` field multiplications.
+    ///
+    /// Returns the inverses in input order. The whole batch fails if any
+    /// element is zero (checked up front — no partial work is done).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::ZeroInverse`] if any element of `xs` is zero.
+    pub fn batch_inv(&self, xs: &[Gf]) -> Result<Vec<Gf>, FieldError> {
+        if xs.iter().any(Gf::is_zero) {
+            return Err(FieldError::ZeroInverse);
+        }
+        let n = xs.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // prefix[i] = x_0 · x_1 · … · x_i
+        let mut prefix = Vec::with_capacity(n);
+        prefix.push(xs[0].clone());
+        for x in &xs[1..] {
+            let next = self.mul(prefix.last().expect("non-empty"), x);
+            prefix.push(next);
+        }
+        // One real inversion of the total product, then sweep backwards:
+        // inv_run = (x_0 … x_i)⁻¹ after step i.
+        let mut inv_run = self.inv(&prefix[n - 1])?;
+        let mut out = vec![self.zero(); n];
+        for i in (1..n).rev() {
+            out[i] = self.mul(&inv_run, &prefix[i - 1]);
+            inv_run = self.mul(&inv_run, &xs[i]);
+        }
+        out[0] = inv_run;
+        Ok(out)
     }
 
     /// Field division `a / b`.
@@ -277,6 +444,7 @@ impl GfContext {
     }
 
     /// A uniformly random field element.
+    #[must_use]
     pub fn random(&self, rng: &mut Rng) -> Gf {
         let nlimbs = self.k.div_ceil(64);
         let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.next_u64()).collect();
@@ -305,6 +473,7 @@ impl GfContext {
     /// The square root `√a = a^(2^(k-1))` (squaring is a bijection in
     /// characteristic 2, so every element has a unique square root, and
     /// the square-root map is `F_2`-linear).
+    #[must_use]
     pub fn sqrt(&self, a: &Gf) -> Gf {
         let mut r = a.clone();
         for _ in 0..self.k.saturating_sub(1) {
@@ -316,6 +485,7 @@ impl GfContext {
     /// The absolute trace `Tr(a) = a + a² + a⁴ + … + a^(2^(k-1))`, always
     /// an element of `F_2 ⊂ F_{2^k}`. Used pervasively in hardware (e.g.
     /// point-compression and half-trace solvers in ECC).
+    #[must_use]
     pub fn trace(&self, a: &Gf) -> Gf {
         let mut acc = a.clone();
         let mut pow = a.clone();
@@ -328,16 +498,19 @@ impl GfContext {
     }
 
     /// Montgomery radix `R = x^k mod P` (as a field element this is `α^k`).
+    #[must_use]
     pub fn montgomery_r(&self) -> Gf {
         self.element(Gf2Poly::monomial(self.k))
     }
 
     /// `R² mod P`, the pre-multiplication constant of Fig. 1 of the paper.
+    #[must_use]
     pub fn montgomery_r2(&self) -> Gf {
         self.element(Gf2Poly::monomial(2 * self.k))
     }
 
     /// `R⁻¹ mod P`, the factor a single Montgomery reduction introduces.
+    #[must_use]
     pub fn montgomery_r_inv(&self) -> Gf {
         self.inv(&self.montgomery_r())
             .expect("x^k is non-zero modulo an irreducible P of degree k")
@@ -384,6 +557,67 @@ mod tests {
             assert_eq!(ctx.mul(&a, &ai), ctx.one(), "a = {a}");
         }
         assert_eq!(ctx.inv(&ctx.zero()), Err(FieldError::ZeroInverse));
+    }
+
+    #[test]
+    fn batch_inv_matches_individual_inverses() {
+        let ctx = f16();
+        let xs: Vec<Gf> = (1u64..16).map(|b| ctx.from_u64(b)).collect();
+        let invs = ctx.batch_inv(&xs).unwrap();
+        for (x, xi) in xs.iter().zip(&invs) {
+            assert_eq!(Ok(xi.clone()), ctx.inv(x));
+            assert_eq!(ctx.mul(x, xi), ctx.one());
+        }
+        assert_eq!(ctx.batch_inv(&[]), Ok(Vec::new()));
+        let single = ctx.batch_inv(&[ctx.alpha()]).unwrap();
+        assert_eq!(single, vec![ctx.inv(&ctx.alpha()).unwrap()]);
+    }
+
+    #[test]
+    fn batch_inv_rejects_zero_elements() {
+        let ctx = f16();
+        let xs = vec![ctx.alpha(), ctx.zero(), ctx.one()];
+        assert_eq!(ctx.batch_inv(&xs), Err(FieldError::ZeroInverse));
+    }
+
+    #[test]
+    fn mul_matches_reference_path_nist_571() {
+        let ctx = GfContext::new(crate::nist::nist_polynomial(571).unwrap()).unwrap();
+        let mut rng = Rng::seed_from_u64(571);
+        for _ in 0..16 {
+            let a = ctx.random(&mut rng);
+            let b = ctx.random(&mut rng);
+            let want = Gf(crate::reference::field_mul(
+                ctx.modulus(),
+                a.as_poly(),
+                b.as_poly(),
+            ));
+            assert_eq!(ctx.mul(&a, &b), want);
+            assert_eq!(
+                ctx.square(&a),
+                Gf(crate::reference::field_square(ctx.modulus(), a.as_poly()))
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_results_stay_inline_for_nist_fields() {
+        let ctx = GfContext::new(crate::nist::nist_polynomial(571).unwrap()).unwrap();
+        let mut rng = Rng::seed_from_u64(9);
+        let before = crate::kernel::snapshot();
+        let mut acc = ctx.one();
+        for _ in 0..32 {
+            let b = ctx.random(&mut rng);
+            acc = ctx.mul(&acc, &b);
+            acc = ctx.square(&acc);
+        }
+        assert!(acc.as_poly().is_inline());
+        let d = crate::kernel::snapshot().delta_since(&before);
+        assert_eq!(d.coeff_muls, 32);
+        assert_eq!(d.coeff_squares, 32);
+        assert_eq!(d.heap_results, 0);
+        assert_eq!(d.inline_results, 64);
+        assert!(d.reduction_folds > 0);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Thread-local coefficient-kernel statistics.
+//!
+//! The arithmetic kernels in this crate ([`crate::GfContext::mul`],
+//! [`crate::GfContext::square`], the modular reducer) bump plain
+//! thread-local counters on every operation. `gfab-field` has no
+//! dependencies — not even on `gfab-telemetry` — so the counters live here
+//! as a `Cell` and the caller (the reduction engine in `gfab-poly`, the
+//! kernel microbenchmark) takes [`snapshot`] deltas around a region of
+//! interest and republishes them into whatever metrics sink it owns.
+//!
+//! Every counter is a deterministic function of the arithmetic performed:
+//! no clocks, no addresses, no allocator feedback. A guided reduction runs
+//! on a single thread, so per-span deltas are exact and reproducible
+//! across machines and thread counts.
+
+use std::cell::Cell;
+
+/// A snapshot of the per-thread kernel counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounts {
+    /// Field coefficient multiplications (`GfContext::mul`).
+    pub coeff_muls: u64,
+    /// Field coefficient squarings (`GfContext::square`).
+    pub coeff_squares: u64,
+    /// Word-level modular-reduction folds performed by the precomputed
+    /// reducer (one per folded limb).
+    pub reduction_folds: u64,
+    /// Kernel results that landed in inline (stack) limb storage.
+    pub inline_results: u64,
+    /// Kernel results that spilled to heap limb storage.
+    pub heap_results: u64,
+}
+
+impl KernelCounts {
+    /// The all-zero snapshot.
+    pub const fn new() -> Self {
+        KernelCounts {
+            coeff_muls: 0,
+            coeff_squares: 0,
+            reduction_folds: 0,
+            inline_results: 0,
+            heap_results: 0,
+        }
+    }
+
+    /// Field-wise difference `self - earlier` (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &KernelCounts) -> KernelCounts {
+        KernelCounts {
+            coeff_muls: self.coeff_muls.saturating_sub(earlier.coeff_muls),
+            coeff_squares: self.coeff_squares.saturating_sub(earlier.coeff_squares),
+            reduction_folds: self.reduction_folds.saturating_sub(earlier.reduction_folds),
+            inline_results: self.inline_results.saturating_sub(earlier.inline_results),
+            heap_results: self.heap_results.saturating_sub(earlier.heap_results),
+        }
+    }
+}
+
+thread_local! {
+    static COUNTS: Cell<KernelCounts> = const { Cell::new(KernelCounts::new()) };
+}
+
+/// The current thread's cumulative kernel counters.
+#[must_use]
+pub fn snapshot() -> KernelCounts {
+    COUNTS.with(Cell::get)
+}
+
+/// Resets the current thread's counters to zero (microbenchmark use).
+pub fn reset() {
+    COUNTS.with(|c| c.set(KernelCounts::new()));
+}
+
+#[inline]
+pub(crate) fn on_mul() {
+    COUNTS.with(|c| {
+        let mut k = c.get();
+        k.coeff_muls += 1;
+        c.set(k);
+    });
+}
+
+#[inline]
+pub(crate) fn on_square() {
+    COUNTS.with(|c| {
+        let mut k = c.get();
+        k.coeff_squares += 1;
+        c.set(k);
+    });
+}
+
+#[inline]
+pub(crate) fn add_folds(n: u64) {
+    COUNTS.with(|c| {
+        let mut k = c.get();
+        k.reduction_folds += n;
+        c.set(k);
+    });
+}
+
+#[inline]
+pub(crate) fn note_result(inline: bool) {
+    COUNTS.with(|c| {
+        let mut k = c.get();
+        if inline {
+            k.inline_results += 1;
+        } else {
+            k.heap_results += 1;
+        }
+        c.set(k);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_field_wise() {
+        let a = KernelCounts {
+            coeff_muls: 10,
+            coeff_squares: 4,
+            reduction_folds: 7,
+            inline_results: 12,
+            heap_results: 2,
+        };
+        let b = KernelCounts {
+            coeff_muls: 3,
+            coeff_squares: 1,
+            reduction_folds: 2,
+            inline_results: 4,
+            heap_results: 0,
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.coeff_muls, 7);
+        assert_eq!(d.coeff_squares, 3);
+        assert_eq!(d.reduction_folds, 5);
+        assert_eq!(d.inline_results, 8);
+        assert_eq!(d.heap_results, 2);
+    }
+
+    #[test]
+    fn counters_accumulate_on_this_thread() {
+        let before = snapshot();
+        on_mul();
+        on_square();
+        add_folds(3);
+        note_result(true);
+        note_result(false);
+        let d = snapshot().delta_since(&before);
+        assert_eq!(d.coeff_muls, 1);
+        assert_eq!(d.coeff_squares, 1);
+        assert_eq!(d.reduction_folds, 3);
+        assert_eq!(d.inline_results, 1);
+        assert_eq!(d.heap_results, 1);
+    }
+}

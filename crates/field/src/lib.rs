@@ -17,9 +17,16 @@
 //! * [`nist`] — the five NIST-recommended ECC field polynomials
 //!   (k = 163, 233, 283, 409, 571) plus a search routine for small-degree
 //!   irreducible trinomials/pentanomials used in tests and examples.
+//! * [`reference`] — the original (pre-kernel) bit-serial arithmetic,
+//!   retained as a differential oracle for the optimized kernels.
+//! * [`kernel`] — thread-local counters (coefficient multiplies, reduction
+//!   folds, inline-vs-heap residency) published by the arithmetic kernels.
 //!
 //! Field sizes are unbounded in `k` (elements are limb vectors), which is
 //! what lets the abstraction engine in `gfab-core` run on 571-bit datapaths.
+//! Elements up to 576 bits (9 limbs — every NIST field) are stored inline
+//! and multiplied on stack scratch: the hot coefficient arithmetic of the
+//! division chain performs no heap allocation at all.
 //!
 //! # Example
 //!
@@ -41,10 +48,16 @@ pub mod budget;
 mod ctxcache;
 mod field;
 mod gf2poly;
+pub mod kernel;
+mod limbs;
 pub mod nist;
+mod reduce_mod;
+pub mod reference;
 pub mod rng;
 
 pub use ctxcache::ContextCache;
 pub use field::{FieldError, Gf, GfContext};
-pub use gf2poly::Gf2Poly;
+pub use gf2poly::{Gf2Poly, MulScratch};
+pub use kernel::KernelCounts;
+pub use limbs::INLINE_LIMBS;
 pub use rng::Rng;

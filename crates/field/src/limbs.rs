@@ -1,0 +1,234 @@
+//! Small-vector limb storage for [`crate::Gf2Poly`].
+//!
+//! Field elements up to `k = 576` fit in [`INLINE_LIMBS`] `u64` words, so
+//! the working set of the division chain (clones, adds, products of `Gf`
+//! coefficients) never has to touch the allocator. Larger polynomials —
+//! unreduced products, huge moduli — spill to a heap `Vec<u64>`.
+//!
+//! The two representations are interchangeable: all comparisons, hashing
+//! and ordering go through [`LimbBuf::as_slice`], so an inline buffer and
+//! a heap buffer holding the same limbs are indistinguishable. This keeps
+//! the semantics bit-identical to the previous `Vec<u64>`-backed storage
+//! (`Vec` derives its `Eq`/`Ord`/`Hash` from the element slice too).
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// Number of limbs stored inline (no heap allocation). 9 limbs = 576
+/// coefficient bits, covering every NIST field up to k = 571.
+pub const INLINE_LIMBS: usize = 9;
+
+/// A `u64` small-vector: inline up to [`INLINE_LIMBS`] words, heap beyond.
+#[derive(Clone, Debug)]
+pub(crate) enum LimbBuf {
+    /// Up to `INLINE_LIMBS` limbs stored in place; `len` is the live count.
+    Inline { len: u8, limbs: [u64; INLINE_LIMBS] },
+    /// Spill representation for longer polynomials.
+    Heap(Vec<u64>),
+}
+
+impl LimbBuf {
+    /// The empty buffer (the zero polynomial), inline.
+    pub const fn new() -> Self {
+        LimbBuf::Inline {
+            len: 0,
+            limbs: [0; INLINE_LIMBS],
+        }
+    }
+
+    /// Builds from a slice, choosing inline storage whenever it fits.
+    pub fn from_slice(s: &[u64]) -> Self {
+        if s.len() <= INLINE_LIMBS {
+            let mut limbs = [0u64; INLINE_LIMBS];
+            limbs[..s.len()].copy_from_slice(s);
+            LimbBuf::Inline {
+                len: s.len() as u8,
+                limbs,
+            }
+        } else {
+            LimbBuf::Heap(s.to_vec())
+        }
+    }
+
+    /// Builds from an owned vector, demoting to inline storage if it fits.
+    pub fn from_vec(v: Vec<u64>) -> Self {
+        if v.len() <= INLINE_LIMBS {
+            Self::from_slice(&v)
+        } else {
+            LimbBuf::Heap(v)
+        }
+    }
+
+    /// Whether the limbs currently live inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self, LimbBuf::Inline { .. })
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            LimbBuf::Inline { len, .. } => *len as usize,
+            LimbBuf::Heap(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            LimbBuf::Inline { len, limbs } => &limbs[..*len as usize],
+            LimbBuf::Heap(v) => v,
+        }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            LimbBuf::Inline { len, limbs } => &mut limbs[..*len as usize],
+            LimbBuf::Heap(v) => v,
+        }
+    }
+
+    /// Grows (zero-filling) or shrinks to `n` limbs, promoting to the heap
+    /// only when `n` exceeds the inline capacity.
+    pub fn resize(&mut self, n: usize) {
+        match self {
+            LimbBuf::Inline { len, limbs } => {
+                if n <= INLINE_LIMBS {
+                    // Slots at and above `len` are kept zeroed, so growing
+                    // inline is just a length bump; shrinking re-zeroes.
+                    if n < *len as usize {
+                        for slot in &mut limbs[n..*len as usize] {
+                            *slot = 0;
+                        }
+                    }
+                    *len = n as u8;
+                } else {
+                    let mut v = Vec::with_capacity(n);
+                    v.extend_from_slice(&limbs[..*len as usize]);
+                    v.resize(n, 0);
+                    *self = LimbBuf::Heap(v);
+                }
+            }
+            LimbBuf::Heap(v) => v.resize(n, 0),
+        }
+    }
+
+    /// Drops trailing zero limbs (the normalization invariant).
+    pub fn trim_trailing_zeros(&mut self) {
+        match self {
+            LimbBuf::Inline { len, limbs } => {
+                let mut n = *len as usize;
+                while n > 0 && limbs[n - 1] == 0 {
+                    n -= 1;
+                }
+                *len = n as u8;
+            }
+            LimbBuf::Heap(v) => {
+                while v.last() == Some(&0) {
+                    v.pop();
+                }
+            }
+        }
+    }
+
+    pub fn first(&self) -> Option<&u64> {
+        self.as_slice().first()
+    }
+
+    pub fn last(&self) -> Option<&u64> {
+        self.as_slice().last()
+    }
+
+    pub fn get(&self, i: usize) -> Option<&u64> {
+        self.as_slice().get(i)
+    }
+}
+
+impl Default for LimbBuf {
+    fn default() -> Self {
+        LimbBuf::new()
+    }
+}
+
+// Equality, ordering and hashing all defer to the limb slice so the two
+// representations compare identically — and identically to the previous
+// `Vec<u64>` storage, whose derived impls also defer to the slice.
+impl PartialEq for LimbBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for LimbBuf {}
+
+impl PartialOrd for LimbBuf {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LimbBuf {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for LimbBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn inline_and_heap_compare_equal() {
+        let a = LimbBuf::from_slice(&[1, 2, 3]);
+        let b = LimbBuf::Heap(vec![1, 2, 3]);
+        assert!(a.is_inline());
+        assert!(!b.is_inline());
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_matches_slice_lexicographic() {
+        let a = LimbBuf::from_slice(&[1, 2]);
+        let b = LimbBuf::from_slice(&[1, 2, 3]);
+        let c = LimbBuf::from_slice(&[2]);
+        assert!(a < b);
+        assert!(a < c);
+        assert_eq!([1u64, 2].as_slice().cmp([2u64].as_slice()), Ordering::Less);
+    }
+
+    #[test]
+    fn resize_promotes_and_keeps_contents() {
+        let mut a = LimbBuf::from_slice(&[7; INLINE_LIMBS]);
+        assert!(a.is_inline());
+        a.resize(INLINE_LIMBS + 2);
+        assert!(!a.is_inline());
+        assert_eq!(a.as_slice()[..INLINE_LIMBS], [7; INLINE_LIMBS]);
+        assert_eq!(a.as_slice()[INLINE_LIMBS..], [0, 0]);
+    }
+
+    #[test]
+    fn shrink_then_grow_inline_stays_zeroed() {
+        let mut a = LimbBuf::from_slice(&[1, 2, 3]);
+        a.resize(1);
+        a.resize(3);
+        assert_eq!(a.as_slice(), &[1, 0, 0]);
+        a.trim_trailing_zeros();
+        assert_eq!(a.as_slice(), &[1]);
+    }
+}

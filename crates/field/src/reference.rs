@@ -1,0 +1,138 @@
+//! Reference (pre-kernel) arithmetic, kept as a differential oracle.
+//!
+//! These are the original, obviously-correct implementations that the
+//! optimized kernels replaced: a bit-serial carry-less multiply, a
+//! shift-ladder squaring, modular reduction via generic Euclidean
+//! division, and inversion via the extended GCD. They are deliberately
+//! slow and allocation-happy; their only job is to pin down the exact
+//! semantics the fast paths must reproduce bit-for-bit. The differential
+//! test suite (`tests/field_kernels.rs`) and the kernel microbenchmark
+//! (`gfab-bench`, `kernels` binary) cross-check every optimized kernel
+//! against this module.
+
+use crate::Gf2Poly;
+
+/// Bit-serial carry-less product `a * b` (the pre-comb implementation:
+/// tests one bit of the shorter operand at a time).
+#[must_use]
+pub fn mul(a: &Gf2Poly, b: &Gf2Poly) -> Gf2Poly {
+    if a.is_zero() || b.is_zero() {
+        return Gf2Poly::zero();
+    }
+    let (a, b) = if a.limbs().len() <= b.limbs().len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let (al, bl) = (a.limbs(), b.limbs());
+    let mut acc = vec![0u64; al.len() + bl.len()];
+    for (j, &w) in al.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        for i in 0..64 {
+            if (w >> i) & 1 == 1 {
+                // acc ^= b << (64j + i)
+                for (t, &bw) in bl.iter().enumerate() {
+                    acc[j + t] ^= bw << i;
+                    if i != 0 {
+                        acc[j + t + 1] ^= bw >> (64 - i);
+                    }
+                }
+            }
+        }
+    }
+    Gf2Poly::from_limbs(acc)
+}
+
+/// Shift-ladder squaring (the pre-table implementation).
+#[must_use]
+pub fn square(a: &Gf2Poly) -> Gf2Poly {
+    let al = a.limbs();
+    let mut limbs = vec![0u64; al.len() * 2];
+    for (j, &w) in al.iter().enumerate() {
+        limbs[2 * j] = spread_bits_ladder(w as u32);
+        limbs[2 * j + 1] = spread_bits_ladder((w >> 32) as u32);
+    }
+    Gf2Poly::from_limbs(limbs)
+}
+
+/// Modular reduction via generic Euclidean division (the pre-reducer
+/// path used by `GfContext::mul` before precomputed reduction).
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+#[must_use]
+pub fn rem(value: &Gf2Poly, modulus: &Gf2Poly) -> Gf2Poly {
+    value.divrem(modulus).1
+}
+
+/// Reduced field product `a·b mod modulus` along the original path:
+/// bit-serial multiply followed by generic division.
+#[must_use]
+pub fn field_mul(modulus: &Gf2Poly, a: &Gf2Poly, b: &Gf2Poly) -> Gf2Poly {
+    rem(&mul(a, b), modulus)
+}
+
+/// Reduced field square along the original path.
+#[must_use]
+pub fn field_square(modulus: &Gf2Poly, a: &Gf2Poly) -> Gf2Poly {
+    rem(&square(a), modulus)
+}
+
+/// Per-element inversion via the extended GCD (the pre-batch path).
+/// Returns `None` for zero or non-invertible elements.
+#[must_use]
+pub fn field_inv(modulus: &Gf2Poly, a: &Gf2Poly) -> Option<Gf2Poly> {
+    if a.is_zero() {
+        return None;
+    }
+    let (g, s, _) = a.ext_gcd(modulus);
+    if !g.is_one() {
+        return None;
+    }
+    Some(rem(&s, modulus))
+}
+
+/// The original shift-mask spread ladder (bit `i` → bit `2i`).
+fn spread_bits_ladder(w: u32) -> u64 {
+    let mut x = w as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_mul_known_values() {
+        let a = Gf2Poly::from_exponents(&[1, 0]);
+        assert_eq!(mul(&a, &a), Gf2Poly::from_exponents(&[2, 0]));
+        let b = Gf2Poly::from_exponents(&[2, 1, 0]);
+        assert_eq!(mul(&b, &a), Gf2Poly::from_exponents(&[3, 0]));
+        assert!(mul(&a, &Gf2Poly::zero()).is_zero());
+    }
+
+    #[test]
+    fn reference_square_matches_reference_mul() {
+        let p = Gf2Poly::from_exponents(&[100, 64, 63, 7, 0]);
+        assert_eq!(square(&p), mul(&p, &p));
+    }
+
+    #[test]
+    fn reference_inv_roundtrip() {
+        let m = Gf2Poly::from_exponents(&[4, 1, 0]);
+        for bits in 1u64..16 {
+            let a = Gf2Poly::from_u64(bits);
+            let ai = field_inv(&m, &a).expect("invertible");
+            assert!(field_mul(&m, &a, &ai).is_one());
+        }
+        assert!(field_inv(&m, &Gf2Poly::zero()).is_none());
+    }
+}

@@ -20,6 +20,7 @@ pub struct Monomial {
 
 impl Monomial {
     /// The empty product (the constant monomial `1`).
+    #[must_use]
     pub fn one() -> Self {
         Monomial {
             factors: Vec::new(),
@@ -27,6 +28,7 @@ impl Monomial {
     }
 
     /// The single variable `v`.
+    #[must_use]
     pub fn var(v: VarId) -> Self {
         Monomial {
             factors: vec![(v, 1)],
@@ -34,6 +36,7 @@ impl Monomial {
     }
 
     /// The power `v^e` (`1` if `e == 0`).
+    #[must_use]
     pub fn var_pow(v: VarId, e: u64) -> Self {
         if e == 0 {
             Monomial::one()
@@ -46,6 +49,7 @@ impl Monomial {
 
     /// Builds a monomial from arbitrary `(var, exp)` pairs; zero exponents
     /// are dropped, duplicates are summed, factors are sorted.
+    #[must_use]
     pub fn from_factors(mut factors: Vec<(VarId, u64)>) -> Self {
         factors.sort_by_key(|&(v, _)| v);
         let mut out: Vec<(VarId, u64)> = Vec::with_capacity(factors.len());
@@ -62,16 +66,19 @@ impl Monomial {
     }
 
     /// Whether this is the constant monomial `1`.
+    #[must_use]
     pub fn is_one(&self) -> bool {
         self.factors.is_empty()
     }
 
     /// The factors, sorted by ascending variable rank.
+    #[must_use]
     pub fn factors(&self) -> &[(VarId, u64)] {
         &self.factors
     }
 
     /// The exponent of `v` (0 if absent).
+    #[must_use]
     pub fn exponent(&self, v: VarId) -> u64 {
         self.factors
             .binary_search_by_key(&v, |&(w, _)| w)
@@ -80,16 +87,19 @@ impl Monomial {
     }
 
     /// Whether `v` occurs with positive exponent.
+    #[must_use]
     pub fn contains(&self, v: VarId) -> bool {
         self.exponent(v) > 0
     }
 
     /// The greatest (lex-most-significant) variable, or `None` for `1`.
+    #[must_use]
     pub fn leading_var(&self) -> Option<VarId> {
         self.factors.first().map(|&(v, _)| v)
     }
 
     /// The total degree (sum of exponents).
+    #[must_use]
     pub fn total_degree(&self) -> u64 {
         self.factors.iter().map(|&(_, e)| e).sum()
     }
@@ -135,6 +145,7 @@ impl Monomial {
     }
 
     /// Whether `self` divides `other` (exponent-wise `≤`).
+    #[must_use]
     pub fn divides(&self, other: &Monomial) -> bool {
         let mut j = 0;
         for &(v, e) in &self.factors {
@@ -161,6 +172,7 @@ impl Monomial {
     ///
     /// Panics if `self` does not divide `other` (checked in debug builds by
     /// the subtraction underflow).
+    #[must_use]
     pub fn quotient_of(&self, other: &Monomial) -> Monomial {
         debug_assert!(self.divides(other), "quotient_of requires divisibility");
         let mut out = Vec::with_capacity(other.factors.len());
@@ -182,6 +194,7 @@ impl Monomial {
     }
 
     /// The least common multiple (exponent-wise max).
+    #[must_use]
     pub fn lcm(&self, other: &Monomial) -> Monomial {
         let mut out = Vec::with_capacity(self.factors.len() + other.factors.len());
         let (mut i, mut j) = (0, 0);
@@ -211,6 +224,7 @@ impl Monomial {
 
     /// Whether the two monomials are relatively prime (share no variable) —
     /// the hypothesis of Buchberger's product criterion (Lemma 5.1).
+    #[must_use]
     pub fn relatively_prime(&self, other: &Monomial) -> bool {
         let (mut i, mut j) = (0, 0);
         while i < self.factors.len() && j < other.factors.len() {
@@ -225,6 +239,7 @@ impl Monomial {
 
     /// Renames variables through `f`, re-sorting as needed. Used when moving
     /// polynomials between rings (e.g. hierarchical composition).
+    #[must_use]
     pub fn relabel(&self, f: impl Fn(VarId) -> VarId) -> Monomial {
         Monomial::from_factors(self.factors.iter().map(|&(v, e)| (f(v), e)).collect())
     }

@@ -39,12 +39,14 @@ pub struct Poly {
 
 impl Poly {
     /// The zero polynomial.
+    #[must_use]
     pub fn zero() -> Self {
         Poly { terms: Vec::new() }
     }
 
     /// Builds a polynomial from arbitrary terms: sorts, merges duplicate
     /// monomials (coefficients add in `F_{2^k}`), drops zeros.
+    #[must_use]
     pub fn from_terms(terms: Vec<Term>) -> Self {
         let mut map: BTreeMap<Monomial, Gf> = BTreeMap::new();
         for (m, c) in terms {
@@ -55,6 +57,7 @@ impl Poly {
 
     /// Builds from a map already keyed by monomial (zero coefficients are
     /// dropped).
+    #[must_use]
     pub fn from_map(map: BTreeMap<Monomial, Gf>) -> Self {
         Poly {
             terms: map
@@ -66,36 +69,43 @@ impl Poly {
     }
 
     /// Whether this is the zero polynomial.
+    #[must_use]
     pub fn is_zero(&self) -> bool {
         self.terms.is_empty()
     }
 
     /// The number of terms.
+    #[must_use]
     pub fn num_terms(&self) -> usize {
         self.terms.len()
     }
 
     /// The terms in descending monomial order.
+    #[must_use]
     pub fn terms(&self) -> &[Term] {
         &self.terms
     }
 
     /// The leading term, or `None` if zero.
+    #[must_use]
     pub fn leading_term(&self) -> Option<&Term> {
         self.terms.first()
     }
 
     /// The leading monomial, or `None` if zero.
+    #[must_use]
     pub fn leading_monomial(&self) -> Option<&Monomial> {
         self.terms.first().map(|(m, _)| m)
     }
 
     /// The leading coefficient, or `None` if zero.
+    #[must_use]
     pub fn leading_coeff(&self) -> Option<&Gf> {
         self.terms.first().map(|(_, c)| c)
     }
 
     /// Everything but the leading term (`tail(f)` in the paper).
+    #[must_use]
     pub fn tail(&self) -> Poly {
         Poly {
             terms: self.terms.get(1..).unwrap_or(&[]).to_vec(),
@@ -103,6 +113,7 @@ impl Poly {
     }
 
     /// The coefficient of `m` (zero if absent).
+    #[must_use]
     pub fn coeff(&self, m: &Monomial) -> Gf {
         // Terms are sorted descending; search with the comparison reversed.
         self.terms
@@ -112,11 +123,13 @@ impl Poly {
     }
 
     /// The total degree (max over terms), or `None` if zero.
+    #[must_use]
     pub fn total_degree(&self) -> Option<u64> {
         self.terms.iter().map(|(m, _)| m.total_degree()).max()
     }
 
     /// The maximum exponent of `v` over all terms.
+    #[must_use]
     pub fn degree_in(&self, v: VarId) -> u64 {
         self.terms
             .iter()
@@ -126,12 +139,14 @@ impl Poly {
     }
 
     /// Whether variable `v` occurs anywhere in the polynomial.
+    #[must_use]
     pub fn contains_var(&self, v: VarId) -> bool {
         self.terms.iter().any(|(m, _)| m.contains(v))
     }
 
     /// The set of variables occurring in the polynomial, ascending by rank
     /// (greatest variable first).
+    #[must_use]
     pub fn variables(&self) -> Vec<VarId> {
         let mut vs: Vec<VarId> = self.terms.iter().flat_map(|(m, _)| m.vars()).collect();
         vs.sort();
@@ -140,6 +155,7 @@ impl Poly {
     }
 
     /// Polynomial addition (characteristic 2, so also subtraction).
+    #[must_use]
     pub fn add(&self, other: &Poly) -> Poly {
         let mut out = Vec::with_capacity(self.terms.len() + other.terms.len());
         let (mut i, mut j) = (0, 0);
@@ -208,6 +224,7 @@ impl Poly {
     }
 
     /// Scales all coefficients by `c`.
+    #[must_use]
     pub fn scale(&self, c: &Gf, ring: &Ring) -> Poly {
         if c.is_zero() {
             return Poly::zero();
@@ -223,6 +240,7 @@ impl Poly {
     }
 
     /// Makes the polynomial monic (leading coefficient 1). No-op on zero.
+    #[must_use]
     pub fn monic(&self, ring: &Ring) -> Poly {
         match self.leading_coeff() {
             None => Poly::zero(),
@@ -273,6 +291,7 @@ impl Poly {
     /// # Panics
     ///
     /// Panics if a variable of the polynomial is out of range of `values`.
+    #[must_use]
     pub fn eval(&self, ring: &Ring, values: &[Gf]) -> Gf {
         let ctx = ring.ctx();
         let mut acc = ctx.zero();
@@ -289,6 +308,7 @@ impl Poly {
 
     /// Renames variables through `f` and renormalizes. Used to move
     /// polynomials between rings over the same coefficient field.
+    #[must_use]
     pub fn relabel(&self, f: impl Fn(VarId) -> VarId) -> Poly {
         Poly::from_terms(
             self.terms

@@ -12,7 +12,7 @@ use crate::monomial::Monomial;
 use crate::poly::Poly;
 use crate::ring::{PolyError, Ring};
 use gfab_field::budget::Budget;
-use gfab_field::Gf;
+use gfab_field::{kernel, Gf, KernelCounts};
 use gfab_telemetry::HistData;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -51,6 +51,12 @@ pub struct ReductionStats {
     /// telemetry histogram). Deterministic: sample points depend only on
     /// the iteration count, never on wall time or thread interleaving.
     pub size_hist: HistData,
+    /// Coefficient-kernel effort of this reduction: field multiplies,
+    /// squarings, word-level reduction folds, and inline-vs-heap residency
+    /// of kernel results. Taken as a thread-local snapshot delta around
+    /// the division loop (each normal form runs on a single thread), so
+    /// the values are deterministic across machines and thread counts.
+    pub kernel: KernelCounts,
 }
 
 /// One entry of the division working store: ordered by monomial only, so a
@@ -76,21 +82,34 @@ impl Ord for HeapTerm {
     }
 }
 
+/// One prepared divisor: the polynomial plus its precomputed inverse
+/// leading coefficient (`None` for monic divisors, the common case — gate
+/// polynomials under RATO all have unit leading coefficients).
+#[derive(Debug, Clone)]
+struct DivEntry<'a> {
+    poly: &'a Poly,
+    inv_lc: Option<Gf>,
+}
+
 /// A set of divisors prepared for repeated normal-form computations.
 ///
 /// Divisors whose leading monomial is a single variable with exponent 1
 /// (every circuit polynomial under RATO) are indexed by a dense table over
 /// the ring's variable ranks for O(1) lookup; everything else is scanned
-/// linearly.
+/// linearly. Non-monic divisors have their leading coefficients inverted
+/// once at construction (one batched Montgomery-trick inversion for all of
+/// them), so the division hot loop never runs an extended GCD.
 #[derive(Debug, Clone)]
 pub struct Reducer<'a> {
     ring: &'a Ring,
+    /// All prepared divisors; the index tables below point in here.
+    entries: Vec<DivEntry<'a>>,
     /// Divisors with leading monomial `x` (a bare variable), indexed by the
     /// RATO rank of `x` (`VarId::index`). Dense: the ring orders are small
     /// and the lookup sits on the innermost division loop.
-    by_lead_var: Vec<Option<&'a Poly>>,
+    by_lead_var: Vec<Option<usize>>,
     /// All other divisors.
-    general: Vec<&'a Poly>,
+    general: Vec<usize>,
 }
 
 impl<'a> Reducer<'a> {
@@ -100,24 +119,63 @@ impl<'a> Reducer<'a> {
     /// leading variable the first one wins the index and the rest go to the
     /// general list (division remains correct, just slower).
     pub fn new(ring: &'a Ring, divisors: impl IntoIterator<Item = &'a Poly>) -> Self {
-        let mut by_lead_var: Vec<Option<&'a Poly>> = vec![None; ring.num_vars()];
+        let mut by_lead_var: Vec<Option<usize>> = vec![None; ring.num_vars()];
         let mut general = Vec::new();
+        let mut entries: Vec<DivEntry<'a>> = Vec::new();
         for d in divisors {
             let Some(lm) = d.leading_monomial() else {
                 continue;
             };
+            let idx = entries.len();
+            entries.push(DivEntry {
+                poly: d,
+                inv_lc: None,
+            });
             let factors = lm.factors();
             if factors.len() == 1 && factors[0].1 == 1 {
                 let slot = &mut by_lead_var[factors[0].0.index()];
                 if slot.is_none() {
-                    *slot = Some(d);
+                    *slot = Some(idx);
                     continue;
                 }
             }
-            general.push(d);
+            general.push(idx);
+        }
+        // Invert every non-unit leading coefficient in one batch
+        // (Montgomery's trick: a single extended GCD for the whole set).
+        let needs_inv: Vec<usize> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                !e.poly
+                    .leading_coeff()
+                    .expect("divisor is non-zero")
+                    .is_one()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !needs_inv.is_empty() {
+            let lcs: Vec<Gf> = needs_inv
+                .iter()
+                .map(|&i| {
+                    entries[i]
+                        .poly
+                        .leading_coeff()
+                        .expect("divisor is non-zero")
+                        .clone()
+                })
+                .collect();
+            let invs = ring
+                .ctx()
+                .batch_inv(&lcs)
+                .expect("leading coefficients are non-zero");
+            for (&i, inv) in needs_inv.iter().zip(invs) {
+                entries[i].inv_lc = Some(inv);
+            }
         }
         Reducer {
             ring,
+            entries,
             by_lead_var,
             general,
         }
@@ -129,16 +187,16 @@ impl<'a> Reducer<'a> {
     }
 
     /// Finds a divisor whose leading monomial divides `m`.
-    fn find_divisor(&self, m: &Monomial) -> Option<&'a Poly> {
+    fn find_divisor(&self, m: &Monomial) -> Option<&DivEntry<'a>> {
         for &(v, _) in m.factors() {
-            if let Some(d) = self.by_lead_var[v.index()] {
-                return Some(d);
+            if let Some(i) = self.by_lead_var[v.index()] {
+                return Some(&self.entries[i]);
             }
         }
         self.general
             .iter()
-            .copied()
-            .find(|d| d.leading_monomial().is_some_and(|lm| lm.divides(m)))
+            .map(|&i| &self.entries[i])
+            .find(|e| e.poly.leading_monomial().is_some_and(|lm| lm.divides(m)))
     }
 
     /// Computes the normal form (remainder) of `f` under multivariate
@@ -188,6 +246,7 @@ impl<'a> Reducer<'a> {
         let ctx = self.ring.ctx();
         let mut iterations: u64 = 0;
         let mut stats = ReductionStats::default();
+        let kernel_before = kernel::snapshot();
         // Lazy-merge working store: a max-heap ordered by monomial. Terms
         // are pushed without merging; merging happens when equal monomials
         // surface together at the top. This keeps the per-step cost at
@@ -225,16 +284,17 @@ impl<'a> Reducer<'a> {
             }
             match self.find_divisor(&m) {
                 None => remainder.push((m, c)),
-                Some(d) => {
+                Some(entry) => {
                     stats.steps += 1;
+                    let d = entry.poly;
                     // m = q * lm(d); cancel c*m with (c / lc(d)) * q * d.
+                    // The inverse leading coefficient was precomputed (in
+                    // one batch) when the reducer was built.
                     let lm = d.leading_monomial().expect("divisor is non-zero");
-                    let lc = d.leading_coeff().expect("divisor is non-zero");
                     let q = lm.quotient_of(&m);
-                    let scale = if lc.is_one() {
-                        c
-                    } else {
-                        ctx.mul(&c, &ctx.inv(lc).expect("non-zero leading coefficient"))
+                    let scale = match &entry.inv_lc {
+                        None => c,
+                        Some(inv) => ctx.mul(&c, inv),
                     };
                     // Subtract scale * q * tail(d) (char 2: subtract = add).
                     // Gate polynomials have unit coefficients, so skip the
@@ -267,6 +327,7 @@ impl<'a> Reducer<'a> {
         } else {
             0
         };
+        stats.kernel = kernel::snapshot().delta_since(&kernel_before);
         Ok((Poly::from_terms(remainder), stats))
     }
 }

@@ -255,6 +255,19 @@ pub enum Counter {
     FuzzFindings,
     /// Shrink candidates evaluated by the delta-debugging loop.
     ShrinkSteps,
+    /// Field coefficient multiplications performed by the GF kernels.
+    CoeffMuls,
+    /// Field coefficient squarings performed by the GF kernels.
+    CoeffSquares,
+    /// Word-level modular-reduction folds performed by the precomputed
+    /// reducer (one per folded overflow limb).
+    ReductionFolds,
+    /// Coefficient-kernel results that landed in inline (stack) limb
+    /// storage — the zero-allocation fast path.
+    CoeffsInline,
+    /// Coefficient-kernel results that spilled to heap limb storage
+    /// (only possible for k > 576).
+    CoeffsHeap,
 }
 
 impl Counter {
@@ -288,6 +301,11 @@ impl Counter {
             Counter::FuzzCaught => "fuzz-caught",
             Counter::FuzzFindings => "fuzz-findings",
             Counter::ShrinkSteps => "shrink-steps",
+            Counter::CoeffMuls => "coeff-muls",
+            Counter::CoeffSquares => "coeff-squares",
+            Counter::ReductionFolds => "reduction-folds",
+            Counter::CoeffsInline => "coeff-inline",
+            Counter::CoeffsHeap => "coeff-heap",
         }
     }
 
@@ -339,6 +357,11 @@ impl Counter {
             "fuzz-caught" => Counter::FuzzCaught,
             "fuzz-findings" => Counter::FuzzFindings,
             "shrink-steps" => Counter::ShrinkSteps,
+            "coeff-muls" => Counter::CoeffMuls,
+            "coeff-squares" => Counter::CoeffSquares,
+            "reduction-folds" => Counter::ReductionFolds,
+            "coeff-inline" => Counter::CoeffsInline,
+            "coeff-heap" => Counter::CoeffsHeap,
             _ => return None,
         })
     }
@@ -386,7 +409,7 @@ mod tests {
 
     #[test]
     fn counter_slugs_round_trip() {
-        const ALL: [Counter; 26] = [
+        const ALL: [Counter; 31] = [
             Counter::Gates,
             Counter::ReductionSteps,
             Counter::PeakTerms,
@@ -413,6 +436,11 @@ mod tests {
             Counter::FuzzCaught,
             Counter::FuzzFindings,
             Counter::ShrinkSteps,
+            Counter::CoeffMuls,
+            Counter::CoeffSquares,
+            Counter::ReductionFolds,
+            Counter::CoeffsInline,
+            Counter::CoeffsHeap,
         ];
         for c in ALL {
             assert_eq!(Counter::from_slug(c.slug()), Some(c));
@@ -428,6 +456,25 @@ mod tests {
             Counter::CacheHits,
             Counter::CacheMisses,
             Counter::CacheEvictions,
+        ] {
+            assert!(!c.is_work());
+        }
+    }
+
+    #[test]
+    fn kernel_counters_are_informational() {
+        // The coefficient-kernel counters are deterministic, but they are
+        // *implementation* measures (they change whenever the arithmetic
+        // kernels change), not algorithmic work units. Keeping them out of
+        // is_work() means trace-diff gates stay comparable across kernel
+        // generations; the dedicated kernel baseline in perf_gate.sh pins
+        // them exactly instead.
+        for c in [
+            Counter::CoeffMuls,
+            Counter::CoeffSquares,
+            Counter::ReductionFolds,
+            Counter::CoeffsInline,
+            Counter::CoeffsHeap,
         ] {
             assert!(!c.is_work());
         }

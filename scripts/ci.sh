@@ -16,6 +16,15 @@ cargo build --release --offline
 echo "== tier-1: test =="
 cargo test -q --offline
 
+echo "== kernel smoke: coefficient kernels vs reference oracle =="
+# Differential self-check of the zero-allocation GF(2^k) coefficient
+# kernels (windowed comb multiply, spread-table squaring, precomputed
+# modular reduction, batch inversion) against the bit-serial reference
+# module, over every NIST field plus small dense moduli. Exits 1 on any
+# mismatch. (The bench bins are not part of the root package's build.)
+cargo build --release --offline -p gfab-bench
+target/release/kernels --smoke
+
 echo "== telemetry smoke: --trace-json emits a schema-valid trace =="
 # Generate a small Mastrovito/Montgomery pair, run an equivalence check
 # with JSONL tracing, and validate the trace with the binary's own strict

@@ -19,6 +19,7 @@ THRESHOLD="${PERF_GATE_THRESHOLD:-5}"
 
 echo "== build (release) =="
 cargo build --release --offline
+cargo build --release --offline -p gfab-bench
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -81,6 +82,21 @@ if [ "$fuzz_work" -ne "$fuzz_base" ]; then
     exit 1
 fi
 echo "fuzz work gate OK ($fuzz_work work units)"
+
+echo "== kernel work gate: pinned coefficient-kernel profile vs baseline =="
+# The pinned kernel workload is a pure function of (seed, code): its
+# per-field work counters (coefficient muls/squares, reduction folds,
+# inline-vs-heap residency) and FNV-1a result checksums must match
+# scripts/kernel_work_baseline.txt *exactly*. Any drift means the
+# arithmetic kernels changed their results or work profile; re-commit
+# the baseline consciously alongside the change that moved it.
+target/release/kernels --pinned > "$TMP/kernel_pinned.txt"
+if ! diff -u scripts/kernel_work_baseline.txt "$TMP/kernel_pinned.txt"; then
+    echo "perf-gate: kernel work profile drifted from baseline" >&2
+    echo "  (if intentional, re-commit scripts/kernel_work_baseline.txt)" >&2
+    exit 1
+fi
+echo "kernel work gate OK"
 
 echo "== live events gate: --events must not perturb work units or verdicts =="
 # The same equivalence query traced with and without the live event
